@@ -1,0 +1,77 @@
+//! One Criterion bench per paper artifact: each benchmark runs the
+//! corresponding experiment at quick scale, so `cargo bench` exercises
+//! the full regeneration path for every table and figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mwn_bench::{
+    ablation, energy_exp, figures, hierarchy_exp, mobility, routing_exp, stabilization,
+    table1, table2, table3, table4, table5, ExperimentScale,
+};
+
+fn quick() -> ExperimentScale {
+    ExperimentScale {
+        runs: 3,
+        lambda: 250.0,
+        grid_side: 12,
+        seed: 99,
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table1_example_densities", |b| {
+        b.iter(|| black_box(table1::run()))
+    });
+    group.bench_function("table2_info_schedule", |b| {
+        b.iter(|| black_box(table2::run(quick())))
+    });
+    group.bench_function("table3_dag_steps", |b| {
+        b.iter(|| black_box(table3::run(quick())))
+    });
+    group.bench_function("table4_random_geometry", |b| {
+        b.iter(|| black_box(table4::run(quick())))
+    });
+    group.bench_function("table5_adversarial_grid", |b| {
+        b.iter(|| black_box(table5::run(quick())))
+    });
+    group.bench_function("figures_2_and_3", |b| {
+        b.iter(|| {
+            let result = figures::run(quick());
+            black_box((figures::svg(&result, false).len(), figures::svg(&result, true).len()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_studies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("studies");
+    group.sample_size(10);
+    group.bench_function("mobility_persistence", |b| {
+        b.iter(|| black_box(mobility::run(quick())))
+    });
+    group.bench_function("stabilization_scaling", |b| {
+        b.iter(|| black_box(stabilization::run(quick())))
+    });
+    group.bench_function("ablation_metrics", |b| {
+        b.iter(|| black_box(ablation::run_metrics(quick())))
+    });
+    group.bench_function("ablation_rules", |b| {
+        b.iter(|| black_box(ablation::run_rules(quick())))
+    });
+    group.bench_function("extension_hierarchy", |b| {
+        b.iter(|| black_box(hierarchy_exp::run(quick())))
+    });
+    group.bench_function("extension_energy", |b| {
+        b.iter(|| black_box(energy_exp::run(quick())))
+    });
+    group.bench_function("routing_stretch", |b| {
+        b.iter(|| black_box(routing_exp::run(quick())))
+    });
+    group.finish();
+}
+
+criterion_group!(experiments, bench_tables, bench_studies);
+criterion_main!(experiments);

@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks of the core operations: the density
+//! metric, the centralized election, one protocol round over each
+//! medium, N1 renaming and the max-min baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mwn_baselines::max_min_clustering;
+use mwn_cluster::{
+    density_of, oracle, ClusterConfig, DagProtocol, DagVariant, DensityCluster, HeadRule,
+    NameSpace, OracleConfig,
+};
+use mwn_graph::builders;
+use mwn_radio::{BernoulliLoss, Medium, PerfectMedium, SlottedCsma};
+use mwn_sim::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn poisson_1000() -> mwn_graph::Topology {
+    let mut rng = StdRng::seed_from_u64(42);
+    builders::poisson(1000.0, 0.08, &mut rng)
+}
+
+fn bench_density(c: &mut Criterion) {
+    let topo = poisson_1000();
+    c.bench_function("density/definition1_all_nodes_n1000", |b| {
+        b.iter(|| {
+            for p in topo.nodes() {
+                black_box(density_of(&topo, p));
+            }
+        })
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let topo = poisson_1000();
+    c.bench_function("oracle/basic_n1000", |b| {
+        b.iter(|| black_box(oracle(&topo, &OracleConfig::default())))
+    });
+    c.bench_function("oracle/fusion_n1000", |b| {
+        b.iter(|| {
+            black_box(oracle(
+                &topo,
+                &OracleConfig {
+                    rule: HeadRule::Fusion,
+                    ..OracleConfig::default()
+                },
+            ))
+        })
+    });
+}
+
+fn bench_protocol_round(c: &mut Criterion) {
+    let topo = poisson_1000();
+    c.bench_function("protocol/round_perfect_n1000", |b| {
+        b.iter_batched(
+            || {
+                Network::new(
+                    DensityCluster::new(ClusterConfig::default()),
+                    PerfectMedium,
+                    topo.clone(),
+                    1,
+                )
+            },
+            |mut net| {
+                net.step();
+                black_box(net.now())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("protocol/round_csma_n1000", |b| {
+        b.iter_batched(
+            || {
+                Network::new(
+                    DensityCluster::new(ClusterConfig {
+                        cache_ttl: 12,
+                        ..ClusterConfig::default()
+                    }),
+                    SlottedCsma::new(16),
+                    topo.clone(),
+                    1,
+                )
+            },
+            |mut net| {
+                net.step();
+                black_box(net.now())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_medium(c: &mut Criterion) {
+    let topo = poisson_1000();
+    let senders: Vec<mwn_graph::NodeId> = topo.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    c.bench_function("medium/csma_deliver_n1000", |b| {
+        let mut medium = SlottedCsma::new(16);
+        b.iter(|| black_box(medium.deliver(&topo, &senders, &mut rng).delivered))
+    });
+    c.bench_function("medium/bernoulli_deliver_n1000", |b| {
+        let mut medium = BernoulliLoss::new(0.8);
+        b.iter(|| black_box(medium.deliver(&topo, &senders, &mut rng).delivered))
+    });
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let topo = poisson_1000();
+    let gamma = NameSpace::delta_squared(topo.max_degree());
+    c.bench_function("dag/n1_to_stable_n1000", |b| {
+        b.iter_batched(
+            || {
+                Network::new(
+                    DagProtocol::new(gamma, DagVariant::Randomized, 4),
+                    PerfectMedium,
+                    topo.clone(),
+                    3,
+                )
+            },
+            |mut net| black_box(net.run_until_stable(|_, s| s.dag_id, 3, 200)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let topo = poisson_1000();
+    c.bench_function("baseline/max_min_d2_n1000", |b| {
+        b.iter(|| black_box(max_min_clustering(&topo, 2)))
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Oracle cost vs network size at fixed expected degree — near-linear
+    // scaling is what makes the 1000-run experiment averages practical.
+    let mut group = c.benchmark_group("scaling/oracle");
+    for n in [500usize, 1000, 2000, 4000] {
+        let radius = (8.0 / (n as f64 * std::f64::consts::PI)).sqrt();
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let topo = builders::uniform(n, radius, &mut rng);
+        group.throughput(criterion::Throughput::Elements(n as u64));
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| black_box(oracle(&topo, &OracleConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_density,
+    bench_oracle,
+    bench_protocol_round,
+    bench_medium,
+    bench_dag,
+    bench_baseline,
+    bench_scaling
+);
+criterion_main!(micro);

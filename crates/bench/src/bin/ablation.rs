@@ -1,0 +1,22 @@
+//! Ablations: election metrics (density vs degree vs lowest-id vs
+//! max-min) and the Section 4.3 improvement rules, under mobility.
+
+use mwn_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let metrics = mwn_bench::ablation::run_metrics(scale);
+    println!(
+        "{}",
+        mwn_bench::ablation::render(
+            "Ablation (a): election metrics under pedestrian mobility",
+            &metrics
+        )
+    );
+    println!();
+    let rules = mwn_bench::ablation::run_rules(scale);
+    println!(
+        "{}",
+        mwn_bench::ablation::render("Ablation (b): Section 4.3 improvement rules", &rules)
+    );
+}

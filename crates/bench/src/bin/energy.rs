@@ -1,0 +1,10 @@
+//! The energy extension: battery-aware head rotation vs the static
+//! election.
+
+use mwn_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let result = mwn_bench::energy_exp::run(scale);
+    println!("{}", mwn_bench::energy_exp::render(&result));
+}

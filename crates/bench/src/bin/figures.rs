@@ -1,0 +1,21 @@
+//! Regenerates the paper's Figures 2 and 3 as fig2.svg / fig3.svg
+//! (plus an ASCII preview on stdout).
+
+use mwn_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let result = mwn_bench::figures::run(scale);
+    std::fs::write("fig2.svg", mwn_bench::figures::svg(&result, false)).expect("write fig2.svg");
+    std::fs::write("fig3.svg", mwn_bench::figures::svg(&result, true)).expect("write fig3.svg");
+    println!(
+        "Figure 2 (no DAG): {} cluster(s) — wrote fig2.svg",
+        result.fig2.head_count()
+    );
+    println!(
+        "Figure 3 (with DAG): {} cluster(s) — wrote fig3.svg",
+        result.fig3.head_count()
+    );
+    println!("\nFigure 3 preview (heads upper-case):");
+    print!("{}", mwn_bench::figures::ascii(&result, true));
+}

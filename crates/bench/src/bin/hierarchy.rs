@@ -1,0 +1,10 @@
+//! The hierarchical-clustering extension: recursive density clustering
+//! on the cluster-head overlay.
+
+use mwn_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let result = mwn_bench::hierarchy_exp::run(scale);
+    println!("{}", mwn_bench::hierarchy_exp::render(&result));
+}

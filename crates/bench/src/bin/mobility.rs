@@ -1,0 +1,14 @@
+//! Regenerates the paper's Section 5 mobility study (head persistence
+//! per 2-second window).
+
+use mwn_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    eprintln!("mobility: scale {} (use --full for 15-minute runs)", scale.runs);
+    let result = mwn_bench::mobility::run(scale);
+    println!("{}", mwn_bench::mobility::render(&result));
+    println!();
+    let sweep = mwn_bench::mobility::run_speed_sweep(scale);
+    println!("{}", mwn_bench::mobility::render_speed_sweep(&sweep));
+}

@@ -1,0 +1,10 @@
+//! Hierarchical-routing stretch over the clustering (the Section 1
+//! motivation for clustering in the first place).
+
+use mwn_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let result = mwn_bench::routing_exp::run(scale);
+    println!("{}", mwn_bench::routing_exp::render(&result));
+}

@@ -1,0 +1,12 @@
+//! Measures the paper's Theorem 1 / Lemma 2 claims: stabilization
+//! times that stay constant as the network grows, for any τ > 0.
+
+use mwn_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let result = mwn_bench::stabilization::run(scale);
+    println!("{}", mwn_bench::stabilization::render_scaling(&result));
+    println!();
+    println!("{}", mwn_bench::stabilization::render_tau(&result));
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table 1 and the Figure 1 clustering.
+
+fn main() {
+    let result = mwn_bench::table1::run();
+    println!("{}", mwn_bench::table1::render(&result));
+    println!("Resulting clusters (paper: two clusters, headed by h and j):");
+    for (head, members) in &result.clusters {
+        let members: String = members.iter().collect();
+        println!("  head {head}: {{{members}}}");
+    }
+}

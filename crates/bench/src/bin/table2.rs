@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 2 (information per step).
+
+use mwn_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let result = mwn_bench::table2::run(scale);
+    println!("{}", mwn_bench::table2::render(&result));
+}

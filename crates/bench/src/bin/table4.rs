@@ -1,0 +1,17 @@
+//! Regenerates the paper's Table 4 (cluster features, random geometry).
+
+use mwn_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    eprintln!("table 4: {} runs per cell (use --full for the paper's 1000)", scale.runs);
+    let result = mwn_bench::table4::run(scale);
+    println!(
+        "{}",
+        mwn_bench::table4::render(
+            "Table 4: clusters features on a random geometric graph \
+             (paper, R=0.05: 61 clusters, ecc 2.6, tree 2.7)",
+            &result
+        )
+    );
+}

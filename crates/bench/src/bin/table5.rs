@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table 5 (adversarial grid).
+
+use mwn_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    eprintln!("table 5: {} runs per cell (use --full for the paper's 1000)", scale.runs);
+    let result = mwn_bench::table5::run(scale);
+    println!("{}", mwn_bench::table5::render(&result));
+}

@@ -1,0 +1,165 @@
+//! Shared experiment plumbing: scales, argument parsing, and the
+//! distributed-run helpers every table uses.
+
+use mwn_cluster::{
+    extract_clustering, extract_dag_ids, Clustering, ClusterConfig, DagProtocol, DagVariant,
+    DensityCluster, NameSpace,
+};
+use mwn_graph::Topology;
+use mwn_radio::PerfectMedium;
+use mwn_sim::Network;
+
+/// How much work an experiment does.
+///
+/// The paper averages each statistic "over 1000 simulations"; `Full`
+/// matches that, `Default` trades a little precision for minutes of
+/// runtime, `Quick` is for smoke tests and Criterion benches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExperimentScale {
+    /// Independent simulation runs per configuration.
+    pub runs: usize,
+    /// Poisson intensity of the random deployments (paper: 1000).
+    pub lambda: f64,
+    /// Grid side (paper: ≈√1000 ⇒ 32).
+    pub grid_side: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The paper's scale: 1000-run averages, λ = 1000, 32×32 grids.
+    pub fn full() -> Self {
+        ExperimentScale {
+            runs: 1000,
+            lambda: 1000.0,
+            grid_side: 32,
+            seed: 20050610,
+        }
+    }
+
+    /// Default scale: 200-run averages (≈ the paper's numbers to two
+    /// digits, minutes of runtime on a laptop).
+    pub fn default_scale() -> Self {
+        ExperimentScale {
+            runs: 200,
+            ..Self::full()
+        }
+    }
+
+    /// Smoke-test scale: a handful of runs on smaller deployments.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            runs: 5,
+            lambda: 250.0,
+            grid_side: 16,
+            seed: 20050610,
+        }
+    }
+
+    /// Parses `--quick`, `--full` and `--runs N` from the process
+    /// arguments, starting from the default scale.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = if args.iter().any(|a| a == "--quick") {
+            Self::quick()
+        } else if args.iter().any(|a| a == "--full") {
+            Self::full()
+        } else {
+            Self::default_scale()
+        };
+        if let Some(pos) = args.iter().position(|a| a == "--runs") {
+            if let Some(n) = args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
+                scale.runs = n.max(1);
+            }
+        }
+        scale
+    }
+}
+
+/// The transmission ranges of the paper's Tables 4 and 5.
+pub const TABLE45_RADII: [f64; 3] = [0.05, 0.08, 0.1];
+
+/// The transmission ranges of the paper's Table 3.
+pub const TABLE3_RADII: [f64; 6] = [0.05, 0.06, 0.07, 0.08, 0.09, 0.1];
+
+/// Runs the full distributed clustering protocol on a perfect medium
+/// until stable; returns the clustering, the stabilized DAG ids and
+/// the measured stabilization step count.
+///
+/// # Panics
+///
+/// Panics if the protocol fails to stabilize within `max_steps` (which
+/// would falsify the paper's Lemma 2 — a test failure, not a runtime
+/// condition to handle).
+pub fn run_distributed(
+    topo: Topology,
+    config: ClusterConfig,
+    seed: u64,
+    max_steps: u64,
+) -> (Clustering, Vec<u32>, u64) {
+    config
+        .validate_for(&topo)
+        .expect("experiment configuration valid for topology");
+    let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo, seed);
+    let stabilized = net
+        .run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, max_steps)
+        .expect("protocol stabilizes (Lemma 2)");
+    let clustering = extract_clustering(net.states()).expect("stable state is clean");
+    let dag_ids = extract_dag_ids(net.states());
+    (clustering, dag_ids, stabilized)
+}
+
+/// Runs only the DAG renaming (algorithm N1) until stable; returns the
+/// names and the stabilization step count — the Table 3 measurement.
+pub fn run_dag(
+    topo: Topology,
+    gamma: NameSpace,
+    variant: DagVariant,
+    seed: u64,
+    max_steps: u64,
+) -> (Vec<u32>, u64) {
+    let mut net = Network::new(DagProtocol::new(gamma, variant, 4), PerfectMedium, topo, seed);
+    let stabilized = net
+        .run_until_stable(|_, s| s.dag_id, 4, max_steps)
+        .expect("N1 stabilizes (Theorem 1)");
+    let names = net.states().iter().map(|s| s.dag_id).collect();
+    (names, stabilized)
+}
+
+/// γ = δ² for a topology, clamped to be a valid name space (> δ).
+pub fn gamma_for(topo: &Topology) -> NameSpace {
+    let delta = topo.max_degree().max(1);
+    NameSpace::delta_squared(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwn_cluster::is_locally_unique;
+    use mwn_graph::builders;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(ExperimentScale::quick().runs < ExperimentScale::default_scale().runs);
+        assert!(ExperimentScale::default_scale().runs < ExperimentScale::full().runs);
+        assert_eq!(ExperimentScale::full().runs, 1000);
+    }
+
+    #[test]
+    fn run_distributed_produces_clean_output() {
+        let topo = builders::grid(8, 8, 0.2);
+        let (c, ids, steps) = run_distributed(topo, ClusterConfig::default(), 1, 300);
+        assert!(c.head_count() >= 1);
+        assert_eq!(ids.len(), 64);
+        assert!(steps < 300);
+    }
+
+    #[test]
+    fn run_dag_produces_proper_coloring() {
+        let topo = builders::grid(8, 8, 0.2);
+        let gamma = gamma_for(&topo);
+        let (names, steps) = run_dag(topo.clone(), gamma, DagVariant::SmallestIdRedraws, 2, 300);
+        assert!(is_locally_unique(&topo, &names));
+        assert!(steps < 50);
+    }
+}

@@ -1,0 +1,118 @@
+//! **Routing experiment**: the path-stretch cost of hierarchical
+//! routing over the clustering — the application Section 1 motivates
+//! clustering with. Compares the election metrics and the fusion rule
+//! (bigger clusters ⇒ more traffic stays intra-cluster ⇒ less
+//! stretch).
+
+use mwn_baselines::{highest_degree_config, lowest_id_config};
+use mwn_cluster::{mean_stretch, oracle, HeadRule, OracleConfig};
+use mwn_graph::builders;
+use mwn_metrics::{run_seeds, RunningStats, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::ExperimentScale;
+
+/// Mean hierarchical-routing stretch per clustering policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutingResult {
+    /// Policy names.
+    pub policies: Vec<String>,
+    /// Mean stretch (hierarchical hops / shortest hops).
+    pub stretch: Vec<f64>,
+    /// Mean cluster count (context for the stretch numbers).
+    pub clusters: Vec<f64>,
+}
+
+/// Runs the stretch comparison over `scale.runs` deployments.
+pub fn run(scale: ExperimentScale) -> RoutingResult {
+    let policies: Vec<(String, OracleConfig)> = vec![
+        ("density (paper)".into(), OracleConfig::default()),
+        (
+            "density + fusion".into(),
+            OracleConfig {
+                rule: HeadRule::Fusion,
+                ..OracleConfig::default()
+            },
+        ),
+        ("degree".into(), highest_degree_config()),
+        ("lowest-id".into(), lowest_id_config()),
+    ];
+    let mut result = RoutingResult {
+        policies: Vec::new(),
+        stretch: Vec::new(),
+        clusters: Vec::new(),
+    };
+    for (name, cfg) in policies {
+        let runs = run_seeds(scale.runs, scale.seed ^ 0x207E, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = builders::poisson(scale.lambda / 2.0, 0.1, &mut rng);
+            let clustering = oracle(&topo, &cfg);
+            let stretch = mean_stretch(&topo, &clustering, 200, &mut rng);
+            stretch.map(|s| (s, clustering.head_count() as f64))
+        });
+        let mut stretch = RunningStats::new();
+        let mut clusters = RunningStats::new();
+        for (s, c) in runs.into_iter().flatten() {
+            stretch.push(s);
+            clusters.push(c);
+        }
+        result.policies.push(name);
+        result.stretch.push(stretch.mean());
+        result.clusters.push(clusters.mean());
+    }
+    result
+}
+
+/// Formats the comparison table.
+pub fn render(result: &RoutingResult) -> Table {
+    let mut table = Table::new("Hierarchical routing stretch by clustering policy");
+    table.set_headers(["policy", "mean stretch", "mean #clusters"]);
+    for i in 0..result.policies.len() {
+        table.add_row(
+            result.policies[i].clone(),
+            vec![
+                format!("{:.3}", result.stretch[i]),
+                format!("{:.1}", result.clusters[i]),
+            ],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stretch_is_sane_for_all_policies() {
+        let result = run(ExperimentScale {
+            runs: 4,
+            lambda: 500.0,
+            ..ExperimentScale::quick()
+        });
+        assert_eq!(result.policies.len(), 4);
+        for (i, p) in result.policies.iter().enumerate() {
+            assert!(
+                result.stretch[i] >= 1.0 && result.stretch[i] < 3.0,
+                "{p}: stretch {}",
+                result.stretch[i]
+            );
+        }
+        // Fusion merges clusters: fewer of them than plain density.
+        let density = result.policies.iter().position(|p| p == "density (paper)").unwrap();
+        let fusion = result.policies.iter().position(|p| p.contains("fusion")).unwrap();
+        assert!(result.clusters[fusion] <= result.clusters[density] + 0.5);
+    }
+
+    #[test]
+    fn render_lists_policies() {
+        let result = RoutingResult {
+            policies: vec!["density".into()],
+            stretch: vec![1.25],
+            clusters: vec![20.0],
+        };
+        let s = render(&result).to_string();
+        assert!(s.contains("1.250"));
+    }
+}

@@ -1,0 +1,100 @@
+//! **Table 3**: mean number of steps needed to build the DAG (run
+//! algorithm N1 to a proper coloring) over a 32×32 grid and a Poisson
+//! random-geometry deployment of intensity λ = 1000, for transmission
+//! ranges R ∈ {0.05 … 0.1}. The paper reports ≈ 2 steps everywhere.
+
+use mwn_cluster::DagVariant;
+use mwn_graph::builders;
+use mwn_metrics::{run_seeds, RunningStats, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{gamma_for, run_dag, ExperimentScale, TABLE3_RADII};
+
+/// Mean DAG-construction steps per radius, for both deployments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table3Result {
+    /// The transmission ranges measured.
+    pub radii: Vec<f64>,
+    /// Mean steps on the grid, per radius.
+    pub grid: Vec<f64>,
+    /// Mean steps on the Poisson deployment, per radius.
+    pub random_geometry: Vec<f64>,
+}
+
+/// Runs the Table 3 experiment.
+pub fn run(scale: ExperimentScale) -> Table3Result {
+    let mut grid_means = Vec::new();
+    let mut rand_means = Vec::new();
+    for &radius in &TABLE3_RADII {
+        let grid_runs = run_seeds(scale.runs, scale.seed ^ 0x3A17, |seed| {
+            let topo = builders::grid(scale.grid_side, scale.grid_side, radius);
+            let gamma = gamma_for(&topo);
+            let (_, steps) = run_dag(topo, gamma, DagVariant::SmallestIdRedraws, seed, 500);
+            steps as f64
+        });
+        grid_means.push(grid_runs.into_iter().collect::<RunningStats>().mean());
+        let rand_runs = run_seeds(scale.runs, scale.seed ^ 0x9B2D, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = builders::poisson(scale.lambda, radius, &mut rng);
+            let gamma = gamma_for(&topo);
+            let (_, steps) = run_dag(topo, gamma, DagVariant::SmallestIdRedraws, seed, 500);
+            steps as f64
+        });
+        rand_means.push(rand_runs.into_iter().collect::<RunningStats>().mean());
+    }
+    Table3Result {
+        radii: TABLE3_RADII.to_vec(),
+        grid: grid_means,
+        random_geometry: rand_means,
+    }
+}
+
+/// Formats the result in the paper's layout.
+pub fn render(result: &Table3Result) -> Table {
+    let mut table = Table::new(
+        "Table 3: steps to build the DAG (paper: grid 2.0-2.2, random geometry 1.9-2.0)",
+    );
+    let mut headers = vec!["R".to_string()];
+    headers.extend(result.radii.iter().map(|r| format!("{r}")));
+    table.set_headers(headers);
+    table.add_numeric_row("Grid", &result.grid, 2);
+    table.add_numeric_row("Random geometry", &result.random_geometry, 2);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_builds_in_a_few_steps() {
+        let result = run(ExperimentScale::quick());
+        for (i, &r) in result.radii.iter().enumerate() {
+            assert!(
+                result.grid[i] <= 6.0,
+                "grid R={r}: {} steps — paper reports ≈2",
+                result.grid[i]
+            );
+            assert!(
+                result.random_geometry[i] <= 6.0,
+                "random R={r}: {} steps — paper reports ≈2",
+                result.random_geometry[i]
+            );
+            assert!(result.grid[i] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn render_has_one_column_per_radius() {
+        let result = Table3Result {
+            radii: vec![0.05, 0.1],
+            grid: vec![2.2, 2.0],
+            random_geometry: vec![2.0, 1.9],
+        };
+        let s = render(&result).to_string();
+        assert!(s.contains("0.05"));
+        assert!(s.contains("2.20"));
+        assert!(s.contains("1.90"));
+    }
+}

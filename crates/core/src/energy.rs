@@ -1,0 +1,347 @@
+//! Energy-aware clustering — the paper's last future-work item
+//! ("we also want to consider energy constraints in the stabilization
+//! algorithm and we are investigating energy-efficient organization
+//! algorithms").
+//!
+//! Cluster-heads do extra work (they name the cluster, synchronize it,
+//! anchor hierarchical routing), so a static election drains the same
+//! nodes until they die. The standard remedy is **head rotation**: make
+//! remaining energy the primary election criterion, quantized into
+//! bands so that small energy differences do not thrash the clustering,
+//! with the paper's density as the secondary criterion inside a band.
+//! Because the banded-energy key is still a total order evaluated on
+//! 1-hop information, the whole self-stabilization argument carries
+//! over unchanged — exactly the kind of "several clusterization
+//! metrics" generalization the conclusion claims.
+
+use mwn_graph::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::{keys_of, oracle_with_keys, Clustering, Density, Key, OracleConfig};
+
+/// Battery and duty-cycle parameters of the energy model.
+///
+/// Units are abstract "energy units"; costs are per election round.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Initial battery of every node.
+    pub initial: f64,
+    /// Per-round cost of serving as a cluster-head.
+    pub head_cost: f64,
+    /// Per-round cost of being an ordinary member (idle + beacons).
+    pub member_cost: f64,
+    /// Number of quantization bands for the election (≥ 1). More bands
+    /// rotate more eagerly; fewer bands are more stable.
+    pub bands: u32,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            initial: 100.0,
+            head_cost: 1.0,
+            member_cost: 0.1,
+            bands: 10,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// The quantization band of a battery level: 0 = (almost) empty,
+    /// `bands - 1` = full.
+    pub fn band_of(&self, battery: f64) -> u32 {
+        if battery <= 0.0 {
+            return 0;
+        }
+        let frac = (battery / self.initial).clamp(0.0, 1.0);
+        ((frac * f64::from(self.bands)).ceil() as u32)
+            .saturating_sub(1)
+            .min(self.bands - 1)
+    }
+
+    /// Validates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive initial energy, negative costs, or zero
+    /// bands.
+    pub fn validate(&self) {
+        assert!(self.initial > 0.0, "initial energy must be positive");
+        assert!(
+            self.head_cost >= 0.0 && self.member_cost >= 0.0,
+            "costs must be non-negative"
+        );
+        assert!(
+            self.head_cost >= self.member_cost,
+            "heads must cost at least as much as members"
+        );
+        assert!(self.bands >= 1, "at least one energy band");
+    }
+}
+
+/// Computes the energy-aware clustering: the configured election with
+/// the quantized battery band as the *primary* criterion.
+///
+/// Implementation note: a key's metric field is an exact rational
+/// [`Density`]; the banded key scales the density into the band —
+/// `metric' = band · (δ³ + 1) + d_p` — which is lexicographic because
+/// the paper bounds the density below `δ³` (proof of Lemma 2).
+pub fn energy_aware_clustering(
+    topo: &Topology,
+    batteries: &[f64],
+    model: &EnergyModel,
+    config: &OracleConfig,
+) -> Clustering {
+    model.validate();
+    assert_eq!(batteries.len(), topo.len(), "one battery per node");
+    let delta = topo.max_degree().max(1) as u32;
+    // d_p < δ³ (the paper's bound); scale each band past that.
+    let band_stride = delta
+        .saturating_mul(delta)
+        .saturating_mul(delta)
+        .saturating_add(1);
+    let base = keys_of(topo, config);
+    let keys: Vec<Key> = base
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| {
+            let band = model.band_of(batteries[i]);
+            // links/degree + band·stride == (links + band·stride·degree)/degree
+            let d = k.density;
+            let links = d.links().saturating_add(
+                band.saturating_mul(band_stride)
+                    .saturating_mul(d.degree().max(1)),
+            );
+            Key::new(
+                Density::ratio(links, d.degree().max(1)),
+                k.is_head,
+                k.tiebreak,
+                k.id,
+            )
+        })
+        .collect();
+    oracle_with_keys(topo, &keys, config.order, config.rule)
+}
+
+/// One tick of battery bookkeeping: charges every node its role cost.
+/// Batteries floor at zero.
+pub fn charge_round(batteries: &mut [f64], clustering: &Clustering, model: &EnergyModel) {
+    for (i, b) in batteries.iter_mut().enumerate() {
+        let cost = if clustering.is_head(NodeId::new(i as u32)) {
+            model.head_cost
+        } else {
+            model.member_cost
+        };
+        *b = (*b - cost).max(0.0);
+    }
+}
+
+/// Outcome of a rotation simulation (see [`simulate_rotation`]).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RotationOutcome {
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Minimum battery across nodes at the end.
+    pub min_battery: f64,
+    /// Mean battery at the end.
+    pub mean_battery: f64,
+    /// Rounds until the first node hit an empty battery (`None` if
+    /// everyone survived).
+    pub first_death: Option<u64>,
+    /// Number of distinct nodes that served as head at least once.
+    pub distinct_heads: usize,
+}
+
+/// Simulates `rounds` election+drain rounds and reports longevity
+/// statistics. With `rotate = false` the plain (energy-blind) election
+/// runs instead — the baseline the rotation is compared against.
+pub fn simulate_rotation(
+    topo: &Topology,
+    model: &EnergyModel,
+    config: &OracleConfig,
+    rounds: u64,
+    rotate: bool,
+) -> RotationOutcome {
+    model.validate();
+    let mut batteries = vec![model.initial; topo.len()];
+    let mut served = vec![false; topo.len()];
+    let mut first_death = None;
+    let static_clustering = crate::oracle(topo, config);
+    for round in 0..rounds {
+        let clustering = if rotate {
+            energy_aware_clustering(topo, &batteries, model, config)
+        } else {
+            static_clustering.clone()
+        };
+        for h in clustering.heads() {
+            served[h.index()] = true;
+        }
+        charge_round(&mut batteries, &clustering, model);
+        if first_death.is_none() && batteries.iter().any(|&b| b <= 0.0) {
+            first_death = Some(round + 1);
+        }
+    }
+    let min_battery = batteries.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_battery = batteries.iter().sum::<f64>() / batteries.len().max(1) as f64;
+    RotationOutcome {
+        rounds,
+        min_battery,
+        mean_battery,
+        first_death,
+        distinct_heads: served.iter().filter(|&&s| s).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwn_graph::builders;
+    use rand::SeedableRng;
+
+    fn field(seed: u64) -> Topology {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        builders::uniform(150, 0.12, &mut rng)
+    }
+
+    #[test]
+    fn bands_quantize_sanely() {
+        let model = EnergyModel::default();
+        assert_eq!(model.band_of(100.0), 9);
+        assert_eq!(model.band_of(95.0), 9);
+        assert_eq!(model.band_of(50.0), 4);
+        assert_eq!(model.band_of(0.5), 0);
+        assert_eq!(model.band_of(0.0), 0);
+        assert_eq!(model.band_of(-3.0), 0);
+        assert_eq!(model.band_of(1e9), 9);
+    }
+
+    #[test]
+    fn full_batteries_reproduce_the_plain_clustering() {
+        let topo = field(1);
+        let batteries = vec![100.0; topo.len()];
+        let energy = energy_aware_clustering(
+            &topo,
+            &batteries,
+            &EnergyModel::default(),
+            &OracleConfig::default(),
+        );
+        let plain = crate::oracle(&topo, &OracleConfig::default());
+        assert_eq!(energy, plain, "equal bands ⇒ density decides, as before");
+    }
+
+    #[test]
+    fn drained_head_loses_to_charged_neighbor() {
+        // Two linked nodes: node 0 wins the plain election (smaller
+        // id, equal density) but is nearly empty — node 1 must take
+        // over.
+        let topo = Topology::from_edges(2, &[(0, 1)]).unwrap();
+        let model = EnergyModel::default();
+        let plain = crate::oracle(&topo, &OracleConfig::default());
+        assert!(plain.is_head(NodeId::new(0)));
+        let c = energy_aware_clustering(
+            &topo,
+            &[2.0, 100.0],
+            &model,
+            &OracleConfig::default(),
+        );
+        assert!(c.is_head(NodeId::new(1)));
+        assert!(!c.is_head(NodeId::new(0)));
+    }
+
+    #[test]
+    fn band_dominates_density() {
+        // A dense-neighborhood node with an empty battery must lose to
+        // a sparse node with a full one.
+        let topo = builders::star(6); // center 0 has the top density
+        let mut batteries = vec![100.0; 6];
+        batteries[0] = 1.0;
+        let c = energy_aware_clustering(
+            &topo,
+            &batteries,
+            &EnergyModel::default(),
+            &OracleConfig::default(),
+        );
+        assert!(!c.is_head(NodeId::new(0)), "drained center must abdicate");
+    }
+
+    #[test]
+    fn charge_round_bills_heads_more() {
+        let topo = builders::star(4);
+        let clustering = crate::oracle(&topo, &OracleConfig::default());
+        let model = EnergyModel::default();
+        let mut batteries = vec![100.0; 4];
+        charge_round(&mut batteries, &clustering, &model);
+        assert_eq!(batteries[0], 99.0); // head
+        assert_eq!(batteries[1], 99.9); // member
+    }
+
+    #[test]
+    fn rotation_spreads_the_load() {
+        let topo = field(2);
+        let model = EnergyModel {
+            initial: 50.0,
+            head_cost: 1.0,
+            member_cost: 0.01,
+            bands: 25,
+        };
+        let rotating =
+            simulate_rotation(&topo, &model, &OracleConfig::default(), 400, true);
+        let fixed = simulate_rotation(&topo, &model, &OracleConfig::default(), 400, false);
+        assert!(
+            rotating.distinct_heads > fixed.distinct_heads,
+            "rotation: {} heads vs static {}",
+            rotating.distinct_heads,
+            fixed.distinct_heads
+        );
+        assert!(
+            rotating.min_battery > fixed.min_battery,
+            "rotation keeps the weakest node healthier: {} vs {}",
+            rotating.min_battery,
+            fixed.min_battery
+        );
+        // Static heads drain to empty within 50 rounds; rotation must
+        // postpone the first death past that.
+        assert_eq!(fixed.first_death, Some(50));
+        match rotating.first_death {
+            None => {}
+            Some(t) => assert!(t > 50, "first death at {t}"),
+        }
+    }
+
+    #[test]
+    fn batteries_never_go_negative() {
+        let topo = builders::complete(5);
+        let model = EnergyModel {
+            initial: 1.0,
+            head_cost: 10.0,
+            member_cost: 0.5,
+            bands: 4,
+        };
+        let outcome = simulate_rotation(&topo, &model, &OracleConfig::default(), 20, true);
+        assert!(outcome.min_battery >= 0.0);
+        assert_eq!(outcome.first_death, Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one battery per node")]
+    fn battery_length_is_validated() {
+        let topo = builders::line(3);
+        let _ = energy_aware_clustering(
+            &topo,
+            &[1.0],
+            &EnergyModel::default(),
+            &OracleConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must cost at least as much")]
+    fn inverted_costs_rejected() {
+        let model = EnergyModel {
+            head_cost: 0.1,
+            member_cost: 1.0,
+            ..EnergyModel::default()
+        };
+        model.validate();
+    }
+}

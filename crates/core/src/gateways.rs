@@ -1,0 +1,176 @@
+//! Border and gateway analysis of a clustering.
+//!
+//! Hierarchical routing (Section 1's motivation) forwards inter-cluster
+//! traffic through **border nodes** — members with a radio link into a
+//! neighboring cluster. The number of disjoint gateway links between
+//! two clusters bounds how robust inter-cluster connectivity is to
+//! node failures, and the fraction of border nodes measures how
+//! "fringy" a clustering is; both are standard quality measures for
+//! clustering schemes.
+
+use std::collections::BTreeMap;
+
+use mwn_graph::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::Clustering;
+
+/// Border/gateway summary of one clustering.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GatewayReport {
+    /// Per node: `true` when it has a link into another cluster.
+    pub is_border: Vec<bool>,
+    /// For each unordered head pair with at least one connecting link:
+    /// the number of links between their clusters.
+    pub links_between: BTreeMap<(NodeId, NodeId), usize>,
+}
+
+impl GatewayReport {
+    /// Number of border nodes.
+    pub fn border_count(&self) -> usize {
+        self.is_border.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of nodes that are border nodes (0 for empty networks).
+    pub fn border_fraction(&self) -> f64 {
+        if self.is_border.is_empty() {
+            0.0
+        } else {
+            self.border_count() as f64 / self.is_border.len() as f64
+        }
+    }
+
+    /// Number of adjacent cluster pairs.
+    pub fn adjacent_cluster_pairs(&self) -> usize {
+        self.links_between.len()
+    }
+
+    /// Mean number of gateway links per adjacent cluster pair (`None`
+    /// when there are no adjacent pairs).
+    pub fn mean_links_per_pair(&self) -> Option<f64> {
+        if self.links_between.is_empty() {
+            return None;
+        }
+        let total: usize = self.links_between.values().sum();
+        Some(total as f64 / self.links_between.len() as f64)
+    }
+}
+
+/// Computes the border/gateway structure of `clustering` over `topo`.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_cluster::{gateway_report, oracle, OracleConfig};
+/// use mwn_graph::builders;
+///
+/// let topo = builders::fig1_example();
+/// let clustering = oracle(&topo, &OracleConfig::default());
+/// let report = gateway_report(&topo, &clustering);
+/// // The two clusters of the paper's example touch through g–i.
+/// assert_eq!(report.adjacent_cluster_pairs(), 1);
+/// assert!(report.border_count() >= 2);
+/// ```
+pub fn gateway_report(topo: &Topology, clustering: &Clustering) -> GatewayReport {
+    let mut report = GatewayReport {
+        is_border: vec![false; topo.len()],
+        links_between: BTreeMap::new(),
+    };
+    for (u, v) in topo.edges() {
+        let hu = clustering.head(u);
+        let hv = clustering.head(v);
+        if hu != hv {
+            report.is_border[u.index()] = true;
+            report.is_border[v.index()] = true;
+            let key = if hu < hv { (hu, hv) } else { (hv, hu) };
+            *report.links_between.entry(key).or_insert(0) += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{oracle, OracleConfig};
+    use mwn_graph::builders;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_cluster_has_no_borders() {
+        let topo = builders::complete(6);
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let report = gateway_report(&topo, &clustering);
+        assert_eq!(report.border_count(), 0);
+        assert_eq!(report.adjacent_cluster_pairs(), 0);
+        assert_eq!(report.mean_links_per_pair(), None);
+        assert_eq!(report.border_fraction(), 0.0);
+    }
+
+    #[test]
+    fn paper_example_gateways() {
+        let topo = builders::fig1_example();
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let report = gateway_report(&topo, &clustering);
+        // Clusters h (7) and j (5) touch via the single edge g–i.
+        assert_eq!(report.adjacent_cluster_pairs(), 1);
+        assert_eq!(
+            report.links_between.get(&(NodeId::new(5), NodeId::new(7))),
+            Some(&1)
+        );
+        // g and i are the border nodes.
+        let g = NodeId::new(6);
+        let i = NodeId::new(8);
+        assert!(report.is_border[g.index()]);
+        assert!(report.is_border[i.index()]);
+        assert_eq!(report.border_count(), 2);
+    }
+
+    #[test]
+    fn every_adjacent_pair_is_reported() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let topo = builders::uniform(200, 0.12, &mut rng);
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let report = gateway_report(&topo, &clustering);
+        // Cross-check against a direct edge scan.
+        for (u, v) in topo.edges() {
+            let hu = clustering.head(u);
+            let hv = clustering.head(v);
+            if hu != hv {
+                let key = if hu < hv { (hu, hv) } else { (hv, hu) };
+                assert!(report.links_between.contains_key(&key));
+            }
+        }
+        // Link totals are consistent.
+        let cross_edges = topo
+            .edges()
+            .filter(|&(u, v)| clustering.head(u) != clustering.head(v))
+            .count();
+        assert_eq!(report.links_between.values().sum::<usize>(), cross_edges);
+        assert!(report.border_fraction() > 0.0 && report.border_fraction() < 1.0);
+    }
+
+    #[test]
+    fn fusion_reduces_border_fraction() {
+        // Bigger clusters mean proportionally fewer frontier nodes.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let topo = builders::uniform(300, 0.1, &mut rng);
+        let basic = gateway_report(&topo, &oracle(&topo, &OracleConfig::default()));
+        let fusion = gateway_report(
+            &topo,
+            &oracle(
+                &topo,
+                &OracleConfig {
+                    rule: crate::HeadRule::Fusion,
+                    ..OracleConfig::default()
+                },
+            ),
+        );
+        assert!(
+            fusion.border_fraction() <= basic.border_fraction() + 0.05,
+            "fusion {:.2} vs basic {:.2}",
+            fusion.border_fraction(),
+            basic.border_fraction()
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Hierarchical clustering — the first extension named in the paper's
+//! conclusion ("we also plan to study hierarchical self-stabilization
+//! algorithms").
+//!
+//! The construction is the natural recursive one: cluster the network
+//! with the density heuristic, build the **overlay graph** whose nodes
+//! are the cluster-heads (two heads linked when their clusters touch —
+//! some member of one has a radio link to some member of the other),
+//! and cluster that overlay with the same heuristic, recursively. Each
+//! level's election is the same self-stabilizing machinery, so the
+//! stack inherits the stabilization argument level by level (each
+//! level's input stabilizes once the level below has).
+
+use mwn_graph::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::{oracle, Clustering, OracleConfig};
+
+/// One level of the hierarchy: which underlay nodes participate, the
+/// (overlay) topology they form, and the clustering elected on it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyLevel {
+    /// The participating nodes, in overlay-id order: `members[i]` is
+    /// the underlay [`NodeId`] of this level's node `i`.
+    pub members: Vec<NodeId>,
+    /// The topology this level's election ran on (level 0: the
+    /// physical network; level k > 0: the head overlay of level k−1).
+    pub topology: Topology,
+    /// The clustering elected on [`HierarchyLevel::topology`].
+    pub clustering: Clustering,
+}
+
+impl HierarchyLevel {
+    /// The underlay ids of this level's cluster-heads.
+    pub fn head_members(&self) -> Vec<NodeId> {
+        self.clustering
+            .heads()
+            .into_iter()
+            .map(|h| self.members[h.index()])
+            .collect()
+    }
+}
+
+/// A multi-level cluster hierarchy over one underlay topology.
+///
+/// Level 0 clusters the physical network; level `k + 1` clusters the
+/// overlay of level-`k` cluster-heads. Construction stops when a level
+/// has one head per connected component (no further merging possible)
+/// or the level cap is reached.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_cluster::{build_hierarchy, OracleConfig};
+/// use mwn_graph::builders;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let topo = builders::uniform(300, 0.08, &mut rng);
+/// let h = build_hierarchy(&topo, &OracleConfig::default(), 5);
+/// assert!(h.depth() >= 1);
+/// // Heads thin out as we go up.
+/// for w in h.levels().windows(2) {
+///     assert!(w[1].members.len() <= w[0].clustering.head_count());
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Hierarchy {
+    levels: Vec<HierarchyLevel>,
+}
+
+impl Hierarchy {
+    /// The levels, bottom (physical) first.
+    pub fn levels(&self) -> &[HierarchyLevel] {
+        &self.levels
+    }
+
+    /// Number of levels built.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The top level's cluster-heads, as underlay node ids — the roots
+    /// of the whole hierarchy.
+    pub fn top_heads(&self) -> Vec<NodeId> {
+        self.levels
+            .last()
+            .map(HierarchyLevel::head_members)
+            .unwrap_or_default()
+    }
+
+    /// The level-`k` cluster-head responsible for underlay node `p`
+    /// (`k = 0` is the physical clustering). `None` if `k` is out of
+    /// range.
+    ///
+    /// Walks up: `p`'s level-0 head, that head's level-1 head, and so
+    /// on — the address a hierarchical routing scheme would use.
+    pub fn head_of(&self, p: NodeId, k: usize) -> Option<NodeId> {
+        let mut current = p;
+        for level in self.levels.get(..=k)? {
+            let overlay_id = level.members.binary_search(&current).ok()?;
+            let overlay_head = level.clustering.head(NodeId::new(overlay_id as u32));
+            current = level.members[overlay_head.index()];
+        }
+        Some(current)
+    }
+}
+
+/// Builds the overlay topology of a clustering: one node per head, an
+/// edge between two heads when any member of one cluster has an
+/// underlay link into the other cluster.
+///
+/// Returns the heads (sorted — the overlay id mapping) and the overlay.
+pub fn head_overlay(topo: &Topology, clustering: &Clustering) -> (Vec<NodeId>, Topology) {
+    let heads = clustering.heads();
+    let overlay_id = |head: NodeId| -> u32 {
+        heads
+            .binary_search(&head)
+            .expect("head claims resolve to heads in a stable clustering") as u32
+    };
+    let mut overlay = Topology::empty(heads.len());
+    for (u, v) in topo.edges() {
+        let hu = clustering.head(u);
+        let hv = clustering.head(v);
+        if hu != hv {
+            overlay
+                .add_edge(
+                    NodeId::new(overlay_id(hu)),
+                    NodeId::new(overlay_id(hv)),
+                )
+                .expect("overlay ids are in range and distinct");
+        }
+    }
+    // Carry positions so overlays remain renderable.
+    if let Some(positions) = topo.positions() {
+        let pts = heads.iter().map(|h| positions[h.index()]).collect();
+        overlay = overlay.with_positions(pts);
+    }
+    (heads, overlay)
+}
+
+/// Builds a hierarchy of at most `max_levels` levels over `topo` using
+/// `config` at every level (tie-break ids at level `k > 0` are the
+/// overlay indices; `config.tiebreak`/`prev_heads` apply to level 0
+/// only).
+///
+/// # Panics
+///
+/// Panics if `max_levels == 0`.
+pub fn build_hierarchy(topo: &Topology, config: &OracleConfig, max_levels: usize) -> Hierarchy {
+    assert!(max_levels > 0, "a hierarchy needs at least one level");
+    let mut levels = Vec::new();
+    let mut members: Vec<NodeId> = topo.nodes().collect();
+    let mut current = topo.clone();
+    let mut cfg = config.clone();
+    for _ in 0..max_levels {
+        let clustering = oracle(&current, &cfg);
+        // Upper levels elect on the overlay's own structure.
+        cfg = OracleConfig {
+            metric: config.metric,
+            order: config.order,
+            rule: config.rule,
+            tiebreak: None,
+            prev_heads: None,
+        };
+        let done = clustering.head_count() == current.len()
+            || clustering.head_count() <= 1
+            || all_heads_isolated(&current, &clustering);
+        let (heads, overlay) = head_overlay(&current, &clustering);
+        levels.push(HierarchyLevel {
+            members: members.clone(),
+            topology: current.clone(),
+            clustering,
+        });
+        if done {
+            break;
+        }
+        members = heads.iter().map(|&h| members[h.index()]).collect();
+        current = overlay;
+    }
+    Hierarchy { levels }
+}
+
+/// `true` when no further merging is possible: every head's overlay
+/// node would be isolated.
+fn all_heads_isolated(topo: &Topology, clustering: &Clustering) -> bool {
+    let (_, overlay) = head_overlay(topo, clustering);
+    overlay.edge_count() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwn_graph::builders;
+    use rand::SeedableRng;
+
+    fn field(seed: u64) -> Topology {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        builders::uniform(400, 0.07, &mut rng)
+    }
+
+    #[test]
+    fn overlay_links_touching_clusters() {
+        // Line of 6: two clusters (0..=2 head 0... depends on densities)
+        // — use a hand case instead: two triangles joined by one edge.
+        let topo = Topology::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let (heads, overlay) = head_overlay(&topo, &clustering);
+        assert_eq!(heads.len(), clustering.head_count());
+        if heads.len() == 2 {
+            assert_eq!(overlay.edge_count(), 1, "the bridging edge links the clusters");
+        }
+    }
+
+    #[test]
+    fn hierarchy_shrinks_per_level() {
+        let topo = field(1);
+        let h = build_hierarchy(&topo, &OracleConfig::default(), 8);
+        assert!(h.depth() >= 2, "a 400-node sparse field has ≥ 2 levels");
+        for w in h.levels().windows(2) {
+            assert_eq!(
+                w[1].members.len(),
+                w[0].clustering.head_count(),
+                "level k+1 participants are level k heads"
+            );
+            assert!(w[1].members.len() < w[0].members.len());
+        }
+    }
+
+    #[test]
+    fn top_level_is_fully_merged_per_component() {
+        let topo = field(2);
+        let h = build_hierarchy(&topo, &OracleConfig::default(), 16);
+        let top = h.levels().last().unwrap();
+        // At the top, no two heads are still linked in the overlay
+        // (otherwise another level would merge them).
+        let (_, overlay) = head_overlay(&top.topology, &top.clustering);
+        assert_eq!(overlay.edge_count(), 0);
+    }
+
+    #[test]
+    fn head_of_walks_up_consistently() {
+        let topo = field(3);
+        let h = build_hierarchy(&topo, &OracleConfig::default(), 8);
+        for p in topo.nodes() {
+            let h0 = h.head_of(p, 0).expect("level 0 exists");
+            // The level-0 head must be this node's clustering head.
+            assert_eq!(h0, h.levels()[0].clustering.head(p));
+            if h.depth() > 1 {
+                let h1 = h.head_of(p, 1).expect("level 1 exists");
+                // h1 must be one of level 1's participants' heads.
+                assert!(h.levels()[1].members.contains(&h1) || h1 == h0);
+                // And walking from h0 gives the same answer.
+                assert_eq!(h.head_of(h0, 1), Some(h1));
+            }
+        }
+        assert_eq!(h.head_of(NodeId::new(0), 99), None);
+    }
+
+    #[test]
+    fn top_heads_are_underlay_nodes() {
+        let topo = field(4);
+        let h = build_hierarchy(&topo, &OracleConfig::default(), 8);
+        for head in h.top_heads() {
+            assert!(head.index() < topo.len());
+        }
+        assert!(!h.top_heads().is_empty());
+    }
+
+    #[test]
+    fn single_node_hierarchy() {
+        let topo = Topology::empty(1);
+        let h = build_hierarchy(&topo, &OracleConfig::default(), 4);
+        assert_eq!(h.depth(), 1);
+        assert_eq!(h.top_heads(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn complete_graph_is_one_level() {
+        let topo = builders::complete(8);
+        let h = build_hierarchy(&topo, &OracleConfig::default(), 4);
+        assert_eq!(h.depth(), 1, "one cluster already — nothing to merge");
+        assert_eq!(h.top_heads().len(), 1);
+    }
+
+    #[test]
+    fn disconnected_components_keep_separate_roots() {
+        let mut topo = builders::line(8);
+        topo.remove_edge(NodeId::new(3), NodeId::new(4));
+        let h = build_hierarchy(&topo, &OracleConfig::default(), 8);
+        let roots = h.top_heads();
+        assert!(roots.iter().any(|r| r.value() < 4));
+        assert!(roots.iter().any(|r| r.value() >= 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_rejected() {
+        let _ = build_hierarchy(&builders::line(3), &OracleConfig::default(), 0);
+    }
+}

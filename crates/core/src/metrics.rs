@@ -1,0 +1,96 @@
+//! The evaluation metrics of the paper's Section 5, packaged for the
+//! experiment harness: cluster counts, tree lengths, head
+//! eccentricities and head persistence under mobility.
+
+use mwn_graph::Topology;
+use serde::{Deserialize, Serialize};
+
+use crate::Clustering;
+
+/// Summary statistics of one clustering — the columns of the paper's
+/// Tables 4 and 5.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_cluster::{oracle, ClusteringStats, OracleConfig};
+/// use mwn_graph::builders::fig1_example;
+///
+/// let topo = fig1_example();
+/// let clustering = oracle(&topo, &OracleConfig::default());
+/// let stats = ClusteringStats::of(&topo, &clustering).unwrap();
+/// assert_eq!(stats.clusters, 2.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringStats {
+    /// Number of clusters (cluster-heads per surface unit on the unit
+    /// square).
+    pub clusters: f64,
+    /// Mean over clusters of the tree length (max parent-chain depth
+    /// in radio hops).
+    pub mean_tree_length: f64,
+    /// Mean over clusters of the head eccentricity `ẽ(H(u)/C(u))`.
+    pub mean_head_eccentricity: f64,
+    /// Mean number of nodes per cluster.
+    pub mean_cluster_size: f64,
+}
+
+impl ClusteringStats {
+    /// Computes the statistics; `None` for an empty clustering or one
+    /// with broken parent chains (non-stabilized snapshots).
+    pub fn of(topo: &Topology, clustering: &Clustering) -> Option<ClusteringStats> {
+        Some(ClusteringStats {
+            clusters: clustering.head_count() as f64,
+            mean_tree_length: clustering.mean_tree_length(topo)?,
+            mean_head_eccentricity: clustering.mean_head_eccentricity(topo)?,
+            mean_cluster_size: clustering.mean_cluster_size()?,
+        })
+    }
+}
+
+/// Head persistence across a sequence of clustering snapshots: element
+/// `i` is the fraction of snapshot `i`'s heads still heads in snapshot
+/// `i + 1` — the paper's mobility-stability measurement ("percentage
+/// of cluster-heads which remained cluster-heads after each 2
+/// seconds").
+pub fn head_persistence_series(snapshots: &[Clustering]) -> Vec<f64> {
+    snapshots
+        .windows(2)
+        .map(|w| w[1].head_persistence_from(&w[0]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{oracle, OracleConfig};
+    use mwn_graph::{builders, NodeId};
+
+    #[test]
+    fn stats_on_paper_example() {
+        let topo = builders::fig1_example();
+        let c = oracle(&topo, &OracleConfig::default());
+        let stats = ClusteringStats::of(&topo, &c).unwrap();
+        assert_eq!(stats.clusters, 2.0);
+        assert_eq!(stats.mean_cluster_size, 5.0);
+        assert!(stats.mean_tree_length >= 1.0);
+        assert!(stats.mean_head_eccentricity >= 1.0);
+    }
+
+    #[test]
+    fn empty_clustering_has_no_stats() {
+        let topo = mwn_graph::Topology::empty(0);
+        let c = Clustering::new(vec![], vec![]);
+        assert!(ClusteringStats::of(&topo, &c).is_none());
+    }
+
+    #[test]
+    fn persistence_series() {
+        let id = NodeId::new;
+        let a = Clustering::new(vec![id(0), id(1)], vec![id(0), id(1)]); // heads {0,1}
+        let b = Clustering::new(vec![id(0), id(0)], vec![id(0), id(0)]); // heads {0}
+        let series = head_persistence_series(&[a.clone(), b.clone(), b.clone()]);
+        assert_eq!(series, vec![0.5, 1.0]);
+        assert!(head_persistence_series(&[a]).is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! The centralized fixpoint oracle: computes, with full topology
+//! knowledge, the unique stable clustering the distributed protocol
+//! stabilizes to. The test suite checks distributed runs against it.
+
+use mwn_graph::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::{Clustering, Key, MetricKind, OrderKind};
+
+/// Which cluster-head condition is in force.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeadRule {
+    /// Section 3 / 4.2: `p` is a head iff it is `≺`-maximal in its
+    /// 1-neighborhood.
+    #[default]
+    Basic,
+    /// Section 4.3 fusion refinement: "I am locally maximal *and* any
+    /// cluster-head in my 2-neighborhood is smaller than me". A local
+    /// maximum beaten by a head two hops away abdicates and merges its
+    /// cluster into the winner's, so heads end up ≥ 3 hops apart.
+    Fusion,
+}
+
+/// Configuration of the (distributed or centralized) election.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Election metric (density in the paper).
+    pub metric: MetricKind,
+    /// Tie-breaking order (basic, or the incumbency-aware refinement).
+    pub order: OrderKind,
+    /// Head condition (basic, or the 2-hop fusion refinement).
+    pub rule: HeadRule,
+    /// Per-node tie-break identifiers — the DAG identifiers of Section
+    /// 4.1 when the constant-height DAG is enabled. `None` uses the
+    /// globally unique node ids (the "No DAG" configuration of the
+    /// paper's Tables 4–5).
+    pub tiebreak: Option<Vec<u32>>,
+    /// Which nodes are *currently* cluster-heads, for the incumbency
+    /// tie-break of [`OrderKind::Stable`]. `None` means nobody is.
+    pub prev_heads: Option<Vec<bool>>,
+}
+
+/// The election keys of every node under `cfg`.
+///
+/// # Panics
+///
+/// Panics if `cfg.tiebreak` or `cfg.prev_heads` is present with a
+/// length different from the node count.
+pub fn keys_of(topo: &Topology, cfg: &OracleConfig) -> Vec<Key> {
+    if let Some(tb) = &cfg.tiebreak {
+        assert_eq!(tb.len(), topo.len(), "one tiebreak id per node");
+    }
+    if let Some(ph) = &cfg.prev_heads {
+        assert_eq!(ph.len(), topo.len(), "one incumbency flag per node");
+    }
+    topo.nodes()
+        .map(|p| {
+            let tiebreak = cfg
+                .tiebreak
+                .as_ref()
+                .map_or(p.value(), |tb| tb[p.index()]);
+            let is_head = cfg.prev_heads.as_ref().is_some_and(|ph| ph[p.index()]);
+            Key::new(cfg.metric.value_of(topo, p), is_head, tiebreak, p)
+        })
+        .collect()
+}
+
+/// The nodes that are `≺`-maximal in their own 1-neighborhood.
+pub fn locally_maximal(topo: &Topology, keys: &[Key], order: OrderKind) -> Vec<bool> {
+    topo.nodes()
+        .map(|p| {
+            topo.neighbors(p)
+                .iter()
+                .all(|&q| keys[q.index()].precedes(&keys[p.index()], order))
+        })
+        .collect()
+}
+
+/// Computes the stable clustering centrally.
+///
+/// For [`HeadRule::Basic`] the stable configuration is unique: heads
+/// are the local maxima of `≺`, every other node's parent is its
+/// strongest neighbor, and `H` follows parent chains (which strictly
+/// climb `≺`).
+///
+/// For [`HeadRule::Fusion`] the stable head set is the greedy 2-hop
+/// maximal independent set over local maxima in decreasing `≺` order
+/// (see DESIGN.md §4 for why this is the unique fixpoint); an absorbed
+/// local maximum adopts the strongest surviving head in its
+/// 2-neighborhood as its (logical, 2-hop) parent.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_cluster::{oracle, OracleConfig};
+/// use mwn_graph::builders::fig1_example;
+/// use mwn_graph::NodeId;
+///
+/// let clustering = oracle(&fig1_example(), &OracleConfig::default());
+/// // The paper's example stabilizes to clusters headed by h (id 7)
+/// // and j (id 5).
+/// assert_eq!(clustering.heads(), vec![NodeId::new(5), NodeId::new(7)]);
+/// ```
+pub fn oracle(topo: &Topology, cfg: &OracleConfig) -> Clustering {
+    let keys = keys_of(topo, cfg);
+    oracle_with_keys(topo, &keys, cfg.order, cfg.rule)
+}
+
+/// [`oracle`] with precomputed keys (used by the protocol's legitimacy
+/// checks, which already hold the stabilized keys).
+pub fn oracle_with_keys(
+    topo: &Topology,
+    keys: &[Key],
+    order: OrderKind,
+    rule: HeadRule,
+) -> Clustering {
+    let n = topo.len();
+    let maximal = locally_maximal(topo, keys, order);
+
+    // Survivors of the head condition.
+    let mut is_head = maximal.clone();
+    if rule == HeadRule::Fusion {
+        // Greedy 2-hop MIS over local maxima, strongest first.
+        let mut maxima: Vec<NodeId> = topo.nodes().filter(|p| maximal[p.index()]).collect();
+        maxima.sort_by(|&a, &b| keys[b.index()].cmp_under(&keys[a.index()], order));
+        let mut selected = vec![false; n];
+        for &p in &maxima {
+            let blocked = topo
+                .two_hop_neighborhood(p)
+                .into_iter()
+                .any(|q| selected[q.index()]);
+            if !blocked {
+                selected[p.index()] = true;
+            }
+        }
+        is_head = selected;
+    }
+
+    // Parents and heads.
+    let mut parent: Vec<NodeId> = Vec::with_capacity(n);
+    for p in topo.nodes() {
+        if is_head[p.index()] {
+            parent.push(p);
+        } else if maximal[p.index()] {
+            // Absorbed local maximum (fusion only): adopt the strongest
+            // surviving head within two hops as a logical parent.
+            let absorber = topo
+                .two_hop_neighborhood(p)
+                .into_iter()
+                .filter(|q| is_head[q.index()])
+                .max_by(|&a, &b| keys[a.index()].cmp_under(&keys[b.index()], order))
+                .expect("an absorbed maximum is blocked by some surviving head");
+            parent.push(absorber);
+        } else {
+            let strongest = topo
+                .neighbors(p)
+                .iter()
+                .copied()
+                .max_by(|&a, &b| keys[a.index()].cmp_under(&keys[b.index()], order))
+                .expect("a non-maximal node has at least one neighbor");
+            parent.push(strongest);
+        }
+    }
+
+    // Resolve H by walking parent chains in decreasing ≺ order; every
+    // parent link strictly climbs ≺, so one pass suffices.
+    let mut order_idx: Vec<NodeId> = topo.nodes().collect();
+    order_idx.sort_by(|&a, &b| keys[b.index()].cmp_under(&keys[a.index()], order));
+    let mut head: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+    for p in order_idx {
+        if !is_head[p.index()] {
+            head[p.index()] = head[parent[p.index()].index()];
+        }
+    }
+    Clustering::new(parent, head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwn_graph::builders::{self, fig1_example, FIG1_LABELS};
+
+    fn by_label(c: char) -> NodeId {
+        NodeId::new(FIG1_LABELS.iter().position(|&l| l == c).unwrap() as u32)
+    }
+
+    #[test]
+    fn paper_example_clusters_around_h_and_j() {
+        let topo = fig1_example();
+        let c = oracle(&topo, &OracleConfig::default());
+        let (h, j, b) = (by_label('h'), by_label('j'), by_label('b'));
+        assert!(c.is_head(h));
+        assert!(c.is_head(j));
+        assert_eq!(c.head_count(), 2);
+        // "node c joins b which joins h": F(c)=b, F(b)=h, H(b)=H(c)=h.
+        assert_eq!(c.parent(by_label('c')), b);
+        assert_eq!(c.parent(b), h);
+        assert_eq!(c.head(by_label('c')), h);
+        // "F(f)=j and F(j)=j so H(f)=H(j)=j".
+        assert_eq!(c.parent(by_label('f')), j);
+        assert_eq!(c.head(by_label('f')), j);
+        // g joins j's cluster (its strongest neighbors f/j tie at 1.5,
+        // j has the smaller id).
+        assert_eq!(c.head(by_label('g')), j);
+        // a, d, e, i all end up in h's cluster.
+        for label in ['a', 'd', 'e', 'i'] {
+            assert_eq!(c.head(by_label(label)), h, "node {label}");
+        }
+    }
+
+    #[test]
+    fn heads_are_never_adjacent_basic_rule() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let topo = builders::uniform(150, 0.12, &mut rng);
+            let c = oracle(&topo, &OracleConfig::default());
+            for h in c.heads() {
+                for &q in topo.neighbors(h) {
+                    assert!(!c.is_head(q), "adjacent heads {h} and {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_heads_are_three_hops_apart() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let cfg = OracleConfig {
+            rule: HeadRule::Fusion,
+            ..OracleConfig::default()
+        };
+        for _ in 0..10 {
+            let topo = builders::uniform(150, 0.12, &mut rng);
+            let c = oracle(&topo, &cfg);
+            for h in c.heads() {
+                for q in topo.two_hop_neighborhood(h) {
+                    assert!(
+                        !c.is_head(q),
+                        "heads {h} and {q} within two hops despite fusion"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_never_increases_head_count() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let topo = builders::uniform(120, 0.15, &mut rng);
+            let basic = oracle(&topo, &OracleConfig::default());
+            let fusion = oracle(
+                &topo,
+                &OracleConfig {
+                    rule: HeadRule::Fusion,
+                    ..OracleConfig::default()
+                },
+            );
+            assert!(fusion.head_count() <= basic.head_count());
+        }
+    }
+
+    #[test]
+    fn parent_chains_climb_the_order() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let topo = builders::uniform(200, 0.1, &mut rng);
+        let cfg = OracleConfig::default();
+        let keys = keys_of(&topo, &cfg);
+        let c = oracle(&topo, &cfg);
+        for p in topo.nodes() {
+            let f = c.parent(p);
+            if f != p {
+                assert!(
+                    keys[p.index()].precedes(&keys[f.index()], cfg.order),
+                    "parent of {p} does not dominate it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_chain_reaches_its_head() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for rule in [HeadRule::Basic, HeadRule::Fusion] {
+            let topo = builders::uniform(150, 0.12, &mut rng);
+            let cfg = OracleConfig {
+                rule,
+                ..OracleConfig::default()
+            };
+            let c = oracle(&topo, &cfg);
+            for p in topo.nodes() {
+                assert!(
+                    c.depth_in_hops(&topo, p).is_some(),
+                    "broken chain at {p} under {rule:?}"
+                );
+                assert!(c.is_head(c.head(p)), "head claim of {p} dangles");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_metric_is_lowest_id_clustering() {
+        let topo = builders::line(5);
+        let cfg = OracleConfig {
+            metric: MetricKind::Unit,
+            ..OracleConfig::default()
+        };
+        let c = oracle(&topo, &cfg);
+        // Node 0 wins its neighborhood; 1 and 2 chain to it; 3 joins 2?
+        // No: 3's neighbors are {2, 4}; strongest is 2 (smaller id);
+        // head(2) = 0... but 2's strongest neighbor is 1, chains to 0.
+        assert!(c.is_head(NodeId::new(0)));
+        assert_eq!(c.head(NodeId::new(4)), NodeId::new(0));
+        assert_eq!(c.head_count(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_heads() {
+        let topo = mwn_graph::Topology::empty(3);
+        let c = oracle(&topo, &OracleConfig::default());
+        assert_eq!(c.head_count(), 3);
+        for p in topo.nodes() {
+            assert!(c.is_head(p));
+        }
+    }
+
+    #[test]
+    fn incumbency_keeps_previous_head() {
+        // Two adjacent nodes with equal density; node 1 was head.
+        // Basic order: node 0 (smaller id) wins. Stable order: node 1
+        // stays head.
+        let topo = mwn_graph::Topology::from_edges(2, &[(0, 1)]).unwrap();
+        let basic = oracle(&topo, &OracleConfig::default());
+        assert!(basic.is_head(NodeId::new(0)));
+        let stable = oracle(
+            &topo,
+            &OracleConfig {
+                order: OrderKind::Stable,
+                prev_heads: Some(vec![false, true]),
+                ..OracleConfig::default()
+            },
+        );
+        assert!(stable.is_head(NodeId::new(1)));
+        assert!(!stable.is_head(NodeId::new(0)));
+    }
+
+    #[test]
+    fn dag_tiebreak_changes_the_winner() {
+        // Equal densities on K2; with explicit tiebreak ids reversing
+        // the natural order, the other node must win.
+        let topo = mwn_graph::Topology::from_edges(2, &[(0, 1)]).unwrap();
+        let c = oracle(
+            &topo,
+            &OracleConfig {
+                tiebreak: Some(vec![9, 1]),
+                ..OracleConfig::default()
+            },
+        );
+        assert!(c.is_head(NodeId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one tiebreak id per node")]
+    fn tiebreak_length_is_validated() {
+        let topo = builders::line(3);
+        let _ = oracle(
+            &topo,
+            &OracleConfig {
+                tiebreak: Some(vec![1, 2]),
+                ..OracleConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,208 @@
+use std::cmp::Ordering;
+
+use mwn_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::Density;
+
+/// Which variant of the total order `≺` drives the election.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderKind {
+    /// The base order of Section 4.2:
+    /// `p ≺ q ⇔ d_p < d_q ∨ (d_p = d_q ∧ Id_q < Id_p)` —
+    /// higher density wins, then the *smaller* identifier wins.
+    #[default]
+    Basic,
+    /// The stability refinement of Section 4.3: among equal densities a
+    /// node that is currently a cluster-head beats one that is not
+    /// ("cluster-heads remain cluster-heads as long as possible"), then
+    /// the smaller identifier wins. The paper's formal definition
+    /// leaves the both-are-heads case incomparable; we complete it with
+    /// the identifier, keeping the order total (see DESIGN.md §4).
+    Stable,
+}
+
+/// The comparable election record of one node: everything `≺` looks at.
+///
+/// `tiebreak` is the identifier used for equal-density decisions — the
+/// node's **DAG identifier** when the constant-height DAG of Section
+/// 4.1 is enabled, otherwise its globally unique id. DAG identifiers
+/// are only guaranteed locally unique, so the globally unique `id` is
+/// kept as the final fallback, making the order total on any set of
+/// distinct nodes.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_cluster::{Density, Key, OrderKind};
+/// use mwn_graph::NodeId;
+///
+/// let p = Key::new(Density::ratio(5, 4), false, 3, NodeId::new(9));
+/// let q = Key::new(Density::ratio(3, 2), false, 7, NodeId::new(4));
+/// // q has higher density: p ≺ q.
+/// assert!(p.precedes(&q, OrderKind::Basic));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Key {
+    /// The node's election metric value (density in the paper).
+    pub density: Density,
+    /// Whether the node currently claims to be a cluster-head
+    /// (`H(p) = Id_p`); consulted only by [`OrderKind::Stable`].
+    pub is_head: bool,
+    /// DAG identifier (or the plain id when the DAG is disabled).
+    pub tiebreak: u32,
+    /// Globally unique identifier — final fallback, never equal for
+    /// distinct nodes.
+    pub id: NodeId,
+}
+
+impl Key {
+    /// Assembles a key.
+    pub fn new(density: Density, is_head: bool, tiebreak: u32, id: NodeId) -> Self {
+        Key {
+            density,
+            is_head,
+            tiebreak,
+            id,
+        }
+    }
+
+    /// Total comparison under `order`; `Ordering::Greater` means
+    /// "stronger" (wins the election). Implements, in decreasing
+    /// priority: density; incumbency (Stable only); smaller tiebreak id
+    /// wins; smaller unique id wins.
+    pub fn cmp_under(&self, other: &Key, order: OrderKind) -> Ordering {
+        self.density
+            .cmp(&other.density)
+            .then_with(|| match order {
+                OrderKind::Basic => Ordering::Equal,
+                OrderKind::Stable => self.is_head.cmp(&other.is_head),
+            })
+            // Smaller identifiers are *stronger*: reverse both.
+            .then_with(|| other.tiebreak.cmp(&self.tiebreak))
+            .then_with(|| other.id.cmp(&self.id))
+    }
+
+    /// The paper's `p ≺ q` relation: `self` is strictly weaker.
+    pub fn precedes(&self, other: &Key, order: OrderKind) -> bool {
+        self.cmp_under(other, order) == Ordering::Less
+    }
+}
+
+/// Returns the strongest key under `order`, or `None` for an empty
+/// iterator — the paper's `max_≺` operator.
+pub fn max_key<I>(keys: I, order: OrderKind) -> Option<Key>
+where
+    I: IntoIterator<Item = Key>,
+{
+    keys.into_iter()
+        .max_by(|a, b| a.cmp_under(b, order))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(links: u32, deg: u32, is_head: bool, tb: u32, id: u32) -> Key {
+        Key::new(Density::ratio(links, deg), is_head, tb, NodeId::new(id))
+    }
+
+    #[test]
+    fn density_dominates() {
+        let weak = key(1, 1, true, 0, 0);
+        let strong = key(3, 2, false, 99, 99);
+        assert!(weak.precedes(&strong, OrderKind::Basic));
+        assert!(weak.precedes(&strong, OrderKind::Stable));
+    }
+
+    #[test]
+    fn smaller_id_wins_ties_in_basic() {
+        // Paper: "If there are some joint winners, the smallest
+        // identity is used to decide between them."
+        let p = key(3, 2, false, 9, 9);
+        let q = key(3, 2, false, 2, 2);
+        assert!(p.precedes(&q, OrderKind::Basic));
+        assert!(!q.precedes(&p, OrderKind::Basic));
+    }
+
+    #[test]
+    fn incumbent_head_wins_ties_in_stable_order() {
+        // Equal densities; q is a head with a *larger* id. Under Basic
+        // the smaller id p wins; under Stable the incumbent q wins.
+        let p = key(3, 2, false, 2, 2);
+        let q = key(3, 2, true, 9, 9);
+        assert!(q.precedes(&p, OrderKind::Basic));
+        assert!(p.precedes(&q, OrderKind::Stable));
+    }
+
+    #[test]
+    fn both_heads_fall_back_to_id() {
+        let p = key(3, 2, true, 9, 9);
+        let q = key(3, 2, true, 2, 2);
+        assert!(p.precedes(&q, OrderKind::Stable));
+    }
+
+    #[test]
+    fn unique_id_breaks_dag_id_collisions() {
+        // Two-hop nodes may share a DAG id; the unique id must decide.
+        let p = key(3, 2, false, 5, 9);
+        let q = key(3, 2, false, 5, 2);
+        assert!(p.precedes(&q, OrderKind::Basic));
+    }
+
+    #[test]
+    fn order_is_total_and_antisymmetric() {
+        let keys = [
+            key(1, 1, false, 3, 0),
+            key(1, 1, false, 3, 1),
+            key(2, 1, true, 0, 2),
+            key(4, 2, false, 1, 3),
+            key(1, 2, true, 3, 4),
+            key(3, 2, true, 2, 5),
+        ];
+        for order in [OrderKind::Basic, OrderKind::Stable] {
+            for a in &keys {
+                assert!(!a.precedes(a, order), "irreflexive");
+                for b in &keys {
+                    if a.id != b.id {
+                        assert!(
+                            a.precedes(b, order) ^ b.precedes(a, order),
+                            "exactly one of a≺b, b≺a for distinct nodes"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_transitive_on_sample() {
+        let keys = [
+            key(1, 1, false, 3, 0),
+            key(2, 1, true, 0, 2),
+            key(4, 2, false, 1, 3),
+            key(1, 2, true, 3, 4),
+            key(3, 2, true, 2, 5),
+            key(3, 2, false, 2, 6),
+        ];
+        for order in [OrderKind::Basic, OrderKind::Stable] {
+            for a in &keys {
+                for b in &keys {
+                    for c in &keys {
+                        if a.precedes(b, order) && b.precedes(c, order) {
+                            assert!(a.precedes(c, order), "transitivity");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_key_picks_the_strongest() {
+        let ks = vec![key(1, 1, false, 5, 5), key(3, 2, false, 9, 9), key(1, 1, false, 2, 2)];
+        let m = max_key(ks, OrderKind::Basic).unwrap();
+        assert_eq!(m.id, NodeId::new(9));
+        assert_eq!(max_key(Vec::new(), OrderKind::Basic), None);
+    }
+}

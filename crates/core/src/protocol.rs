@@ -1,0 +1,732 @@
+//! The distributed, self-stabilizing density-driven clustering
+//! protocol — the composition of the paper's guarded assignments:
+//!
+//! * **N1** (Section 4.1): DAG renaming into the constant space γ;
+//! * **R1** (Section 4.2): `d_p := density` from the cached 2-hop view;
+//! * **R2** (Section 4.2/4.3): `H(p) := clusterHead` under the
+//!   configured order (basic or incumbency-aware) and head rule (basic
+//!   or 2-hop fusion).
+//!
+//! One beacon carries the node's shared variables *plus its cached
+//! neighbor summaries*, which is exactly the information schedule of
+//! the paper's Table 2: after one step a node knows its 1-neighbors,
+//! after two it can compute its density, after three its parent, and
+//! its cluster-head after a number of steps bounded by the tree depth.
+
+use std::collections::BTreeMap;
+
+use mwn_graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mwn_sim::{Corruptible, Protocol};
+
+use crate::dag::new_id;
+use crate::{
+    Clustering, DagVariant, Density, HeadRule, Key, MetricKind, NameSpace, OrderKind,
+};
+
+/// DAG-renaming configuration (Section 4.1), when enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagConfig {
+    /// The name space γ.
+    pub gamma: NameSpace,
+    /// Conflict-resolution variant of N1.
+    pub variant: DagVariant,
+}
+
+/// Full configuration of the clustering protocol.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_cluster::{ClusterConfig, DagConfig, DagVariant, NameSpace};
+///
+/// // The paper's Section 5 configuration for the grid experiments:
+/// // density metric, DAG enabled with γ = δ², basic order and rule.
+/// let cfg = ClusterConfig {
+///     dag: Some(DagConfig {
+///         gamma: NameSpace::delta_squared(8),
+///         variant: DagVariant::SmallestIdRedraws,
+///     }),
+///     ..ClusterConfig::default()
+/// };
+/// assert!(cfg.dag.is_some());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Election metric (the paper's density by default).
+    pub metric: MetricKind,
+    /// Tie-break order: basic, or the Section 4.3 incumbency variant.
+    pub order: OrderKind,
+    /// Head condition: basic, or the Section 4.3 fusion variant.
+    pub rule: HeadRule,
+    /// Constant-height DAG renaming; `None` ties break on unique ids.
+    pub dag: Option<DagConfig>,
+    /// Steps a cached neighbor entry survives without a fresh beacon.
+    /// Must cover the expected beacon loss run-length (≥ 2 for lossy
+    /// media; 2 suffices for the perfect medium).
+    pub cache_ttl: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            metric: MetricKind::Density,
+            order: OrderKind::Basic,
+            rule: HeadRule::Basic,
+            dag: None,
+            cache_ttl: 4,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Checks the configuration against a concrete topology: the name
+    /// space must exceed the maximum degree, otherwise `γ \ Cids_p`
+    /// can be empty and N1 cannot terminate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated constraint.
+    pub fn validate_for(&self, topo: &Topology) -> Result<(), String> {
+        if let Some(dag) = &self.dag {
+            let delta = topo.max_degree();
+            if (dag.gamma.size() as usize) <= delta {
+                return Err(format!(
+                    "name space |γ| = {} must exceed the maximum degree δ = {delta}",
+                    dag.gamma.size()
+                ));
+            }
+        }
+        if self.cache_ttl == 0 {
+            return Err("cache TTL must be at least 1 step".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// What a node knows (and re-broadcasts) about one cached neighbor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PeerSummary {
+    /// The neighbor's unique identifier.
+    pub id: NodeId,
+    /// Its DAG identifier (shared variable `Id_q` of Section 4.1).
+    pub dag_id: u32,
+    /// Its density (shared variable `d_q`).
+    pub density: Density,
+    /// Its cluster-head claim (shared variable `H(q)`).
+    pub head: NodeId,
+}
+
+/// A cached neighbor entry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NeighborEntry {
+    /// Logical time the last beacon from this neighbor arrived.
+    pub last_seen: u64,
+    /// Cached copy of the neighbor's DAG identifier.
+    pub dag_id: u32,
+    /// Cached copy of the neighbor's density.
+    pub density: Density,
+    /// Cached copy of the neighbor's head claim.
+    pub head: NodeId,
+    /// The neighbor's own neighbor summaries — `p`'s window onto its
+    /// 2-neighborhood (used for density and the fusion rule).
+    pub view: Vec<PeerSummary>,
+}
+
+/// Per-node state: shared variables plus the neighbor cache.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterState {
+    /// DAG identifier (equals the unique id when the DAG is disabled).
+    pub dag_id: u32,
+    /// Current density value (shared variable `d_p`).
+    pub density: Density,
+    /// Current cluster-head choice (shared variable `H(p)`).
+    pub head: NodeId,
+    /// Current parent `F(p)`.
+    pub parent: NodeId,
+    /// Cached neighbor state, keyed by neighbor id.
+    pub cache: BTreeMap<NodeId, NeighborEntry>,
+}
+
+impl ClusterState {
+    /// The node's election key as it would enter a comparison now.
+    pub fn key(&self, me: NodeId) -> Key {
+        Key::new(self.density, self.head == me, self.dag_id, me)
+    }
+
+    /// The (head, parent) pair — the protocol's observable output.
+    pub fn output(&self) -> (NodeId, NodeId) {
+        (self.head, self.parent)
+    }
+}
+
+/// The beacon: the node's shared variables and its neighbor summaries.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterBeacon {
+    /// Sender's DAG identifier.
+    pub dag_id: u32,
+    /// Sender's density.
+    pub density: Density,
+    /// Sender's head claim.
+    pub head: NodeId,
+    /// Sender's cached neighbor summaries (its 1-hop view).
+    pub view: Vec<PeerSummary>,
+}
+
+/// The self-stabilizing density-driven clustering protocol.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_cluster::{extract_clustering, ClusterConfig, DensityCluster};
+/// use mwn_graph::builders::fig1_example;
+/// use mwn_graph::NodeId;
+/// use mwn_radio::PerfectMedium;
+/// use mwn_sim::Network;
+///
+/// let topo = fig1_example();
+/// let protocol = DensityCluster::new(ClusterConfig::default());
+/// let mut net = Network::new(protocol, PerfectMedium, topo, 1);
+/// net.run_until_stable(|_, s| s.output(), 3, 100).expect("stabilizes");
+/// let clustering = extract_clustering(net.states()).expect("clean output");
+/// // The paper's example: two clusters, headed by h (id 7) and j (id 5).
+/// assert_eq!(clustering.heads(), vec![NodeId::new(5), NodeId::new(7)]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DensityCluster {
+    config: ClusterConfig,
+}
+
+impl DensityCluster {
+    /// Creates the protocol with `config`.
+    pub fn new(config: ClusterConfig) -> Self {
+        DensityCluster { config }
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    fn key_of_entry(q: NodeId, e: &NeighborEntry) -> Key {
+        Key::new(e.density, e.head == q, e.dag_id, q)
+    }
+
+    fn key_of_summary(s: &PeerSummary) -> Key {
+        Key::new(s.density, s.head == s.id, s.dag_id, s.id)
+    }
+
+    /// Collects the cluster-head claims visible in `p`'s 2-hop window:
+    /// direct neighbors claiming headship plus claims relayed through
+    /// neighbor views. Used by the fusion rule.
+    fn two_hop_head_claims(me: NodeId, state: &ClusterState) -> Vec<Key> {
+        let mut claims = Vec::new();
+        for (&q, e) in &state.cache {
+            if e.head == q {
+                claims.push(Self::key_of_entry(q, e));
+            }
+            for s in &e.view {
+                if s.id != me && s.head == s.id {
+                    claims.push(Self::key_of_summary(s));
+                }
+            }
+        }
+        claims
+    }
+}
+
+impl Protocol for DensityCluster {
+    type State = ClusterState;
+    type Beacon = ClusterBeacon;
+
+    fn init(&self, node: NodeId, rng: &mut StdRng) -> ClusterState {
+        let dag_id = match &self.config.dag {
+            Some(dag) => rng.random_range(0..dag.gamma.size()),
+            None => node.value(),
+        };
+        ClusterState {
+            dag_id,
+            density: Density::zero(),
+            head: node,
+            parent: node,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    fn beacon(&self, _node: NodeId, state: &ClusterState) -> ClusterBeacon {
+        ClusterBeacon {
+            dag_id: state.dag_id,
+            density: state.density,
+            head: state.head,
+            view: state
+                .cache
+                .iter()
+                .map(|(&q, e)| PeerSummary {
+                    id: q,
+                    dag_id: e.dag_id,
+                    density: e.density,
+                    head: e.head,
+                })
+                .collect(),
+        }
+    }
+
+    fn receive(
+        &self,
+        node: NodeId,
+        state: &mut ClusterState,
+        from: NodeId,
+        beacon: &ClusterBeacon,
+        now: u64,
+    ) {
+        if from == node {
+            return; // a radio echo of ourselves carries no information
+        }
+        state.cache.insert(
+            from,
+            NeighborEntry {
+                last_seen: now,
+                dag_id: beacon.dag_id,
+                density: beacon.density,
+                head: beacon.head,
+                view: beacon.view.clone(),
+            },
+        );
+    }
+
+    fn update(&self, node: NodeId, state: &mut ClusterState, now: u64, rng: &mut StdRng) {
+        // Cache hygiene: drop entries that are stale or carry a
+        // timestamp from the future (corrupted state must die out).
+        let ttl = self.config.cache_ttl;
+        state
+            .cache
+            .retain(|_, e| e.last_seen <= now && now - e.last_seen < ttl);
+
+        // --- N1: DAG renaming (Section 4.1) --------------------------
+        match &self.config.dag {
+            Some(dag) => {
+                let used: Vec<u32> = state.cache.values().map(|e| e.dag_id).collect();
+                let conflicted =
+                    !dag.gamma.contains(state.dag_id) || used.contains(&state.dag_id);
+                if conflicted {
+                    let must_redraw = match dag.variant {
+                        DagVariant::Randomized => true,
+                        DagVariant::SmallestIdRedraws => {
+                            !dag.gamma.contains(state.dag_id)
+                                || state
+                                    .cache
+                                    .iter()
+                                    .any(|(&q, e)| e.dag_id == state.dag_id && node < q)
+                        }
+                    };
+                    if must_redraw {
+                        state.dag_id = new_id(state.dag_id, &used, dag.gamma, rng);
+                    }
+                }
+            }
+            None => {
+                // Without the DAG the tie-break id *is* the unique id;
+                // re-asserting it heals corrupted state.
+                state.dag_id = node.value();
+            }
+        }
+
+        // --- R1: density (Section 4.2) --------------------------------
+        let neighbors: Vec<NodeId> = state.cache.keys().copied().collect();
+        let tables: Vec<Vec<NodeId>> = state
+            .cache
+            .values()
+            .map(|e| e.view.iter().map(|s| s.id).collect())
+            .collect();
+        let table_refs: Vec<&[NodeId]> = tables.iter().map(Vec::as_slice).collect();
+        state.density = self
+            .config
+            .metric
+            .value_from_tables(node, &neighbors, &table_refs);
+
+        // --- R2: cluster-head choice (Sections 4.2 / 4.3) -------------
+        let my_key = state.key(node);
+        let order = self.config.order;
+        let strongest_neighbor = state
+            .cache
+            .iter()
+            .map(|(&q, e)| (q, Self::key_of_entry(q, e)))
+            .max_by(|(_, a), (_, b)| a.cmp_under(b, order));
+        let locally_max = match &strongest_neighbor {
+            None => true,
+            Some((_, k)) => k.precedes(&my_key, order),
+        };
+        match self.config.rule {
+            HeadRule::Basic => {
+                if locally_max {
+                    state.head = node;
+                    state.parent = node;
+                } else {
+                    let (q, _) = strongest_neighbor.expect("non-maximal ⇒ has neighbors");
+                    state.parent = q;
+                    state.head = state.cache[&q].head;
+                }
+            }
+            HeadRule::Fusion => {
+                if locally_max {
+                    let claims = Self::two_hop_head_claims(node, state);
+                    let blocking = claims
+                        .iter()
+                        .filter(|c| my_key.precedes(c, order))
+                        .max_by(|a, b| a.cmp_under(b, order));
+                    match blocking {
+                        None => {
+                            state.head = node;
+                            state.parent = node;
+                        }
+                        Some(absorber) => {
+                            // Abdicate: merge into the strongest head
+                            // within two hops (logical 2-hop parent).
+                            state.head = absorber.id;
+                            state.parent = absorber.id;
+                        }
+                    }
+                } else {
+                    let (q, _) = strongest_neighbor.expect("non-maximal ⇒ has neighbors");
+                    state.parent = q;
+                    state.head = state.cache[&q].head;
+                }
+            }
+        }
+    }
+}
+
+impl Corruptible for DensityCluster {
+    fn corrupt(&self, _node: NodeId, state: &mut ClusterState, rng: &mut StdRng) {
+        state.dag_id = rng.random_range(0..u32::MAX);
+        state.density = Density::ratio(rng.random_range(0..100), rng.random_range(0..16));
+        state.head = NodeId::new(rng.random_range(0..10_000));
+        state.parent = NodeId::new(rng.random_range(0..10_000));
+        state.cache.clear();
+        for _ in 0..rng.random_range(0..5) {
+            let ghost = NodeId::new(rng.random_range(0..10_000));
+            let view = (0..rng.random_range(0..4))
+                .map(|_| PeerSummary {
+                    id: NodeId::new(rng.random_range(0..10_000)),
+                    dag_id: rng.random_range(0..u32::MAX),
+                    density: Density::ratio(rng.random_range(0..50), rng.random_range(0..8)),
+                    head: NodeId::new(rng.random_range(0..10_000)),
+                })
+                .collect();
+            state.cache.insert(
+                ghost,
+                NeighborEntry {
+                    last_seen: rng.random_range(0..u64::MAX),
+                    dag_id: rng.random_range(0..u32::MAX),
+                    density: Density::ratio(rng.random_range(0..50), rng.random_range(0..8)),
+                    head: NodeId::new(rng.random_range(0..10_000)),
+                    view,
+                },
+            );
+        }
+    }
+}
+
+/// Extracts the clustering from stabilized protocol states.
+///
+/// Returns `None` if any head or parent pointer references a node
+/// outside the network — possible only in non-stabilized snapshots
+/// (e.g. right after a corruption), never in a legitimate
+/// configuration.
+pub fn extract_clustering(states: &[ClusterState]) -> Option<Clustering> {
+    let n = states.len();
+    let mut parent = Vec::with_capacity(n);
+    let mut head = Vec::with_capacity(n);
+    for s in states {
+        if s.parent.index() >= n || s.head.index() >= n {
+            return None;
+        }
+        parent.push(s.parent);
+        head.push(s.head);
+    }
+    Some(Clustering::new(parent, head))
+}
+
+/// The stabilized DAG identifiers, for feeding the oracle's tiebreak.
+pub fn extract_dag_ids(states: &[ClusterState]) -> Vec<u32> {
+    states.iter().map(|s| s.dag_id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwn_graph::builders;
+    use mwn_radio::{BernoulliLoss, PerfectMedium, SlottedCsma};
+    use mwn_sim::Network;
+
+    use crate::{oracle, OracleConfig};
+
+    fn stabilize<M: mwn_radio::Medium>(
+        config: ClusterConfig,
+        medium: M,
+        topo: mwn_graph::Topology,
+        seed: u64,
+        max_steps: u64,
+    ) -> Network<DensityCluster, M> {
+        config.validate_for(&topo).expect("valid config");
+        let mut net = Network::new(DensityCluster::new(config), medium, topo, seed);
+        net.run_until_stable(|_, s| (s.dag_id, s.density, s.head, s.parent), 5, max_steps)
+            .expect("protocol stabilizes");
+        net
+    }
+
+    #[test]
+    fn fig1_reaches_the_paper_clustering() {
+        let net = stabilize(
+            ClusterConfig::default(),
+            PerfectMedium,
+            builders::fig1_example(),
+            3,
+            100,
+        );
+        let c = extract_clustering(net.states()).unwrap();
+        assert_eq!(c.heads(), vec![NodeId::new(5), NodeId::new(7)]); // j and h
+    }
+
+    #[test]
+    fn distributed_fixpoint_matches_oracle_basic() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(10);
+        for seed in 0..5 {
+            let topo = builders::uniform(80, 0.15, &mut rng);
+            let net = stabilize(ClusterConfig::default(), PerfectMedium, topo, seed, 300);
+            let c = extract_clustering(net.states()).unwrap();
+            let want = oracle(net.topology(), &OracleConfig::default());
+            assert_eq!(c, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn distributed_fixpoint_matches_oracle_fusion() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = ClusterConfig {
+            rule: HeadRule::Fusion,
+            ..ClusterConfig::default()
+        };
+        for seed in 0..5 {
+            let topo = builders::uniform(80, 0.15, &mut rng);
+            let net = stabilize(config, PerfectMedium, topo, seed, 500);
+            let c = extract_clustering(net.states()).unwrap();
+            let want = oracle(
+                net.topology(),
+                &OracleConfig {
+                    rule: HeadRule::Fusion,
+                    ..OracleConfig::default()
+                },
+            );
+            assert_eq!(c.heads(), want.heads(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn information_schedule_matches_table2() {
+        // Paper Table 2: neighbors after step 1, density after step 2,
+        // father after step 3.
+        let topo = builders::fig1_example();
+        let mut net = Network::new(
+            DensityCluster::new(ClusterConfig::default()),
+            PerfectMedium,
+            topo.clone(),
+            5,
+        );
+        // Step 1: neighbor tables complete.
+        net.step();
+        for p in topo.nodes() {
+            let cached: Vec<NodeId> = net.state(p).cache.keys().copied().collect();
+            assert_eq!(cached.as_slice(), topo.neighbors(p), "step 1 neighbors");
+        }
+        // Step 2: densities correct.
+        net.step();
+        for p in topo.nodes() {
+            assert_eq!(
+                net.state(p).density,
+                crate::density_of(&topo, p),
+                "step 2 density of {p}"
+            );
+        }
+        // Step 3: parents correct.
+        net.step();
+        let want = oracle(&topo, &OracleConfig::default());
+        for p in topo.nodes() {
+            assert_eq!(net.state(p).parent, want.parent(p), "step 3 parent of {p}");
+        }
+    }
+
+    #[test]
+    fn self_stabilizes_from_arbitrary_corruption() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(12);
+        let topo = builders::uniform(60, 0.18, &mut rng);
+        let mut net = Network::new(
+            DensityCluster::new(ClusterConfig::default()),
+            PerfectMedium,
+            topo,
+            6,
+        );
+        net.run(20);
+        let before = extract_clustering(net.states()).unwrap();
+        net.corrupt_all();
+        net.run_until_stable(|_, s| (s.dag_id, s.density, s.head, s.parent), 5, 500)
+            .expect("reconverges after corruption");
+        let after = extract_clustering(net.states()).unwrap();
+        assert_eq!(before, after, "convergence must restore the fixpoint");
+    }
+
+    #[test]
+    fn closure_fixpoint_does_not_drift() {
+        let topo = builders::fig1_example();
+        let mut net = Network::new(
+            DensityCluster::new(ClusterConfig::default()),
+            PerfectMedium,
+            topo,
+            7,
+        );
+        net.run(20);
+        let fixed = extract_clustering(net.states()).unwrap();
+        net.run(50);
+        assert_eq!(extract_clustering(net.states()).unwrap(), fixed);
+    }
+
+    #[test]
+    fn stabilizes_over_lossy_medium() {
+        let config = ClusterConfig {
+            cache_ttl: 10,
+            ..ClusterConfig::default()
+        };
+        let net = stabilize(
+            config,
+            BernoulliLoss::new(0.5),
+            builders::fig1_example(),
+            8,
+            3000,
+        );
+        let c = extract_clustering(net.states()).unwrap();
+        assert_eq!(c.heads(), vec![NodeId::new(5), NodeId::new(7)]);
+    }
+
+    #[test]
+    fn stabilizes_over_csma_medium() {
+        let config = ClusterConfig {
+            cache_ttl: 12,
+            ..ClusterConfig::default()
+        };
+        let net = stabilize(
+            config,
+            SlottedCsma::new(16),
+            builders::fig1_example(),
+            9,
+            3000,
+        );
+        let c = extract_clustering(net.states()).unwrap();
+        assert_eq!(c.heads(), vec![NodeId::new(5), NodeId::new(7)]);
+    }
+
+    #[test]
+    fn dag_mode_produces_locally_unique_tiebreaks() {
+        let topo = builders::grid(8, 8, 0.2);
+        let gamma = NameSpace::delta_squared(topo.max_degree());
+        let config = ClusterConfig {
+            dag: Some(DagConfig {
+                gamma,
+                variant: DagVariant::SmallestIdRedraws,
+            }),
+            ..ClusterConfig::default()
+        };
+        let net = stabilize(config, PerfectMedium, topo, 10, 500);
+        let ids = extract_dag_ids(net.states());
+        assert!(crate::is_locally_unique(net.topology(), &ids));
+        // And the clustering matches the oracle under those very ids.
+        let c = extract_clustering(net.states()).unwrap();
+        let want = oracle(
+            net.topology(),
+            &OracleConfig {
+                tiebreak: Some(ids),
+                ..OracleConfig::default()
+            },
+        );
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn incumbency_order_stabilizes() {
+        let config = ClusterConfig {
+            order: OrderKind::Stable,
+            ..ClusterConfig::default()
+        };
+        let net = stabilize(config, PerfectMedium, builders::fig1_example(), 11, 300);
+        let c = extract_clustering(net.states()).unwrap();
+        // Densities are distinct enough here that incumbency does not
+        // change the winners.
+        assert_eq!(c.heads(), vec![NodeId::new(5), NodeId::new(7)]);
+    }
+
+    #[test]
+    fn isolated_node_is_its_own_head() {
+        let topo = mwn_graph::Topology::empty(1);
+        let net = stabilize(ClusterConfig::default(), PerfectMedium, topo, 12, 50);
+        let c = extract_clustering(net.states()).unwrap();
+        assert!(c.is_head(NodeId::new(0)));
+    }
+
+    #[test]
+    fn ghost_cache_entries_expire() {
+        let topo = builders::line(3);
+        let mut net = Network::new(
+            DensityCluster::new(ClusterConfig::default()),
+            PerfectMedium,
+            topo,
+            13,
+        );
+        net.run(5);
+        // Plant a ghost neighbor with a *future* timestamp.
+        net.state_mut(NodeId::new(0)).cache.insert(
+            NodeId::new(999),
+            NeighborEntry {
+                last_seen: u64::MAX,
+                dag_id: 0,
+                density: Density::integer(99),
+                head: NodeId::new(999),
+                view: Vec::new(),
+            },
+        );
+        net.run(2);
+        assert!(
+            !net.state(NodeId::new(0)).cache.contains_key(&NodeId::new(999)),
+            "future-stamped ghost must be expired"
+        );
+    }
+
+    #[test]
+    fn config_validation_catches_small_gamma() {
+        let topo = builders::star(10); // δ = 9
+        let config = ClusterConfig {
+            dag: Some(DagConfig {
+                gamma: NameSpace::of_size(4),
+                variant: DagVariant::Randomized,
+            }),
+            ..ClusterConfig::default()
+        };
+        assert!(config.validate_for(&topo).is_err());
+    }
+
+    #[test]
+    fn extract_rejects_out_of_range_claims() {
+        let state = ClusterState {
+            dag_id: 0,
+            density: Density::zero(),
+            head: NodeId::new(42),
+            parent: NodeId::new(0),
+            cache: BTreeMap::new(),
+        };
+        assert!(extract_clustering(&[state]).is_none());
+    }
+}

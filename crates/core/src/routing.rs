@@ -1,0 +1,231 @@
+//! Hierarchical routing over the clustering — the application the
+//! paper builds clusters *for* ("specific routing protocols are used
+//! within and between the clusters", Section 1).
+//!
+//! The scheme is the textbook two-level one:
+//!
+//! * **intra-cluster**: members of one cluster route directly inside
+//!   the cluster's induced subgraph (local routing state only);
+//! * **inter-cluster**: the source climbs to its cluster-head, the
+//!   packet follows a head-overlay route — each overlay hop expanded
+//!   inside the union of the two adjacent clusters — and finally
+//!   descends from the destination's head.
+//!
+//! The price of locality is path *stretch* (hierarchical hops divided
+//! by the shortest-path hops); [`mean_stretch`] measures it, which is
+//! how the routing bench compares election metrics.
+
+use mwn_graph::{traversal, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::hierarchy::head_overlay;
+use crate::Clustering;
+
+/// A router over one topology + clustering.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_cluster::{oracle, ClusterRouter, OracleConfig};
+/// use mwn_graph::{builders, NodeId};
+///
+/// let topo = builders::grid(6, 6, 0.25);
+/// let clustering = oracle(&topo, &OracleConfig::default());
+/// let router = ClusterRouter::new(&topo, &clustering);
+/// let route = router.route(NodeId::new(0), NodeId::new(35)).unwrap();
+/// assert_eq!(route.first(), Some(&NodeId::new(0)));
+/// assert_eq!(route.last(), Some(&NodeId::new(35)));
+/// ```
+#[derive(Debug)]
+pub struct ClusterRouter<'a> {
+    topo: &'a Topology,
+    clustering: &'a Clustering,
+    heads: Vec<NodeId>,
+    overlay: Topology,
+}
+
+impl<'a> ClusterRouter<'a> {
+    /// Prepares routing state (the head overlay) for a stable
+    /// clustering.
+    pub fn new(topo: &'a Topology, clustering: &'a Clustering) -> Self {
+        let (heads, overlay) = head_overlay(topo, clustering);
+        ClusterRouter {
+            topo,
+            clustering,
+            heads,
+            overlay,
+        }
+    }
+
+    fn overlay_id(&self, head: NodeId) -> Option<u32> {
+        self.heads.binary_search(&head).ok().map(|i| i as u32)
+    }
+
+    /// Routes inside one cluster: shortest path among that cluster's
+    /// members.
+    fn route_within(&self, cluster: NodeId, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        traversal::bfs_path_filtered(self.topo, from, to, |v| self.clustering.head(v) == cluster)
+    }
+
+    /// Computes the hierarchical route from `src` to `dst`, inclusive.
+    ///
+    /// Returns `None` when no route exists (different components) —
+    /// also when the hierarchy's overlay is partitioned, which cannot
+    /// happen for a stable clustering of a connected graph.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let h_src = self.clustering.head(src);
+        let h_dst = self.clustering.head(dst);
+        if h_src == h_dst {
+            return self.route_within(h_src, src, dst);
+        }
+        // Overlay path between the two heads.
+        let o_src = NodeId::new(self.overlay_id(h_src)?);
+        let o_dst = NodeId::new(self.overlay_id(h_dst)?);
+        let overlay_path =
+            traversal::bfs_path_filtered(&self.overlay, o_src, o_dst, |_| true)?;
+        // Expand: climb to the head, hop cluster to cluster, descend.
+        let mut route = self.route_within(h_src, src, h_src)?;
+        for pair in overlay_path.windows(2) {
+            let a = self.heads[pair[0].index()];
+            let b = self.heads[pair[1].index()];
+            let segment = traversal::bfs_path_filtered(self.topo, *route.last()?, b, |v| {
+                let h = self.clustering.head(v);
+                h == a || h == b
+            })?;
+            route.extend_from_slice(&segment[1..]);
+        }
+        let tail = self.route_within(h_dst, *route.last()?, dst)?;
+        route.extend_from_slice(&tail[1..]);
+        Some(route)
+    }
+
+    /// Route length in hops (`route.len() - 1`), or `None` if
+    /// unroutable.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        Some(self.route(src, dst)?.len() - 1)
+    }
+
+    /// Validates that `route` is a real walk in the topology.
+    pub fn is_valid_route(&self, route: &[NodeId]) -> bool {
+        route.windows(2).all(|w| self.topo.has_edge(w[0], w[1]))
+    }
+}
+
+/// Mean stretch (hierarchical hops / shortest hops) over `samples`
+/// random connected pairs. Pairs in different components are skipped;
+/// returns `None` when no valid pair was sampled.
+pub fn mean_stretch(
+    topo: &Topology,
+    clustering: &Clustering,
+    samples: usize,
+    rng: &mut StdRng,
+) -> Option<f64> {
+    if topo.len() < 2 {
+        return None;
+    }
+    let router = ClusterRouter::new(topo, clustering);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for _ in 0..samples {
+        let src = NodeId::new(rng.random_range(0..topo.len() as u32));
+        let dst = NodeId::new(rng.random_range(0..topo.len() as u32));
+        if src == dst {
+            continue;
+        }
+        let direct = traversal::bfs_distances(topo, src)[dst.index()];
+        let Some(direct) = direct else { continue };
+        let Some(hier) = router.hops(src, dst) else { continue };
+        total += hier as f64 / f64::from(direct.max(1));
+        count += 1;
+    }
+    (count > 0).then(|| total / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{oracle, OracleConfig};
+    use mwn_graph::builders;
+    use rand::SeedableRng;
+
+    fn field(seed: u64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed);
+        builders::uniform(250, 0.11, &mut rng)
+    }
+
+    #[test]
+    fn routes_are_real_walks_with_correct_endpoints() {
+        let topo = field(1);
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let router = ClusterRouter::new(&topo, &clustering);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut routed = 0;
+        for _ in 0..200 {
+            let src = NodeId::new(rng.random_range(0..topo.len() as u32));
+            let dst = NodeId::new(rng.random_range(0..topo.len() as u32));
+            let direct = traversal::bfs_distances(&topo, src)[dst.index()];
+            match router.route(src, dst) {
+                Some(route) => {
+                    assert_eq!(route.first(), Some(&src));
+                    assert_eq!(route.last(), Some(&dst));
+                    assert!(router.is_valid_route(&route), "{src}→{dst} not a walk");
+                    assert!(direct.is_some(), "routed an unreachable pair");
+                    routed += 1;
+                }
+                None => assert!(direct.is_none() || src == dst, "missed a reachable pair"),
+            }
+        }
+        assert!(routed > 100, "only {routed} pairs routed");
+    }
+
+    #[test]
+    fn intra_cluster_routes_are_shortest_within_the_cluster() {
+        let topo = builders::complete(8);
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let router = ClusterRouter::new(&topo, &clustering);
+        // One cluster, complete graph: every route is one hop.
+        assert_eq!(router.hops(NodeId::new(1), NodeId::new(5)), Some(1));
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let topo = builders::line(4);
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let router = ClusterRouter::new(&topo, &clustering);
+        assert_eq!(router.route(NodeId::new(2), NodeId::new(2)), Some(vec![NodeId::new(2)]));
+        assert_eq!(router.hops(NodeId::new(2), NodeId::new(2)), Some(0));
+    }
+
+    #[test]
+    fn cross_component_pairs_are_unroutable() {
+        let mut topo = builders::line(6);
+        topo.remove_edge(NodeId::new(2), NodeId::new(3));
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let router = ClusterRouter::new(&topo, &clustering);
+        assert_eq!(router.route(NodeId::new(0), NodeId::new(5)), None);
+    }
+
+    #[test]
+    fn stretch_is_at_least_one_and_moderate() {
+        let topo = field(2);
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let stretch = mean_stretch(&topo, &clustering, 300, &mut rng).expect("pairs exist");
+        assert!(stretch >= 1.0, "stretch {stretch} below 1");
+        assert!(
+            stretch < 3.0,
+            "hierarchical routing should not triple path lengths: {stretch}"
+        );
+    }
+
+    #[test]
+    fn stretch_on_tiny_topologies() {
+        let topo = Topology::empty(1);
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(mean_stretch(&topo, &clustering, 10, &mut rng), None);
+    }
+
+    use mwn_graph::Topology;
+}

@@ -1,0 +1,49 @@
+//! Topology substrate for multihop wireless network simulation.
+//!
+//! This crate provides the graph model used throughout the
+//! `selfstab-mwn` workspace, a reproduction of *"Self-stabilization in
+//! self-organized Multihop Wireless Networks"* (Mitton, Fleury,
+//! Guérin Lassous, Tixeuil — ICDCS 2005 / INRIA RR-5426).
+//!
+//! The paper's system model is a set `V` of nodes with unique
+//! identifiers, where each node `p` communicates with a neighborhood
+//! `N_p` determined by radio range, links are bidirectional, and the
+//! node distribution is sparse (`|N_p| <= δ` for a known constant `δ`).
+//! [`Topology`] captures exactly that model: an undirected graph with
+//! optional 2-D positions, built either from an explicit edge list or as
+//! a unit-disk graph over deployed points.
+//!
+//! # Examples
+//!
+//! Build the 1000-node random deployment of the paper's Section 5 and
+//! inspect its structure:
+//!
+//! ```
+//! use mwn_graph::{builders, NodeId};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! // Poisson intensity λ = 1000 over the unit square, radio range R = 0.1.
+//! let topo = builders::poisson(1000.0, 0.1, &mut rng);
+//! assert!(topo.len() > 800);
+//! let p = NodeId::new(0);
+//! for &q in topo.neighbors(p) {
+//!     assert!(topo.neighbors(q).contains(&p)); // links are bidirectional
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+mod error;
+mod node;
+mod point;
+pub mod stats;
+mod topology;
+pub mod traversal;
+
+pub use error::GraphError;
+pub use node::NodeId;
+pub use point::Point2;
+pub use topology::{Edges, Topology};

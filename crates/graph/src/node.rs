@@ -1,0 +1,96 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A node identifier: a unique, totally ordered name for a network node.
+///
+/// The paper assumes "each node has a unique identifier"; identifiers
+/// also serve as the final tie-breaker of the cluster-head election
+/// (`"the smallest identity is used to decide"`, Section 3). Nodes are
+/// numbered densely from `0`, which lets the simulator index per-node
+/// state by `NodeId`.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_graph::NodeId;
+///
+/// let a = NodeId::new(3);
+/// let b = NodeId::new(7);
+/// assert!(a < b);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw identifier value.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the identifier as a `usize` suitable for indexing
+    /// per-node state vectors.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId::new(0) < NodeId::new(1));
+        assert!(NodeId::new(41) < NodeId::new(42));
+        assert_eq!(NodeId::new(7), NodeId::new(7));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = NodeId::from(9u32);
+        assert_eq!(u32::from(id), 9);
+        assert_eq!(id.index(), 9);
+        assert_eq!(id.value(), 9);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(format!("{}", NodeId::new(12)), "n12");
+        assert_eq!(format!("{:?}", NodeId::new(12)), "n12");
+    }
+}

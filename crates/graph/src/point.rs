@@ -1,0 +1,114 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the unit square (or any 2-D plane).
+///
+/// The paper deploys nodes "in a 1×1 square with various transmission
+/// ranges R varying from 0.05 to 0.1" (Section 5). When reproducing the
+/// mobility experiment we interpret the unit square as 1 km × 1 km so
+/// that `R = 0.05` corresponds to a 50 m radio range and speeds given in
+/// m/s convert to `1e-3` units per second.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_graph::Point2;
+///
+/// let a = Point2::new(0.0, 0.0);
+/// let b = Point2::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point2) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root
+    /// when only comparisons are needed, e.g. unit-disk edge tests).
+    #[inline]
+    pub fn distance_squared(self, other: Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation from `self` towards `other`; `t = 0` yields
+    /// `self`, `t = 1` yields `other`.
+    #[inline]
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        Point2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+
+    /// Returns `true` when the point lies inside the closed unit square.
+    #[inline]
+    pub fn in_unit_square(self) -> bool {
+        (0.0..=1.0).contains(&self.x) && (0.0..=1.0).contains(&self.y)
+    }
+
+    /// Clamps both coordinates into the closed unit square.
+    #[inline]
+    pub fn clamp_unit_square(self) -> Point2 {
+        Point2::new(self.x.clamp(0.0, 1.0), self.y.clamp(0.0, 1.0))
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point2::new(0.25, 0.5);
+        let b = Point2::new(0.75, 0.1);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_squared_matches_distance() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 1.0);
+        assert!((a.distance(b).powi(2) - a.distance_squared(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn unit_square_membership() {
+        assert!(Point2::new(0.0, 1.0).in_unit_square());
+        assert!(!Point2::new(-0.01, 0.5).in_unit_square());
+        assert_eq!(
+            Point2::new(-0.5, 1.5).clamp_unit_square(),
+            Point2::new(0.0, 1.0)
+        );
+    }
+}

@@ -1,0 +1,511 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphError, NodeId, Point2};
+
+/// An undirected network graph with optional node positions.
+///
+/// This is the paper's system model (Section 3): a set `V` of nodes,
+/// each node `p` with a neighborhood `N_p ⊆ V` determined by radio
+/// range, bidirectional links (`q ∈ N_p ⇔ p ∈ N_q`) and no self-loops
+/// (`p ∉ N_p`). Adjacency lists are kept sorted so membership tests are
+/// logarithmic and iteration order is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_graph::{NodeId, Topology};
+///
+/// let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)])?;
+/// assert_eq!(topo.degree(NodeId::new(1)), 2);
+/// assert!(topo.has_edge(NodeId::new(2), NodeId::new(1)));
+/// assert_eq!(topo.edge_count(), 3);
+/// # Ok::<(), mwn_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    adj: Vec<Vec<NodeId>>,
+    positions: Option<Vec<Point2>>,
+    radius: Option<f64>,
+}
+
+impl Topology {
+    /// Creates a topology with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Topology {
+            adj: vec![Vec::new(); n],
+            positions: None,
+            radius: None,
+        }
+    }
+
+    /// Creates a topology from an explicit undirected edge list.
+    ///
+    /// Duplicate edges are collapsed. The resulting topology has no
+    /// positions; attach them later with [`Topology::with_positions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`
+    /// and [`GraphError::SelfLoop`] for an edge `(u, u)`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
+        let mut topo = Topology::empty(n);
+        for &(u, v) in edges {
+            topo.add_edge(NodeId::new(u), NodeId::new(v))?;
+        }
+        Ok(topo)
+    }
+
+    /// Creates the unit-disk graph over `positions`: nodes `p` and `q`
+    /// are linked iff their Euclidean distance is at most `radius`.
+    ///
+    /// This is how the paper deploys its simulation topologies: points
+    /// in the unit square with transmission ranges `R ∈ [0.05, 0.1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidRadius`] if `radius` is not finite
+    /// and positive.
+    pub fn unit_disk(positions: Vec<Point2>, radius: f64) -> Result<Self, GraphError> {
+        if !radius.is_finite() || radius <= 0.0 {
+            return Err(GraphError::InvalidRadius { radius });
+        }
+        let n = positions.len();
+        let mut topo = Topology {
+            adj: vec![Vec::new(); n],
+            positions: Some(positions),
+            radius: Some(radius),
+        };
+        topo.rebuild_unit_disk_edges();
+        Ok(topo)
+    }
+
+    /// Attaches positions to an edge-list topology (e.g. for rendering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len()` differs from the node count.
+    pub fn with_positions(mut self, positions: Vec<Point2>) -> Self {
+        assert_eq!(
+            positions.len(),
+            self.adj.len(),
+            "positions must cover every node"
+        );
+        self.positions = Some(positions);
+        self
+    }
+
+    /// Recomputes all unit-disk edges from the current positions.
+    ///
+    /// Used by the mobility substrate after moving nodes. A spatial
+    /// hash grid keeps the rebuild near-linear in the node count for
+    /// the sparse deployments the paper considers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no positions or no radius (i.e. it was
+    /// not built by [`Topology::unit_disk`]).
+    pub fn rebuild_unit_disk_edges(&mut self) {
+        let radius = self.radius.expect("unit-disk rebuild requires a radius");
+        let positions = self
+            .positions
+            .as_ref()
+            .expect("unit-disk rebuild requires positions");
+        let n = positions.len();
+        for list in &mut self.adj {
+            list.clear();
+        }
+        if n == 0 {
+            return;
+        }
+        // Spatial hash: cells of side `radius`, so neighbors of a point
+        // can only live in the 3×3 block of cells around it.
+        let cell_of = |p: Point2| -> (i64, i64) {
+            ((p.x / radius).floor() as i64, (p.y / radius).floor() as i64)
+        };
+        let mut grid: std::collections::HashMap<(i64, i64), Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, &p) in positions.iter().enumerate() {
+            grid.entry(cell_of(p)).or_default().push(i as u32);
+        }
+        let r2 = radius * radius;
+        for (i, &p) in positions.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(bucket) = grid.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &j in bucket {
+                        if (j as usize) > i && p.distance_squared(positions[j as usize]) <= r2 {
+                            self.adj[i].push(NodeId::new(j));
+                            self.adj[j as usize].push(NodeId::new(i as u32));
+                        }
+                    }
+                }
+            }
+        }
+        for list in &mut self.adj {
+            list.sort_unstable();
+        }
+    }
+
+    /// Adds the undirected edge `(u, v)`; a no-op if already present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let n = self.adj.len();
+        for node in [u, v] {
+            if node.index() >= n {
+                return Err(GraphError::NodeOutOfRange { node, len: n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if let Err(pos) = self.adj[u.index()].binary_search(&v) {
+            self.adj[u.index()].insert(pos, v);
+            let pos = self.adj[v.index()]
+                .binary_search(&u)
+                .expect_err("adjacency lists must stay symmetric");
+            self.adj[v.index()].insert(pos, u);
+        }
+        Ok(())
+    }
+
+    /// Removes the undirected edge `(u, v)`; a no-op if absent.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
+        if u.index() >= self.adj.len() || v.index() >= self.adj.len() {
+            return;
+        }
+        if let Ok(pos) = self.adj[u.index()].binary_search(&v) {
+            self.adj[u.index()].remove(pos);
+            if let Ok(pos) = self.adj[v.index()].binary_search(&u) {
+                self.adj[v.index()].remove(pos);
+            }
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` when the topology has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterator over all node identifiers, in increasing order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId::new)
+    }
+
+    /// The 1-neighborhood `N_p`, sorted by identifier. `p ∉ N_p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn neighbors(&self, p: NodeId) -> &[NodeId] {
+        &self.adj[p.index()]
+    }
+
+    /// The degree `|N_p|`.
+    #[inline]
+    pub fn degree(&self, p: NodeId) -> usize {
+        self.adj[p.index()].len()
+    }
+
+    /// The maximum degree `δ` over all nodes (0 for an empty graph).
+    ///
+    /// The paper assumes a known constant `δ` bounding every `|N_p|`;
+    /// the DAG name space γ is sized from it (|γ| = δ or δ²).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean degree over all nodes (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.adj.iter().map(Vec::len).sum();
+        total as f64 / self.adj.len() as f64
+    }
+
+    /// `true` iff `u` and `v` are linked.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Iterator over undirected edges, each reported once as `(u, v)`
+    /// with `u < v`.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges {
+            topo: self,
+            node: 0,
+            pos: 0,
+        }
+    }
+
+    /// The i-neighborhood `N^i_p` of Section 3: all nodes reachable from
+    /// `p` in at most `i` hops, excluding `p` itself. Sorted by id.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mwn_graph::{NodeId, Topology};
+    ///
+    /// let line = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)])?;
+    /// let n2 = line.k_neighborhood(NodeId::new(0), 2);
+    /// assert_eq!(n2, vec![NodeId::new(1), NodeId::new(2)]);
+    /// # Ok::<(), mwn_graph::GraphError>(())
+    /// ```
+    pub fn k_neighborhood(&self, p: NodeId, k: usize) -> Vec<NodeId> {
+        let mut seen = vec![false; self.adj.len()];
+        seen[p.index()] = true;
+        let mut frontier = vec![p];
+        let mut out = Vec::new();
+        for _ in 0..k {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.neighbors(u) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        out.push(v);
+                        next.push(v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The 2-neighborhood `N²_p`, used by the fusion rule of
+    /// Section 4.3. Equivalent to `k_neighborhood(p, 2)`.
+    pub fn two_hop_neighborhood(&self, p: NodeId) -> Vec<NodeId> {
+        self.k_neighborhood(p, 2)
+    }
+
+    /// Counts the links of Definition 1: edges `(v, w)` with `v ∈ N_p`
+    /// and `w ∈ {p} ∪ N_p`, each undirected edge counted once. This is
+    /// `deg(p)` plus the number of edges among `p`'s neighbors.
+    pub fn neighborhood_links(&self, p: NodeId) -> usize {
+        let nbrs = self.neighbors(p);
+        let mut count = nbrs.len();
+        for (i, &u) in nbrs.iter().enumerate() {
+            for &v in &nbrs[i + 1..] {
+                if self.has_edge(u, v) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Position of node `p`, if the topology carries positions.
+    pub fn position(&self, p: NodeId) -> Option<Point2> {
+        self.positions.as_ref().map(|ps| ps[p.index()])
+    }
+
+    /// All node positions, if present.
+    pub fn positions(&self) -> Option<&[Point2]> {
+        self.positions.as_deref()
+    }
+
+    /// Mutable access to node positions (used by mobility models).
+    /// Call [`Topology::rebuild_unit_disk_edges`] afterwards.
+    pub fn positions_mut(&mut self) -> Option<&mut [Point2]> {
+        self.positions.as_deref_mut()
+    }
+
+    /// The radio range, if the topology is a unit-disk graph.
+    pub fn radius(&self) -> Option<f64> {
+        self.radius
+    }
+}
+
+/// Iterator over the undirected edges of a [`Topology`], created by
+/// [`Topology::edges`]. Each edge appears once as `(u, v)` with `u < v`.
+#[derive(Debug)]
+pub struct Edges<'a> {
+    topo: &'a Topology,
+    node: u32,
+    pos: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if (self.node as usize) >= self.topo.adj.len() {
+                return None;
+            }
+            let u = NodeId::new(self.node);
+            let list = &self.topo.adj[u.index()];
+            while self.pos < list.len() {
+                let v = list[self.pos];
+                self.pos += 1;
+                if u < v {
+                    return Some((u, v));
+                }
+            }
+            self.node += 1;
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Topology {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Topology::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn from_edges_builds_symmetric_adjacency() {
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2), (1, 0)]).unwrap();
+        assert_eq!(topo.neighbors(NodeId::new(0)), &[NodeId::new(1)]);
+        assert_eq!(
+            topo.neighbors(NodeId::new(1)),
+            &[NodeId::new(0), NodeId::new(2)]
+        );
+        assert_eq!(topo.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        assert_eq!(
+            Topology::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: NodeId::new(1) })
+        );
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        assert!(matches!(
+            Topology::from_edges(2, &[(0, 2)]),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unit_disk_links_by_distance() {
+        let positions = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.05, 0.0),
+            Point2::new(0.2, 0.0),
+        ];
+        let topo = Topology::unit_disk(positions, 0.06).unwrap();
+        assert!(topo.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!topo.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(!topo.has_edge(NodeId::new(1), NodeId::new(2)));
+        assert_eq!(topo.radius(), Some(0.06));
+    }
+
+    #[test]
+    fn unit_disk_rejects_bad_radius() {
+        assert!(matches!(
+            Topology::unit_disk(vec![], 0.0),
+            Err(GraphError::InvalidRadius { .. })
+        ));
+        assert!(matches!(
+            Topology::unit_disk(vec![], f64::NAN),
+            Err(GraphError::InvalidRadius { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_edge_is_symmetric() {
+        let mut topo = Topology::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        topo.remove_edge(NodeId::new(1), NodeId::new(0));
+        assert!(!topo.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(topo.neighbors(NodeId::new(0)).is_empty());
+        assert_eq!(topo.edge_count(), 1);
+        // removing a missing edge is a no-op
+        topo.remove_edge(NodeId::new(0), NodeId::new(2));
+        assert_eq!(topo.edge_count(), 1);
+    }
+
+    #[test]
+    fn k_neighborhood_grows_monotonically() {
+        let topo = line(6);
+        let p = NodeId::new(0);
+        let mut prev = 0;
+        for k in 1..=6 {
+            let nk = topo.k_neighborhood(p, k).len();
+            assert!(nk >= prev);
+            prev = nk;
+        }
+        assert_eq!(topo.k_neighborhood(p, 5).len(), 5);
+        assert_eq!(topo.k_neighborhood(p, 50).len(), 5);
+    }
+
+    #[test]
+    fn neighborhood_links_counts_definition_one() {
+        // Triangle plus a pendant: for the pendant node p, N_p = {0},
+        // links = just the edge (p, 0).
+        let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(topo.neighborhood_links(NodeId::new(3)), 1);
+        // For node 0: N_0 = {1, 2, 3}; edges to them = 3, plus (1,2) = 4.
+        assert_eq!(topo.neighborhood_links(NodeId::new(0)), 4);
+        // For node 1: N_1 = {0, 2}; edges to them = 2, plus (0,2) = 3.
+        assert_eq!(topo.neighborhood_links(NodeId::new(1)), 3);
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let edges: Vec<_> = topo.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in edges {
+            assert!(u < v);
+            assert!(topo.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn rebuild_after_moving_positions() {
+        let positions = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
+        let mut topo = Topology::unit_disk(positions, 0.1).unwrap();
+        assert_eq!(topo.edge_count(), 0);
+        topo.positions_mut().unwrap()[1] = Point2::new(0.05, 0.0);
+        topo.rebuild_unit_disk_edges();
+        assert_eq!(topo.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_topology_properties() {
+        let topo = Topology::empty(0);
+        assert!(topo.is_empty());
+        assert_eq!(topo.max_degree(), 0);
+        assert_eq!(topo.mean_degree(), 0.0);
+        assert_eq!(topo.edges().count(), 0);
+    }
+
+    #[test]
+    fn mean_and_max_degree() {
+        let topo = Topology::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(topo.max_degree(), 3);
+        assert!((topo.mean_degree() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,231 @@
+//! Breadth-first traversal utilities: hop distances, components,
+//! eccentricities and diameters.
+//!
+//! The paper's evaluation metrics are hop-based: the cluster-head
+//! eccentricity `e(H(u)/C) = max_{v ∈ C(u)} d(H(u), v)` "in number of
+//! hops" and the clusterization tree length. These helpers provide the
+//! `d(·,·)` primitive, both over the whole graph and restricted to a
+//! node subset (a cluster).
+
+use std::collections::VecDeque;
+
+use crate::{NodeId, Topology};
+
+/// Hop distances from `src` to every node; `None` for unreachable nodes.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_graph::{builders, traversal, NodeId};
+///
+/// let line = builders::line(4);
+/// let d = traversal::bfs_distances(&line, NodeId::new(0));
+/// assert_eq!(d[3], Some(3));
+/// ```
+pub fn bfs_distances(topo: &Topology, src: NodeId) -> Vec<Option<u32>> {
+    bfs_distances_filtered(topo, src, |_| true)
+}
+
+/// Hop distances from `src` restricted to nodes satisfying `allowed`
+/// (paths may only pass through allowed nodes; `src` itself is always
+/// explored). Used to measure distances *inside* a cluster's induced
+/// subgraph.
+pub fn bfs_distances_filtered<F>(topo: &Topology, src: NodeId, allowed: F) -> Vec<Option<u32>>
+where
+    F: Fn(NodeId) -> bool,
+{
+    let mut dist = vec![None; topo.len()];
+    dist[src.index()] = Some(0);
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &v in topo.neighbors(u) {
+            if dist[v.index()].is_none() && allowed(v) {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest path from `src` to `dst` through nodes satisfying
+/// `allowed` (`src` and `dst` are always allowed), inclusive of both
+/// endpoints. `None` when unreachable.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_graph::{builders, traversal, NodeId};
+///
+/// let ring = builders::ring(6);
+/// let path = traversal::bfs_path_filtered(
+///     &ring,
+///     NodeId::new(0),
+///     NodeId::new(3),
+///     |_| true,
+/// ).unwrap();
+/// assert_eq!(path.len(), 4); // 3 hops either way around
+/// ```
+pub fn bfs_path_filtered<F>(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    allowed: F,
+) -> Option<Vec<NodeId>>
+where
+    F: Fn(NodeId) -> bool,
+{
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut pred: Vec<Option<NodeId>> = vec![None; topo.len()];
+    let mut seen = vec![false; topo.len()];
+    seen[src.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    'search: while let Some(u) = queue.pop_front() {
+        for &v in topo.neighbors(u) {
+            if !seen[v.index()] && (v == dst || allowed(v)) {
+                seen[v.index()] = true;
+                pred[v.index()] = Some(u);
+                if v == dst {
+                    break 'search;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    if !seen[dst.index()] {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = pred[cur.index()] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Eccentricity of `src`: the maximum hop distance to any reachable
+/// node. Returns 0 for an isolated node.
+pub fn eccentricity(topo: &Topology, src: NodeId) -> u32 {
+    bfs_distances(topo, src)
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Connected components; each component is a sorted list of nodes, and
+/// components are ordered by their smallest member.
+pub fn connected_components(topo: &Topology) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; topo.len()];
+    let mut components = Vec::new();
+    for start in topo.nodes() {
+        if seen[start.index()] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut queue = VecDeque::new();
+        seen[start.index()] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            component.push(u);
+            for &v in topo.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// `true` when the graph has at most one connected component.
+pub fn is_connected(topo: &Topology) -> bool {
+    connected_components(topo).len() <= 1
+}
+
+/// The diameter of the graph in hops: the largest finite pairwise
+/// distance. Returns `None` for an empty graph and ignores pairs in
+/// different components (i.e. the diameter of the largest eccentricity
+/// over each component).
+///
+/// Cost is `O(n · m)` — one BFS per node — which is fine at the paper's
+/// scales (≈1000 nodes).
+pub fn diameter(topo: &Topology) -> Option<u32> {
+    if topo.is_empty() {
+        return None;
+    }
+    Some(
+        topo.nodes()
+            .map(|p| eccentricity(topo, p))
+            .max()
+            .unwrap_or(0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn distances_on_a_line() {
+        let topo = builders::line(5);
+        let d = bfs_distances(&topo, NodeId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_distance() {
+        let topo = Topology::from_edges(3, &[(0, 1)]).unwrap();
+        let d = bfs_distances(&topo, NodeId::new(0));
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn filtered_bfs_respects_the_filter() {
+        // 0 - 1 - 2 and 0 - 3 - 2: blocking node 1 forces the long way.
+        let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (0, 3), (3, 2)]).unwrap();
+        let d = bfs_distances_filtered(&topo, NodeId::new(0), |v| v != NodeId::new(1));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[1], None);
+    }
+
+    #[test]
+    fn eccentricity_of_ring() {
+        let topo = builders::ring(6);
+        for p in topo.nodes() {
+            assert_eq!(eccentricity(&topo, p), 3);
+        }
+    }
+
+    #[test]
+    fn components_are_found() {
+        let topo = Topology::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let comps = connected_components(&topo);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(comps[1], vec![NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(comps[2], vec![NodeId::new(4)]);
+        assert!(!is_connected(&topo));
+        assert!(is_connected(&builders::line(4)));
+    }
+
+    #[test]
+    fn diameter_of_shapes() {
+        assert_eq!(diameter(&builders::line(5)), Some(4));
+        assert_eq!(diameter(&builders::ring(8)), Some(4));
+        assert_eq!(diameter(&builders::complete(5)), Some(1));
+        assert_eq!(diameter(&Topology::empty(0)), None);
+        assert_eq!(diameter(&Topology::empty(3)), Some(0));
+    }
+}

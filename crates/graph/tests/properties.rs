@@ -1,0 +1,155 @@
+//! Property-based tests of the topology substrate: the structural
+//! invariants of the paper's system model (Section 3) must hold for any
+//! generated topology.
+
+use mwn_graph::{builders, traversal, NodeId, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy producing a random unit-disk topology.
+fn unit_disk_strategy() -> impl Strategy<Value = Topology> {
+    (1usize..80, 2u64..u64::MAX, 2u32..15).prop_map(|(n, seed, r)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        builders::uniform(n, f64::from(r) / 100.0, &mut rng)
+    })
+}
+
+/// Strategy producing a random G(n,p) topology (non-geometric).
+fn gnp_strategy() -> impl Strategy<Value = Topology> {
+    (1usize..60, 2u64..u64::MAX, 0.0f64..1.0).prop_map(|(n, seed, p)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        builders::gnp(n, p, &mut rng)
+    })
+}
+
+proptest! {
+    /// Links are bidirectional: q ∈ N_p ⇔ p ∈ N_q.
+    #[test]
+    fn adjacency_is_symmetric(topo in unit_disk_strategy()) {
+        for p in topo.nodes() {
+            for &q in topo.neighbors(p) {
+                prop_assert!(topo.neighbors(q).contains(&p));
+            }
+        }
+    }
+
+    /// p ∉ N_p: the model forbids self-loops.
+    #[test]
+    fn no_self_loops(topo in gnp_strategy()) {
+        for p in topo.nodes() {
+            prop_assert!(!topo.neighbors(p).contains(&p));
+        }
+    }
+
+    /// Unit-disk edges exist exactly when distance ≤ R.
+    #[test]
+    fn unit_disk_edge_iff_in_range(topo in unit_disk_strategy()) {
+        let radius = topo.radius().unwrap();
+        let positions = topo.positions().unwrap();
+        for p in topo.nodes() {
+            for q in topo.nodes() {
+                if p == q { continue; }
+                let within = positions[p.index()].distance(positions[q.index()]) <= radius;
+                prop_assert_eq!(topo.has_edge(p, q), within);
+            }
+        }
+    }
+
+    /// N^i_p is monotone in i and N^1_p = N_p.
+    #[test]
+    fn k_neighborhood_monotone(topo in gnp_strategy()) {
+        for p in topo.nodes() {
+            let n1 = topo.k_neighborhood(p, 1);
+            prop_assert_eq!(n1.as_slice(), topo.neighbors(p));
+            let mut prev = n1;
+            for k in 2..5 {
+                let nk = topo.k_neighborhood(p, k);
+                for q in &prev {
+                    prop_assert!(nk.contains(q));
+                }
+                prev = nk;
+            }
+        }
+    }
+
+    /// The i-neighborhood definition agrees with BFS distances:
+    /// q ∈ N^i_p ⇔ 1 ≤ d(p, q) ≤ i.
+    #[test]
+    fn k_neighborhood_matches_bfs(topo in gnp_strategy(), k in 1usize..5) {
+        for p in topo.nodes() {
+            let nk = topo.k_neighborhood(p, k);
+            let dist = traversal::bfs_distances(&topo, p);
+            for q in topo.nodes() {
+                let expected = match dist[q.index()] {
+                    Some(d) => d >= 1 && d as usize <= k,
+                    None => false,
+                };
+                prop_assert_eq!(nk.contains(&q), expected);
+            }
+        }
+    }
+
+    /// Definition-1 link counts: deg(p) ≤ links(p) ≤ deg(p)·(deg(p)+1)/2.
+    #[test]
+    fn neighborhood_links_bounds(topo in unit_disk_strategy()) {
+        for p in topo.nodes() {
+            let deg = topo.degree(p);
+            let links = topo.neighborhood_links(p);
+            prop_assert!(links >= deg);
+            prop_assert!(links <= deg + deg * deg.saturating_sub(1) / 2);
+        }
+    }
+
+    /// Edges iterator agrees with edge_count and has_edge.
+    #[test]
+    fn edges_iterator_consistent(topo in gnp_strategy()) {
+        let edges: Vec<_> = topo.edges().collect();
+        prop_assert_eq!(edges.len(), topo.edge_count());
+        for (u, v) in edges {
+            prop_assert!(u < v);
+            prop_assert!(topo.has_edge(u, v));
+            prop_assert!(topo.has_edge(v, u));
+        }
+    }
+
+    /// Components partition the node set.
+    #[test]
+    fn components_partition_nodes(topo in gnp_strategy()) {
+        let comps = traversal::connected_components(&topo);
+        let mut seen = vec![false; topo.len()];
+        for comp in &comps {
+            for q in comp {
+                prop_assert!(!seen[q.index()], "node in two components");
+                seen[q.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Removing an edge then re-adding it restores the topology.
+    #[test]
+    fn edge_removal_roundtrip(topo in gnp_strategy()) {
+        let mut edited = topo.clone();
+        let edges: Vec<_> = topo.edges().collect();
+        if let Some(&(u, v)) = edges.first() {
+            edited.remove_edge(u, v);
+            prop_assert!(!edited.has_edge(u, v));
+            edited.add_edge(u, v).unwrap();
+            prop_assert_eq!(edited, topo);
+        }
+    }
+
+    /// BFS distances satisfy the triangle property along edges:
+    /// |d(s,u) - d(s,v)| ≤ 1 for every edge (u,v) in the same component.
+    #[test]
+    fn bfs_is_metric_along_edges(topo in unit_disk_strategy()) {
+        let src = NodeId::new(0);
+        let dist = traversal::bfs_distances(&topo, src);
+        for (u, v) in topo.edges() {
+            if let (Some(du), Some(dv)) = (dist[u.index()], dist[v.index()]) {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Statistics and experiment-harness utilities for the `selfstab-mwn`
+//! workspace.
+//!
+//! The paper's evaluation reports averages "over 1000 simulations"
+//! (Section 5). This crate provides the pieces that turn raw simulation
+//! outputs into the paper's tables: numerically stable running
+//! statistics ([`RunningStats`]), histograms ([`Histogram`]),
+//! paper-style ASCII tables ([`Table`]), serializable result records
+//! ([`Summary`]), and a deterministic multi-seed parallel runner
+//! ([`run_seeds`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use mwn_metrics::{run_seeds, RunningStats};
+//!
+//! // Average a (toy) per-seed measurement over many deterministic runs.
+//! let results = run_seeds(100, 42, |seed| (seed % 7) as f64);
+//! let stats: RunningStats = results.into_iter().collect();
+//! assert_eq!(stats.count(), 100);
+//! assert!(stats.mean() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod runner;
+mod running;
+mod table;
+
+pub use histogram::Histogram;
+pub use runner::run_seeds;
+pub use running::{RunningStats, Summary};
+pub use table::Table;

@@ -1,0 +1,187 @@
+use std::ops::RangeInclusive;
+
+use mwn_graph::Point2;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::MobilityModel;
+
+/// The random-direction model: each node walks in a uniformly random
+/// direction at a uniformly drawn speed for an exponential-ish leg
+/// duration, reflecting off the unit-square borders.
+///
+/// Compared to [`crate::RandomWaypoint`], this model does not
+/// concentrate nodes in the middle of the area, which keeps the
+/// spatial node intensity closer to the Poisson field the paper
+/// deploys.
+#[derive(Clone, Debug)]
+pub struct RandomDirection {
+    speed_range: RangeInclusive<f64>,
+    mean_leg: f64,
+    legs: Vec<Option<Leg>>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Leg {
+    vx: f64,
+    vy: f64,
+    time_left: f64,
+}
+
+impl RandomDirection {
+    /// Creates the model for `n` nodes; legs last on average
+    /// `mean_leg_seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed range is invalid or `mean_leg_seconds` is
+    /// not positive.
+    pub fn new(n: usize, speed_range: RangeInclusive<f64>, mean_leg_seconds: f64) -> Self {
+        let (lo, hi) = (*speed_range.start(), *speed_range.end());
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi,
+            "speed range must satisfy 0 ≤ min ≤ max"
+        );
+        assert!(mean_leg_seconds > 0.0, "mean leg duration must be positive");
+        RandomDirection {
+            speed_range,
+            mean_leg: mean_leg_seconds,
+            legs: vec![None; n],
+        }
+    }
+
+    fn draw_leg(&self, rng: &mut StdRng) -> Leg {
+        let (lo, hi) = (*self.speed_range.start(), *self.speed_range.end());
+        let speed = if hi > lo { rng.random_range(lo..=hi) } else { lo };
+        let angle = rng.random_range(0.0..std::f64::consts::TAU);
+        // Exponential leg duration via inverse CDF; clamped away from 0.
+        let u: f64 = rng.random_range(f64::EPSILON..1.0);
+        let time_left = -self.mean_leg * u.ln();
+        Leg {
+            vx: speed * angle.cos(),
+            vy: speed * angle.sin(),
+            time_left: time_left.max(1e-6),
+        }
+    }
+}
+
+impl MobilityModel for RandomDirection {
+    fn step(&mut self, positions: &mut [Point2], dt: f64, rng: &mut StdRng) {
+        assert_eq!(
+            positions.len(),
+            self.legs.len(),
+            "model sized for a different node count"
+        );
+        for (i, pos) in positions.iter_mut().enumerate() {
+            let mut remaining = dt;
+            while remaining > 0.0 {
+                let mut leg = match self.legs[i] {
+                    Some(leg) => leg,
+                    None => self.draw_leg(rng),
+                };
+                let advance = remaining.min(leg.time_left);
+                let mut x = pos.x + leg.vx * advance;
+                let mut y = pos.y + leg.vy * advance;
+                // Reflect off the borders (possibly multiple times for
+                // long steps).
+                loop {
+                    let mut bounced = false;
+                    if x < 0.0 {
+                        x = -x;
+                        leg.vx = -leg.vx;
+                        bounced = true;
+                    } else if x > 1.0 {
+                        x = 2.0 - x;
+                        leg.vx = -leg.vx;
+                        bounced = true;
+                    }
+                    if y < 0.0 {
+                        y = -y;
+                        leg.vy = -leg.vy;
+                        bounced = true;
+                    } else if y > 1.0 {
+                        y = 2.0 - y;
+                        leg.vy = -leg.vy;
+                        bounced = true;
+                    }
+                    if !bounced {
+                        break;
+                    }
+                }
+                *pos = Point2::new(x, y).clamp_unit_square();
+                leg.time_left -= advance;
+                remaining -= advance;
+                self.legs[i] = if leg.time_left > 0.0 { Some(leg) } else { None };
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-direction"
+    }
+
+    fn max_speed(&self) -> f64 {
+        *self.speed_range.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positions_stay_in_unit_square() {
+        let mut model = RandomDirection::new(20, 0.0..=0.05, 5.0);
+        let mut positions = vec![Point2::new(0.01, 0.99); 20];
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            model.step(&mut positions, 1.0, &mut rng);
+            assert!(positions.iter().all(|p| p.in_unit_square()));
+        }
+    }
+
+    #[test]
+    fn displacement_bounded_by_speed() {
+        let mut model = RandomDirection::new(10, 0.0..=0.003, 3.0);
+        let mut positions = vec![Point2::new(0.5, 0.5); 10];
+        let mut rng = StdRng::seed_from_u64(2);
+        let before = positions.clone();
+        model.step(&mut positions, 4.0, &mut rng);
+        for (a, b) in before.iter().zip(&positions) {
+            // Reflection can only shorten net displacement.
+            assert!(a.distance(*b) <= 0.003 * 4.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn reflection_keeps_moving_nodes_inside() {
+        // A node heading straight for a wall must bounce, not stick.
+        let mut model = RandomDirection::new(1, 0.1..=0.1, 1e9);
+        model.legs[0] = Some(Leg {
+            vx: -0.1,
+            vy: 0.0,
+            time_left: 1e9,
+        });
+        let mut positions = vec![Point2::new(0.05, 0.5)];
+        let mut rng = StdRng::seed_from_u64(3);
+        model.step(&mut positions, 2.0, &mut rng);
+        // Travelled 0.2 left from x=0.05: reflects at 0 → x = 0.15.
+        assert!((positions[0].x - 0.15).abs() < 1e-9);
+        assert!(model.legs[0].unwrap().vx > 0.0, "velocity flipped");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut model = RandomDirection::new(5, 0.0..=0.01, 4.0);
+            let mut positions = vec![Point2::new(0.5, 0.5); 5];
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                model.step(&mut positions, 1.0, &mut rng);
+            }
+            positions
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

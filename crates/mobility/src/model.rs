@@ -1,0 +1,54 @@
+use mwn_graph::Point2;
+use rand::rngs::StdRng;
+
+/// Side length of the simulation square in meters.
+///
+/// The paper deploys nodes "in a 1×1 square" with radio ranges of
+/// 0.05–0.1 units and then quotes mobility in meters per second. We
+/// read the square as 1 km × 1 km: radio ranges become 50–100 m
+/// (plausible 802.11-class radios) and 1.6 m/s is a brisk pedestrian.
+pub const UNIT_SQUARE_METERS: f64 = 1000.0;
+
+/// Converts a speed in meters per second into simulation units per
+/// second under the [`UNIT_SQUARE_METERS`] mapping.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_mobility::meters_per_second;
+///
+/// assert_eq!(meters_per_second(10.0), 0.01); // 10 m/s over a 1 km square
+/// ```
+pub fn meters_per_second(speed: f64) -> f64 {
+    speed / UNIT_SQUARE_METERS
+}
+
+/// A mobility model: advances node positions by a time step.
+///
+/// Models are deterministic given the RNG they are handed, keep every
+/// position inside the closed unit square, and must move each node at
+/// most `max_speed · dt` per call (no teleporting — the clustering
+/// protocol's stability under mobility is exactly what the paper
+/// measures, so displacement must be physically continuous).
+pub trait MobilityModel {
+    /// Moves every position forward by `dt` seconds.
+    fn step(&mut self, positions: &mut [Point2], dt: f64, rng: &mut StdRng);
+
+    /// Short name for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// The model's maximum speed in units per second (for tests and
+    /// displacement bounds).
+    fn max_speed(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_mapping() {
+        assert_eq!(meters_per_second(0.0), 0.0);
+        assert!((meters_per_second(1.6) - 0.0016).abs() < 1e-12);
+    }
+}

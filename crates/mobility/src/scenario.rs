@@ -1,0 +1,126 @@
+use mwn_graph::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::MobilityModel;
+
+/// A mobile network: a unit-disk topology whose nodes move under a
+/// [`MobilityModel`], with links rebuilt after every advance.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_graph::builders;
+/// use mwn_mobility::{MobileScenario, RandomDirection};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let topo = builders::uniform(50, 0.1, &mut rng);
+/// let model = RandomDirection::new(50, 0.0..=0.01, 10.0);
+/// let mut scenario = MobileScenario::new(topo, model, 2);
+/// let edges_before = scenario.topology().edge_count();
+/// for _ in 0..60 {
+///     scenario.advance(1.0);
+/// }
+/// // The topology is still a valid unit-disk graph of the same nodes.
+/// assert_eq!(scenario.topology().len(), 50);
+/// let _ = edges_before;
+/// ```
+#[derive(Debug)]
+pub struct MobileScenario<M> {
+    topo: Topology,
+    model: M,
+    rng: StdRng,
+    elapsed: f64,
+}
+
+impl<M: MobilityModel> MobileScenario<M> {
+    /// Wraps a unit-disk topology and a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` carries no positions or no radius (it must be
+    /// built by [`Topology::unit_disk`]).
+    pub fn new(topo: Topology, model: M, seed: u64) -> Self {
+        assert!(
+            topo.positions().is_some() && topo.radius().is_some(),
+            "mobility requires a unit-disk topology with positions"
+        );
+        MobileScenario {
+            topo,
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            elapsed: 0.0,
+        }
+    }
+
+    /// Moves all nodes forward `dt` seconds and rebuilds the links.
+    pub fn advance(&mut self, dt: f64) {
+        let positions = self
+            .topo
+            .positions_mut()
+            .expect("constructor checked positions");
+        self.model.step(positions, dt, &mut self.rng);
+        self.topo.rebuild_unit_disk_edges();
+        self.elapsed += dt;
+    }
+
+    /// The current topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Seconds simulated so far.
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// The mobility model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{meters_per_second, RandomWaypoint};
+    use mwn_graph::builders;
+
+    #[test]
+    fn advancing_changes_edges_eventually() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let topo = builders::uniform(80, 0.1, &mut rng);
+        let before = topo.clone();
+        let model = RandomWaypoint::new(80, 0.0..=meters_per_second(10.0), 0.0);
+        let mut scenario = MobileScenario::new(topo, model, 4);
+        for _ in 0..120 {
+            scenario.advance(2.0);
+        }
+        assert_ne!(
+            before.edges().collect::<Vec<_>>(),
+            scenario.topology().edges().collect::<Vec<_>>(),
+            "4 minutes at vehicular speed must change some links"
+        );
+        assert!((scenario.elapsed() - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_model_preserves_topology() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let topo = builders::uniform(40, 0.1, &mut rng);
+        let before = topo.clone();
+        let model = RandomWaypoint::new(40, 0.0..=0.0, 0.0);
+        let mut scenario = MobileScenario::new(topo, model, 5);
+        scenario.advance(100.0);
+        assert_eq!(before, *scenario.topology());
+    }
+
+    #[test]
+    #[should_panic(expected = "unit-disk topology")]
+    fn edge_list_topology_rejected() {
+        let topo = Topology::from_edges(3, &[(0, 1)]).unwrap();
+        let model = RandomWaypoint::new(3, 0.0..=0.0, 0.0);
+        let _ = MobileScenario::new(topo, model, 0);
+    }
+}

@@ -1,0 +1,211 @@
+use std::ops::RangeInclusive;
+
+use mwn_graph::Point2;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::MobilityModel;
+
+/// The random-waypoint model: each node repeatedly picks a uniform
+/// destination in the unit square and a uniform speed from the
+/// configured range, walks there in a straight line, optionally pauses,
+/// then picks again.
+///
+/// This is the standard literature reading of the paper's "nodes move
+/// randomly at a randomly chosen speed".
+///
+/// # Examples
+///
+/// ```
+/// use mwn_mobility::{MobilityModel, RandomWaypoint};
+/// use mwn_graph::Point2;
+/// use rand::SeedableRng;
+///
+/// let mut model = RandomWaypoint::new(2, 0.0..=0.01, 0.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut positions = vec![Point2::new(0.5, 0.5); 2];
+/// model.step(&mut positions, 1.0, &mut rng);
+/// assert!(positions.iter().all(|p| p.in_unit_square()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomWaypoint {
+    speed_range: RangeInclusive<f64>,
+    pause: f64,
+    legs: Vec<Option<Leg>>,
+    pausing: Vec<f64>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Leg {
+    target: Point2,
+    speed: f64,
+}
+
+impl RandomWaypoint {
+    /// Creates the model for `n` nodes with speeds drawn uniformly from
+    /// `speed_range` (units per second) and `pause` seconds of rest at
+    /// each waypoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is reversed, negative, or not finite, or if
+    /// `pause` is negative.
+    pub fn new(n: usize, speed_range: RangeInclusive<f64>, pause: f64) -> Self {
+        let (lo, hi) = (*speed_range.start(), *speed_range.end());
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi,
+            "speed range must satisfy 0 ≤ min ≤ max"
+        );
+        assert!(pause >= 0.0, "pause must be non-negative");
+        RandomWaypoint {
+            speed_range,
+            pause,
+            legs: vec![None; n],
+            pausing: vec![0.0; n],
+        }
+    }
+
+    fn draw_leg(&self, rng: &mut StdRng) -> Leg {
+        let (lo, hi) = (*self.speed_range.start(), *self.speed_range.end());
+        let speed = if hi > lo { rng.random_range(lo..=hi) } else { lo };
+        Leg {
+            target: Point2::new(rng.random_range(0.0..=1.0), rng.random_range(0.0..=1.0)),
+            speed,
+        }
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn step(&mut self, positions: &mut [Point2], dt: f64, rng: &mut StdRng) {
+        assert_eq!(
+            positions.len(),
+            self.legs.len(),
+            "model sized for a different node count"
+        );
+        for (i, pos) in positions.iter_mut().enumerate() {
+            let mut remaining = dt;
+            while remaining > 0.0 {
+                if self.pausing[i] > 0.0 {
+                    let rest = self.pausing[i].min(remaining);
+                    self.pausing[i] -= rest;
+                    remaining -= rest;
+                    continue;
+                }
+                let leg = match self.legs[i] {
+                    Some(leg) => leg,
+                    None => {
+                        let leg = self.draw_leg(rng);
+                        self.legs[i] = Some(leg);
+                        leg
+                    }
+                };
+                if leg.speed <= 0.0 {
+                    break; // a zero-speed leg parks the node forever
+                }
+                let dist_to_target = pos.distance(leg.target);
+                let reachable = leg.speed * remaining;
+                if reachable >= dist_to_target {
+                    *pos = leg.target;
+                    remaining -= if leg.speed > 0.0 {
+                        dist_to_target / leg.speed
+                    } else {
+                        remaining
+                    };
+                    self.legs[i] = None;
+                    self.pausing[i] = self.pause;
+                } else {
+                    let t = reachable / dist_to_target;
+                    *pos = pos.lerp(leg.target, t).clamp_unit_square();
+                    remaining = 0.0;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-waypoint"
+    }
+
+    fn max_speed(&self) -> f64 {
+        *self.speed_range.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn run(model: &mut RandomWaypoint, positions: &mut [Point2], steps: usize, dt: f64) {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..steps {
+            model.step(positions, dt, &mut rng);
+        }
+    }
+
+    #[test]
+    fn positions_stay_in_unit_square() {
+        let mut model = RandomWaypoint::new(20, 0.0..=0.05, 0.5);
+        let mut positions = vec![Point2::new(0.9, 0.1); 20];
+        run(&mut model, &mut positions, 200, 1.0);
+        assert!(positions.iter().all(|p| p.in_unit_square()));
+    }
+
+    #[test]
+    fn displacement_bounded_by_speed() {
+        let mut model = RandomWaypoint::new(10, 0.0..=0.002, 0.0);
+        let mut positions = vec![Point2::new(0.5, 0.5); 10];
+        let before = positions.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        model.step(&mut positions, 2.0, &mut rng);
+        for (a, b) in before.iter().zip(&positions) {
+            assert!(a.distance(*b) <= 0.002 * 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_speed_is_static() {
+        let mut model = RandomWaypoint::new(5, 0.0..=0.0, 0.0);
+        let mut positions = vec![Point2::new(0.3, 0.7); 5];
+        let before = positions.clone();
+        run(&mut model, &mut positions, 50, 1.0);
+        assert_eq!(positions, before);
+    }
+
+    #[test]
+    fn nodes_actually_move() {
+        let mut model = RandomWaypoint::new(5, 0.01..=0.01, 0.0);
+        let mut positions = vec![Point2::new(0.5, 0.5); 5];
+        let before = positions.clone();
+        run(&mut model, &mut positions, 10, 1.0);
+        assert!(positions.iter().zip(&before).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn pause_delays_movement() {
+        let mut fast = RandomWaypoint::new(1, 0.01..=0.01, 0.0);
+        let mut slow = RandomWaypoint::new(1, 0.01..=0.01, 10.0);
+        let mut pf = vec![Point2::new(0.5, 0.5)];
+        let mut ps = vec![Point2::new(0.5, 0.5)];
+        // Same RNG seed → same waypoint draws; the paused walker rests
+        // at each waypoint and covers less ground over a long horizon.
+        let mut rng_f = StdRng::seed_from_u64(3);
+        let mut rng_s = StdRng::seed_from_u64(3);
+        let mut travelled_f = 0.0;
+        let mut travelled_s = 0.0;
+        for _ in 0..400 {
+            let (bf, bs) = (pf[0], ps[0]);
+            fast.step(&mut pf, 1.0, &mut rng_f);
+            slow.step(&mut ps, 1.0, &mut rng_s);
+            travelled_f += bf.distance(pf[0]);
+            travelled_s += bs.distance(ps[0]);
+        }
+        assert!(travelled_f > travelled_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 ≤ min ≤ max")]
+    fn reversed_range_rejected() {
+        let _ = RandomWaypoint::new(1, 0.5..=0.1, 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the mobility substrate: physical continuity
+//! (no teleporting), containment, and reproducibility — for both
+//! models under arbitrary parameters.
+
+use mwn_graph::Point2;
+use mwn_mobility::{MobileScenario, MobilityModel, RandomDirection, RandomWaypoint};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn positions_strategy() -> impl Strategy<Value = Vec<Point2>> {
+    proptest::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..40)
+        .prop_map(|pts| pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Positions never leave the unit square.
+    #[test]
+    fn waypoint_stays_in_bounds(
+        mut positions in positions_strategy(),
+        vmax in 0.0f64..0.2,
+        pause in 0.0f64..3.0,
+        seed in 0u64..u64::MAX,
+        steps in 1usize..60,
+    ) {
+        let mut model = RandomWaypoint::new(positions.len(), 0.0..=vmax, pause);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            model.step(&mut positions, 1.0, &mut rng);
+            prop_assert!(positions.iter().all(|p| p.in_unit_square()));
+        }
+    }
+
+    /// Per-step displacement is bounded by vmax · dt for both models.
+    #[test]
+    fn displacement_is_physically_continuous(
+        mut positions in positions_strategy(),
+        vmax in 0.0f64..0.1,
+        dt in 0.1f64..5.0,
+        seed in 0u64..u64::MAX,
+        direction_model in any::<bool>(),
+    ) {
+        let n = positions.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let before = positions.clone();
+        if direction_model {
+            let mut model = RandomDirection::new(n, 0.0..=vmax, 2.0);
+            model.step(&mut positions, dt, &mut rng);
+        } else {
+            let mut model = RandomWaypoint::new(n, 0.0..=vmax, 0.0);
+            model.step(&mut positions, dt, &mut rng);
+        }
+        for (a, b) in before.iter().zip(&positions) {
+            prop_assert!(
+                a.distance(*b) <= vmax * dt + 1e-9,
+                "moved {} > {}", a.distance(*b), vmax * dt
+            );
+        }
+    }
+
+    /// Identical seeds replay identical trajectories.
+    #[test]
+    fn trajectories_are_reproducible(
+        positions in positions_strategy(),
+        vmax in 0.0f64..0.1,
+        seed in 0u64..u64::MAX,
+    ) {
+        let run = |mut pts: Vec<Point2>| {
+            let mut model = RandomDirection::new(pts.len(), 0.0..=vmax, 3.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..20 {
+                model.step(&mut pts, 0.7, &mut rng);
+            }
+            pts
+        };
+        prop_assert_eq!(run(positions.clone()), run(positions));
+    }
+
+    /// A mobile scenario always maintains a consistent unit-disk graph.
+    #[test]
+    fn scenario_edges_match_positions(
+        seed in 0u64..u64::MAX,
+        vmax in 0.0f64..0.05,
+        n in 2usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = mwn_graph::builders::uniform(n, 0.15, &mut rng);
+        let model = RandomWaypoint::new(n, 0.0..=vmax, 0.0);
+        let mut scenario = MobileScenario::new(topo, model, seed);
+        for _ in 0..5 {
+            scenario.advance(2.0);
+        }
+        let topo = scenario.topology();
+        let positions = topo.positions().unwrap();
+        let radius = topo.radius().unwrap();
+        for p in topo.nodes() {
+            for q in topo.nodes() {
+                if p == q { continue; }
+                let in_range =
+                    positions[p.index()].distance(positions[q.index()]) <= radius;
+                prop_assert_eq!(topo.has_edge(p, q), in_range);
+            }
+        }
+    }
+}

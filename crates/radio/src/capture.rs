@@ -1,0 +1,193 @@
+use mwn_graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{Delivery, Medium};
+
+/// Slotted medium with the **capture effect**: when two frames collide
+/// at a receiver, the much-closer (much-stronger) transmitter can still
+/// be decoded.
+///
+/// Senders pick a uniform slot, as in [`crate::SlottedCsma`] without
+/// carrier sensing. At receiver `r` in slot `t` with transmitting
+/// neighbors `T`:
+///
+/// * `|T| = 1` → the frame is received (unless `r` itself transmitted
+///   in `t`, half-duplex);
+/// * `|T| ≥ 2` → the nearest transmitter `s*` is *captured* iff
+///   `d(s*, r) · capture_ratio ≤ d(s₂, r)` where `s₂` is the
+///   second-nearest; everything else is lost.
+///
+/// `capture_ratio ≥ 1` maps to the usual SINR threshold under a
+/// power-law path loss: ratio `c` ≈ threshold^(1/α).
+///
+/// # Examples
+///
+/// ```
+/// use mwn_radio::CaptureCsma;
+///
+/// let m = CaptureCsma::new(8, 2.0);
+/// assert_eq!(m.slots(), 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CaptureCsma {
+    slots: usize,
+    capture_ratio: f64,
+}
+
+impl CaptureCsma {
+    /// Creates the medium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0` or `capture_ratio < 1`.
+    pub fn new(slots: usize, capture_ratio: f64) -> Self {
+        assert!(slots > 0, "need at least one slot per step");
+        assert!(
+            capture_ratio >= 1.0,
+            "a capture ratio below 1 would capture the weaker frame"
+        );
+        CaptureCsma {
+            slots,
+            capture_ratio,
+        }
+    }
+
+    /// Number of mini-slots per step.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The distance-advantage ratio required for capture.
+    pub fn capture_ratio(&self) -> f64 {
+        self.capture_ratio
+    }
+}
+
+impl Medium for CaptureCsma {
+    /// # Panics
+    ///
+    /// Panics if the topology carries no positions (capture needs
+    /// distances; build it with [`Topology::unit_disk`]).
+    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], rng: &mut StdRng) -> Delivery {
+        let positions = topo
+            .positions()
+            .expect("the capture effect requires node positions");
+        let mut delivery = Delivery::empty(topo.len());
+        let mut slot_of = vec![usize::MAX; topo.len()];
+        for &s in senders {
+            slot_of[s.index()] = rng.random_range(0..self.slots);
+            delivery.attempted += topo.degree(s);
+        }
+        for r in topo.nodes() {
+            // Group transmitting neighbors of r by slot.
+            let mut by_slot: std::collections::BTreeMap<usize, Vec<NodeId>> =
+                std::collections::BTreeMap::new();
+            for &q in topo.neighbors(r) {
+                let slot = slot_of[q.index()];
+                if slot != usize::MAX {
+                    by_slot.entry(slot).or_default().push(q);
+                }
+            }
+            for (slot, txs) in by_slot {
+                if slot_of[r.index()] == slot {
+                    continue; // half-duplex
+                }
+                let winner = match txs.as_slice() {
+                    [] => continue,
+                    [only] => Some(*only),
+                    _ => {
+                        let mut ranked: Vec<(f64, NodeId)> = txs
+                            .iter()
+                            .map(|&q| {
+                                (positions[q.index()].distance(positions[r.index()]), q)
+                            })
+                            .collect();
+                        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+                        let (d1, nearest) = ranked[0];
+                        let (d2, _) = ranked[1];
+                        (d1 * self.capture_ratio <= d2).then_some(nearest)
+                    }
+                };
+                if let Some(s) = winner {
+                    delivery.heard[r.index()].push(s);
+                    delivery.delivered += 1;
+                }
+            }
+        }
+        delivery
+    }
+
+    fn name(&self) -> &'static str {
+        "capture-csma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{measure_tau, SlottedCsma};
+    use mwn_graph::{builders, Point2, Topology};
+    use rand::SeedableRng;
+
+    #[test]
+    fn capture_saves_the_near_frame() {
+        // Receiver 0 with a very close sender 1 and a far sender 2,
+        // one slot (guaranteed collision): 1 must be captured.
+        let positions = vec![
+            Point2::new(0.5, 0.5),
+            Point2::new(0.505, 0.5),
+            Point2::new(0.59, 0.5),
+        ];
+        let topo = Topology::unit_disk(positions, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut medium = CaptureCsma::new(1, 3.0);
+        let d = medium.deliver(&topo, &[NodeId::new(1), NodeId::new(2)], &mut rng);
+        assert_eq!(d.heard[0], vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn equal_distances_are_never_captured() {
+        let positions = vec![
+            Point2::new(0.5, 0.5),
+            Point2::new(0.55, 0.5),
+            Point2::new(0.45, 0.5),
+        ];
+        let topo = Topology::unit_disk(positions, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut medium = CaptureCsma::new(1, 1.5);
+        let d = medium.deliver(&topo, &[NodeId::new(1), NodeId::new(2)], &mut rng);
+        assert!(d.heard[0].is_empty(), "symmetric collision destroys both");
+    }
+
+    #[test]
+    fn capture_improves_on_plain_slotted_aloha() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo = builders::uniform(80, 0.15, &mut rng);
+        let plain = measure_tau(
+            &mut SlottedCsma::new(8).without_carrier_sense(),
+            &topo,
+            60,
+            &mut rng,
+        );
+        let capture = measure_tau(&mut CaptureCsma::new(8, 1.5), &topo, 60, &mut rng);
+        assert!(
+            capture > plain,
+            "capture τ = {capture} should beat plain τ = {plain}"
+        );
+    }
+
+    #[test]
+    fn lone_sender_always_heard() {
+        let topo = builders::star(6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = CaptureCsma::new(4, 2.0).deliver(&topo, &[NodeId::new(0)], &mut rng);
+        assert_eq!(d.delivered, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capture ratio below 1")]
+    fn sub_one_ratio_rejected() {
+        let _ = CaptureCsma::new(4, 0.5);
+    }
+}

@@ -1,0 +1,246 @@
+use mwn_graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{Delivery, Medium};
+
+/// A slotted CSMA/CA-like medium with hidden terminals and half-duplex
+/// radios: τ is *emergent* rather than assumed.
+///
+/// Each step is divided into `slots` mini-slots. Every sender picks a
+/// slot uniformly at random (its randomized backoff). With
+/// `carrier_sense` enabled (the CA part), a sender defers — loses its
+/// whole step, as a real backoff-overrun would — when a 1-hop neighbor
+/// already claimed the same slot; deferral is decided in random order,
+/// mimicking who wins the channel race. A receiver `r` hears the frame
+/// of sender `s` iff:
+///
+/// * `s` transmitted in some slot `t`,
+/// * no *other* neighbor of `r` transmitted in slot `t` (collision —
+///   this includes hidden terminals that `s` could not sense), and
+/// * `r` itself did not transmit in slot `t` (half-duplex).
+///
+/// The paper's hypothesis — a memoryless per-frame success probability
+/// ≥ τ > 0 — holds mechanically: with `k` slots and maximum degree δ,
+/// a frame copy survives with probability at least
+/// `((k-1)/k)^(δ+1) > 0`, independent across steps.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_graph::builders;
+/// use mwn_radio::{measure_tau, SlottedCsma};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let topo = builders::uniform(50, 0.15, &mut rng);
+/// let coarse = measure_tau(&mut SlottedCsma::new(4), &topo, 40, &mut rng);
+/// let fine = measure_tau(&mut SlottedCsma::new(64), &topo, 40, &mut rng);
+/// assert!(fine > coarse, "more slots, fewer collisions");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlottedCsma {
+    slots: usize,
+    carrier_sense: bool,
+}
+
+impl SlottedCsma {
+    /// Creates the medium with `slots` mini-slots per step and carrier
+    /// sensing enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "need at least one slot per step");
+        SlottedCsma {
+            slots,
+            carrier_sense: true,
+        }
+    }
+
+    /// Disables carrier sensing (pure slotted-ALOHA behaviour); exposes
+    /// the contribution of the CA part in ablation benches.
+    pub fn without_carrier_sense(mut self) -> Self {
+        self.carrier_sense = false;
+        self
+    }
+
+    /// Number of mini-slots per step.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Whether carrier sensing is enabled.
+    pub fn carrier_sense(&self) -> bool {
+        self.carrier_sense
+    }
+
+    /// Lower bound on the per-frame success probability for a topology
+    /// of maximum degree `delta`: every one of the ≤ δ+1 relevant other
+    /// radios must have picked a different slot.
+    pub fn tau_lower_bound(&self, delta: usize) -> f64 {
+        ((self.slots - 1) as f64 / self.slots as f64).powi(delta as i32 + 1)
+    }
+}
+
+impl Medium for SlottedCsma {
+    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], rng: &mut StdRng) -> Delivery {
+        let mut delivery = Delivery::empty(topo.len());
+        let n = topo.len();
+        // Slot choice per sender (usize::MAX = not transmitting).
+        let mut slot_of = vec![usize::MAX; n];
+        // Random contention order for the carrier-sense race.
+        let mut order: Vec<usize> = (0..senders.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        for &idx in &order {
+            let s = senders[idx];
+            let slot = rng.random_range(0..self.slots);
+            if self.carrier_sense {
+                let busy = topo
+                    .neighbors(s)
+                    .iter()
+                    .any(|&q| slot_of[q.index()] == slot);
+                if busy {
+                    // Channel sensed busy for the chosen backoff: the
+                    // frame is deferred past the step boundary (lost
+                    // for this step).
+                    continue;
+                }
+            }
+            slot_of[s.index()] = slot;
+        }
+        // Attempted = every in-range copy from every sender, including
+        // those whose frame was deferred by carrier sense.
+        for &s in senders {
+            delivery.attempted += topo.degree(s);
+        }
+        // Reception: per receiver and slot, exactly one transmitting
+        // neighbor and the receiver itself silent in that slot.
+        for &s in senders {
+            let slot = slot_of[s.index()];
+            if slot == usize::MAX {
+                continue;
+            }
+            for &r in topo.neighbors(s) {
+                if slot_of[r.index()] == slot {
+                    continue; // half-duplex: r was talking over s
+                }
+                let collided = topo
+                    .neighbors(r)
+                    .iter()
+                    .any(|&q| q != s && slot_of[q.index()] == slot);
+                if !collided {
+                    delivery.heard[r.index()].push(s);
+                    delivery.delivered += 1;
+                }
+            }
+        }
+        delivery
+    }
+
+    fn name(&self) -> &'static str {
+        "slotted-csma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure_tau;
+    use mwn_graph::{builders, Topology};
+    use rand::SeedableRng;
+
+    #[test]
+    fn lone_sender_is_always_heard() {
+        let topo = builders::star(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut medium = SlottedCsma::new(8);
+        for _ in 0..20 {
+            let d = medium.deliver(&topo, &[NodeId::new(0)], &mut rng);
+            assert_eq!(d.delivered, 9, "no contention, no loss");
+        }
+    }
+
+    #[test]
+    fn hidden_terminals_collide_at_common_receiver() {
+        // 0 - 1 - 2: 0 and 2 cannot hear each other (hidden terminals),
+        // so with a single slot their frames always collide at 1.
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut medium = SlottedCsma::new(1);
+        let d = medium.deliver(&topo, &[NodeId::new(0), NodeId::new(2)], &mut rng);
+        assert!(d.heard[1].is_empty(), "both frames must collide at node 1");
+    }
+
+    #[test]
+    fn half_duplex_blocks_reception_in_same_slot() {
+        // Two linked nodes, one slot: both transmit in that slot, so
+        // neither can hear the other.
+        let topo = Topology::from_edges(2, &[(0, 1)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut medium = SlottedCsma::new(1).without_carrier_sense();
+        let d = medium.deliver(&topo, &[NodeId::new(0), NodeId::new(1)], &mut rng);
+        assert_eq!(d.delivered, 0);
+    }
+
+    #[test]
+    fn carrier_sense_defers_audible_conflicts() {
+        // With carrier sense and one slot, two linked senders cannot
+        // both transmit: one defers, the other is received... but the
+        // receiver is the deferring node itself, which stays silent and
+        // therefore hears the winner.
+        let topo = Topology::from_edges(2, &[(0, 1)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut medium = SlottedCsma::new(1);
+        let d = medium.deliver(&topo, &[NodeId::new(0), NodeId::new(1)], &mut rng);
+        assert_eq!(d.delivered, 1, "exactly the channel-race winner is heard");
+    }
+
+    #[test]
+    fn more_slots_improve_tau() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let topo = builders::uniform(80, 0.15, &mut rng);
+        let t4 = measure_tau(&mut SlottedCsma::new(4), &topo, 30, &mut rng);
+        let t64 = measure_tau(&mut SlottedCsma::new(64), &topo, 30, &mut rng);
+        assert!(t64 > t4, "τ(64 slots)={t64} vs τ(4 slots)={t4}");
+    }
+
+    #[test]
+    fn tau_exceeds_analytic_lower_bound() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let topo = builders::uniform(60, 0.12, &mut rng);
+        let medium = SlottedCsma::new(32);
+        let bound = medium.tau_lower_bound(topo.max_degree());
+        let mut m = medium;
+        let tau = measure_tau(&mut m, &topo, 50, &mut rng);
+        assert!(tau >= bound, "measured {tau} < bound {bound}");
+        assert!(bound > 0.0);
+    }
+
+    #[test]
+    fn carrier_sense_beats_aloha_on_dense_graphs() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let topo = builders::complete(20);
+        let with = measure_tau(&mut SlottedCsma::new(16), &topo, 60, &mut rng);
+        let without = measure_tau(
+            &mut SlottedCsma::new(16).without_carrier_sense(),
+            &topo,
+            60,
+            &mut rng,
+        );
+        assert!(
+            with > without,
+            "carrier sense should help: with={with} without={without}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_is_rejected() {
+        let _ = SlottedCsma::new(0);
+    }
+}

@@ -1,0 +1,118 @@
+use mwn_graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+
+/// The outcome of one broadcast round over a medium.
+///
+/// `heard[r]` lists the senders whose frame node `r` received this
+/// round, in delivery order. `attempted` counts every (sender,
+/// 1-neighbor) frame copy that could have been received; `delivered`
+/// counts those that were. Their ratio is the empirical τ of the round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Delivery {
+    /// Per-receiver list of heard senders.
+    pub heard: Vec<Vec<NodeId>>,
+    /// Number of (sender, neighbor) frame copies that were in range.
+    pub attempted: usize,
+    /// Number of frame copies actually received.
+    pub delivered: usize,
+}
+
+impl Delivery {
+    /// Creates an empty delivery for `n` receivers.
+    pub fn empty(n: usize) -> Self {
+        Delivery {
+            heard: vec![Vec::new(); n],
+            attempted: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Fraction of in-range frame copies that were delivered
+    /// (1.0 when nothing was attempted).
+    pub fn success_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// A broadcast wireless medium.
+///
+/// Given the topology and the set of nodes that broadcast during one
+/// step, a medium decides which neighbor actually receives which frame.
+/// Implementations must only ever deliver frames between 1-neighbors
+/// (radio range is a hard constraint in the unit-disk model).
+///
+/// The RNG is the concrete [`StdRng`] used across the workspace so that
+/// media can be used as trait objects and every run stays reproducible
+/// from a seed.
+pub trait Medium {
+    /// Delivers one round of broadcasts from `senders`.
+    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], rng: &mut StdRng) -> Delivery;
+
+    /// A short human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Empirically measures the per-frame success probability τ of a
+/// medium over `steps` rounds in which *every* node broadcasts — the
+/// worst-case contention the paper's Δ(τ) step must absorb.
+///
+/// Returns 1.0 if the topology has no edges (no frame can fail).
+///
+/// # Examples
+///
+/// ```
+/// use mwn_graph::builders;
+/// use mwn_radio::{measure_tau, BernoulliLoss};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let topo = builders::complete(10);
+/// let tau = measure_tau(&mut BernoulliLoss::new(0.7), &topo, 200, &mut rng);
+/// assert!((tau - 0.7).abs() < 0.05);
+/// ```
+pub fn measure_tau<M: Medium + ?Sized>(
+    medium: &mut M,
+    topo: &Topology,
+    steps: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let senders: Vec<NodeId> = topo.nodes().collect();
+    let mut attempted = 0usize;
+    let mut delivered = 0usize;
+    for _ in 0..steps {
+        let d = medium.deliver(topo, &senders, rng);
+        attempted += d.attempted;
+        delivered += d.delivered;
+    }
+    if attempted == 0 {
+        1.0
+    } else {
+        delivered as f64 / attempted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_delivery_success_rate_is_one() {
+        let d = Delivery::empty(3);
+        assert_eq!(d.success_rate(), 1.0);
+        assert_eq!(d.heard.len(), 3);
+    }
+
+    #[test]
+    fn success_rate_is_ratio() {
+        let d = Delivery {
+            heard: vec![],
+            attempted: 4,
+            delivered: 3,
+        };
+        assert_eq!(d.success_rate(), 0.75);
+    }
+}

@@ -1,0 +1,131 @@
+use mwn_graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{Delivery, Medium};
+
+/// Composes an inner medium with independent per-copy Bernoulli
+/// thinning: a frame must survive the inner medium (e.g. CSMA
+/// collisions) *and* an extra coin flip (e.g. ambient interference).
+///
+/// If the inner medium guarantees per-frame success ≥ τ₁ and the
+/// thinning keeps copies with probability τ₂, the composition
+/// guarantees ≥ τ₁·τ₂ > 0 — still within the paper's hypothesis.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_radio::{SlottedCsma, Thinned};
+///
+/// let medium = Thinned::new(SlottedCsma::new(16), 0.9);
+/// assert_eq!(medium.survival(), 0.9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Thinned<M> {
+    inner: M,
+    survival: f64,
+}
+
+impl<M: Medium> Thinned<M> {
+    /// Wraps `inner`, keeping each delivered copy with probability
+    /// `survival`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < survival <= 1`.
+    pub fn new(inner: M, survival: f64) -> Self {
+        assert!(
+            survival > 0.0 && survival <= 1.0,
+            "survival must be in (0, 1]"
+        );
+        Thinned { inner, survival }
+    }
+
+    /// The thinning survival probability.
+    pub fn survival(&self) -> f64 {
+        self.survival
+    }
+
+    /// The wrapped medium.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Unwraps the inner medium.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: Medium> Medium for Thinned<M> {
+    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], rng: &mut StdRng) -> Delivery {
+        let mut delivery = self.inner.deliver(topo, senders, rng);
+        let mut kept = 0usize;
+        for heard in &mut delivery.heard {
+            heard.retain(|_| rng.random_bool(self.survival));
+            kept += heard.len();
+        }
+        delivery.delivered = kept;
+        delivery
+    }
+
+    fn name(&self) -> &'static str {
+        "thinned"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{measure_tau, PerfectMedium, SlottedCsma};
+    use mwn_graph::builders;
+    use rand::SeedableRng;
+
+    #[test]
+    fn thinning_perfect_medium_yields_the_survival_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let topo = builders::complete(10);
+        let tau = measure_tau(&mut Thinned::new(PerfectMedium, 0.6), &topo, 200, &mut rng);
+        assert!((tau - 0.6).abs() < 0.03, "measured {tau}");
+    }
+
+    #[test]
+    fn composition_multiplies_losses() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let topo = builders::uniform(60, 0.15, &mut rng);
+        let inner_tau = measure_tau(&mut SlottedCsma::new(8), &topo, 60, &mut rng);
+        let composed_tau = measure_tau(
+            &mut Thinned::new(SlottedCsma::new(8), 0.7),
+            &topo,
+            60,
+            &mut rng,
+        );
+        let expected = inner_tau * 0.7;
+        assert!(
+            (composed_tau - expected).abs() < 0.08,
+            "composed {composed_tau} vs expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn survival_one_is_transparent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo = builders::star(12);
+        let senders: Vec<NodeId> = topo.nodes().collect();
+        let d = Thinned::new(PerfectMedium, 1.0).deliver(&topo, &senders, &mut rng);
+        assert_eq!(d.attempted, d.delivered);
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let t = Thinned::new(PerfectMedium, 0.5);
+        assert_eq!(*t.inner(), PerfectMedium);
+        assert_eq!(t.into_inner(), PerfectMedium);
+    }
+
+    #[test]
+    #[should_panic(expected = "survival must be in (0, 1]")]
+    fn zero_survival_rejected() {
+        let _ = Thinned::new(PerfectMedium, 0.0);
+    }
+}

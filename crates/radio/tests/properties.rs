@@ -1,0 +1,128 @@
+//! Property-based tests of the medium laws every implementation must
+//! satisfy — the radio-range constraint, count consistency, and the
+//! paper's τ > 0 hypothesis.
+
+use mwn_graph::{builders, NodeId, Topology};
+use mwn_radio::{
+    measure_tau, BernoulliLoss, CaptureCsma, Delivery, DistanceFading, Medium, PerfectMedium,
+    SlottedCsma, Thinned,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    (2usize..60, 5u32..30, 0u64..u64::MAX).prop_map(|(n, r, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        builders::uniform(n, f64::from(r) / 100.0, &mut rng)
+    })
+}
+
+fn media() -> Vec<Box<dyn Medium>> {
+    vec![
+        Box::new(PerfectMedium),
+        Box::new(BernoulliLoss::new(0.5)),
+        Box::new(SlottedCsma::new(8)),
+        Box::new(SlottedCsma::new(4).without_carrier_sense()),
+        Box::new(DistanceFading::new(2.0, 0.2)),
+        Box::new(CaptureCsma::new(8, 1.5)),
+        Box::new(Thinned::new(SlottedCsma::new(8), 0.8)),
+    ]
+}
+
+/// Checks the universal delivery laws for one round.
+fn check_laws(topo: &Topology, senders: &[NodeId], delivery: &Delivery) -> Result<(), String> {
+    if delivery.heard.len() != topo.len() {
+        return Err("heard vector has wrong length".into());
+    }
+    let mut delivered = 0usize;
+    for r in topo.nodes() {
+        for &s in &delivery.heard[r.index()] {
+            if !topo.has_edge(s, r) {
+                return Err(format!("{r} heard non-neighbor {s}"));
+            }
+            if !senders.contains(&s) {
+                return Err(format!("{r} heard silent node {s}"));
+            }
+            if s == r {
+                return Err(format!("{r} heard itself"));
+            }
+            delivered += 1;
+        }
+    }
+    if delivered != delivery.delivered {
+        return Err("delivered count mismatch".into());
+    }
+    let attempted: usize = senders.iter().map(|&s| topo.degree(s)).sum();
+    if delivery.attempted != attempted {
+        return Err(format!(
+            "attempted {} but in-range copies are {attempted}",
+            delivery.attempted
+        ));
+    }
+    if delivery.delivered > delivery.attempted {
+        return Err("delivered more than attempted".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every medium delivers only in-range copies of real frames, with
+    /// consistent bookkeeping, for arbitrary sender subsets.
+    #[test]
+    fn all_media_satisfy_delivery_laws(
+        topo in topo_strategy(),
+        seed in 0u64..u64::MAX,
+        sender_mask in 0u64..u64::MAX,
+    ) {
+        let senders: Vec<NodeId> = topo
+            .nodes()
+            .filter(|p| (sender_mask >> (p.index() % 64)) & 1 == 1)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for mut medium in media() {
+            let delivery = medium.deliver(&topo, &senders, &mut rng);
+            if let Err(msg) = check_laws(&topo, &senders, &delivery) {
+                prop_assert!(false, "{}: {msg}", medium.name());
+            }
+        }
+    }
+
+    /// The perfect medium delivers every in-range copy.
+    #[test]
+    fn perfect_medium_is_lossless(topo in topo_strategy(), seed in 0u64..u64::MAX) {
+        let senders: Vec<NodeId> = topo.nodes().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let delivery = PerfectMedium.deliver(&topo, &senders, &mut rng);
+        prop_assert_eq!(delivery.attempted, delivery.delivered);
+    }
+
+    /// Every medium keeps τ strictly positive under full contention —
+    /// the paper's hypothesis.
+    #[test]
+    fn tau_is_strictly_positive(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = builders::uniform(40, 0.2, &mut rng);
+        prop_assume!(topo.edge_count() > 0);
+        for mut medium in media() {
+            let tau = measure_tau(medium.as_mut(), &topo, 30, &mut rng);
+            prop_assert!(tau > 0.0, "{}: τ = 0", medium.name());
+            prop_assert!(tau <= 1.0, "{}: τ > 1", medium.name());
+        }
+    }
+
+    /// Deliveries are deterministic given the RNG state.
+    #[test]
+    fn delivery_is_reproducible(topo in topo_strategy(), seed in 0u64..u64::MAX) {
+        let senders: Vec<NodeId> = topo.nodes().collect();
+        for mut medium in media() {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let da = medium.deliver(&topo, &senders, &mut a);
+            let db = medium.deliver(&topo, &senders, &mut b);
+            prop_assert_eq!(&da, &db, "{} not reproducible", medium.name());
+        }
+    }
+}

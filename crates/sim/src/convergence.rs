@@ -1,0 +1,107 @@
+/// Detects when a projected system configuration has been stable for a
+/// required number of consecutive observations.
+///
+/// Feed it one projection of the global state per step; it reports when
+/// the projection has not changed for `quiet` observations in a row and
+/// remembers the step of the last change — the measured stabilization
+/// time.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_sim::StabilityTracker;
+///
+/// let mut t = StabilityTracker::new(2);
+/// assert!(!t.observe(0, vec![1, 1]));
+/// assert!(!t.observe(1, vec![1, 2])); // changed
+/// assert!(!t.observe(2, vec![1, 2])); // stable ×1
+/// assert!(t.observe(3, vec![1, 2]));  // stable ×2 → done
+/// assert_eq!(t.last_change(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StabilityTracker<K> {
+    quiet: u64,
+    last: Option<Vec<K>>,
+    last_change: u64,
+    stable_for: u64,
+}
+
+impl<K: PartialEq> StabilityTracker<K> {
+    /// Creates a tracker requiring `quiet` consecutive unchanged
+    /// observations (at least 1).
+    pub fn new(quiet: u64) -> Self {
+        StabilityTracker {
+            quiet: quiet.max(1),
+            last: None,
+            last_change: 0,
+            stable_for: 0,
+        }
+    }
+
+    /// Records the projection at `now`; returns `true` once the
+    /// projection has been unchanged for the required streak.
+    pub fn observe(&mut self, now: u64, projection: Vec<K>) -> bool {
+        match &self.last {
+            Some(prev) if *prev == projection => {
+                self.stable_for += 1;
+            }
+            Some(_) => {
+                self.stable_for = 0;
+                self.last_change = now;
+                self.last = Some(projection);
+            }
+            None => {
+                self.last = Some(projection);
+                self.last_change = now;
+                self.stable_for = 0;
+            }
+        }
+        self.stable_for >= self.quiet
+    }
+
+    /// The time of the most recent change (the stabilization time once
+    /// [`StabilityTracker::observe`] has returned `true`).
+    pub fn last_change(&self) -> u64 {
+        self.last_change
+    }
+
+    /// How many consecutive observations have been unchanged.
+    pub fn stable_streak(&self) -> u64 {
+        self.stable_for
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_stability_counts_from_first_observation() {
+        let mut t = StabilityTracker::new(3);
+        assert!(!t.observe(0, vec![7]));
+        assert!(!t.observe(1, vec![7]));
+        assert!(!t.observe(2, vec![7]));
+        assert!(t.observe(3, vec![7]));
+        assert_eq!(t.last_change(), 0);
+    }
+
+    #[test]
+    fn change_resets_the_streak() {
+        let mut t = StabilityTracker::new(2);
+        t.observe(0, vec![1]);
+        t.observe(1, vec![1]);
+        assert_eq!(t.stable_streak(), 1);
+        t.observe(2, vec![2]);
+        assert_eq!(t.stable_streak(), 0);
+        assert_eq!(t.last_change(), 2);
+        assert!(!t.observe(3, vec![2]));
+        assert!(t.observe(4, vec![2]));
+    }
+
+    #[test]
+    fn quiet_zero_is_clamped_to_one() {
+        let mut t = StabilityTracker::new(0);
+        assert!(!t.observe(0, vec![1]));
+        assert!(t.observe(1, vec![1]));
+    }
+}

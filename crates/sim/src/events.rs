@@ -1,0 +1,515 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use mwn_graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rng::{derive_seed, node_streams};
+use crate::{Corruptible, Protocol, StabilityTracker};
+
+/// Parameters of the continuous-time execution model.
+///
+/// Nodes rebroadcast their shared variables at randomized intervals
+/// (the timed discipline with "randomization to avoid collision" of
+/// Herman & Tixeuil \[11\], which the paper adopts in Section 4). Frames
+/// have a positive duration; two frames that overlap in time at a
+/// receiver collide and are both lost there.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EventConfig {
+    /// Mean time between two beacons of the same node.
+    pub beacon_period: f64,
+    /// Relative jitter: the next beacon fires after
+    /// `beacon_period · U(1 − jitter, 1 + jitter)`.
+    pub jitter: f64,
+    /// Time a frame occupies the channel at a receiver.
+    pub frame_time: f64,
+    /// Additional independent per-copy loss probability (0 = none).
+    pub extra_loss: f64,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        EventConfig {
+            beacon_period: 1.0,
+            jitter: 0.5,
+            frame_time: 0.02,
+            extra_loss: 0.0,
+        }
+    }
+}
+
+impl EventConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of range (non-positive period or
+    /// frame time, jitter outside `[0, 1)`, loss outside `[0, 1)`).
+    pub fn validate(&self) {
+        assert!(self.beacon_period > 0.0, "beacon period must be positive");
+        assert!(self.frame_time > 0.0, "frame time must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.jitter),
+            "jitter must be in [0, 1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.extra_loss),
+            "extra loss must be in [0, 1)"
+        );
+    }
+}
+
+/// Totally ordered event-queue key: (time, sequence), min-first.
+#[derive(Clone, Copy, Debug)]
+struct EventKey {
+    time: f64,
+    seq: u64,
+}
+
+impl PartialEq for EventKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for EventKey {}
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+enum EventKind<B> {
+    /// Node starts broadcasting its beacon.
+    Tx(NodeId),
+    /// A frame sent by `sender` at `tx_time` finishes arriving at
+    /// `receiver`; decide collision and deliver.
+    Rx {
+        receiver: NodeId,
+        sender: NodeId,
+        tx_time: f64,
+        beacon: B,
+    },
+}
+
+struct Event<B> {
+    key: EventKey,
+    kind: EventKind<B>,
+}
+
+impl<B> PartialEq for Event<B> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<B> Eq for Event<B> {}
+impl<B> PartialOrd for Event<B> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.key.cmp(&other.key))
+    }
+}
+impl<B> Ord for Event<B> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// The continuous-time discrete-event driver.
+///
+/// This realizes the asynchronous execution model under which the
+/// paper's expected-constant-time results (Theorem 1, Lemmas 1–2) are
+/// stated: beacons at randomized intervals, frames with real duration,
+/// receiver-side collisions (hidden terminals included) and half-duplex
+/// radios. The per-frame success probability is some τ > 0 determined
+/// by the configuration and local density — exactly the paper's
+/// hypothesis — and can be read off [`EventDriver::measured_tau`].
+///
+/// # Examples
+///
+/// ```
+/// use mwn_graph::builders;
+/// use mwn_radio::PerfectMedium;
+/// use mwn_sim::{EventConfig, EventDriver, Network, Protocol};
+/// use mwn_graph::NodeId;
+/// use rand::rngs::StdRng;
+///
+/// struct MaxFlood;
+/// impl Protocol for MaxFlood {
+///     type State = u32;
+///     type Beacon = u32;
+///     fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 { node.value() }
+///     fn beacon(&self, _node: NodeId, state: &u32) -> u32 { *state }
+///     fn receive(&self, _n: NodeId, state: &mut u32, _f: NodeId, beacon: &u32, _now: u64) {
+///         *state = (*state).max(*beacon);
+///     }
+///     fn update(&self, _n: NodeId, _s: &mut u32, _now: u64, _rng: &mut StdRng) {}
+/// }
+///
+/// let topo = builders::line(5);
+/// let mut driver = EventDriver::new(MaxFlood, topo, EventConfig::default(), 3);
+/// driver.run_until_time(30.0);
+/// assert!(driver.states().iter().all(|&s| s == 4));
+/// ```
+pub struct EventDriver<P: Protocol> {
+    protocol: P,
+    topo: Topology,
+    config: EventConfig,
+    states: Vec<P::State>,
+    node_rngs: Vec<StdRng>,
+    loss_rng: StdRng,
+    queue: BinaryHeap<Event<P::Beacon>>,
+    tx_history: Vec<Vec<f64>>,
+    time: f64,
+    seq: u64,
+    frames_attempted: u64,
+    frames_delivered: u64,
+}
+
+impl<P: Protocol> EventDriver<P> {
+    /// Creates the driver with cold-start states; the first beacon of
+    /// each node fires at a random offset within one period (nodes are
+    /// *not* synchronized).
+    pub fn new(protocol: P, topo: Topology, config: EventConfig, seed: u64) -> Self {
+        config.validate();
+        let mut node_rngs = node_streams(seed, topo.len());
+        let states: Vec<P::State> = topo
+            .nodes()
+            .map(|p| protocol.init(p, &mut node_rngs[p.index()]))
+            .collect();
+        let mut driver = EventDriver {
+            protocol,
+            tx_history: vec![Vec::new(); topo.len()],
+            topo,
+            config,
+            states,
+            node_rngs,
+            loss_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX - 1)),
+            queue: BinaryHeap::new(),
+            time: 0.0,
+            seq: 0,
+            frames_attempted: 0,
+            frames_delivered: 0,
+        };
+        let nodes: Vec<NodeId> = driver.topo.nodes().collect();
+        for p in nodes {
+            let offset = driver.node_rngs[p.index()].random_range(0.0..config.beacon_period);
+            driver.push(offset, EventKind::Tx(p));
+        }
+        driver
+    }
+
+    fn push(&mut self, time: f64, kind: EventKind<P::Beacon>) {
+        let key = EventKey {
+            time,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.queue.push(Event { key, kind });
+    }
+
+    /// The paper-comparable logical clock: beacon periods elapsed.
+    fn logical_now(&self) -> u64 {
+        (self.time / self.config.beacon_period) as u64
+    }
+
+    /// Processes events up to (and including) time `t`.
+    pub fn run_until_time(&mut self, t: f64) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.key.time > t {
+                break;
+            }
+            let Event { key, kind } = self.queue.pop().expect("peeked event exists");
+            self.time = key.time;
+            match kind {
+                EventKind::Tx(p) => self.handle_tx(p),
+                EventKind::Rx {
+                    receiver,
+                    sender,
+                    tx_time,
+                    beacon,
+                } => self.handle_rx(receiver, sender, tx_time, &beacon),
+            }
+        }
+        self.time = t;
+    }
+
+    fn handle_tx(&mut self, p: NodeId) {
+        let now = self.logical_now();
+        // The guarded-command loop runs continuously; executing the
+        // guards right before snapshotting the shared variables gives
+        // the freshest beacon.
+        self.protocol.update(
+            p,
+            &mut self.states[p.index()],
+            now,
+            &mut self.node_rngs[p.index()],
+        );
+        let beacon = self.protocol.beacon(p, &self.states[p.index()]);
+        let t = self.time;
+        // Record the transmission and prune history older than one
+        // collision window.
+        let history = &mut self.tx_history[p.index()];
+        history.push(t);
+        let horizon = t - 4.0 * self.config.frame_time;
+        history.retain(|&x| x >= horizon);
+        let receivers: Vec<NodeId> = self.topo.neighbors(p).to_vec();
+        for r in receivers {
+            self.frames_attempted += 1;
+            self.push(
+                t + self.config.frame_time,
+                EventKind::Rx {
+                    receiver: r,
+                    sender: p,
+                    tx_time: t,
+                    beacon: beacon.clone(),
+                },
+            );
+        }
+        // Schedule the next beacon with jitter.
+        let jitter = self.config.jitter;
+        let factor = self.node_rngs[p.index()].random_range(1.0 - jitter..1.0 + jitter);
+        let next = t + self.config.beacon_period * factor.max(f64::EPSILON);
+        self.push(next, EventKind::Tx(p));
+    }
+
+    fn handle_rx(&mut self, r: NodeId, s: NodeId, tx_time: f64, beacon: &P::Beacon) {
+        // The frame occupied (tx_time, tx_time + frame_time) at r. It is
+        // lost if r itself, or any other neighbor of r, transmitted
+        // within one frame_time of tx_time (overlapping frames), or to
+        // the configured extra loss.
+        let window = |times: &[f64]| {
+            times
+                .iter()
+                .any(|&x| (x - tx_time).abs() < self.config.frame_time)
+        };
+        if window(&self.tx_history[r.index()]) {
+            return; // half-duplex: r was talking
+        }
+        for &q in self.topo.neighbors(r) {
+            if q != s && window(&self.tx_history[q.index()]) {
+                return; // collision (possibly a hidden terminal)
+            }
+        }
+        if self.config.extra_loss > 0.0 && self.loss_rng.random_bool(self.config.extra_loss) {
+            return;
+        }
+        self.frames_delivered += 1;
+        let now = self.logical_now();
+        self.protocol
+            .receive(r, &mut self.states[r.index()], s, beacon, now);
+        self.protocol.update(
+            r,
+            &mut self.states[r.index()],
+            now,
+            &mut self.node_rngs[r.index()],
+        );
+    }
+
+    /// Runs until a projection of all states is unchanged for
+    /// `quiet_samples` consecutive samples taken every
+    /// `sample_interval`, or until `max_time` has elapsed *from the
+    /// current simulation time* (so the driver can be re-armed after a
+    /// corruption to measure re-stabilization).
+    ///
+    /// Returns the elapsed time at which the projection last changed
+    /// (the stabilization duration), or `None` on timeout.
+    pub fn run_until_stable<K, F>(
+        &mut self,
+        mut project: F,
+        sample_interval: f64,
+        quiet_samples: u64,
+        max_time: f64,
+    ) -> Option<f64>
+    where
+        K: PartialEq,
+        F: FnMut(NodeId, &P::State) -> K,
+    {
+        assert!(sample_interval > 0.0, "sample interval must be positive");
+        let start = self.time;
+        let deadline = start + max_time;
+        let mut tracker = StabilityTracker::new(quiet_samples);
+        let mut sample_idx: u64 = 0;
+        loop {
+            let target = start + (sample_idx as f64) * sample_interval;
+            if target > deadline {
+                return None;
+            }
+            self.run_until_time(target);
+            let projection: Vec<K> = self
+                .states
+                .iter()
+                .enumerate()
+                .map(|(i, s)| project(NodeId::new(i as u32), s))
+                .collect();
+            if tracker.observe(sample_idx, projection) {
+                return Some(tracker.last_change() as f64 * sample_interval);
+            }
+            sample_idx += 1;
+        }
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// All node states, indexed by [`NodeId`].
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The state of one node.
+    pub fn state(&self, p: NodeId) -> &P::State {
+        &self.states[p.index()]
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The fraction of in-range frame copies delivered so far — the
+    /// empirical τ of this run (1.0 before any traffic).
+    pub fn measured_tau(&self) -> f64 {
+        if self.frames_attempted == 0 {
+            1.0
+        } else {
+            self.frames_delivered as f64 / self.frames_attempted as f64
+        }
+    }
+}
+
+impl<P: Corruptible> EventDriver<P> {
+    /// Corrupts every node state (arbitrary-configuration start).
+    pub fn corrupt_all(&mut self) {
+        for p in self.topo.nodes() {
+            let state = &mut self.states[p.index()];
+            self.protocol
+                .corrupt(p, state, &mut self.node_rngs[p.index()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwn_graph::builders;
+
+    struct MaxFlood;
+    impl Protocol for MaxFlood {
+        type State = u32;
+        type Beacon = u32;
+        fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 {
+            node.value()
+        }
+        fn beacon(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+        fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+            *state = (*state).max(*beacon);
+        }
+        fn update(&self, node: NodeId, state: &mut u32, _now: u64, _rng: &mut StdRng) {
+            // Re-asserting the node's own id is what makes the flood
+            // self-stabilizing: corrupted state cannot erase the source.
+            *state = (*state).max(node.value());
+        }
+    }
+    impl Corruptible for MaxFlood {
+        fn corrupt(&self, _node: NodeId, state: &mut u32, _rng: &mut StdRng) {
+            *state = 0;
+        }
+    }
+
+    #[test]
+    fn flood_converges_in_continuous_time() {
+        let mut d = EventDriver::new(MaxFlood, builders::line(6), EventConfig::default(), 1);
+        d.run_until_time(40.0);
+        assert!(d.states().iter().all(|&s| s == 5));
+        assert!(d.measured_tau() > 0.5);
+    }
+
+    #[test]
+    fn stabilization_time_scales_with_distance() {
+        // Information needs ~1 beacon period per hop: a longer line
+        // takes proportionally longer.
+        let cfg = EventConfig::default();
+        let mut short = EventDriver::new(MaxFlood, builders::line(4), cfg, 2);
+        let mut long = EventDriver::new(MaxFlood, builders::line(30), cfg, 2);
+        let t_short = short
+            .run_until_stable(|_, s| *s, 0.5, 10, 500.0)
+            .expect("short line converges");
+        let t_long = long
+            .run_until_stable(|_, s| *s, 0.5, 10, 500.0)
+            .expect("long line converges");
+        assert!(
+            t_long > t_short,
+            "30-hop line ({t_long}) should take longer than 4-hop ({t_short})"
+        );
+    }
+
+    #[test]
+    fn collisions_occur_on_dense_graphs() {
+        let cfg = EventConfig {
+            frame_time: 0.2, // long frames → many overlaps
+            ..EventConfig::default()
+        };
+        let mut d = EventDriver::new(MaxFlood, builders::complete(12), cfg, 3);
+        d.run_until_time(30.0);
+        assert!(
+            d.measured_tau() < 0.9,
+            "long frames on K12 must collide, τ = {}",
+            d.measured_tau()
+        );
+        assert!(d.measured_tau() > 0.0);
+    }
+
+    #[test]
+    fn corruption_then_reconvergence() {
+        let mut d = EventDriver::new(MaxFlood, builders::ring(8), EventConfig::default(), 4);
+        d.run_until_time(20.0);
+        d.corrupt_all();
+        assert!(d.states().iter().all(|&s| s == 0));
+        d.run_until_time(60.0);
+        assert!(d.states().iter().all(|&s| s == 7));
+    }
+
+    #[test]
+    fn extra_loss_slows_but_does_not_stop_convergence() {
+        let cfg = EventConfig {
+            extra_loss: 0.6,
+            ..EventConfig::default()
+        };
+        let mut d = EventDriver::new(MaxFlood, builders::line(5), cfg, 5);
+        d.run_until_time(200.0);
+        assert!(d.states().iter().all(|&s| s == 4));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut d = EventDriver::new(MaxFlood, builders::ring(10), EventConfig::default(), seed);
+            d.run_until_time(15.0);
+            d.states().to_vec()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "beacon period must be positive")]
+    fn invalid_config_rejected() {
+        let cfg = EventConfig {
+            beacon_period: 0.0,
+            ..EventConfig::default()
+        };
+        let _ = EventDriver::new(MaxFlood, builders::line(2), cfg, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Scheduled fault injection: declarative "at step k, break X" plans
+//! for reproducible robustness experiments.
+//!
+//! Self-stabilization's fault model is the strongest possible — the
+//! adversary may place the system in *any* configuration — but real
+//! experiments need orchestrated, reproducible sequences of faults. A
+//! [`FaultPlan`] is a sorted script of [`Fault`]s executed while a
+//! [`Network`] runs.
+
+use mwn_graph::{NodeId, Topology};
+use mwn_radio::Medium;
+
+use crate::{Corruptible, Network};
+
+/// One scheduled fault.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Corrupt the state of one node arbitrarily.
+    CorruptNode(NodeId),
+    /// Corrupt every node (restart the self-stabilization clock).
+    CorruptAll,
+    /// Corrupt approximately this fraction of nodes.
+    CorruptFraction(f64),
+    /// Sever all links of a node (its radio goes dark).
+    Isolate(NodeId),
+    /// Replace the topology (e.g. restore links, or apply a mobility
+    /// snapshot). Must keep the node count.
+    SetTopology(Topology),
+}
+
+/// A reproducible script of faults, each fired *before* the given step
+/// executes.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_graph::{builders, NodeId};
+/// use mwn_radio::PerfectMedium;
+/// use mwn_sim::{Fault, FaultPlan, Network, Protocol};
+/// use rand::rngs::StdRng;
+///
+/// # struct Noop;
+/// # impl Protocol for Noop {
+/// #     type State = u32; type Beacon = u32;
+/// #     fn init(&self, n: NodeId, _: &mut StdRng) -> u32 { n.value() }
+/// #     fn beacon(&self, _: NodeId, s: &u32) -> u32 { *s }
+/// #     fn receive(&self, _: NodeId, s: &mut u32, _: NodeId, b: &u32, _: u64) { *s = (*s).max(*b); }
+/// #     fn update(&self, n: NodeId, s: &mut u32, _: u64, _: &mut StdRng) { *s = (*s).max(n.value()); }
+/// # }
+/// # impl mwn_sim::Corruptible for Noop {
+/// #     fn corrupt(&self, _: NodeId, s: &mut u32, _: &mut StdRng) { *s = 0; }
+/// # }
+/// let mut plan = FaultPlan::new();
+/// plan.at(5, Fault::CorruptAll).at(10, Fault::Isolate(NodeId::new(0)));
+/// let mut net = Network::new(Noop, PerfectMedium, builders::line(4), 1);
+/// plan.run(&mut net, 20);
+/// assert_eq!(net.now(), 20);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<(u64, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `fault` to fire right before step `step` executes.
+    /// Multiple faults may share a step; they fire in insertion order.
+    pub fn at(&mut self, step: u64, fault: Fault) -> &mut Self {
+        self.events.push((step, fault));
+        self.events.sort_by_key(|(s, _)| *s);
+        self
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Runs `net` until `until_step`, firing scheduled faults along the
+    /// way. Faults scheduled before the current step fire immediately;
+    /// faults scheduled at or after `until_step` do not fire.
+    pub fn run<P, M>(&self, net: &mut Network<P, M>, until_step: u64)
+    where
+        P: Corruptible,
+        M: Medium,
+    {
+        let mut pending = self.events.iter().peekable();
+        // Skip/fire anything already due.
+        while net.now() < until_step {
+            while let Some((step, fault)) = pending.peek() {
+                if *step <= net.now() {
+                    apply(net, fault);
+                    pending.next();
+                } else {
+                    break;
+                }
+            }
+            net.step();
+        }
+        // Faults due exactly at the final step boundary still fire (the
+        // caller observes the post-fault state).
+        while let Some((step, fault)) = pending.peek() {
+            if *step <= net.now() {
+                apply(net, fault);
+                pending.next();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn apply<P, M>(net: &mut Network<P, M>, fault: &Fault)
+where
+    P: Corruptible,
+    M: Medium,
+{
+    match fault {
+        Fault::CorruptNode(p) => net.corrupt(*p),
+        Fault::CorruptAll => net.corrupt_all(),
+        Fault::CorruptFraction(f) => {
+            net.corrupt_fraction(*f);
+        }
+        Fault::Isolate(p) => net.isolate(*p),
+        Fault::SetTopology(topo) => net.set_topology(topo.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwn_graph::builders;
+    use mwn_radio::PerfectMedium;
+    use crate::Protocol;
+    use rand::rngs::StdRng;
+
+    struct MaxFlood;
+    impl Protocol for MaxFlood {
+        type State = u32;
+        type Beacon = u32;
+        fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 {
+            node.value()
+        }
+        fn beacon(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+        fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+            *state = (*state).max(*beacon);
+        }
+        fn update(&self, node: NodeId, state: &mut u32, _now: u64, _rng: &mut StdRng) {
+            *state = (*state).max(node.value());
+        }
+    }
+    impl Corruptible for MaxFlood {
+        fn corrupt(&self, _node: NodeId, state: &mut u32, _rng: &mut StdRng) {
+            *state = 0;
+        }
+    }
+
+    #[test]
+    fn faults_fire_in_order_and_heal() {
+        let mut plan = FaultPlan::new();
+        plan.at(10, Fault::CorruptAll);
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(5), 1);
+        plan.run(&mut net, 30);
+        assert_eq!(net.now(), 30);
+        // 20 steps after the corruption: flood reconverged.
+        assert!(net.states().iter().all(|&s| s == 4));
+    }
+
+    #[test]
+    fn isolation_fault_cuts_traffic() {
+        let mut plan = FaultPlan::new();
+        plan.at(0, Fault::Isolate(NodeId::new(2)));
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(5), 2);
+        plan.run(&mut net, 20);
+        assert_eq!(*net.state(NodeId::new(0)), 1, "max id cannot cross the cut");
+    }
+
+    #[test]
+    fn set_topology_fault_restores_links() {
+        let topo = builders::line(5);
+        let mut plan = FaultPlan::new();
+        plan.at(0, Fault::Isolate(NodeId::new(2)))
+            .at(10, Fault::SetTopology(topo.clone()));
+        let mut net = Network::new(MaxFlood, PerfectMedium, topo, 3);
+        plan.run(&mut net, 30);
+        assert!(net.states().iter().all(|&s| s == 4), "healed after re-link");
+    }
+
+    #[test]
+    fn fraction_and_single_node_faults() {
+        let mut plan = FaultPlan::new();
+        plan.at(5, Fault::CorruptFraction(0.5))
+            .at(6, Fault::CorruptNode(NodeId::new(0)));
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::ring(8), 4);
+        plan.run(&mut net, 40);
+        assert!(net.states().iter().all(|&s| s == 7));
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn empty_plan_is_plain_run() {
+        let plan = FaultPlan::new();
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(3), 5);
+        plan.run(&mut net, 7);
+        assert_eq!(net.now(), 7);
+        assert!(plan.is_empty());
+    }
+}

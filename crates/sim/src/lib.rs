@@ -1,0 +1,74 @@
+//! Execution substrate for self-stabilizing wireless protocols.
+//!
+//! The paper describes its algorithms as **guarded assignments** over
+//! **shared variables** (Section 4): each node infinitely re-evaluates
+//! guards `G → S`; shared variables are propagated to neighbors by
+//! periodic local broadcast with randomized timing (the discipline of
+//! Herman & Tixeuil \[11\]); neighbors keep *cached copies* of each
+//! other's shared variables.
+//!
+//! This crate turns that model into two runnable drivers:
+//!
+//! * [`Network`] — the synchronous **round driver**. One round is the
+//!   paper's Δ(τ) "step" (Section 5): every node broadcasts its beacon
+//!   once, the [`mwn_radio::Medium`] decides which copies arrive,
+//!   receivers update their caches, then every node executes all its
+//!   enabled guarded assignments. Step counts measured here are
+//!   directly comparable to the paper's Tables 2, 3 and 5.
+//! * [`EventDriver`] — the **continuous-time driver**. Nodes broadcast
+//!   at randomized intervals; frames have a duration and collide when
+//!   they overlap at a receiver (hidden terminals included). This is
+//!   the execution model under which the paper's "expected constant
+//!   time" statements (Theorem 1, Lemmas 1–2) are phrased.
+//!
+//! Self-stabilization is exercised through [`Corruptible`]: a protocol
+//! that can have its state arbitrarily corrupted, after which the
+//! drivers verify re-convergence (convergence) and that legitimate
+//! configurations persist (closure).
+//!
+//! # Examples
+//!
+//! A tiny flooding protocol that stabilizes to the maximum node id:
+//!
+//! ```
+//! use mwn_graph::{builders, NodeId};
+//! use mwn_radio::PerfectMedium;
+//! use mwn_sim::{Network, Protocol};
+//! use rand::rngs::StdRng;
+//!
+//! struct MaxFlood;
+//! impl Protocol for MaxFlood {
+//!     type State = u32;
+//!     type Beacon = u32;
+//!     fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 { node.value() }
+//!     fn beacon(&self, _node: NodeId, state: &u32) -> u32 { *state }
+//!     fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+//!         *state = (*state).max(*beacon);
+//!     }
+//!     fn update(&self, _node: NodeId, _state: &mut u32, _now: u64, _rng: &mut StdRng) {}
+//! }
+//!
+//! let topo = builders::line(5);
+//! let mut net = Network::new(MaxFlood, PerfectMedium, topo, 7);
+//! net.run(5);
+//! assert!(net.states().iter().all(|&s| s == 4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convergence;
+mod events;
+mod faults;
+mod network;
+mod protocol;
+mod rng;
+mod trace;
+
+pub use convergence::StabilityTracker;
+pub use events::{EventConfig, EventDriver};
+pub use faults::{Fault, FaultPlan};
+pub use network::Network;
+pub use protocol::{Corruptible, Protocol};
+pub use rng::{derive_seed, node_streams};
+pub use trace::Trace;

@@ -1,0 +1,358 @@
+use mwn_graph::{NodeId, Topology};
+use mwn_radio::Medium;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::rng::{derive_seed, node_streams};
+use crate::{Corruptible, Protocol, StabilityTracker};
+
+/// The synchronous round driver: one call to [`Network::step`] is one
+/// of the paper's Δ(τ) "steps" (Section 5).
+///
+/// Within a step, in order:
+///
+/// 1. every node takes a snapshot of its shared variables
+///    ([`Protocol::beacon`]) — simultaneous, so information moves at
+///    most one hop per step, exactly as in the paper's Table 2;
+/// 2. the [`Medium`] decides which frame copies arrive;
+/// 3. receivers process arrivals ([`Protocol::receive`]);
+/// 4. every node executes its enabled guarded assignments
+///    ([`Protocol::update`]).
+///
+/// All randomness comes from per-node streams plus one medium stream,
+/// all derived from the constructor seed: runs are fully reproducible.
+///
+/// # Examples
+///
+/// See the crate-level example; [`Network::run_until_stable`] is the
+/// workhorse used by the stabilization-time experiments.
+#[derive(Debug)]
+pub struct Network<P: Protocol, M> {
+    protocol: P,
+    medium: M,
+    topo: Topology,
+    states: Vec<P::State>,
+    node_rngs: Vec<StdRng>,
+    medium_rng: StdRng,
+    step: u64,
+}
+
+impl<P: Protocol, M: Medium> Network<P, M> {
+    /// Creates a network of cold-start nodes over `topo`.
+    pub fn new(protocol: P, medium: M, topo: Topology, seed: u64) -> Self {
+        let mut node_rngs = node_streams(seed, topo.len());
+        let states = topo
+            .nodes()
+            .map(|p| protocol.init(p, &mut node_rngs[p.index()]))
+            .collect();
+        Network {
+            protocol,
+            medium,
+            topo,
+            states,
+            node_rngs,
+            medium_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX)),
+            step: 0,
+        }
+    }
+
+    /// Executes one synchronous step; returns the new step count.
+    pub fn step(&mut self) -> u64 {
+        let beacons: Vec<P::Beacon> = self
+            .topo
+            .nodes()
+            .map(|p| self.protocol.beacon(p, &self.states[p.index()]))
+            .collect();
+        let senders: Vec<NodeId> = self.topo.nodes().collect();
+        let delivery = self
+            .medium
+            .deliver(&self.topo, &senders, &mut self.medium_rng);
+        for r in self.topo.nodes() {
+            for &s in &delivery.heard[r.index()] {
+                self.protocol.receive(
+                    r,
+                    &mut self.states[r.index()],
+                    s,
+                    &beacons[s.index()],
+                    self.step,
+                );
+            }
+        }
+        for p in self.topo.nodes() {
+            self.protocol.update(
+                p,
+                &mut self.states[p.index()],
+                self.step,
+                &mut self.node_rngs[p.index()],
+            );
+        }
+        self.step += 1;
+        self.step
+    }
+
+    /// Runs `steps` synchronous steps.
+    pub fn run(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Runs until the projection of every node state is unchanged for
+    /// `quiet` consecutive steps, or `max_steps` elapse.
+    ///
+    /// Returns `Some(step)` — the step count after which the projection
+    /// last changed (the *stabilization time* in steps) — or `None` on
+    /// timeout. A projection extracts the "output" part of the state
+    /// (e.g. the cluster-head choice) so cache-refresh churn does not
+    /// count as instability.
+    pub fn run_until_stable<K, F>(
+        &mut self,
+        mut project: F,
+        quiet: u64,
+        max_steps: u64,
+    ) -> Option<u64>
+    where
+        K: PartialEq,
+        F: FnMut(NodeId, &P::State) -> K,
+    {
+        let mut tracker = StabilityTracker::new(quiet);
+        let snapshot =
+            |states: &[P::State], project: &mut F| -> Vec<K> {
+                states
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| project(NodeId::new(i as u32), s))
+                    .collect()
+            };
+        tracker.observe(self.step, snapshot(&self.states, &mut project));
+        while self.step < max_steps {
+            self.step();
+            if tracker.observe(self.step, snapshot(&self.states, &mut project)) {
+                return Some(tracker.last_change());
+            }
+        }
+        None
+    }
+
+    /// Runs until `pred` holds (checked after each step), or `max_steps`
+    /// elapse. Returns the step count at which the predicate first held.
+    pub fn run_until<F>(&mut self, mut pred: F, max_steps: u64) -> Option<u64>
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        if pred(self) {
+            return Some(self.step);
+        }
+        while self.step < max_steps {
+            self.step();
+            if pred(self) {
+                return Some(self.step);
+            }
+        }
+        None
+    }
+
+    /// Current step count.
+    pub fn now(&self) -> u64 {
+        self.step
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Replaces the topology (same node count), e.g. after a mobility
+    /// tick moved nodes. States are preserved: the protocol must cope
+    /// with neighbors appearing and disappearing — that is the point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count changes.
+    pub fn set_topology(&mut self, topo: Topology) {
+        assert_eq!(
+            topo.len(),
+            self.topo.len(),
+            "set_topology cannot add or remove nodes"
+        );
+        self.topo = topo;
+    }
+
+    /// All node states, indexed by [`NodeId`].
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The state of one node.
+    pub fn state(&self, p: NodeId) -> &P::State {
+        &self.states[p.index()]
+    }
+
+    /// Mutable state access (used by hand-written fault scenarios).
+    pub fn state_mut(&mut self, p: NodeId) -> &mut P::State {
+        &mut self.states[p.index()]
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Severs every link of `p` by removing its edges — the node's
+    /// radio goes dark but its state survives (crash of the *link*
+    /// layer). Use [`Network::set_topology`] to restore connectivity.
+    pub fn isolate(&mut self, p: NodeId) {
+        let nbrs: Vec<NodeId> = self.topo.neighbors(p).to_vec();
+        for q in nbrs {
+            self.topo.remove_edge(p, q);
+        }
+    }
+}
+
+impl<P: Corruptible, M: Medium> Network<P, M> {
+    /// Corrupts the state of one node arbitrarily.
+    pub fn corrupt(&mut self, p: NodeId) {
+        let state = &mut self.states[p.index()];
+        self.protocol.corrupt(p, state, &mut self.node_rngs[p.index()]);
+    }
+
+    /// Corrupts every node: the adversarial "arbitrary initial
+    /// configuration" of the self-stabilization definition.
+    pub fn corrupt_all(&mut self) {
+        let nodes: Vec<NodeId> = self.topo.nodes().collect();
+        for p in nodes {
+            self.corrupt(p);
+        }
+    }
+
+    /// Corrupts a deterministic pseudo-random subset of about
+    /// `fraction` of the nodes; returns how many were corrupted.
+    pub fn corrupt_fraction(&mut self, fraction: f64) -> usize {
+        use rand::Rng;
+        let nodes: Vec<NodeId> = self.topo.nodes().collect();
+        let mut count = 0;
+        for p in nodes {
+            if self.medium_rng.random_bool(fraction.clamp(0.0, 1.0)) {
+                self.corrupt(p);
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwn_graph::builders;
+    use mwn_radio::{BernoulliLoss, PerfectMedium};
+
+    /// Stabilizes to the maximum id seen; corruption plants a huge fake
+    /// value that only TTL-free re-flooding would *not* fix — so we use
+    /// it to test corrupt/convergence mechanics, not the protocol.
+    struct MaxFlood;
+    impl Protocol for MaxFlood {
+        type State = u32;
+        type Beacon = u32;
+        fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 {
+            node.value()
+        }
+        fn beacon(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+        fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+            *state = (*state).max(*beacon);
+        }
+        fn update(&self, node: NodeId, state: &mut u32, _now: u64, _rng: &mut StdRng) {
+            // Re-asserting the node's own id is what makes the flood
+            // self-stabilizing: corrupted state cannot erase the source.
+            *state = (*state).max(node.value());
+        }
+    }
+    impl Corruptible for MaxFlood {
+        fn corrupt(&self, _node: NodeId, state: &mut u32, _rng: &mut StdRng) {
+            *state = 0;
+        }
+    }
+
+    #[test]
+    fn max_flood_converges_on_a_line() {
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(6), 1);
+        let stabilized = net.run_until_stable(|_, s| *s, 3, 100).unwrap();
+        assert!(net.states().iter().all(|&s| s == 5));
+        // Information moves one hop per step: node 0 is 5 hops from node 5.
+        assert_eq!(stabilized, 5);
+    }
+
+    #[test]
+    fn one_hop_per_step_information_speed() {
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(10), 1);
+        net.run(3);
+        // After 3 steps the max id (9) can have travelled exactly 3 hops.
+        assert_eq!(*net.state(NodeId::new(6)), 9);
+        assert_eq!(*net.state(NodeId::new(5)), 8);
+    }
+
+    #[test]
+    fn lossy_medium_still_converges() {
+        let mut net = Network::new(MaxFlood, BernoulliLoss::new(0.3), builders::line(6), 3);
+        let stabilized = net.run_until_stable(|_, s| *s, 10, 2000);
+        assert!(stabilized.is_some(), "τ = 0.3 must still converge w.p. 1");
+        assert!(net.states().iter().all(|&s| s == 5));
+    }
+
+    #[test]
+    fn corruption_then_reconvergence() {
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::ring(8), 4);
+        net.run(10);
+        net.corrupt_all();
+        assert!(net.states().iter().all(|&s| s == 0));
+        net.run(10);
+        assert!(net.states().iter().all(|&s| s == 7));
+    }
+
+    #[test]
+    fn corrupt_fraction_reports_count() {
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::ring(50), 5);
+        let corrupted = net.corrupt_fraction(0.5);
+        assert!(corrupted > 5 && corrupted < 45, "got {corrupted}");
+    }
+
+    #[test]
+    fn isolation_stops_information_flow() {
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(5), 6);
+        net.isolate(NodeId::new(2)); // cut the middle
+        net.run(20);
+        // Max id 4 cannot cross the cut.
+        assert_eq!(*net.state(NodeId::new(0)), 1);
+        assert_eq!(*net.state(NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn runs_are_reproducible_from_seed() {
+        let run = |seed| {
+            let mut net =
+                Network::new(MaxFlood, BernoulliLoss::new(0.5), builders::ring(12), seed);
+            net.run(7);
+            net.states().to_vec()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(4), 1);
+        let at = net
+            .run_until(|n| n.states().iter().all(|&s| s == 3), 100)
+            .unwrap();
+        assert_eq!(at, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot add or remove nodes")]
+    fn set_topology_rejects_resize() {
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(4), 1);
+        net.set_topology(builders::line(5));
+    }
+}

@@ -1,0 +1,68 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives a decorrelated 64-bit seed from a base seed and a stream
+/// index (SplitMix64 finalizer). Identical inputs always yield the
+/// identical seed, so simulations are reproducible however many RNG
+/// streams they split off.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_sim::derive_seed;
+///
+/// assert_eq!(derive_seed(42, 3), derive_seed(42, 3));
+/// assert_ne!(derive_seed(42, 3), derive_seed(42, 4));
+/// ```
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Creates `n` independent per-node RNG streams from one base seed.
+///
+/// Each node gets its own stream so that the randomness a node consumes
+/// (e.g. the DAG renaming draws of algorithm N1) does not depend on how
+/// many other nodes acted before it in the round — a requirement for
+/// meaningful fault-injection experiments, where re-running with the
+/// same seed must replay identical node-local choices.
+pub fn node_streams(base: u64, n: usize) -> Vec<StdRng> {
+    (0..n as u64)
+        .map(|i| StdRng::seed_from_u64(derive_seed(base, i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = node_streams(9, 4);
+        let mut b = node_streams(9, 4);
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            assert_eq!(x.random::<u64>(), y.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn streams_differ_between_nodes() {
+        let mut streams = node_streams(9, 8);
+        let firsts: Vec<u64> = streams.iter_mut().map(|r| r.random()).collect();
+        let mut dedup = firsts.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), firsts.len());
+    }
+
+    #[test]
+    fn derive_seed_avalanches() {
+        // Adjacent stream indices should produce wildly different seeds.
+        let a = derive_seed(0, 0);
+        let b = derive_seed(0, 1);
+        assert!((a ^ b).count_ones() > 10);
+    }
+}

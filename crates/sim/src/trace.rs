@@ -1,0 +1,161 @@
+//! Retrospective traces of a run: per-step projections of the global
+//! state, for studying convergence dynamics (how the head count or the
+//! number of incorrect nodes evolves over time — the curves behind the
+//! paper's stabilization-time numbers).
+
+/// A time series of per-step global projections.
+///
+/// Unlike [`crate::StabilityTracker`] (which answers "has it been
+/// quiet long enough?" online), a trace keeps the full history so an
+/// experiment can measure *how* the system converged: last-change
+/// step, number of changed nodes per step, or any derived series.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_sim::Trace;
+///
+/// let mut trace = Trace::new();
+/// trace.record(0, vec![1, 1, 1]);
+/// trace.record(1, vec![1, 2, 1]);
+/// trace.record(2, vec![1, 2, 1]);
+/// assert_eq!(trace.last_change(), Some(1));
+/// assert_eq!(trace.changed_counts(), vec![1, 0]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Trace<K> {
+    snapshots: Vec<(u64, Vec<K>)>,
+}
+
+impl<K: PartialEq + Clone> Trace<K> {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace {
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Appends the projection observed at time `now`.
+    pub fn record(&mut self, now: u64, projection: Vec<K>) {
+        self.snapshots.push((now, projection));
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The recorded snapshots.
+    pub fn snapshots(&self) -> &[(u64, Vec<K>)] {
+        &self.snapshots
+    }
+
+    /// The time of the last snapshot that differed from its
+    /// predecessor — the measured stabilization time. `None` if fewer
+    /// than two snapshots or nothing ever changed.
+    pub fn last_change(&self) -> Option<u64> {
+        self.snapshots
+            .windows(2)
+            .rev()
+            .find(|w| w[0].1 != w[1].1)
+            .map(|w| w[1].0)
+    }
+
+    /// How many entries changed between consecutive snapshots (length
+    /// = `len() - 1`). Projections of different lengths count as fully
+    /// changed.
+    pub fn changed_counts(&self) -> Vec<usize> {
+        self.snapshots
+            .windows(2)
+            .map(|w| {
+                if w[0].1.len() != w[1].1.len() {
+                    w[1].1.len().max(w[0].1.len())
+                } else {
+                    w[0].1
+                        .iter()
+                        .zip(&w[1].1)
+                        .filter(|(a, b)| a != b)
+                        .count()
+                }
+            })
+            .collect()
+    }
+
+    /// `true` iff the final `quiet` consecutive snapshots are equal
+    /// (and at least that many exist).
+    pub fn is_stable_for(&self, quiet: usize) -> bool {
+        if self.snapshots.len() < quiet.max(1) {
+            return false;
+        }
+        let tail = &self.snapshots[self.snapshots.len() - quiet.max(1)..];
+        tail.windows(2).all(|w| w[0].1 == w[1].1)
+    }
+
+    /// The final snapshot's projection, if any.
+    pub fn last(&self) -> Option<&[K]> {
+        self.snapshots.last().map(|(_, p)| p.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace() {
+        let trace: Trace<u32> = Trace::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.last_change(), None);
+        assert!(trace.changed_counts().is_empty());
+        assert!(!trace.is_stable_for(1));
+        assert_eq!(trace.last(), None);
+    }
+
+    #[test]
+    fn change_accounting() {
+        let mut trace = Trace::new();
+        trace.record(0, vec![0, 0, 0]);
+        trace.record(1, vec![0, 1, 2]);
+        trace.record(2, vec![0, 1, 2]);
+        trace.record(3, vec![9, 1, 2]);
+        trace.record(4, vec![9, 1, 2]);
+        assert_eq!(trace.changed_counts(), vec![2, 0, 1, 0]);
+        assert_eq!(trace.last_change(), Some(3));
+        assert_eq!(trace.last(), Some(&[9, 1, 2][..]));
+        assert_eq!(trace.len(), 5);
+    }
+
+    #[test]
+    fn stability_window() {
+        let mut trace = Trace::new();
+        for t in 0..5 {
+            trace.record(t, vec![t.min(2)]);
+        }
+        // values: 0,1,2,2,2 → stable for the last 3 samples.
+        assert!(trace.is_stable_for(3));
+        assert!(!trace.is_stable_for(4));
+        assert!(trace.is_stable_for(1));
+    }
+
+    #[test]
+    fn never_changing_trace_has_no_change_time() {
+        let mut trace = Trace::new();
+        trace.record(0, vec![7]);
+        trace.record(1, vec![7]);
+        assert_eq!(trace.last_change(), None);
+        assert!(trace.is_stable_for(2));
+    }
+
+    #[test]
+    fn length_mismatch_counts_as_full_change() {
+        let mut trace = Trace::new();
+        trace.record(0, vec![1, 2]);
+        trace.record(1, vec![1, 2, 3]);
+        assert_eq!(trace.changed_counts(), vec![3]);
+    }
+}

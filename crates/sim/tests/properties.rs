@@ -1,0 +1,151 @@
+//! Property-based tests of the execution substrate: information speed,
+//! driver determinism, and fault-plan correctness, checked with a
+//! reference protocol whose fixpoint is known exactly (self-stabilizing
+//! max-flood: every node learns the maximum id in its component).
+
+use mwn_graph::{builders, traversal, NodeId, Topology};
+use mwn_radio::{BernoulliLoss, PerfectMedium};
+use mwn_sim::{Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Protocol};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct MaxFlood;
+impl Protocol for MaxFlood {
+    type State = u32;
+    type Beacon = u32;
+    fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 {
+        node.value()
+    }
+    fn beacon(&self, _node: NodeId, state: &u32) -> u32 {
+        *state
+    }
+    fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+        *state = (*state).max(*beacon);
+    }
+    fn update(&self, node: NodeId, state: &mut u32, _now: u64, _rng: &mut StdRng) {
+        *state = (*state).max(node.value());
+    }
+}
+impl Corruptible for MaxFlood {
+    /// Max-flooding is monotone, so it can only heal *undershooting*
+    /// corruption (an overshooting value would be a different, larger
+    /// "max" forever — max-flood alone is not self-stabilizing against
+    /// it, which is precisely why the paper's protocol re-derives all
+    /// shared variables from scratch instead of folding them).
+    fn corrupt(&self, node: NodeId, state: &mut u32, rng: &mut StdRng) {
+        use rand::Rng;
+        *state = rng.random_range(0..=node.value());
+    }
+}
+
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    (2usize..40, 10u32..35, 0u64..u64::MAX).prop_map(|(n, r, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        builders::uniform(n, f64::from(r) / 100.0, &mut rng)
+    })
+}
+
+/// The exact fixpoint: every node holds the max id of its component.
+fn component_max(topo: &Topology) -> Vec<u32> {
+    let mut expected = vec![0u32; topo.len()];
+    for component in traversal::connected_components(topo) {
+        let max = component.iter().map(|p| p.value()).max().unwrap();
+        for p in component {
+            expected[p.index()] = max;
+        }
+    }
+    expected
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The round driver moves information exactly one hop per step:
+    /// after k steps a node knows the max id within its k-ball.
+    #[test]
+    fn round_driver_information_speed(topo in topo_strategy(), k in 1u64..6) {
+        let mut net = Network::new(MaxFlood, PerfectMedium, topo.clone(), 1);
+        net.run(k);
+        for p in topo.nodes() {
+            let mut ball = topo.k_neighborhood(p, k as usize);
+            ball.push(p);
+            let expected = ball.iter().map(|q| q.value()).max().unwrap();
+            prop_assert_eq!(*net.state(p), expected, "node {} after {} steps", p, k);
+        }
+    }
+
+    /// Both drivers converge to the identical, exact fixpoint — from
+    /// cold start and after corrupting every node.
+    #[test]
+    fn drivers_agree_on_the_fixpoint(topo in topo_strategy(), seed in 0u64..10_000) {
+        let expected = component_max(&topo);
+        let mut net = Network::new(MaxFlood, PerfectMedium, topo.clone(), seed);
+        net.run_until_stable(|_, s| *s, 3, 500).expect("round driver converges");
+        prop_assert_eq!(net.states(), expected.as_slice());
+        net.corrupt_all();
+        net.run_until_stable(|_, s| *s, 3, 500).expect("round driver reconverges");
+        prop_assert_eq!(net.states(), expected.as_slice());
+
+        let mut driver = EventDriver::new(MaxFlood, topo, EventConfig::default(), seed);
+        driver
+            .run_until_stable(|_, s| *s, 1.0, 8, 2000.0)
+            .expect("event driver converges");
+        prop_assert_eq!(driver.states(), expected.as_slice());
+    }
+
+    /// Loss only delays convergence; it never changes the fixpoint.
+    #[test]
+    fn lossy_runs_reach_the_same_fixpoint(
+        topo in topo_strategy(),
+        seed in 0u64..10_000,
+        tau_percent in 25u32..95,
+    ) {
+        let expected = component_max(&topo);
+        let mut net = Network::new(
+            MaxFlood,
+            BernoulliLoss::new(f64::from(tau_percent) / 100.0),
+            topo,
+            seed,
+        );
+        net.run_until_stable(|_, s| *s, 10, 20_000).expect("converges");
+        prop_assert_eq!(net.states(), expected.as_slice());
+    }
+
+    /// A fault plan never prevents eventual convergence once its last
+    /// fault has fired (convergence property under transient faults).
+    #[test]
+    fn fault_plans_end_in_convergence(
+        topo in topo_strategy(),
+        seed in 0u64..10_000,
+        fault_step in 1u64..20,
+        fraction in 0.1f64..1.0,
+    ) {
+        let expected = component_max(&topo);
+        let mut plan = FaultPlan::new();
+        plan.at(fault_step, Fault::CorruptFraction(fraction))
+            .at(fault_step + 3, Fault::CorruptAll);
+        let mut net = Network::new(MaxFlood, PerfectMedium, topo, seed);
+        plan.run(&mut net, fault_step + 4);
+        net.run_until_stable(|_, s| *s, 3, 1000).expect("converges after faults");
+        prop_assert_eq!(net.states(), expected.as_slice());
+    }
+
+    /// Runs are bit-identical across repeats with the same seed, for
+    /// both drivers (the reproducibility contract).
+    #[test]
+    fn drivers_are_deterministic(topo in topo_strategy(), seed in 0u64..10_000) {
+        let round = |topo: &Topology| {
+            let mut net = Network::new(MaxFlood, BernoulliLoss::new(0.6), topo.clone(), seed);
+            net.run(15);
+            net.states().to_vec()
+        };
+        prop_assert_eq!(round(&topo), round(&topo));
+        let event = |topo: &Topology| {
+            let mut d = EventDriver::new(MaxFlood, topo.clone(), EventConfig::default(), seed);
+            d.run_until_time(10.0);
+            d.states().to_vec()
+        };
+        prop_assert_eq!(event(&topo), event(&topo));
+    }
+}

@@ -1,0 +1,87 @@
+use mwn_cluster::Clustering;
+
+/// Renders a grid clustering as ASCII art: one character per node,
+/// letters cycling per cluster, heads upper-cased and members
+/// lower-cased. Row 0 (bottom of the paper's grids) is printed last so
+/// the picture matches the paper's orientation.
+///
+/// Node `(x, y)` must have id `y * nx + x` (the layout produced by
+/// `mwn_graph::builders::grid`).
+///
+/// # Panics
+///
+/// Panics if `nx * ny` differs from the clustering's node count.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_cluster::{oracle, OracleConfig};
+/// use mwn_graph::builders;
+/// use mwn_viz::ascii_grid_clustering;
+///
+/// let topo = builders::grid(5, 4, 0.3);
+/// let clustering = oracle(&topo, &OracleConfig::default());
+/// let art = ascii_grid_clustering(&clustering, 5, 4);
+/// assert_eq!(art.lines().count(), 4);
+/// ```
+pub fn ascii_grid_clustering(clustering: &Clustering, nx: usize, ny: usize) -> String {
+    assert_eq!(
+        nx * ny,
+        clustering.len(),
+        "grid dimensions must match the clustering"
+    );
+    // Stable letter per head: position in the sorted head list.
+    let heads = clustering.heads();
+    let letter_of = |head: mwn_graph::NodeId| -> char {
+        let idx = heads.binary_search(&head).unwrap_or(0);
+        (b'a' + (idx % 26) as u8) as char
+    };
+    let mut out = String::with_capacity((nx + 1) * ny);
+    for y in (0..ny).rev() {
+        for x in 0..nx {
+            let p = mwn_graph::NodeId::new((y * nx + x) as u32);
+            let c = letter_of(clustering.head(p));
+            out.push(if clustering.is_head(p) {
+                c.to_ascii_uppercase()
+            } else {
+                c
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwn_cluster::{oracle, OracleConfig};
+    use mwn_graph::builders;
+
+    #[test]
+    fn dimensions_match() {
+        let topo = builders::grid(6, 3, 0.4);
+        let c = oracle(&topo, &OracleConfig::default());
+        let art = ascii_grid_clustering(&c, 6, 3);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 6));
+    }
+
+    #[test]
+    fn exactly_one_uppercase_per_cluster() {
+        let topo = builders::grid(5, 5, 0.3);
+        let c = oracle(&topo, &OracleConfig::default());
+        let art = ascii_grid_clustering(&c, 5, 5);
+        let uppers = art.chars().filter(|ch| ch.is_ascii_uppercase()).count();
+        assert_eq!(uppers, c.head_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn wrong_dimensions_panic() {
+        let topo = builders::grid(4, 4, 0.4);
+        let c = oracle(&topo, &OracleConfig::default());
+        let _ = ascii_grid_clustering(&c, 3, 3);
+    }
+}

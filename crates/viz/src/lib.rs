@@ -1,0 +1,26 @@
+//! Visualisation of network clusterings — reproduces the paper's
+//! Figures 2 and 3 (grid clusterings without / with the DAG renaming)
+//! as SVG files, plus a terminal-friendly ASCII renderer for grids.
+//!
+//! # Examples
+//!
+//! ```
+//! use mwn_cluster::{oracle, OracleConfig};
+//! use mwn_graph::builders;
+//! use mwn_viz::svg_clustering;
+//!
+//! let topo = builders::grid(6, 6, 0.25);
+//! let clustering = oracle(&topo, &OracleConfig::default());
+//! let svg = svg_clustering(&topo, &clustering);
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("<circle"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod svg;
+
+pub use ascii::ascii_grid_clustering;
+pub use svg::{svg_clustering, write_svg_clustering};

@@ -1,0 +1,139 @@
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use mwn_cluster::Clustering;
+use mwn_graph::Topology;
+
+/// Renders a clustering as an SVG document.
+///
+/// Radio links are drawn as light gray lines, cluster-tree edges
+/// (parent pointers) as heavier lines in the cluster's color, member
+/// nodes as filled circles and cluster-heads as larger, stroked
+/// circles. Cluster colors are spread over the hue wheel by the
+/// golden-angle trick so neighboring clusters are easy to tell apart —
+/// giving the same reading as the paper's Figures 2 and 3.
+///
+/// # Panics
+///
+/// Panics if the topology carries no positions.
+pub fn svg_clustering(topo: &Topology, clustering: &Clustering) -> String {
+    let positions = topo
+        .positions()
+        .expect("rendering requires node positions");
+    let size = 800.0;
+    let margin = 20.0;
+    let place = |i: usize| {
+        let p = positions[i];
+        (
+            margin + p.x * (size - 2.0 * margin),
+            // SVG y grows downward; the paper's grids grow upward.
+            size - margin - p.y * (size - 2.0 * margin),
+        )
+    };
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{size}\" height=\"{size}\" \
+         viewBox=\"0 0 {size} {size}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+    );
+    // Radio links.
+    let _ = writeln!(out, "<g stroke=\"#dddddd\" stroke-width=\"0.5\">");
+    for (u, v) in topo.edges() {
+        let (x1, y1) = place(u.index());
+        let (x2, y2) = place(v.index());
+        let _ = writeln!(out, "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\"/>");
+    }
+    let _ = writeln!(out, "</g>");
+    // Tree edges, colored by cluster.
+    let _ = writeln!(out, "<g stroke-width=\"1.6\">");
+    for p in topo.nodes() {
+        let f = clustering.parent(p);
+        if f != p {
+            let (x1, y1) = place(p.index());
+            let (x2, y2) = place(f.index());
+            let color = cluster_color(clustering.head(p).value());
+            let _ = writeln!(
+                out,
+                "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"{color}\"/>"
+            );
+        }
+    }
+    let _ = writeln!(out, "</g>");
+    // Nodes.
+    for p in topo.nodes() {
+        let (x, y) = place(p.index());
+        let color = cluster_color(clustering.head(p).value());
+        if clustering.is_head(p) {
+            let _ = writeln!(
+                out,
+                "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"7\" fill=\"{color}\" \
+                 stroke=\"black\" stroke-width=\"2\"/>"
+            );
+        } else {
+            let _ = writeln!(out, "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"3.5\" fill=\"{color}\"/>");
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders and writes the SVG to `path`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from writing the file.
+pub fn write_svg_clustering(
+    path: impl AsRef<Path>,
+    topo: &Topology,
+    clustering: &Clustering,
+) -> io::Result<()> {
+    std::fs::write(path, svg_clustering(topo, clustering))
+}
+
+/// A well-spread color for cluster `seed`: golden-angle hue walk.
+fn cluster_color(seed: u32) -> String {
+    let hue = (f64::from(seed) * 137.507_764) % 360.0;
+    format!("hsl({hue:.0}, 70%, 45%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwn_cluster::{oracle, OracleConfig};
+    use mwn_graph::builders;
+
+    #[test]
+    fn svg_contains_every_node() {
+        let topo = builders::grid(4, 4, 0.4);
+        let c = oracle(&topo, &OracleConfig::default());
+        let svg = svg_clustering(&topo, &c);
+        assert_eq!(svg.matches("<circle").count(), 16);
+        assert!(svg.contains("stroke=\"black\""), "head markers present");
+    }
+
+    #[test]
+    fn heads_get_distinct_colors() {
+        assert_ne!(cluster_color(0), cluster_color(1));
+        assert_ne!(cluster_color(1), cluster_color(2));
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let topo = builders::grid(3, 3, 0.6);
+        let c = oracle(&topo, &OracleConfig::default());
+        let dir = std::env::temp_dir().join("mwn_viz_test.svg");
+        write_svg_clustering(&dir, &topo, &c).unwrap();
+        let body = std::fs::read_to_string(&dir).unwrap();
+        assert!(body.starts_with("<svg"));
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "positions")]
+    fn positionless_topology_panics() {
+        let topo = mwn_graph::Topology::from_edges(2, &[(0, 1)]).unwrap();
+        let c = oracle(&topo, &OracleConfig::default());
+        let _ = svg_clustering(&topo, &c);
+    }
+}

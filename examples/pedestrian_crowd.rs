@@ -1,0 +1,66 @@
+//! Pedestrian crowd: the paper's mobility experiment in miniature.
+//! A crowd drifts at walking speed; every 2 seconds we re-cluster and
+//! measure how many cluster-heads kept their role — once with the
+//! Section 4.3 stability rules (incumbency + fusion), once without.
+//!
+//! ```sh
+//! cargo run --example pedestrian_crowd
+//! ```
+
+use rand::SeedableRng;
+use selfstab::prelude::*;
+
+fn main() {
+    let seconds = 120.0;
+    let tick = 2.0;
+    let vmax = 1.6; // m/s — the paper's pedestrian bound
+
+    for improved in [true, false] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let topo = builders::poisson(500.0, 0.1, &mut rng);
+        let n = topo.len();
+        let model = RandomWaypoint::new(n, 0.0..=meters_per_second(vmax), 0.0);
+        let mut scenario = MobileScenario::new(topo, model, 77);
+
+        let cluster = |topo: &Topology, prev: Option<&Clustering>| -> Clustering {
+            if improved {
+                let prev_heads =
+                    prev.map(|c| topo.nodes().map(|p| c.is_head(p)).collect::<Vec<bool>>());
+                oracle(
+                    topo,
+                    &OracleConfig {
+                        order: OrderKind::Stable,
+                        rule: HeadRule::Fusion,
+                        prev_heads,
+                        ..OracleConfig::default()
+                    },
+                )
+            } else {
+                oracle(topo, &OracleConfig::default())
+            }
+        };
+
+        let mut prev = cluster(scenario.topology(), None);
+        let mut persistence = RunningStats::new();
+        let mut heads = RunningStats::new();
+        let ticks = (seconds / tick) as usize;
+        for _ in 0..ticks {
+            scenario.advance(tick);
+            let next = cluster(scenario.topology(), Some(&prev));
+            persistence.push(next.head_persistence_from(&prev) * 100.0);
+            heads.push(next.head_count() as f64);
+            prev = next;
+        }
+        println!(
+            "{:<22} heads kept per 2 s: {:5.1}%  (mean clusters: {:.1})",
+            if improved {
+                "with 4.3 rules:"
+            } else {
+                "without 4.3 rules:"
+            },
+            persistence.mean(),
+            heads.mean()
+        );
+    }
+    println!("\npaper (15 min, 0-1.6 m/s): 82% with the rules vs 78% without");
+}

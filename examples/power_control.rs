@@ -1,0 +1,63 @@
+//! Power control: the paper's density-bound knob. Section 3 assumes a
+//! known constant δ bounding every neighborhood and notes that "a
+//! control on density can be done by adjusting their communication
+//! range and/or powering off nodes in areas that are too dense". This
+//! example plays the operator: pick the largest radio range whose
+//! predicted mean degree stays under a target, deploy, verify δ, and
+//! confirm the clustering quality across ranges.
+//!
+//! ```sh
+//! cargo run --example power_control
+//! ```
+
+use rand::SeedableRng;
+use selfstab::graph::stats::{expected_poisson_degree, DegreeStats};
+use selfstab::prelude::*;
+
+fn main() {
+    let lambda = 1000.0;
+    let target_mean_degree = 10.0;
+
+    // The analytic knob: mean degree ≈ λ·π·R².
+    let r_star = (target_mean_degree / (lambda * std::f64::consts::PI)).sqrt();
+    println!(
+        "λ = {lambda}: to keep the mean degree ≤ {target_mean_degree}, \
+         the model says R ≤ {r_star:.4} ({}m on a 1 km side)",
+        (r_star * 1000.0).round()
+    );
+
+    let mut table = Table::new("range sweep: degree control vs clustering quality");
+    table.set_headers([
+        "R",
+        "predicted deg",
+        "measured deg",
+        "δ",
+        "isolated",
+        "clusters",
+        "ecc",
+    ]);
+    for radius in [0.04, 0.06, r_star, 0.1, 0.13] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let topo = builders::poisson(lambda, radius, &mut rng);
+        let stats = DegreeStats::of(&topo);
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let cs = ClusteringStats::of(&topo, &clustering).expect("non-empty");
+        table.add_row(
+            format!("{radius:.3}"),
+            vec![
+                format!("{:.1}", expected_poisson_degree(lambda, radius)),
+                format!("{:.1}", stats.mean),
+                stats.max.to_string(),
+                stats.isolated.to_string(),
+                format!("{:.0}", cs.clusters),
+                format!("{:.2}", cs.mean_head_eccentricity),
+            ],
+        );
+    }
+    println!("{table}");
+    println!(
+        "Reading: below R* coverage fragments (isolated nodes); above it the\n\
+         neighborhoods — and the DAG name space γ = δ² the protocol needs —\n\
+         grow quadratically for no extra clustering quality."
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: deploy a random field, run the self-stabilizing
+//! density clustering, and inspect the result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use selfstab::prelude::*;
+
+fn main() {
+    // The paper's Section 5 deployment: a Poisson field of intensity
+    // λ = 1000 on the unit square (read as 1 km²), radio range 100 m.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2005);
+    let topo = builders::poisson(1000.0, 0.1, &mut rng);
+    println!(
+        "deployed {} nodes, {} links, max degree δ = {}",
+        topo.len(),
+        topo.edge_count(),
+        topo.max_degree()
+    );
+
+    // Run the distributed protocol over a perfect medium until the
+    // election output is stable.
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig::default()),
+        PerfectMedium,
+        topo,
+        7,
+    );
+    let stabilized = net
+        .run_until_stable(|_, s| s.output(), 3, 1000)
+        .expect("the protocol stabilizes (Lemma 2)");
+    println!("stabilized after {stabilized} steps (Δ(τ) units)");
+
+    // Extract and verify the clustering.
+    let clustering = extract_clustering(net.states()).expect("stable states are clean");
+    check_legitimate(&net).expect("configuration is legitimate");
+    assert_eq!(
+        clustering,
+        oracle(net.topology(), &OracleConfig::default()),
+        "distributed result equals the centralized fixpoint"
+    );
+
+    let stats = ClusteringStats::of(net.topology(), &clustering).expect("non-empty");
+    println!(
+        "clusters: {} | mean size: {:.1} | mean tree length: {:.2} | mean head eccentricity: {:.2}",
+        stats.clusters, stats.mean_cluster_size, stats.mean_tree_length,
+        stats.mean_head_eccentricity
+    );
+
+    // Show the three largest clusters.
+    let mut clusters = clustering.clusters();
+    clusters.sort_by_key(|(_, members)| std::cmp::Reverse(members.len()));
+    for (head, members) in clusters.iter().take(3) {
+        println!(
+            "  head {head}: {} members, density {:.3}",
+            members.len(),
+            density_of(net.topology(), *head).as_f64()
+        );
+    }
+}

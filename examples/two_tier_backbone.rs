@@ -1,0 +1,48 @@
+//! Two-tier backbone: the hierarchical-clustering extension from the
+//! paper's conclusion. Cluster a large field, then cluster the
+//! cluster-head overlay, producing the kind of multi-level structure
+//! hierarchical routing needs. Writes one SVG per level.
+//!
+//! ```sh
+//! cargo run --example two_tier_backbone
+//! ```
+
+use rand::SeedableRng;
+use selfstab::prelude::*;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let topo = builders::poisson(1200.0, 0.06, &mut rng);
+    println!(
+        "field: {} nodes, {} links, δ = {}",
+        topo.len(),
+        topo.edge_count(),
+        topo.max_degree()
+    );
+
+    let hierarchy = build_hierarchy(&topo, &OracleConfig::default(), 10);
+    println!("hierarchy depth: {} levels", hierarchy.depth());
+    for (k, level) in hierarchy.levels().iter().enumerate() {
+        println!(
+            "  level {k}: {:4} nodes → {:4} clusters (mean size {:.1})",
+            level.members.len(),
+            level.clustering.head_count(),
+            level.members.len() as f64 / level.clustering.head_count().max(1) as f64
+        );
+        let path = format!("backbone_level{k}.svg");
+        write_svg_clustering(&path, &level.topology, &level.clustering)
+            .expect("write level SVG");
+    }
+    println!(
+        "top-level roots: {:?}",
+        hierarchy.top_heads()
+    );
+
+    // Hierarchical addressing: where does an arbitrary node report?
+    let p = NodeId::new(0);
+    let chain: Vec<String> = (0..hierarchy.depth())
+        .map(|k| hierarchy.head_of(p, k).expect("in range").to_string())
+        .collect();
+    println!("node {p} reports via: {}", chain.join(" → "));
+    println!("wrote backbone_level*.svg");
+}

@@ -1,0 +1,90 @@
+//! **selfstab** — self-stabilizing density-driven clustering for
+//! multihop wireless networks.
+//!
+//! A complete, tested reproduction of
+//!
+//! > N. Mitton, E. Fleury, I. Guérin Lassous, S. Tixeuil.
+//! > *Self-stabilization in self-organized multihop wireless networks.*
+//! > ICDCS 2005 / INRIA RR-5426.
+//!
+//! This facade re-exports the workspace crates under stable module
+//! names:
+//!
+//! * [`graph`] — topologies, deployments, neighborhoods;
+//! * [`radio`] — wireless media (perfect / Bernoulli-τ / slotted CSMA);
+//! * [`sim`] — guarded-command drivers (synchronous steps, events);
+//! * [`mobility`] — random-waypoint / random-direction movement;
+//! * [`cluster`] — the paper's protocol, DAG renaming, oracle, metrics;
+//! * [`baselines`] — lowest-id, highest-degree, max-min d-cluster;
+//! * [`metrics`] — statistics and experiment tables;
+//! * [`viz`] — SVG / ASCII rendering of clusterings.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use selfstab::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // Deploy a 1000-intensity Poisson field with 100 m radio range
+//! // (the paper's Section 5 setting) …
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let topo = builders::poisson(1000.0, 0.1, &mut rng);
+//!
+//! // … run the self-stabilizing protocol over a perfect medium …
+//! let mut net = Network::new(
+//!     DensityCluster::new(ClusterConfig::default()),
+//!     PerfectMedium,
+//!     topo,
+//!     1,
+//! );
+//! net.run_until_stable(|_, s| s.output(), 3, 500).expect("stabilizes");
+//!
+//! // … and read off the clusters.
+//! let clustering = extract_clustering(net.states()).expect("stable");
+//! assert!(clustering.head_count() > 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mwn_baselines as baselines;
+pub use mwn_cluster as cluster;
+pub use mwn_graph as graph;
+pub use mwn_metrics as metrics;
+pub use mwn_mobility as mobility;
+pub use mwn_radio as radio;
+pub use mwn_sim as sim;
+pub use mwn_viz as viz;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use mwn_cluster::{
+        build_hierarchy, check_legitimate, density_of, energy_aware_clustering,
+        extract_clustering, extract_dag_ids, oracle, simulate_rotation, ClusterConfig,
+        Clustering, ClusteringStats, DagConfig, DagProtocol, DagVariant, Density,
+        DensityCluster, EnergyModel, HeadRule, Hierarchy, MetricKind, NameSpace,
+        OracleConfig, OrderKind,
+    };
+    pub use mwn_graph::{builders, NodeId, Point2, Topology};
+    pub use mwn_metrics::{run_seeds, RunningStats, Table};
+    pub use mwn_mobility::{meters_per_second, MobileScenario, RandomDirection, RandomWaypoint};
+    pub use mwn_radio::{
+        measure_tau, BernoulliLoss, CaptureCsma, DistanceFading, Medium, PerfectMedium,
+        SlottedCsma, Thinned,
+    };
+    pub use mwn_sim::{
+        Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Protocol, Trace,
+    };
+    pub use mwn_viz::{ascii_grid_clustering, svg_clustering, write_svg_clustering};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reexports() {
+        use crate::prelude::*;
+        let topo = builders::line(3);
+        let c = oracle(&topo, &OracleConfig::default());
+        assert!(c.head_count() >= 1);
+    }
+}

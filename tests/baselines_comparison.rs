@@ -1,0 +1,144 @@
+//! Baseline comparisons: the structural claims the paper makes when
+//! positioning density clustering against lowest-id, highest-degree
+//! and max-min d-cluster (Sections 2 and 3).
+
+use mwn_baselines::{highest_degree_config, lowest_id_config, max_min_clustering};
+use rand::SeedableRng;
+use selfstab::prelude::*;
+
+fn field(seed: u64) -> Topology {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    builders::poisson(300.0, 0.1, &mut rng)
+}
+
+#[test]
+fn all_baselines_produce_valid_clusterings() {
+    let topo = field(1);
+    let clusterings = vec![
+        ("density", oracle(&topo, &OracleConfig::default())),
+        ("lowest-id", oracle(&topo, &lowest_id_config())),
+        ("degree", oracle(&topo, &highest_degree_config())),
+        ("max-min-2", max_min_clustering(&topo, 2)),
+    ];
+    for (name, c) in clusterings {
+        assert_eq!(c.len(), topo.len(), "{name}");
+        assert!(c.head_count() >= 1, "{name}");
+        for p in topo.nodes() {
+            assert!(c.is_head(c.head(p)), "{name}: dangling head for {p}");
+            assert!(
+                c.depth_in_hops(&topo, p).is_some(),
+                "{name}: broken chain at {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_hop_metrics_never_elect_adjacent_heads() {
+    let topo = field(2);
+    for (name, cfg) in [
+        ("density", OracleConfig::default()),
+        ("lowest-id", lowest_id_config()),
+        ("degree", highest_degree_config()),
+    ] {
+        let c = oracle(&topo, &cfg);
+        for h in c.heads() {
+            for &q in topo.neighbors(h) {
+                assert!(!c.is_head(q), "{name}: adjacent heads {h}, {q}");
+            }
+        }
+    }
+}
+
+#[test]
+fn density_is_no_worse_than_degree_under_node_arrival() {
+    // The density argument (Section 3): one node arriving changes the
+    // degree of all its neighbors but barely moves their densities, so
+    // fewer heads flip. Simulate arrivals by toggling nodes' links.
+    let topo = field(3);
+    let density_before = oracle(&topo, &OracleConfig::default());
+    let degree_before = oracle(&topo, &highest_degree_config());
+    let mut flips_density = 0usize;
+    let mut flips_degree = 0usize;
+    for victim in topo.nodes().take(25) {
+        let mut t = topo.clone();
+        let nbrs: Vec<NodeId> = t.neighbors(victim).to_vec();
+        for q in nbrs {
+            t.remove_edge(victim, q);
+        }
+        let density_after = oracle(&t, &OracleConfig::default());
+        let degree_after = oracle(&t, &highest_degree_config());
+        flips_density += topo
+            .nodes()
+            .filter(|&p| p != victim && density_before.is_head(p) != density_after.is_head(p))
+            .count();
+        flips_degree += topo
+            .nodes()
+            .filter(|&p| p != victim && degree_before.is_head(p) != degree_after.is_head(p))
+            .count();
+    }
+    assert!(
+        flips_density <= flips_degree + 5,
+        "density flipped {flips_density} heads vs degree {flips_degree}"
+    );
+}
+
+#[test]
+fn max_min_with_larger_d_gives_fewer_clusters_than_density() {
+    let topo = field(4);
+    let density = oracle(&topo, &OracleConfig::default()).head_count();
+    let mm3 = max_min_clustering(&topo, 3).head_count();
+    // d = 3 covers 3-hop balls; density clusters grow organically but
+    // heads are only guaranteed non-adjacent — max-min should not
+    // produce *more* clusters at this d.
+    assert!(
+        mm3 <= density * 2,
+        "max-min d=3 gave {mm3} clusters vs density {density}"
+    );
+}
+
+#[test]
+fn unit_metric_distributed_run_equals_lowest_id_oracle() {
+    let topo = field(5);
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig {
+            metric: MetricKind::Unit,
+            ..ClusterConfig::default()
+        }),
+        PerfectMedium,
+        topo,
+        5,
+    );
+    net.run_until_stable(|_, s| s.output(), 3, 500).expect("stabilizes");
+    let got = extract_clustering(net.states()).unwrap();
+    assert_eq!(got, oracle(net.topology(), &lowest_id_config()));
+}
+
+#[test]
+fn density_beats_lowest_id_on_the_adversarial_grid() {
+    // On the row-major grid, lowest-id *and* density-without-DAG both
+    // collapse; density-with-DAG does not. This is the paper's whole
+    // point — check the three-way comparison explicitly.
+    let topo = builders::grid(16, 16, 0.05 * 31.0 / 15.0);
+    let lowest = oracle(&topo, &lowest_id_config());
+    assert_eq!(lowest.head_count(), 1, "lowest-id collapses");
+    let no_dag = oracle(&topo, &OracleConfig::default());
+    assert_eq!(no_dag.head_count(), 1, "density without DAG collapses");
+    let gamma = NameSpace::delta_squared(topo.max_degree());
+    let config = ClusterConfig {
+        dag: Some(DagConfig {
+            gamma,
+            variant: DagVariant::SmallestIdRedraws,
+        }),
+        ..ClusterConfig::default()
+    };
+    let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo, 6);
+    net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, 1000)
+        .expect("stabilizes");
+    let with_dag = extract_clustering(net.states()).unwrap();
+    assert!(
+        with_dag.head_count() > 5,
+        "DAG renaming must break the collapse, got {}",
+        with_dag.head_count()
+    );
+}

@@ -1,0 +1,102 @@
+//! Whole-stack reproducibility: every pipeline in the repository is a
+//! pure function of its seed. This is what makes the 1000-run
+//! experiment averages, the regression tests and the EXPERIMENTS.md
+//! numbers meaningful.
+
+use rand::SeedableRng;
+use selfstab::prelude::*;
+
+fn pipeline(seed: u64) -> (Vec<NodeId>, Vec<u32>, String) {
+    // deploy → DAG-enabled clustering over CSMA → render
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let topo = builders::poisson(200.0, 0.12, &mut rng);
+    let gamma = NameSpace::delta_squared(topo.max_degree().max(1));
+    let config = ClusterConfig {
+        dag: Some(DagConfig {
+            gamma,
+            variant: DagVariant::Randomized,
+        }),
+        cache_ttl: 16,
+        ..ClusterConfig::default()
+    };
+    let mut net = Network::new(
+        DensityCluster::new(config),
+        SlottedCsma::new(16),
+        topo,
+        seed,
+    );
+    net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 20, 20_000)
+        .expect("stabilizes");
+    let clustering = extract_clustering(net.states()).expect("clean");
+    let svg = svg_clustering(net.topology(), &clustering);
+    (clustering.heads(), extract_dag_ids(net.states()), svg)
+}
+
+#[test]
+fn full_pipeline_is_a_function_of_the_seed() {
+    let a = pipeline(77);
+    let b = pipeline(77);
+    assert_eq!(a.0, b.0, "heads differ across identical runs");
+    assert_eq!(a.1, b.1, "DAG names differ across identical runs");
+    assert_eq!(a.2, b.2, "even the SVG bytes must match");
+    let c = pipeline(78);
+    assert_ne!(a.1, c.1, "different seeds explore different randomness");
+}
+
+#[test]
+fn mobility_pipeline_is_deterministic() {
+    let run = |seed: u64| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = builders::poisson(150.0, 0.1, &mut rng);
+        let n = topo.len();
+        let model = RandomWaypoint::new(n, 0.0..=meters_per_second(5.0), 1.0);
+        let mut scenario = MobileScenario::new(topo, model, seed);
+        let mut persistence = Vec::new();
+        let mut prev = oracle(scenario.topology(), &OracleConfig::default());
+        for _ in 0..20 {
+            scenario.advance(2.0);
+            let next = oracle(scenario.topology(), &OracleConfig::default());
+            persistence.push((next.head_persistence_from(&prev) * 1e6) as u64);
+            prev = next;
+        }
+        persistence
+    };
+    assert_eq!(run(5), run(5));
+}
+
+#[test]
+fn parallel_seed_runner_is_schedule_independent() {
+    // The same experiment through run_seeds twice — thread scheduling
+    // must not leak into results.
+    let experiment = |seed: u64| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = builders::poisson(120.0, 0.12, &mut rng);
+        oracle(&topo, &OracleConfig::default()).head_count()
+    };
+    let a = run_seeds(24, 9, experiment);
+    let b = run_seeds(24, 9, experiment);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn event_driver_trajectories_replay_exactly() {
+    let run = |seed: u64| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = builders::poisson(100.0, 0.12, &mut rng);
+        let mut driver = EventDriver::new(
+            DensityCluster::new(ClusterConfig {
+                cache_ttl: 10,
+                ..ClusterConfig::default()
+            }),
+            topo,
+            EventConfig::default(),
+            seed,
+        );
+        driver.run_until_time(40.0);
+        (
+            driver.measured_tau(),
+            driver.states().iter().map(|s| s.output()).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(3), run(3));
+}

@@ -1,0 +1,138 @@
+//! Dynamics integration tests: the protocol running *while* the
+//! topology changes under it — mobility re-convergence, incremental
+//! link churn, and the stability benefit of the Section 4.3 rules.
+
+use rand::SeedableRng;
+use selfstab::prelude::*;
+
+#[test]
+fn protocol_restabilizes_after_each_mobility_burst() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let topo = builders::poisson(200.0, 0.12, &mut rng);
+    let n = topo.len();
+    let model = RandomWaypoint::new(n, 0.0..=meters_per_second(10.0), 0.0);
+    let mut scenario = MobileScenario::new(topo.clone(), model, 11);
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig::default()),
+        PerfectMedium,
+        topo,
+        11,
+    );
+    net.run(25);
+    for burst in 0..6 {
+        // 10 seconds of vehicular movement, then let the protocol run.
+        scenario.advance(10.0);
+        net.set_topology(scenario.topology().clone());
+        net.run_until_stable(|_, s| s.output(), 4, 50_000)
+            .unwrap_or_else(|| panic!("burst {burst}: no restabilization"));
+        let got = extract_clustering(net.states()).expect("clean");
+        let want = oracle(net.topology(), &OracleConfig::default());
+        assert_eq!(got, want, "burst {burst}");
+    }
+}
+
+#[test]
+fn continuous_small_churn_keeps_output_near_fixpoint() {
+    // One link flap per step: the protocol chases the moving fixpoint;
+    // when churn stops it must land exactly on it.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let base = builders::uniform(60, 0.18, &mut rng);
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig::default()),
+        PerfectMedium,
+        base.clone(),
+        12,
+    );
+    net.run(20);
+    let edges: Vec<(NodeId, NodeId)> = base.edges().collect();
+    for (i, &(u, v)) in edges.iter().take(30).enumerate() {
+        let mut topo = net.topology().clone();
+        if i % 2 == 0 {
+            topo.remove_edge(u, v);
+        } else {
+            topo.add_edge(u, v).unwrap();
+        }
+        net.set_topology(topo);
+        net.run(1);
+    }
+    // Restore the exact original topology and settle.
+    net.set_topology(base);
+    net.run_until_stable(|_, s| s.output(), 4, 5000)
+        .expect("settles after churn stops");
+    let got = extract_clustering(net.states()).expect("clean");
+    assert_eq!(got, oracle(net.topology(), &OracleConfig::default()));
+}
+
+#[test]
+fn incumbency_reduces_reelections_under_mobility() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let topo = builders::poisson(300.0, 0.1, &mut rng);
+    let n = topo.len();
+
+    let measure = |improved: bool| -> f64 {
+        let model = RandomWaypoint::new(n, 0.0..=meters_per_second(1.6), 0.0);
+        let mut scenario = MobileScenario::new(topo.clone(), model, 13);
+        let mut prev = oracle(scenario.topology(), &OracleConfig::default());
+        let mut persistence = RunningStats::new();
+        for _ in 0..40 {
+            scenario.advance(2.0);
+            let cfg = if improved {
+                OracleConfig {
+                    order: OrderKind::Stable,
+                    rule: HeadRule::Fusion,
+                    prev_heads: Some(
+                        scenario.topology().nodes().map(|p| prev.is_head(p)).collect(),
+                    ),
+                    ..OracleConfig::default()
+                }
+            } else {
+                OracleConfig::default()
+            };
+            let next = oracle(scenario.topology(), &cfg);
+            persistence.push(next.head_persistence_from(&prev));
+            prev = next;
+        }
+        persistence.mean()
+    };
+
+    let with_rules = measure(true);
+    let without = measure(false);
+    assert!(
+        with_rules >= without - 0.02,
+        "4.3 rules: {with_rules:.3} vs basic {without:.3}"
+    );
+}
+
+#[test]
+fn mobile_scenario_with_live_protocol_round_per_tick() {
+    // The fully coupled loop: each 2-second tick moves nodes AND runs
+    // protocol steps (no oracle involved). The clustering must remain
+    // structurally sane throughout: head claims resolve to nodes that
+    // claim themselves once the network quiesces at the end.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+    let topo = builders::poisson(150.0, 0.12, &mut rng);
+    let n = topo.len();
+    let model = RandomWaypoint::new(n, 0.0..=meters_per_second(1.6), 0.0);
+    let mut scenario = MobileScenario::new(topo.clone(), model, 14);
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig {
+            cache_ttl: 3,
+            ..ClusterConfig::default()
+        }),
+        PerfectMedium,
+        topo,
+        14,
+    );
+    net.run(10);
+    for _ in 0..30 {
+        scenario.advance(2.0);
+        net.set_topology(scenario.topology().clone());
+        net.run(2); // a couple of beacon rounds per tick
+    }
+    // Movement stops; the protocol must stabilize to the oracle of the
+    // final topology.
+    net.run_until_stable(|_, s| s.output(), 4, 5000)
+        .expect("stabilizes once movement stops");
+    let got = extract_clustering(net.states()).expect("clean");
+    assert_eq!(got, oracle(net.topology(), &OracleConfig::default()));
+}

@@ -1,0 +1,203 @@
+//! End-to-end integration: the full protocol stack (graph + radio +
+//! sim + cluster) across topology families, media and configurations,
+//! verified against the centralized oracle and the legitimacy
+//! predicate.
+
+use rand::SeedableRng;
+use selfstab::prelude::*;
+
+fn topologies() -> Vec<(&'static str, Topology)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+    vec![
+        ("line", builders::line(12)),
+        ("ring", builders::ring(15)),
+        ("star", builders::star(10)),
+        ("grid", builders::grid(7, 7, 0.22)),
+        ("poisson", builders::poisson(250.0, 0.12, &mut rng)),
+        ("uniform-dense", builders::uniform(60, 0.3, &mut rng)),
+        ("two-components", {
+            let mut t = builders::uniform(40, 0.12, &mut rng);
+            // Split the square: remove all edges crossing x = 0.5.
+            let cross: Vec<(NodeId, NodeId)> = t
+                .edges()
+                .filter(|&(u, v)| {
+                    let a = t.position(u).unwrap().x;
+                    let b = t.position(v).unwrap().x;
+                    (a < 0.5) != (b < 0.5)
+                })
+                .collect();
+            for (u, v) in cross {
+                t.remove_edge(u, v);
+            }
+            t
+        }),
+    ]
+}
+
+#[test]
+fn every_topology_stabilizes_to_the_oracle() {
+    for (name, topo) in topologies() {
+        let mut net = Network::new(
+            DensityCluster::new(ClusterConfig::default()),
+            PerfectMedium,
+            topo,
+            42,
+        );
+        net.run_until_stable(|_, s| s.output(), 3, 500)
+            .unwrap_or_else(|| panic!("{name}: did not stabilize"));
+        let got = extract_clustering(net.states()).expect("clean");
+        let want = oracle(net.topology(), &OracleConfig::default());
+        assert_eq!(got, want, "{name}");
+        check_legitimate(&net).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn every_configuration_stabilizes() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let topo = builders::uniform(80, 0.16, &mut rng);
+    let gamma = NameSpace::delta_squared(topo.max_degree());
+    let configs = [
+        ("basic", ClusterConfig::default()),
+        (
+            "incumbency",
+            ClusterConfig {
+                order: OrderKind::Stable,
+                ..ClusterConfig::default()
+            },
+        ),
+        (
+            "fusion",
+            ClusterConfig {
+                rule: HeadRule::Fusion,
+                ..ClusterConfig::default()
+            },
+        ),
+        (
+            "dag-randomized",
+            ClusterConfig {
+                dag: Some(DagConfig {
+                    gamma,
+                    variant: DagVariant::Randomized,
+                }),
+                ..ClusterConfig::default()
+            },
+        ),
+        (
+            "everything",
+            ClusterConfig {
+                order: OrderKind::Stable,
+                rule: HeadRule::Fusion,
+                dag: Some(DagConfig {
+                    gamma,
+                    variant: DagVariant::SmallestIdRedraws,
+                }),
+                ..ClusterConfig::default()
+            },
+        ),
+        (
+            "degree-metric",
+            ClusterConfig {
+                metric: MetricKind::Degree,
+                ..ClusterConfig::default()
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        config
+            .validate_for(&topo)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo.clone(), 7);
+        net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 5, 2000)
+            .unwrap_or_else(|| panic!("{name}: did not stabilize"));
+        let clustering = extract_clustering(net.states()).expect("clean");
+        assert!(clustering.head_count() >= 1, "{name}");
+        check_legitimate(&net).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn fusion_separates_heads_by_three_hops_end_to_end() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let topo = builders::uniform(120, 0.14, &mut rng);
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig {
+            rule: HeadRule::Fusion,
+            ..ClusterConfig::default()
+        }),
+        PerfectMedium,
+        topo,
+        9,
+    );
+    net.run_until_stable(|_, s| s.output(), 5, 1000).expect("stabilizes");
+    let clustering = extract_clustering(net.states()).unwrap();
+    for h in clustering.heads() {
+        for q in net.topology().two_hop_neighborhood(h) {
+            assert!(!clustering.is_head(q), "heads {h} and {q} within 2 hops");
+        }
+    }
+}
+
+#[test]
+fn disconnected_components_cluster_independently() {
+    let mut topo = builders::line(9);
+    topo.remove_edge(NodeId::new(4), NodeId::new(5));
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig::default()),
+        PerfectMedium,
+        topo,
+        3,
+    );
+    net.run_until_stable(|_, s| s.output(), 3, 200).expect("stabilizes");
+    let clustering = extract_clustering(net.states()).unwrap();
+    // Heads on both sides of the cut.
+    let left = (0..5).map(NodeId::new).any(|p| clustering.is_head(p));
+    let right = (5..9).map(NodeId::new).any(|p| clustering.is_head(p));
+    assert!(left && right);
+    // No head claim crosses the cut.
+    for p in (0..5).map(NodeId::new) {
+        assert!(clustering.head(p).value() < 5);
+    }
+    for p in (5..9).map(NodeId::new) {
+        assert!(clustering.head(p).value() >= 5);
+    }
+}
+
+#[test]
+fn statistics_pipeline_runs_over_many_seeds() {
+    // graph → sim → cluster → metrics, fanned out over threads.
+    let stats: RunningStats = run_seeds(16, 5, |seed| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = builders::poisson(200.0, 0.12, &mut rng);
+        let mut net = Network::new(
+            DensityCluster::new(ClusterConfig::default()),
+            PerfectMedium,
+            topo,
+            seed,
+        );
+        net.run_until_stable(|_, s| s.output(), 3, 500).expect("stabilizes");
+        let clustering = extract_clustering(net.states()).unwrap();
+        clustering.head_count() as f64
+    })
+    .into_iter()
+    .collect();
+    assert_eq!(stats.count(), 16);
+    assert!(stats.mean() > 1.0, "mean clusters {}", stats.mean());
+}
+
+#[test]
+fn viz_renders_stable_clusterings() {
+    let topo = builders::grid(6, 6, 0.25);
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig::default()),
+        PerfectMedium,
+        topo,
+        4,
+    );
+    net.run(20);
+    let clustering = extract_clustering(net.states()).unwrap();
+    let svg = svg_clustering(net.topology(), &clustering);
+    assert_eq!(svg.matches("<circle").count(), 36);
+    let art = ascii_grid_clustering(&clustering, 6, 6);
+    assert_eq!(art.lines().count(), 6);
+}

@@ -1,0 +1,151 @@
+//! The paper's running example (Figure 1 / Table 1), end to end over
+//! every medium and driver: the distributed protocol must always
+//! recover the two clusters headed by `h` and `j`.
+
+use rand::SeedableRng;
+use selfstab::prelude::*;
+
+fn paper_heads() -> Vec<NodeId> {
+    // Label mapping (builders::FIG1_LABELS): j = 5, h = 7.
+    vec![NodeId::new(5), NodeId::new(7)]
+}
+
+fn assert_paper_clustering(clustering: &Clustering) {
+    assert_eq!(clustering.heads(), paper_heads());
+    // Cluster membership from the paper's walkthrough: c joins b joins
+    // h; f and g join j.
+    let topo = builders::fig1_example();
+    let by_label = |c: char| {
+        NodeId::new(
+            builders::FIG1_LABELS
+                .iter()
+                .position(|&l| l == c)
+                .unwrap() as u32,
+        )
+    };
+    let h = by_label('h');
+    let j = by_label('j');
+    for member in ['a', 'b', 'c', 'd', 'e', 'i'] {
+        assert_eq!(clustering.head(by_label(member)), h, "member {member}");
+    }
+    for member in ['f', 'g'] {
+        assert_eq!(clustering.head(by_label(member)), j, "member {member}");
+    }
+    let _ = topo;
+}
+
+#[test]
+fn table1_densities_match_the_paper() {
+    let topo = builders::fig1_example();
+    let expect = [
+        ('a', 1.0),
+        ('b', 1.25),
+        ('c', 1.0),
+        ('e', 1.0),
+        ('f', 1.5),
+        ('h', 1.5),
+        ('i', 1.25),
+        ('j', 1.5),
+    ];
+    for (label, value) in expect {
+        let p = NodeId::new(
+            builders::FIG1_LABELS
+                .iter()
+                .position(|&l| l == label)
+                .unwrap() as u32,
+        );
+        assert!(
+            (density_of(&topo, p).as_f64() - value).abs() < 1e-12,
+            "density of {label}"
+        );
+    }
+}
+
+#[test]
+fn centralized_oracle_reproduces_figure_1() {
+    let clustering = oracle(&builders::fig1_example(), &OracleConfig::default());
+    assert_paper_clustering(&clustering);
+}
+
+#[test]
+fn distributed_over_perfect_medium_reproduces_figure_1() {
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig::default()),
+        PerfectMedium,
+        builders::fig1_example(),
+        1,
+    );
+    net.run_until_stable(|_, s| s.output(), 3, 100).expect("stabilizes");
+    assert_paper_clustering(&extract_clustering(net.states()).unwrap());
+}
+
+#[test]
+fn distributed_over_csma_reproduces_figure_1() {
+    for seed in 0..5 {
+        let mut net = Network::new(
+            DensityCluster::new(ClusterConfig {
+                cache_ttl: 16,
+                ..ClusterConfig::default()
+            }),
+            SlottedCsma::new(12),
+            builders::fig1_example(),
+            seed,
+        );
+        net.run_until_stable(|_, s| s.output(), 20, 5000)
+            .expect("stabilizes under collisions");
+        assert_paper_clustering(&extract_clustering(net.states()).unwrap());
+    }
+}
+
+#[test]
+fn distributed_over_bernoulli_loss_reproduces_figure_1() {
+    for seed in 0..5 {
+        let mut net = Network::new(
+            DensityCluster::new(ClusterConfig {
+                cache_ttl: 24,
+                ..ClusterConfig::default()
+            }),
+            BernoulliLoss::new(0.4),
+            builders::fig1_example(),
+            seed,
+        );
+        net.run_until_stable(|_, s| s.output(), 30, 10_000)
+            .expect("stabilizes at τ = 0.4");
+        assert_paper_clustering(&extract_clustering(net.states()).unwrap());
+    }
+}
+
+#[test]
+fn event_driver_reproduces_figure_1() {
+    let mut driver = EventDriver::new(
+        DensityCluster::new(ClusterConfig {
+            cache_ttl: 20,
+            ..ClusterConfig::default()
+        }),
+        builders::fig1_example(),
+        EventConfig::default(),
+        2,
+    );
+    driver
+        .run_until_stable(|_, s| s.output(), 1.0, 10, 1000.0)
+        .expect("stabilizes in continuous time");
+    assert_paper_clustering(&extract_clustering(driver.states()).unwrap());
+}
+
+#[test]
+fn corrupting_the_example_always_heals_back() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig::default()),
+        PerfectMedium,
+        builders::fig1_example(),
+        5,
+    );
+    for _ in 0..10 {
+        net.corrupt_all();
+        net.run_until_stable(|_, s| s.output(), 3, 200)
+            .expect("heals after corruption");
+        assert_paper_clustering(&extract_clustering(net.states()).unwrap());
+        let _ = rand::Rng::random_range(&mut rng, 0..10u32);
+    }
+}

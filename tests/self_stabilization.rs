@@ -1,0 +1,187 @@
+//! Self-stabilization integration tests: convergence from arbitrary
+//! configurations and closure of legitimate ones, under every fault
+//! scenario the drivers can express (total corruption, partial
+//! corruption, repeated corruption mid-convergence, link failures,
+//! corruption under a lossy medium).
+
+use rand::SeedableRng;
+use selfstab::prelude::*;
+
+fn field(seed: u64) -> Topology {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    builders::poisson(250.0, 0.12, &mut rng)
+}
+
+#[test]
+fn total_corruption_reconverges_to_the_same_fixpoint() {
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig::default()),
+        PerfectMedium,
+        field(1),
+        1,
+    );
+    net.run(25);
+    let fixpoint = extract_clustering(net.states()).expect("stabilized");
+    for round in 0..5 {
+        net.corrupt_all();
+        net.run_until_stable(|_, s| s.output(), 3, 10_000)
+            .unwrap_or_else(|| panic!("round {round}: no reconvergence"));
+        assert_eq!(
+            extract_clustering(net.states()).expect("clean"),
+            fixpoint,
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+fn partial_corruption_reconverges() {
+    for fraction in [0.1, 0.5, 0.9] {
+        let mut net = Network::new(
+            DensityCluster::new(ClusterConfig::default()),
+            PerfectMedium,
+            field(2),
+            2,
+        );
+        net.run(25);
+        let fixpoint = extract_clustering(net.states()).expect("stabilized");
+        net.corrupt_fraction(fraction);
+        net.run_until_stable(|_, s| s.output(), 3, 10_000)
+            .expect("reconverges");
+        assert_eq!(extract_clustering(net.states()).expect("clean"), fixpoint);
+    }
+}
+
+#[test]
+fn corruption_during_convergence_is_harmless() {
+    // Corrupt before the system ever stabilizes — the definition of
+    // self-stabilization makes no assumption about when faults stop.
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig::default()),
+        PerfectMedium,
+        field(3),
+        3,
+    );
+    for step in [1, 2, 3, 5] {
+        net.run(step);
+        net.corrupt_fraction(0.4);
+    }
+    net.run_until_stable(|_, s| s.output(), 3, 10_000)
+        .expect("still converges");
+    check_legitimate(&net).expect("legitimate after turbulent start");
+}
+
+#[test]
+fn closure_holds_for_thousands_of_steps() {
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig::default()),
+        PerfectMedium,
+        field(4),
+        4,
+    );
+    net.run(30);
+    let fixpoint = extract_clustering(net.states()).expect("stabilized");
+    for _ in 0..20 {
+        net.run(100);
+        assert_eq!(
+            extract_clustering(net.states()).expect("clean"),
+            fixpoint,
+            "output drifted without any fault"
+        );
+    }
+}
+
+#[test]
+fn corruption_under_lossy_medium_reconverges() {
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig {
+            cache_ttl: 30,
+            ..ClusterConfig::default()
+        }),
+        BernoulliLoss::new(0.6),
+        field(5),
+        5,
+    );
+    net.run_until_stable(|_, s| s.output(), 25, 20_000)
+        .expect("initial convergence");
+    let fixpoint = extract_clustering(net.states()).expect("stabilized");
+    net.corrupt_all();
+    net.run_until_stable(|_, s| s.output(), 25, 40_000)
+        .expect("reconvergence under loss");
+    assert_eq!(extract_clustering(net.states()).expect("clean"), fixpoint);
+}
+
+#[test]
+fn dag_names_self_heal_with_the_full_protocol() {
+    let topo = builders::grid(8, 8, 0.2);
+    let gamma = NameSpace::delta_squared(topo.max_degree());
+    let config = ClusterConfig {
+        dag: Some(DagConfig {
+            gamma,
+            variant: DagVariant::Randomized,
+        }),
+        ..ClusterConfig::default()
+    };
+    let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo, 6);
+    net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, 1000)
+        .expect("stabilizes");
+    net.corrupt_all();
+    net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, 1000)
+        .expect("reconverges");
+    check_legitimate(&net).expect("names and election both legitimate");
+}
+
+#[test]
+fn link_failure_and_recovery_restabilizes() {
+    let topo = field(7);
+    let mut net = Network::new(
+        DensityCluster::new(ClusterConfig::default()),
+        PerfectMedium,
+        topo.clone(),
+        7,
+    );
+    net.run(25);
+    let before = extract_clustering(net.states()).expect("stabilized");
+
+    // Kill the busiest node's radio.
+    let busiest = topo
+        .nodes()
+        .max_by_key(|&p| topo.degree(p))
+        .expect("non-empty");
+    net.isolate(busiest);
+    net.run_until_stable(|_, s| s.output(), 5, 5000)
+        .expect("restabilizes without the hub");
+    let during = extract_clustering(net.states()).expect("clean");
+    assert!(during.is_head(busiest), "an isolated node heads itself");
+
+    // Radio comes back: the network returns to the original fixpoint.
+    net.set_topology(topo);
+    net.run_until_stable(|_, s| s.output(), 5, 5000)
+        .expect("restabilizes after recovery");
+    assert_eq!(extract_clustering(net.states()).expect("clean"), before);
+}
+
+#[test]
+fn event_driver_corruption_reconverges() {
+    let mut driver = EventDriver::new(
+        DensityCluster::new(ClusterConfig {
+            cache_ttl: 25,
+            ..ClusterConfig::default()
+        }),
+        field(8),
+        EventConfig::default(),
+        8,
+    );
+    // The quiet window must outlast the cache TTL (25 periods):
+    // corrupted ghost entries influence the output *constantly* until
+    // they expire, so a shorter window could report them as "stable".
+    driver
+        .run_until_stable(|_, s| s.output(), 1.0, 30, 3000.0)
+        .expect("initial convergence");
+    let fixpoint = extract_clustering(driver.states()).expect("stabilized");
+    driver.corrupt_all();
+    driver
+        .run_until_stable(|_, s| s.output(), 1.0, 30, 6000.0)
+        .expect("reconvergence");
+    assert_eq!(extract_clustering(driver.states()).expect("clean"), fixpoint);
+}
