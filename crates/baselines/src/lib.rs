@@ -80,8 +80,7 @@ mod tests {
     use super::*;
     use mwn_cluster::{extract_clustering, oracle, DensityCluster};
     use mwn_graph::{builders, NodeId};
-    use mwn_radio::PerfectMedium;
-    use mwn_sim::Network;
+    use mwn_sim::{Scenario, StopWhen};
 
     #[test]
     fn lowest_id_elects_local_id_minima() {
@@ -111,13 +110,13 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         let topo = builders::uniform(60, 0.18, &mut rng);
-        let mut net = Network::new(
-            DensityCluster::new(lowest_id_protocol()),
-            PerfectMedium,
-            topo,
-            21,
-        );
-        net.run_until_stable(|_, s| s.output(), 3, 300).expect("stabilizes");
+        let mut net = Scenario::new(DensityCluster::new(lowest_id_protocol()))
+            .topology(topo)
+            .seed(21)
+            .build()
+            .expect("valid scenario");
+        net.run_to(&StopWhen::stable_for(3).within(300))
+            .expect_stable("stabilizes");
         let got = extract_clustering(net.states()).unwrap();
         assert_eq!(got, oracle(net.topology(), &lowest_id_config()));
     }
@@ -127,13 +126,13 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(22);
         let topo = builders::uniform(60, 0.18, &mut rng);
-        let mut net = Network::new(
-            DensityCluster::new(highest_degree_protocol()),
-            PerfectMedium,
-            topo,
-            22,
-        );
-        net.run_until_stable(|_, s| s.output(), 3, 300).expect("stabilizes");
+        let mut net = Scenario::new(DensityCluster::new(highest_degree_protocol()))
+            .topology(topo)
+            .seed(22)
+            .build()
+            .expect("valid scenario");
+        net.run_to(&StopWhen::stable_for(3).within(300))
+            .expect_stable("stabilizes");
         let got = extract_clustering(net.states()).unwrap();
         assert_eq!(got, oracle(net.topology(), &highest_degree_config()));
     }

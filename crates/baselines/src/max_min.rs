@@ -91,7 +91,11 @@ pub fn max_min_clustering(topo: &Topology, d: usize) -> Clustering {
         } else if let Some(&pair) = w_seen.intersection(&m_seen).next() {
             pair // Rule 2: smallest node pair
         } else {
-            *w_log.last().expect("floodmax ran").get(i).expect("in range")
+            *w_log
+                .last()
+                .expect("floodmax ran")
+                .get(i)
+                .expect("in range")
         };
     }
     // A node elected by others must itself be a head even if its own

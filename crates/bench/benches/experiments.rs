@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use mwn_bench::{
-    ablation, energy_exp, figures, hierarchy_exp, mobility, routing_exp, stabilization,
-    table1, table2, table3, table4, table5, ExperimentScale,
+    ablation, energy_exp, figures, hierarchy_exp, mobility, routing_exp, stabilization, table1,
+    table2, table3, table4, table5, ExperimentScale,
 };
 
 fn quick() -> ExperimentScale {
@@ -40,7 +40,10 @@ fn bench_tables(c: &mut Criterion) {
     group.bench_function("figures_2_and_3", |b| {
         b.iter(|| {
             let result = figures::run(quick());
-            black_box((figures::svg(&result, false).len(), figures::svg(&result, true).len()))
+            black_box((
+                figures::svg(&result, false).len(),
+                figures::svg(&result, true).len(),
+            ))
         })
     });
     group.finish();

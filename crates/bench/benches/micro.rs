@@ -11,8 +11,8 @@ use mwn_cluster::{
     NameSpace, OracleConfig,
 };
 use mwn_graph::builders;
-use mwn_radio::{BernoulliLoss, Medium, PerfectMedium, SlottedCsma};
-use mwn_sim::Network;
+use mwn_radio::{BernoulliLoss, Medium, SlottedCsma};
+use mwn_sim::{Scenario, StopWhen};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,12 +55,11 @@ fn bench_protocol_round(c: &mut Criterion) {
     c.bench_function("protocol/round_perfect_n1000", |b| {
         b.iter_batched(
             || {
-                Network::new(
-                    DensityCluster::new(ClusterConfig::default()),
-                    PerfectMedium,
-                    topo.clone(),
-                    1,
-                )
+                Scenario::new(DensityCluster::new(ClusterConfig::default()))
+                    .topology(topo.clone())
+                    .seed(1)
+                    .build()
+                    .expect("valid scenario")
             },
             |mut net| {
                 net.step();
@@ -72,15 +71,15 @@ fn bench_protocol_round(c: &mut Criterion) {
     c.bench_function("protocol/round_csma_n1000", |b| {
         b.iter_batched(
             || {
-                Network::new(
-                    DensityCluster::new(ClusterConfig {
-                        cache_ttl: 12,
-                        ..ClusterConfig::default()
-                    }),
-                    SlottedCsma::new(16),
-                    topo.clone(),
-                    1,
-                )
+                Scenario::new(DensityCluster::new(ClusterConfig {
+                    cache_ttl: 12,
+                    ..ClusterConfig::default()
+                }))
+                .medium(SlottedCsma::new(16))
+                .topology(topo.clone())
+                .seed(1)
+                .build()
+                .expect("valid scenario")
             },
             |mut net| {
                 net.step();
@@ -111,14 +110,13 @@ fn bench_dag(c: &mut Criterion) {
     c.bench_function("dag/n1_to_stable_n1000", |b| {
         b.iter_batched(
             || {
-                Network::new(
-                    DagProtocol::new(gamma, DagVariant::Randomized, 4),
-                    PerfectMedium,
-                    topo.clone(),
-                    3,
-                )
+                Scenario::new(DagProtocol::new(gamma, DagVariant::Randomized, 4))
+                    .topology(topo.clone())
+                    .seed(3)
+                    .build()
+                    .expect("valid scenario")
             },
-            |mut net| black_box(net.run_until_stable(|_, s| s.dag_id, 3, 200)),
+            |mut net| black_box(net.run_to(&StopWhen::stable_for(3).within(200)).stabilized),
             BatchSize::SmallInput,
         )
     });

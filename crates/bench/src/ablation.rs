@@ -47,25 +47,30 @@ fn metric_policies() -> Vec<(String, Box<Clusterer>)> {
 
 fn rule_policies() -> Vec<(String, Box<Clusterer>)> {
     let with_prev = |order: OrderKind, rule: HeadRule| -> Box<Clusterer> {
-        Box::new(move |topo: &mwn_graph::Topology, prev: Option<&mwn_cluster::Clustering>| {
-            let prev_heads = if order == OrderKind::Stable {
-                prev.map(|c| topo.nodes().map(|p| c.is_head(p)).collect())
-            } else {
-                None
-            };
-            oracle(
-                topo,
-                &OracleConfig {
-                    order,
-                    rule,
-                    prev_heads,
-                    ..OracleConfig::default()
-                },
-            )
-        })
+        Box::new(
+            move |topo: &mwn_graph::Topology, prev: Option<&mwn_cluster::Clustering>| {
+                let prev_heads = if order == OrderKind::Stable {
+                    prev.map(|c| topo.nodes().map(|p| c.is_head(p)).collect())
+                } else {
+                    None
+                };
+                oracle(
+                    topo,
+                    &OracleConfig {
+                        order,
+                        rule,
+                        prev_heads,
+                        ..OracleConfig::default()
+                    },
+                )
+            },
+        )
     };
     vec![
-        ("basic".to_string(), with_prev(OrderKind::Basic, HeadRule::Basic)),
+        (
+            "basic".to_string(),
+            with_prev(OrderKind::Basic, HeadRule::Basic),
+        ),
         (
             "+ incumbency".to_string(),
             with_prev(OrderKind::Stable, HeadRule::Basic),

@@ -5,7 +5,10 @@ use mwn_bench::ExperimentScale;
 
 fn main() {
     let scale = ExperimentScale::from_args();
-    eprintln!("mobility: scale {} (use --full for 15-minute runs)", scale.runs);
+    eprintln!(
+        "mobility: scale {} (use --full for 15-minute runs)",
+        scale.runs
+    );
     let result = mwn_bench::mobility::run(scale);
     println!("{}", mwn_bench::mobility::render(&result));
     println!();

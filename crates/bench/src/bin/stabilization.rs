@@ -1,9 +1,29 @@
 //! Measures the paper's Theorem 1 / Lemma 2 claims: stabilization
 //! times that stay constant as the network grows, for any τ > 0.
+//!
+//! `--sweep-timing [N]` instead compares the parallel `Sweep` runner
+//! against a serial loop on the cold-start experiment over N seeds
+//! (default 16) and reports the wall-clock speedup.
 
 use mwn_bench::ExperimentScale;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--sweep-timing") {
+        let seeds = args
+            .get(pos + 1)
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(16);
+        let (serial, parallel) = mwn_bench::stabilization::sweep_speedup(seeds, 20050610);
+        println!(
+            "stabilization experiment over {seeds} seeds (λ = 1000):\n\
+             serial loop     {serial:>10.2?}\n\
+             parallel Sweep  {parallel:>10.2?}\n\
+             speedup         {:.2}×",
+            serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9)
+        );
+        return;
+    }
     let scale = ExperimentScale::from_args();
     let result = mwn_bench::stabilization::run(scale);
     println!("{}", mwn_bench::stabilization::render_scaling(&result));

@@ -4,7 +4,10 @@ use mwn_bench::ExperimentScale;
 
 fn main() {
     let scale = ExperimentScale::from_args();
-    eprintln!("table 4: {} runs per cell (use --full for the paper's 1000)", scale.runs);
+    eprintln!(
+        "table 4: {} runs per cell (use --full for the paper's 1000)",
+        scale.runs
+    );
     let result = mwn_bench::table4::run(scale);
     println!(
         "{}",

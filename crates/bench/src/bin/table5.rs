@@ -4,7 +4,10 @@ use mwn_bench::ExperimentScale;
 
 fn main() {
     let scale = ExperimentScale::from_args();
-    eprintln!("table 5: {} runs per cell (use --full for the paper's 1000)", scale.runs);
+    eprintln!(
+        "table 5: {} runs per cell (use --full for the paper's 1000)",
+        scale.runs
+    );
     let result = mwn_bench::table5::run(scale);
     println!("{}", mwn_bench::table5::render(&result));
 }

@@ -1,13 +1,12 @@
 //! Shared experiment plumbing: scales, argument parsing, and the
-//! distributed-run helpers every table uses.
+//! scenario-driven helpers every table uses.
 
 use mwn_cluster::{
-    extract_clustering, extract_dag_ids, Clustering, ClusterConfig, DagProtocol, DagVariant,
+    extract_clustering, extract_dag_ids, ClusterConfig, Clustering, DagProtocol, DagVariant,
     DensityCluster, NameSpace,
 };
 use mwn_graph::Topology;
-use mwn_radio::PerfectMedium;
-use mwn_sim::Network;
+use mwn_sim::{Scenario, StopWhen};
 
 /// How much work an experiment does.
 ///
@@ -56,8 +55,8 @@ impl ExperimentScale {
         }
     }
 
-    /// Parses `--quick`, `--full` and `--runs N` from the process
-    /// arguments, starting from the default scale.
+    /// Parses `--quick`, `--full`, `--runs N` and `--serial` from the
+    /// process arguments, starting from the default scale.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let mut scale = if args.iter().any(|a| a == "--quick") {
@@ -74,6 +73,24 @@ impl ExperimentScale {
         }
         scale
     }
+
+    /// The parallel seed fan-out for this scale (honouring a
+    /// `--serial` process argument, for wall-clock comparisons).
+    pub fn sweep(&self) -> mwn_sim::Sweep {
+        self.sweep_with(self.seed)
+    }
+
+    /// Like [`ExperimentScale::sweep`] with an explicit base seed —
+    /// experiments that measure several statistics decorrelate them by
+    /// xoring a constant into the base.
+    pub fn sweep_with(&self, base_seed: u64) -> mwn_sim::Sweep {
+        let sweep = mwn_sim::Sweep::over(self.runs, base_seed);
+        if std::env::args().any(|a| a == "--serial") {
+            sweep.serial()
+        } else {
+            sweep
+        }
+    }
 }
 
 /// The transmission ranges of the paper's Tables 4 and 5.
@@ -88,22 +105,25 @@ pub const TABLE3_RADII: [f64; 6] = [0.05, 0.06, 0.07, 0.08, 0.09, 0.1];
 ///
 /// # Panics
 ///
-/// Panics if the protocol fails to stabilize within `max_steps` (which
-/// would falsify the paper's Lemma 2 — a test failure, not a runtime
-/// condition to handle).
+/// Panics if the configuration is invalid for the topology, or if the
+/// protocol fails to stabilize within `max_steps` (which would falsify
+/// the paper's Lemma 2 — a test failure, not a runtime condition to
+/// handle).
 pub fn run_distributed(
     topo: Topology,
     config: ClusterConfig,
     seed: u64,
     max_steps: u64,
 ) -> (Clustering, Vec<u32>, u64) {
-    config
-        .validate_for(&topo)
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .topology(topo)
+        .seed(seed)
+        .validate(move |t| config.validate_for(t))
+        .build()
         .expect("experiment configuration valid for topology");
-    let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo, seed);
     let stabilized = net
-        .run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, max_steps)
-        .expect("protocol stabilizes (Lemma 2)");
+        .run_to(&StopWhen::stable_for(4).within(max_steps))
+        .expect_stable("protocol stabilizes (Lemma 2)");
     let clustering = extract_clustering(net.states()).expect("stable state is clean");
     let dag_ids = extract_dag_ids(net.states());
     (clustering, dag_ids, stabilized)
@@ -118,10 +138,14 @@ pub fn run_dag(
     seed: u64,
     max_steps: u64,
 ) -> (Vec<u32>, u64) {
-    let mut net = Network::new(DagProtocol::new(gamma, variant, 4), PerfectMedium, topo, seed);
+    let mut net = Scenario::new(DagProtocol::new(gamma, variant, 4))
+        .topology(topo)
+        .seed(seed)
+        .build()
+        .expect("valid scenario");
     let stabilized = net
-        .run_until_stable(|_, s| s.dag_id, 4, max_steps)
-        .expect("N1 stabilizes (Theorem 1)");
+        .run_to(&StopWhen::stable_for(4).within(max_steps))
+        .expect_stable("N1 stabilizes (Theorem 1)");
     let names = net.states().iter().map(|s| s.dag_id).collect();
     (names, stabilized)
 }
@@ -143,6 +167,17 @@ mod tests {
         assert!(ExperimentScale::quick().runs < ExperimentScale::default_scale().runs);
         assert!(ExperimentScale::default_scale().runs < ExperimentScale::full().runs);
         assert_eq!(ExperimentScale::full().runs, 1000);
+    }
+
+    #[test]
+    fn sweep_matches_scale() {
+        let scale = ExperimentScale::quick();
+        assert_eq!(scale.sweep().len(), scale.runs);
+        assert_ne!(
+            scale.sweep().seeds(),
+            scale.sweep_with(scale.seed ^ 0xAA).seeds(),
+            "xored bases decorrelate the grids"
+        );
     }
 
     #[test]

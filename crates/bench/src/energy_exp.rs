@@ -5,7 +5,8 @@
 
 use mwn_cluster::{simulate_rotation, EnergyModel, OracleConfig, RotationOutcome};
 use mwn_graph::builders;
-use mwn_metrics::{run_seeds, RunningStats, Table};
+use mwn_metrics::{RunningStats, Table};
+use mwn_sim::Sweep;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -56,14 +57,12 @@ pub fn run(scale: ExperimentScale) -> EnergyResult {
         member_cost: 0.01,
         bands: 25,
     };
-    let both: Vec<(RotationOutcome, RotationOutcome)> =
-        run_seeds(scale.runs, scale.seed ^ 0xE9, |seed| {
+    let both: Vec<(RotationOutcome, RotationOutcome)> = Sweep::over(scale.runs, scale.seed ^ 0xE9)
+        .map(|seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let topo = builders::poisson(scale.lambda / 4.0, 0.12, &mut rng);
-            let rotating =
-                simulate_rotation(&topo, &model, &OracleConfig::default(), rounds, true);
-            let fixed =
-                simulate_rotation(&topo, &model, &OracleConfig::default(), rounds, false);
+            let rotating = simulate_rotation(&topo, &model, &OracleConfig::default(), rounds, true);
+            let fixed = simulate_rotation(&topo, &model, &OracleConfig::default(), rounds, false);
             (rotating, fixed)
         });
     let (rotating, fixed): (Vec<_>, Vec<_>) = both.into_iter().unzip();

@@ -5,7 +5,8 @@
 
 use mwn_cluster::{build_hierarchy, Hierarchy, OracleConfig};
 use mwn_graph::builders;
-use mwn_metrics::{run_seeds, RunningStats, Table};
+use mwn_metrics::{RunningStats, Table};
+use mwn_sim::Sweep;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,7 +25,7 @@ pub struct HierarchyResult {
 
 /// Builds hierarchies over `scale.runs` deployments.
 pub fn run(scale: ExperimentScale) -> HierarchyResult {
-    let results: Vec<Hierarchy> = run_seeds(scale.runs, scale.seed ^ 0x61AC, |seed| {
+    let results: Vec<Hierarchy> = Sweep::over(scale.runs, scale.seed ^ 0x61AC).map(|seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let topo = builders::poisson(scale.lambda, 0.07, &mut rng);
         build_hierarchy(&topo, &OracleConfig::default(), 10)
@@ -87,7 +88,11 @@ mod tests {
         });
         assert!(result.mean_depth >= 2.0, "depth {}", result.mean_depth);
         for w in result.nodes_per_level.windows(2) {
-            assert!(w[1] < w[0], "levels must shrink: {:?}", result.nodes_per_level);
+            assert!(
+                w[1] < w[0],
+                "levels must shrink: {:?}",
+                result.nodes_per_level
+            );
         }
         // Every level has at least one cluster.
         assert!(result.clusters_per_level.iter().all(|&c| c >= 1.0));

@@ -8,8 +8,9 @@
 
 use mwn_cluster::{oracle, Clustering, HeadRule, OracleConfig, OrderKind};
 use mwn_graph::Topology;
-use mwn_metrics::{run_seeds, RunningStats, Table};
+use mwn_metrics::{RunningStats, Table};
 use mwn_mobility::{meters_per_second, MobileScenario, RandomWaypoint};
+use mwn_sim::Sweep;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -56,7 +57,7 @@ pub fn persistence_under_mobility(
     seeds: usize,
     clusterer: &Clusterer,
 ) -> (f64, f64) {
-    let results = run_seeds(seeds, scale.seed ^ 0x3089, |seed| {
+    let results = Sweep::over(seeds, scale.seed ^ 0x3089).map(|seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let n_hint = (scale.lambda / 2.0).max(50.0);
         let topo = mwn_graph::builders::poisson(n_hint, 0.1, &mut rng);

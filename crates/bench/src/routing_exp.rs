@@ -7,7 +7,8 @@
 use mwn_baselines::{highest_degree_config, lowest_id_config};
 use mwn_cluster::{mean_stretch, oracle, HeadRule, OracleConfig};
 use mwn_graph::builders;
-use mwn_metrics::{run_seeds, RunningStats, Table};
+use mwn_metrics::{RunningStats, Table};
+use mwn_sim::Sweep;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,7 +45,7 @@ pub fn run(scale: ExperimentScale) -> RoutingResult {
         clusters: Vec::new(),
     };
     for (name, cfg) in policies {
-        let runs = run_seeds(scale.runs, scale.seed ^ 0x207E, |seed| {
+        let runs = Sweep::over(scale.runs, scale.seed ^ 0x207E).map(|seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let topo = builders::poisson(scale.lambda / 2.0, 0.1, &mut rng);
             let clustering = oracle(&topo, &cfg);
@@ -100,8 +101,16 @@ mod tests {
             );
         }
         // Fusion merges clusters: fewer of them than plain density.
-        let density = result.policies.iter().position(|p| p == "density (paper)").unwrap();
-        let fusion = result.policies.iter().position(|p| p.contains("fusion")).unwrap();
+        let density = result
+            .policies
+            .iter()
+            .position(|p| p == "density (paper)")
+            .unwrap();
+        let fusion = result
+            .policies
+            .iter()
+            .position(|p| p.contains("fusion"))
+            .unwrap();
         assert!(result.clusters[fusion] <= result.clusters[density] + 0.5);
     }
 

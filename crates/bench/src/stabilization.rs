@@ -11,9 +11,9 @@
 
 use mwn_cluster::{ClusterConfig, DagVariant, DensityCluster};
 use mwn_graph::builders;
-use mwn_metrics::{run_seeds, RunningStats, Table};
+use mwn_metrics::{RunningStats, Table};
 use mwn_radio::BernoulliLoss;
-use mwn_sim::Network;
+use mwn_sim::{Scenario, StopWhen, Sweep};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,6 +37,20 @@ pub struct StabilizationResult {
     pub tau_steps: Vec<f64>,
 }
 
+/// One cold-start election run at intensity `n`: the stabilization
+/// step count. The core measurement of the scaling experiment, shared
+/// by [`run`] and the sweep-speedup harness.
+pub fn cold_start_steps(n: usize, radius: f64, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = builders::poisson(n as f64, radius, &mut rng);
+    let (_, _, steps) = run_distributed(topo, ClusterConfig::default(), seed, 2000);
+    steps as f64
+}
+
+fn radius_for(n: usize, degree_target: f64) -> f64 {
+    (degree_target / (n as f64 * std::f64::consts::PI)).sqrt()
+}
+
 /// Runs the stabilization experiments.
 pub fn run(scale: ExperimentScale) -> StabilizationResult {
     // Fixed expected degree: λ·π·R² held constant while λ grows, the
@@ -53,8 +67,8 @@ pub fn run(scale: ExperimentScale) -> StabilizationResult {
     let mut cold_steps = Vec::new();
     let mut corruption_steps = Vec::new();
     for &n in &sizes {
-        let radius = (degree_target / (n as f64 * std::f64::consts::PI)).sqrt();
-        let dag = run_seeds(per_point, scale.seed ^ n as u64, |seed| {
+        let radius = radius_for(n, degree_target);
+        let dag = Sweep::over(per_point, scale.seed ^ n as u64).map(|seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let topo = builders::poisson(n as f64, radius, &mut rng);
             let gamma = gamma_for(&topo);
@@ -63,29 +77,23 @@ pub fn run(scale: ExperimentScale) -> StabilizationResult {
         });
         dag_steps.push(dag.into_iter().collect::<RunningStats>().mean());
 
-        let cold = run_seeds(per_point, scale.seed ^ (n as u64) << 1, |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let topo = builders::poisson(n as f64, radius, &mut rng);
-            let (_, _, steps) = run_distributed(topo, ClusterConfig::default(), seed, 2000);
-            steps as f64
-        });
+        let cold = Sweep::over(per_point, scale.seed ^ (n as u64) << 1)
+            .map(|seed| cold_start_steps(n, radius, seed));
         cold_steps.push(cold.into_iter().collect::<RunningStats>().mean());
 
-        let corrupted = run_seeds(per_point, scale.seed ^ (n as u64) << 2, |seed| {
+        let corrupted = Sweep::over(per_point, scale.seed ^ (n as u64) << 2).map(|seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let topo = builders::poisson(n as f64, radius, &mut rng);
-            let mut net = Network::new(
-                DensityCluster::new(ClusterConfig::default()),
-                mwn_radio::PerfectMedium,
-                topo,
-                seed,
-            );
+            let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+                .topology(topo)
+                .seed(seed)
+                .build()
+                .expect("valid scenario");
             net.run(30);
             net.corrupt_all();
             let start = net.now();
-            let stabilized = net
-                .run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, start + 2000)
-                .expect("reconverges (self-stabilization)");
+            let report = net.run_to(&StopWhen::stable_for(4).within(2000));
+            let stabilized = report.expect_stable("reconverges (self-stabilization)");
             (stabilized.saturating_sub(start)) as f64
         });
         corruption_steps.push(corrupted.into_iter().collect::<RunningStats>().mean());
@@ -95,21 +103,21 @@ pub fn run(scale: ExperimentScale) -> StabilizationResult {
     let taus = vec![1.0, 0.8, 0.6, 0.4];
     let mut tau_steps = Vec::new();
     for &tau in &taus {
-        let steps = run_seeds(per_point, scale.seed ^ 0x7A07, |seed| {
+        let steps = Sweep::over(per_point, scale.seed ^ 0x7A07).map(|seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let topo = builders::poisson(200.0, 0.12, &mut rng);
             let config = ClusterConfig {
                 cache_ttl: ttl_for_tau(tau),
                 ..ClusterConfig::default()
             };
-            let mut net = Network::new(
-                DensityCluster::new(config),
-                BernoulliLoss::new(tau),
-                topo,
-                seed,
-            );
-            net.run_until_stable(|_, s| s.output(), 25, 20_000)
-                .expect("converges for any τ > 0") as f64
+            let mut net = Scenario::new(DensityCluster::new(config))
+                .medium(BernoulliLoss::new(tau))
+                .topology(topo)
+                .seed(seed)
+                .build()
+                .expect("valid scenario");
+            net.run_to(&StopWhen::stable_for(25).within(20_000))
+                .expect_stable("converges for any τ > 0") as f64
         });
         tau_steps.push(steps.into_iter().collect::<RunningStats>().mean());
     }
@@ -122,6 +130,27 @@ pub fn run(scale: ExperimentScale) -> StabilizationResult {
         taus,
         tau_steps,
     }
+}
+
+/// Wall-clock comparison of the parallel [`Sweep`] against a serial
+/// loop on the cold-start stabilization experiment: returns
+/// `(serial, parallel)` durations for `seeds` runs at intensity
+/// λ = 1000 (the paper's deployment).
+///
+/// The two modes produce identical results (asserted here), so the
+/// only difference is scheduling.
+pub fn sweep_speedup(seeds: usize, base_seed: u64) -> (std::time::Duration, std::time::Duration) {
+    let n = 1000;
+    let radius = radius_for(n, 8.0);
+    let job = |seed: u64| cold_start_steps(n, radius, seed);
+    let serial_start = std::time::Instant::now();
+    let serial_out = Sweep::over(seeds, base_seed).serial().map(job);
+    let serial = serial_start.elapsed();
+    let parallel_start = std::time::Instant::now();
+    let parallel_out = Sweep::over(seeds, base_seed).map(job);
+    let parallel = parallel_start.elapsed();
+    assert_eq!(serial_out, parallel_out, "sweep modes must agree exactly");
+    (serial, parallel)
 }
 
 /// Cache TTL (in steps) under which a live neighbor's entry falsely

@@ -32,9 +32,7 @@ pub struct Table1Result {
 /// Runs the Table 1 computation.
 pub fn run() -> Table1Result {
     let topo = fig1_example();
-    let by_label = |c: char| {
-        NodeId::new(FIG1_LABELS.iter().position(|&l| l == c).unwrap() as u32)
-    };
+    let by_label = |c: char| NodeId::new(FIG1_LABELS.iter().position(|&l| l == c).unwrap() as u32);
     // The paper's row order (it omits g from the table).
     let rows = "abcdefhij"
         .chars()
@@ -55,7 +53,10 @@ pub fn run() -> Table1Result {
         .map(|(head, members)| {
             (
                 FIG1_LABELS[head.index()],
-                members.into_iter().map(|p| FIG1_LABELS[p.index()]).collect(),
+                members
+                    .into_iter()
+                    .map(|p| FIG1_LABELS[p.index()])
+                    .collect(),
             )
         })
         .collect();
@@ -70,7 +71,11 @@ pub fn render(result: &Table1Result) -> Table {
     table.set_headers(headers);
     table.add_row(
         "# Neighbors",
-        result.rows.iter().map(|r| r.neighbors.to_string()).collect(),
+        result
+            .rows
+            .iter()
+            .map(|r| r.neighbors.to_string())
+            .collect(),
     );
     table.add_row(
         "# Links",
@@ -78,7 +83,11 @@ pub fn render(result: &Table1Result) -> Table {
     );
     table.add_row(
         "1-density",
-        result.rows.iter().map(|r| format!("{:.2}", r.density)).collect(),
+        result
+            .rows
+            .iter()
+            .map(|r| format!("{:.2}", r.density))
+            .collect(),
     );
     table
 }

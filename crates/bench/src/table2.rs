@@ -5,9 +5,8 @@
 
 use mwn_cluster::{measure_info_schedule, ClusterConfig, DensityCluster};
 use mwn_graph::builders;
-use mwn_metrics::{run_seeds, RunningStats, Table};
-use mwn_radio::PerfectMedium;
-use mwn_sim::Network;
+use mwn_metrics::{RunningStats, Table};
+use mwn_sim::Scenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,15 +28,14 @@ pub struct Table2Result {
 
 /// Measures the schedule over `scale.runs` random deployments.
 pub fn run(scale: ExperimentScale) -> Table2Result {
-    let results = run_seeds(scale.runs, scale.seed, |seed| {
+    let results = scale.sweep().map(|seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let topo = builders::poisson(scale.lambda / 4.0, 0.1, &mut rng);
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            seed,
-        );
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
         let schedule = measure_info_schedule(&mut net, 200);
         (
             schedule.neighbors.unwrap_or(u64::MAX) as f64,
@@ -61,7 +59,10 @@ pub fn run(scale: ExperimentScale) -> Table2Result {
 pub fn render(result: &Table2Result) -> Table {
     let mut table = Table::new("Table 2: information available after each step (measured)");
     table.set_headers(["knowledge", "mean first step (paper)"]);
-    table.add_row("neighborhood table", vec![format!("{:.2}  (1)", result.neighbors)]);
+    table.add_row(
+        "neighborhood table",
+        vec![format!("{:.2}  (1)", result.neighbors)],
+    );
     table.add_row("its density", vec![format!("{:.2}  (2)", result.density)]);
     table.add_row("its father", vec![format!("{:.2}  (3)", result.parent)]);
     table.add_row(

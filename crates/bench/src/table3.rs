@@ -5,7 +5,7 @@
 
 use mwn_cluster::DagVariant;
 use mwn_graph::builders;
-use mwn_metrics::{run_seeds, RunningStats, Table};
+use mwn_metrics::{RunningStats, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,25 +24,31 @@ pub struct Table3Result {
 
 /// Runs the Table 3 experiment.
 pub fn run(scale: ExperimentScale) -> Table3Result {
-    let mut grid_means = Vec::new();
-    let mut rand_means = Vec::new();
-    for &radius in &TABLE3_RADII {
-        let grid_runs = run_seeds(scale.runs, scale.seed ^ 0x3A17, |seed| {
+    // One parallel fan-out over the radius × seed grid per deployment
+    // family: no radius waits for another to finish.
+    let grid_means: Vec<f64> = scale
+        .sweep_with(scale.seed ^ 0x3A17)
+        .map_grid(&TABLE3_RADII, |&radius, seed| {
             let topo = builders::grid(scale.grid_side, scale.grid_side, radius);
             let gamma = gamma_for(&topo);
             let (_, steps) = run_dag(topo, gamma, DagVariant::SmallestIdRedraws, seed, 500);
             steps as f64
-        });
-        grid_means.push(grid_runs.into_iter().collect::<RunningStats>().mean());
-        let rand_runs = run_seeds(scale.runs, scale.seed ^ 0x9B2D, |seed| {
+        })
+        .into_iter()
+        .map(|runs| runs.into_iter().collect::<RunningStats>().mean())
+        .collect();
+    let rand_means: Vec<f64> = scale
+        .sweep_with(scale.seed ^ 0x9B2D)
+        .map_grid(&TABLE3_RADII, |&radius, seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let topo = builders::poisson(scale.lambda, radius, &mut rng);
             let gamma = gamma_for(&topo);
             let (_, steps) = run_dag(topo, gamma, DagVariant::SmallestIdRedraws, seed, 500);
             steps as f64
-        });
-        rand_means.push(rand_runs.into_iter().collect::<RunningStats>().mean());
-    }
+        })
+        .into_iter()
+        .map(|runs| runs.into_iter().collect::<RunningStats>().mean())
+        .collect();
     Table3Result {
         radii: TABLE3_RADII.to_vec(),
         grid: grid_means,

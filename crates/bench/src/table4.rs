@@ -9,7 +9,7 @@
 
 use mwn_cluster::{oracle, ClusteringStats, DagVariant, OracleConfig};
 use mwn_graph::builders;
-use mwn_metrics::{run_seeds, RunningStats, Table};
+use mwn_metrics::{RunningStats, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -85,7 +85,7 @@ pub fn run(scale: ExperimentScale) -> ClusterFeatureTable {
     };
     for &radius in &TABLE45_RADII {
         for with_dag in [true, false] {
-            let runs = run_seeds(scale.runs, scale.seed ^ 0x44AA, |seed| {
+            let runs = scale.sweep_with(scale.seed ^ 0x44AA).map(|seed| {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let topo = builders::poisson(scale.lambda, radius, &mut rng);
                 features_one_run(topo, with_dag, seed)
@@ -164,7 +164,10 @@ mod tests {
         }
         // More range ⇒ fewer clusters (paper: 61 → 19 → 12).
         let c: Vec<f64> = result.without_dag.iter().map(|f| f.clusters).collect();
-        assert!(c[0] > c[1] && c[1] > c[2], "clusters must shrink with R: {c:?}");
+        assert!(
+            c[0] > c[1] && c[1] > c[2],
+            "clusters must shrink with R: {c:?}"
+        );
     }
 
     #[test]

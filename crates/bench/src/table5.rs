@@ -5,7 +5,7 @@
 //! cluster whose tree is as deep as the network; with the DAG renaming
 //! the election is local again and many small clusters appear.
 
-use mwn_metrics::{run_seeds, RunningStats, Table};
+use mwn_metrics::{RunningStats, Table};
 
 use crate::common::{ExperimentScale, TABLE45_RADII};
 use crate::table4::{features_one_run, ClusterFeatureTable, ClusterFeatures};
@@ -26,7 +26,7 @@ pub fn run(scale: ExperimentScale) -> ClusterFeatureTable {
         // the same connectivity pattern.
         let scaled = radius * 31.0 / (scale.grid_side.max(2) - 1) as f64;
         let topo = mwn_graph::builders::grid(scale.grid_side, scale.grid_side, scaled);
-        let with_runs = run_seeds(scale.runs, scale.seed ^ 0x55BB, {
+        let with_runs = scale.sweep_with(scale.seed ^ 0x55BB).map({
             let topo = topo.clone();
             move |seed| features_one_run(topo.clone(), true, seed)
         });

@@ -263,10 +263,7 @@ mod tests {
     #[test]
     fn broken_chain_is_detected() {
         // 0 and 1 point at each other but claim head 2: a cycle.
-        let c = Clustering::new(
-            vec![id(1), id(0), id(2)],
-            vec![id(2), id(2), id(2)],
-        );
+        let c = Clustering::new(vec![id(1), id(0), id(2)], vec![id(2), id(2), id(2)]);
         let topo = builders::line(3);
         assert_eq!(c.depth_in_hops(&topo, id(0)), None);
         assert_eq!(c.tree_length(&topo, id(2)), None);
@@ -276,10 +273,7 @@ mod tests {
     fn eccentricity_inside_cluster() {
         // Line 0-1-2-3, all one cluster headed by 0.
         let topo = builders::line(4);
-        let c = Clustering::new(
-            vec![id(0), id(0), id(1), id(2)],
-            vec![id(0); 4],
-        );
+        let c = Clustering::new(vec![id(0), id(0), id(1), id(2)], vec![id(0); 4]);
         assert_eq!(c.head_eccentricity(&topo, id(0)), 3);
         assert_eq!(c.mean_head_eccentricity(&topo), Some(3.0));
     }

@@ -130,7 +130,8 @@ pub fn new_id(current: u32, used: &[u32], gamma: NameSpace, rng: &mut StdRng) ->
 /// `true` iff the name assignment is a proper coloring of the graph
 /// (no two adjacent nodes share a name) — N1's legitimacy predicate.
 pub fn is_locally_unique(topo: &Topology, names: &[u32]) -> bool {
-    topo.edges().all(|(u, v)| names[u.index()] != names[v.index()])
+    topo.edges()
+        .all(|(u, v)| names[u.index()] != names[v.index()])
 }
 
 /// Height of the DAG obtained by orienting edges from higher to lower
@@ -144,7 +145,9 @@ pub fn name_dag_height(topo: &Topology, names: &[u32]) -> u32 {
 /// that strictly descends the `≺` order between adjacent nodes. The
 /// stabilization time of the election is proportional to this height.
 pub fn order_dag_height(topo: &Topology, keys: &[Key], order: OrderKind) -> u32 {
-    longest_path(topo, |p, q| keys[q.index()].precedes(&keys[p.index()], order))
+    longest_path(topo, |p, q| {
+        keys[q.index()].precedes(&keys[p.index()], order)
+    })
 }
 
 /// Longest directed path (in nodes) where `dominates(p, q)` orients the
@@ -191,14 +194,17 @@ where
 /// ```
 /// use mwn_cluster::{is_locally_unique, DagProtocol, DagVariant, NameSpace};
 /// use mwn_graph::builders;
-/// use mwn_radio::PerfectMedium;
-/// use mwn_sim::Network;
+/// use mwn_sim::{Scenario, StopWhen};
 ///
 /// let topo = builders::grid(8, 8, 0.2);
 /// let gamma = NameSpace::delta_squared(topo.max_degree());
 /// let protocol = DagProtocol::new(gamma, DagVariant::SmallestIdRedraws, 4);
-/// let mut net = Network::new(protocol, PerfectMedium, topo, 1);
-/// net.run_until_stable(|_, s| s.dag_id, 3, 200).expect("N1 converges");
+/// let mut net = Scenario::new(protocol)
+///     .topology(topo)
+///     .seed(1)
+///     .build()
+///     .expect("valid scenario");
+/// net.run_to(&StopWhen::stable_for(3).within(200)).expect_stable("N1 converges");
 /// let names: Vec<u32> = net.states().iter().map(|s| s.dag_id).collect();
 /// assert!(is_locally_unique(net.topology(), &names));
 /// ```
@@ -263,8 +269,7 @@ impl Protocol for DagProtocol {
             .cache
             .retain(|_, &mut (_, seen)| seen <= now && now - seen < ttl);
         let used: Vec<u32> = state.cache.values().map(|&(id, _)| id).collect();
-        let conflicted =
-            !self.gamma.contains(state.dag_id) || used.contains(&state.dag_id);
+        let conflicted = !self.gamma.contains(state.dag_id) || used.contains(&state.dag_id);
         if !conflicted {
             return;
         }
@@ -283,6 +288,16 @@ impl Protocol for DagProtocol {
         if must_redraw {
             state.dag_id = new_id(state.dag_id, &used, self.gamma, rng);
         }
+    }
+}
+
+impl mwn_sim::Observable for DagProtocol {
+    /// The DAG identifier `Id_p` — N1's only shared variable, and the
+    /// projection the Table 3 stabilization measurements quiesce on.
+    type Output = u32;
+
+    fn output(&self, _node: NodeId, state: &DagState) -> u32 {
+        state.dag_id
     }
 }
 
@@ -305,8 +320,8 @@ impl Corruptible for DagProtocol {
 mod tests {
     use super::*;
     use mwn_graph::builders;
-    use mwn_radio::{BernoulliLoss, PerfectMedium};
-    use mwn_sim::Network;
+    use mwn_radio::BernoulliLoss;
+    use mwn_sim::{Network, Scenario, StopWhen};
     use rand::SeedableRng;
 
     fn names_of(net: &Network<DagProtocol, impl mwn_radio::Medium>) -> Vec<u32> {
@@ -360,9 +375,13 @@ mod tests {
         for variant in [DagVariant::Randomized, DagVariant::SmallestIdRedraws] {
             let topo = builders::grid(10, 10, 0.15);
             let gamma = NameSpace::delta_squared(topo.max_degree());
-            let mut net = Network::new(DagProtocol::new(gamma, variant, 4), PerfectMedium, topo, 7);
-            net.run_until_stable(|_, s| s.dag_id, 3, 500)
-                .unwrap_or_else(|| panic!("{variant:?} did not converge"));
+            let mut net = Scenario::new(DagProtocol::new(gamma, variant, 4))
+                .topology(topo)
+                .seed(7)
+                .build()
+                .expect("valid scenario");
+            let report = net.run_to(&StopWhen::stable_for(3).within(500));
+            assert!(report.is_stable(), "{variant:?} did not converge");
             assert!(is_locally_unique(net.topology(), &names_of(&net)));
         }
     }
@@ -371,16 +390,15 @@ mod tests {
     fn converges_from_corrupted_state() {
         let topo = builders::grid(8, 8, 0.2);
         let gamma = NameSpace::delta_squared(topo.max_degree());
-        let mut net = Network::new(
-            DagProtocol::new(gamma, DagVariant::Randomized, 4),
-            PerfectMedium,
-            topo,
-            8,
-        );
+        let mut net = Scenario::new(DagProtocol::new(gamma, DagVariant::Randomized, 4))
+            .topology(topo)
+            .seed(8)
+            .build()
+            .expect("valid scenario");
         net.run(20);
         net.corrupt_all();
-        net.run_until_stable(|_, s| s.dag_id, 5, 500)
-            .expect("reconvergence after corruption");
+        net.run_to(&StopWhen::stable_for(5).within(500))
+            .expect_stable("reconvergence after corruption");
         let names = names_of(&net);
         assert!(is_locally_unique(net.topology(), &names));
         assert!(names.iter().all(|&x| gamma.contains(x)), "names back in γ");
@@ -390,14 +408,14 @@ mod tests {
     fn converges_under_lossy_medium() {
         let topo = builders::grid(6, 6, 0.25);
         let gamma = NameSpace::delta_squared(topo.max_degree());
-        let mut net = Network::new(
-            DagProtocol::new(gamma, DagVariant::Randomized, 10),
-            BernoulliLoss::new(0.5),
-            topo,
-            9,
-        );
-        net.run_until_stable(|_, s| s.dag_id, 10, 2000)
-            .expect("N1 converges despite τ = 0.5");
+        let mut net = Scenario::new(DagProtocol::new(gamma, DagVariant::Randomized, 10))
+            .medium(BernoulliLoss::new(0.5))
+            .topology(topo)
+            .seed(9)
+            .build()
+            .expect("valid scenario");
+        net.run_to(&StopWhen::stable_for(10).within(2000))
+            .expect_stable("N1 converges despite τ = 0.5");
         assert!(is_locally_unique(net.topology(), &names_of(&net)));
     }
 
@@ -409,15 +427,14 @@ mod tests {
         for seed in 0..runs {
             let topo = builders::grid(10, 10, 0.12);
             let gamma = NameSpace::delta_squared(topo.max_degree());
-            let mut net = Network::new(
-                DagProtocol::new(gamma, DagVariant::SmallestIdRedraws, 4),
-                PerfectMedium,
-                topo,
-                seed,
-            );
+            let mut net = Scenario::new(DagProtocol::new(gamma, DagVariant::SmallestIdRedraws, 4))
+                .topology(topo)
+                .seed(seed)
+                .build()
+                .expect("valid scenario");
             let t = net
-                .run_until_stable(|_, s| s.dag_id, 5, 200)
-                .expect("converges");
+                .run_to(&StopWhen::stable_for(5).within(200))
+                .expect_stable("converges");
             total += t;
         }
         let mean = total as f64 / runs as f64;
@@ -428,13 +445,13 @@ mod tests {
     fn name_dag_height_is_bounded_by_gamma() {
         let topo = builders::grid(12, 12, 0.1);
         let gamma = NameSpace::delta_squared(topo.max_degree());
-        let mut net = Network::new(
-            DagProtocol::new(gamma, DagVariant::Randomized, 4),
-            PerfectMedium,
-            topo,
-            11,
-        );
-        net.run_until_stable(|_, s| s.dag_id, 3, 500).unwrap();
+        let mut net = Scenario::new(DagProtocol::new(gamma, DagVariant::Randomized, 4))
+            .topology(topo)
+            .seed(11)
+            .build()
+            .expect("valid scenario");
+        net.run_to(&StopWhen::stable_for(3).within(500))
+            .expect_stable("converges");
         let names = names_of(&net);
         let height = name_dag_height(net.topology(), &names);
         assert!(height >= 1);

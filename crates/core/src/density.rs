@@ -42,7 +42,10 @@ impl Density {
     /// the canonical zero `0/1` (isolated node).
     pub fn ratio(links: u32, degree: u32) -> Self {
         if degree == 0 {
-            Density { links: 0, degree: 1 }
+            Density {
+                links: 0,
+                degree: 1,
+            }
         } else {
             Density { links, degree }
         }
@@ -52,12 +55,18 @@ impl Density {
     /// metrics (e.g. the node degree, as suggested by the paper's
     /// conclusion) in the same machinery.
     pub fn integer(k: u32) -> Self {
-        Density { links: k, degree: 1 }
+        Density {
+            links: k,
+            degree: 1,
+        }
     }
 
     /// The canonical zero density.
     pub fn zero() -> Self {
-        Density { links: 0, degree: 1 }
+        Density {
+            links: 0,
+            degree: 1,
+        }
     }
 
     /// Numerator: the link count of Definition 1.
@@ -123,10 +132,7 @@ impl fmt::Display for Density {
 /// assert_eq!(d.degree(), 4);
 /// ```
 pub fn density_of(topo: &Topology, p: NodeId) -> Density {
-    Density::ratio(
-        topo.neighborhood_links(p) as u32,
-        topo.degree(p) as u32,
-    )
+    Density::ratio(topo.neighborhood_links(p) as u32, topo.degree(p) as u32)
 }
 
 /// Computes the density of a node from distributed knowledge: its
@@ -135,11 +141,7 @@ pub fn density_of(topo: &Topology, p: NodeId) -> Density {
 ///
 /// `neighbors` must be sorted; `tables[i]` is the neighbor table of
 /// `neighbors[i]`.
-pub fn density_from_tables(
-    me: NodeId,
-    neighbors: &[NodeId],
-    tables: &[&[NodeId]],
-) -> Density {
+pub fn density_from_tables(me: NodeId, neighbors: &[NodeId], tables: &[&[NodeId]]) -> Density {
     debug_assert_eq!(neighbors.len(), tables.len());
     let mut links = neighbors.len() as u32; // edges from me to each neighbor
     for (i, &q) in neighbors.iter().enumerate() {
@@ -221,8 +223,7 @@ mod tests {
         let topo = fig1_example();
         for p in topo.nodes() {
             let neighbors: Vec<NodeId> = topo.neighbors(p).to_vec();
-            let tables: Vec<&[NodeId]> =
-                neighbors.iter().map(|&q| topo.neighbors(q)).collect();
+            let tables: Vec<&[NodeId]> = neighbors.iter().map(|&q| topo.neighbors(q)).collect();
             let distributed = density_from_tables(p, &neighbors, &tables);
             assert_eq!(distributed, density_of(&topo, p), "node {p}");
         }

@@ -124,10 +124,7 @@ pub fn head_overlay(topo: &Topology, clustering: &Clustering) -> (Vec<NodeId>, T
         let hv = clustering.head(v);
         if hu != hv {
             overlay
-                .add_edge(
-                    NodeId::new(overlay_id(hu)),
-                    NodeId::new(overlay_id(hv)),
-                )
+                .add_edge(NodeId::new(overlay_id(hu)), NodeId::new(overlay_id(hv)))
                 .expect("overlay ids are in range and distinct");
         }
     }
@@ -203,16 +200,18 @@ mod tests {
     fn overlay_links_touching_clusters() {
         // Line of 6: two clusters (0..=2 head 0... depends on densities)
         // — use a hand case instead: two triangles joined by one edge.
-        let topo = Topology::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let topo =
+            Topology::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let clustering = oracle(&topo, &OracleConfig::default());
         let (heads, overlay) = head_overlay(&topo, &clustering);
         assert_eq!(heads.len(), clustering.head_count());
         if heads.len() == 2 {
-            assert_eq!(overlay.edge_count(), 1, "the bridging edge links the clusters");
+            assert_eq!(
+                overlay.edge_count(),
+                1,
+                "the bridging edge links the clusters"
+            );
         }
     }
 

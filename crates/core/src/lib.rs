@@ -29,7 +29,9 @@
 //!
 //! # Examples
 //!
-//! End to end: deploy, cluster, verify, measure.
+//! End to end: deploy, cluster, verify, measure — through the
+//! `mwn_sim::Scenario` builder, which every experiment in the
+//! workspace goes through.
 //!
 //! ```
 //! use mwn_cluster::{
@@ -37,19 +39,17 @@
 //!     OracleConfig,
 //! };
 //! use mwn_graph::builders;
-//! use mwn_radio::PerfectMedium;
-//! use mwn_sim::Network;
+//! use mwn_sim::{Scenario, StopWhen};
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //! let topo = builders::uniform(120, 0.15, &mut rng);
-//! let mut net = Network::new(
-//!     DensityCluster::new(ClusterConfig::default()),
-//!     PerfectMedium,
-//!     topo,
-//!     7,
-//! );
-//! net.run_until_stable(|_, s| s.output(), 3, 500).expect("stabilizes");
+//! let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+//!     .topology(topo)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid scenario");
+//! net.run_to(&StopWhen::stable_for(3).within(500)).expect_stable("stabilizes");
 //! let clustering = extract_clustering(net.states()).expect("clean output");
 //! assert_eq!(clustering, oracle(net.topology(), &OracleConfig::default()));
 //! let stats = ClusteringStats::of(net.topology(), &clustering).unwrap();
@@ -74,23 +74,23 @@ mod routing;
 mod stabilization;
 
 pub use clustering::Clustering;
-pub use energy::{
-    charge_round, energy_aware_clustering, simulate_rotation, EnergyModel, RotationOutcome,
-};
-pub use gateways::{gateway_report, GatewayReport};
-pub use hierarchy::{build_hierarchy, head_overlay, Hierarchy, HierarchyLevel};
 pub use dag::{
     is_locally_unique, name_dag_height, new_id, order_dag_height, DagProtocol, DagState,
     DagVariant, NameSpace,
 };
 pub use density::{density_from_tables, density_of, Density};
+pub use energy::{
+    charge_round, energy_aware_clustering, simulate_rotation, EnergyModel, RotationOutcome,
+};
+pub use gateways::{gateway_report, GatewayReport};
+pub use hierarchy::{build_hierarchy, head_overlay, Hierarchy, HierarchyLevel};
 pub use metric::MetricKind;
 pub use metrics::{head_persistence_series, ClusteringStats};
 pub use oracle::{keys_of, locally_maximal, oracle, oracle_with_keys, HeadRule, OracleConfig};
 pub use order::{max_key, Key, OrderKind};
-pub use routing::{mean_stretch, ClusterRouter};
 pub use protocol::{
-    extract_clustering, extract_dag_ids, ClusterBeacon, ClusterConfig, ClusterState,
+    extract_clustering, extract_dag_ids, ClusterBeacon, ClusterConfig, ClusterState, ClusterView,
     DagConfig, DensityCluster, NeighborEntry, PeerSummary,
 };
+pub use routing::{mean_stretch, ClusterRouter};
 pub use stabilization::{check_legitimate, measure_info_schedule, Illegitimacy, InfoSchedule};

@@ -69,10 +69,7 @@ mod tests {
     fn density_metric_matches_density_of() {
         let topo = builders::fig1_example();
         for p in topo.nodes() {
-            assert_eq!(
-                MetricKind::Density.value_of(&topo, p),
-                density_of(&topo, p)
-            );
+            assert_eq!(MetricKind::Density.value_of(&topo, p), density_of(&topo, p));
         }
     }
 
@@ -102,8 +99,7 @@ mod tests {
         let topo = builders::ring(6);
         for p in topo.nodes() {
             let neighbors = topo.neighbors(p).to_vec();
-            let tables: Vec<&[NodeId]> =
-                neighbors.iter().map(|&q| topo.neighbors(q)).collect();
+            let tables: Vec<&[NodeId]> = neighbors.iter().map(|&q| topo.neighbors(q)).collect();
             assert_eq!(
                 MetricKind::Degree.value_from_tables(p, &neighbors, &tables),
                 MetricKind::Degree.value_of(&topo, p)

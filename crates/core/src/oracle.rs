@@ -55,10 +55,7 @@ pub fn keys_of(topo: &Topology, cfg: &OracleConfig) -> Vec<Key> {
     }
     topo.nodes()
         .map(|p| {
-            let tiebreak = cfg
-                .tiebreak
-                .as_ref()
-                .map_or(p.value(), |tb| tb[p.index()]);
+            let tiebreak = cfg.tiebreak.as_ref().map_or(p.value(), |tb| tb[p.index()]);
             let is_head = cfg.prev_heads.as_ref().is_some_and(|ph| ph[p.index()]);
             Key::new(cfg.metric.value_of(topo, p), is_head, tiebreak, p)
         })

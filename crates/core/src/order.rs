@@ -95,8 +95,7 @@ pub fn max_key<I>(keys: I, order: OrderKind) -> Option<Key>
 where
     I: IntoIterator<Item = Key>,
 {
-    keys.into_iter()
-        .max_by(|a, b| a.cmp_under(b, order))
+    keys.into_iter().max_by(|a, b| a.cmp_under(b, order))
 }
 
 #[cfg(test)]
@@ -200,7 +199,11 @@ mod tests {
 
     #[test]
     fn max_key_picks_the_strongest() {
-        let ks = vec![key(1, 1, false, 5, 5), key(3, 2, false, 9, 9), key(1, 1, false, 2, 2)];
+        let ks = vec![
+            key(1, 1, false, 5, 5),
+            key(3, 2, false, 9, 9),
+            key(1, 1, false, 2, 2),
+        ];
         let m = max_key(ks, OrderKind::Basic).unwrap();
         assert_eq!(m.id, NodeId::new(9));
         assert_eq!(max_key(Vec::new(), OrderKind::Basic), None);

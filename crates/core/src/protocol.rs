@@ -20,12 +20,10 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use mwn_sim::{Corruptible, Protocol};
+use mwn_sim::{Corruptible, Observable, Protocol};
 
 use crate::dag::new_id;
-use crate::{
-    Clustering, DagVariant, Density, HeadRule, Key, MetricKind, NameSpace, OrderKind,
-};
+use crate::{Clustering, DagVariant, Density, HeadRule, Key, MetricKind, NameSpace, OrderKind};
 
 /// DAG-renaming configuration (Section 4.1), when enabled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -184,13 +182,16 @@ pub struct ClusterBeacon {
 /// use mwn_cluster::{extract_clustering, ClusterConfig, DensityCluster};
 /// use mwn_graph::builders::fig1_example;
 /// use mwn_graph::NodeId;
-/// use mwn_radio::PerfectMedium;
-/// use mwn_sim::Network;
+/// use mwn_sim::{Scenario, StopWhen};
 ///
 /// let topo = fig1_example();
 /// let protocol = DensityCluster::new(ClusterConfig::default());
-/// let mut net = Network::new(protocol, PerfectMedium, topo, 1);
-/// net.run_until_stable(|_, s| s.output(), 3, 100).expect("stabilizes");
+/// let mut net = Scenario::new(protocol)
+///     .topology(topo)
+///     .seed(1)
+///     .build()
+///     .expect("valid scenario");
+/// net.run_to(&StopWhen::stable_for(3).within(100)).expect_stable("stabilizes");
 /// let clustering = extract_clustering(net.states()).expect("clean output");
 /// // The paper's example: two clusters, headed by h (id 7) and j (id 5).
 /// assert_eq!(clustering.heads(), vec![NodeId::new(5), NodeId::new(7)]);
@@ -309,8 +310,7 @@ impl Protocol for DensityCluster {
         match &self.config.dag {
             Some(dag) => {
                 let used: Vec<u32> = state.cache.values().map(|e| e.dag_id).collect();
-                let conflicted =
-                    !dag.gamma.contains(state.dag_id) || used.contains(&state.dag_id);
+                let conflicted = !dag.gamma.contains(state.dag_id) || used.contains(&state.dag_id);
                 if conflicted {
                     let must_redraw = match dag.variant {
                         DagVariant::Randomized => true,
@@ -399,6 +399,20 @@ impl Protocol for DensityCluster {
     }
 }
 
+impl Observable for DensityCluster {
+    /// The full shared-variable fixpoint `(Id_p, H(p), F(p))`: the DAG
+    /// name, the cluster-head and the parent. With the DAG disabled
+    /// the name is the (re-asserted, constant) unique id, so the
+    /// projection degenerates to the election output `(H(p), F(p))` —
+    /// one canonical projection serves every configuration, replacing
+    /// the per-call-site closures the experiments used to carry.
+    type Output = (u32, NodeId, NodeId);
+
+    fn output(&self, _node: NodeId, state: &ClusterState) -> (u32, NodeId, NodeId) {
+        (state.dag_id, state.head, state.parent)
+    }
+}
+
 impl Corruptible for DensityCluster {
     fn corrupt(&self, _node: NodeId, state: &mut ClusterState, rng: &mut StdRng) {
         state.dag_id = rng.random_range(0..u32::MAX);
@@ -430,22 +444,54 @@ impl Corruptible for DensityCluster {
     }
 }
 
-/// Extracts the clustering from stabilized protocol states.
+/// Anything that exposes a node's cluster-head and parent claim:
+/// full [`ClusterState`]s and the protocol's
+/// [`mwn_sim::Observable`] outputs both qualify, so
+/// [`extract_clustering`] works off either.
+pub trait ClusterView {
+    /// The claimed cluster-head `H(p)`.
+    fn head_claim(&self) -> NodeId;
+    /// The claimed parent `F(p)`.
+    fn parent_claim(&self) -> NodeId;
+}
+
+impl ClusterView for ClusterState {
+    fn head_claim(&self) -> NodeId {
+        self.head
+    }
+    fn parent_claim(&self) -> NodeId {
+        self.parent
+    }
+}
+
+/// The [`mwn_sim::Observable`] output of [`DensityCluster`]:
+/// `(Id_p, H(p), F(p))`.
+impl ClusterView for (u32, NodeId, NodeId) {
+    fn head_claim(&self) -> NodeId {
+        self.1
+    }
+    fn parent_claim(&self) -> NodeId {
+        self.2
+    }
+}
+
+/// Extracts the clustering from stabilized protocol states or
+/// observable outputs (anything implementing [`ClusterView`]).
 ///
 /// Returns `None` if any head or parent pointer references a node
 /// outside the network — possible only in non-stabilized snapshots
 /// (e.g. right after a corruption), never in a legitimate
 /// configuration.
-pub fn extract_clustering(states: &[ClusterState]) -> Option<Clustering> {
-    let n = states.len();
+pub fn extract_clustering<V: ClusterView>(views: &[V]) -> Option<Clustering> {
+    let n = views.len();
     let mut parent = Vec::with_capacity(n);
     let mut head = Vec::with_capacity(n);
-    for s in states {
-        if s.parent.index() >= n || s.head.index() >= n {
+    for v in views {
+        if v.parent_claim().index() >= n || v.head_claim().index() >= n {
             return None;
         }
-        parent.push(s.parent);
-        head.push(s.head);
+        parent.push(v.parent_claim());
+        head.push(v.head_claim());
     }
     Some(Clustering::new(parent, head))
 }
@@ -460,7 +506,7 @@ mod tests {
     use super::*;
     use mwn_graph::builders;
     use mwn_radio::{BernoulliLoss, PerfectMedium, SlottedCsma};
-    use mwn_sim::Network;
+    use mwn_sim::{Network, Scenario, StopWhen};
 
     use crate::{oracle, OracleConfig};
 
@@ -471,10 +517,15 @@ mod tests {
         seed: u64,
         max_steps: u64,
     ) -> Network<DensityCluster, M> {
-        config.validate_for(&topo).expect("valid config");
-        let mut net = Network::new(DensityCluster::new(config), medium, topo, seed);
-        net.run_until_stable(|_, s| (s.dag_id, s.density, s.head, s.parent), 5, max_steps)
-            .expect("protocol stabilizes");
+        let mut net = Scenario::new(DensityCluster::new(config))
+            .medium(medium)
+            .topology(topo)
+            .seed(seed)
+            .validate(move |t| config.validate_for(t))
+            .build()
+            .expect("valid scenario");
+        net.run_to(&StopWhen::stable_for(5).within(max_steps))
+            .expect_stable("protocol stabilizes");
         net
     }
 
@@ -532,12 +583,11 @@ mod tests {
         // Paper Table 2: neighbors after step 1, density after step 2,
         // father after step 3.
         let topo = builders::fig1_example();
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo.clone(),
-            5,
-        );
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo.clone())
+            .seed(5)
+            .build()
+            .expect("valid scenario");
         // Step 1: neighbor tables complete.
         net.step();
         for p in topo.nodes() {
@@ -566,17 +616,16 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(12);
         let topo = builders::uniform(60, 0.18, &mut rng);
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            6,
-        );
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(6)
+            .build()
+            .expect("valid scenario");
         net.run(20);
         let before = extract_clustering(net.states()).unwrap();
         net.corrupt_all();
-        net.run_until_stable(|_, s| (s.dag_id, s.density, s.head, s.parent), 5, 500)
-            .expect("reconverges after corruption");
+        net.run_to(&StopWhen::stable_for(5).within(500))
+            .expect_stable("reconverges after corruption");
         let after = extract_clustering(net.states()).unwrap();
         assert_eq!(before, after, "convergence must restore the fixpoint");
     }
@@ -584,12 +633,11 @@ mod tests {
     #[test]
     fn closure_fixpoint_does_not_drift() {
         let topo = builders::fig1_example();
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            7,
-        );
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(7)
+            .build()
+            .expect("valid scenario");
         net.run(20);
         let fixed = extract_clustering(net.states()).unwrap();
         net.run(50);
@@ -680,12 +728,11 @@ mod tests {
     #[test]
     fn ghost_cache_entries_expire() {
         let topo = builders::line(3);
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            13,
-        );
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(13)
+            .build()
+            .expect("valid scenario");
         net.run(5);
         // Plant a ghost neighbor with a *future* timestamp.
         net.state_mut(NodeId::new(0)).cache.insert(
@@ -700,7 +747,9 @@ mod tests {
         );
         net.run(2);
         assert!(
-            !net.state(NodeId::new(0)).cache.contains_key(&NodeId::new(999)),
+            !net.state(NodeId::new(0))
+                .cache
+                .contains_key(&NodeId::new(999)),
             "future-stamped ghost must be expired"
         );
     }

@@ -82,8 +82,7 @@ impl<'a> ClusterRouter<'a> {
         // Overlay path between the two heads.
         let o_src = NodeId::new(self.overlay_id(h_src)?);
         let o_dst = NodeId::new(self.overlay_id(h_dst)?);
-        let overlay_path =
-            traversal::bfs_path_filtered(&self.overlay, o_src, o_dst, |_| true)?;
+        let overlay_path = traversal::bfs_path_filtered(&self.overlay, o_src, o_dst, |_| true)?;
         // Expand: climb to the head, hop cluster to cluster, descend.
         let mut route = self.route_within(h_src, src, h_src)?;
         for pair in overlay_path.windows(2) {
@@ -135,7 +134,9 @@ pub fn mean_stretch(
         }
         let direct = traversal::bfs_distances(topo, src)[dst.index()];
         let Some(direct) = direct else { continue };
-        let Some(hier) = router.hops(src, dst) else { continue };
+        let Some(hier) = router.hops(src, dst) else {
+            continue;
+        };
         total += hier as f64 / f64::from(direct.max(1));
         count += 1;
     }
@@ -193,7 +194,10 @@ mod tests {
         let topo = builders::line(4);
         let clustering = oracle(&topo, &OracleConfig::default());
         let router = ClusterRouter::new(&topo, &clustering);
-        assert_eq!(router.route(NodeId::new(2), NodeId::new(2)), Some(vec![NodeId::new(2)]));
+        assert_eq!(
+            router.route(NodeId::new(2), NodeId::new(2)),
+            Some(vec![NodeId::new(2)])
+        );
         assert_eq!(router.hops(NodeId::new(2), NodeId::new(2)), Some(0));
     }
 

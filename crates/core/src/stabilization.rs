@@ -56,9 +56,7 @@ impl std::fmt::Display for Illegitimacy {
 /// # Errors
 ///
 /// Returns the first violation found.
-pub fn check_legitimate<M: Medium>(
-    net: &Network<DensityCluster, M>,
-) -> Result<(), Illegitimacy> {
+pub fn check_legitimate<M: Medium>(net: &Network<DensityCluster, M>) -> Result<(), Illegitimacy> {
     let topo = net.topology();
     let states = net.states();
     let config = net.protocol().config();
@@ -76,19 +74,14 @@ pub fn check_legitimate<M: Medium>(
     }
     if let Some(dag) = &config.dag {
         let names: Vec<u32> = states.iter().map(|s| s.dag_id).collect();
-        if !is_locally_unique(topo, &names)
-            || names.iter().any(|&x| !dag.gamma.contains(x))
-        {
+        if !is_locally_unique(topo, &names) || names.iter().any(|&x| !dag.gamma.contains(x)) {
             return Err(Illegitimacy::BadDagNames);
         }
     }
     let Some(clustering) = extract_clustering(states) else {
         return Err(Illegitimacy::DanglingPointer);
     };
-    let keys: Vec<Key> = topo
-        .nodes()
-        .map(|p| states[p.index()].key(p))
-        .collect();
+    let keys: Vec<Key> = topo.nodes().map(|p| states[p.index()].key(p)).collect();
     let fixpoint = oracle_with_keys(topo, &keys, config.order, config.rule);
     if clustering != fixpoint {
         return Err(Illegitimacy::NotAFixpoint);
@@ -122,7 +115,7 @@ pub fn measure_info_schedule<M: Medium>(
     max_steps: u64,
 ) -> InfoSchedule {
     let topo = net.topology().clone();
-    let config = net.protocol().config().clone();
+    let config = *net.protocol().config();
     let want = oracle(
         &topo,
         &OracleConfig {
@@ -148,13 +141,13 @@ pub fn measure_info_schedule<M: Medium>(
             schedule.density = Some(now);
         }
         if schedule.parent.is_none()
-            && topo.nodes().all(|p| states[p.index()].parent == want.parent(p))
+            && topo
+                .nodes()
+                .all(|p| states[p.index()].parent == want.parent(p))
         {
             schedule.parent = Some(now);
         }
-        if schedule.head.is_none()
-            && topo.nodes().all(|p| states[p.index()].head == want.head(p))
-        {
+        if schedule.head.is_none() && topo.nodes().all(|p| states[p.index()].head == want.head(p)) {
             schedule.head = Some(now);
         }
         if schedule.head.is_some()
@@ -180,17 +173,16 @@ mod tests {
     use super::*;
     use crate::ClusterConfig;
     use mwn_graph::builders;
-    use mwn_radio::PerfectMedium;
+    use mwn_sim::Scenario;
 
     #[test]
     fn stabilized_run_is_legitimate() {
         let topo = builders::fig1_example();
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            1,
-        );
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(1)
+            .build()
+            .expect("valid scenario");
         net.run(30);
         assert_eq!(check_legitimate(&net), Ok(()));
     }
@@ -198,24 +190,22 @@ mod tests {
     #[test]
     fn cold_start_is_not_legitimate() {
         let topo = builders::fig1_example();
-        let net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            1,
-        );
+        let net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(1)
+            .build()
+            .expect("valid scenario");
         assert!(check_legitimate(&net).is_err());
     }
 
     #[test]
     fn corruption_breaks_legitimacy_and_running_restores_it() {
         let topo = builders::grid(5, 5, 0.3);
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            2,
-        );
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(2)
+            .build()
+            .expect("valid scenario");
         net.run(30);
         assert_eq!(check_legitimate(&net), Ok(()));
         net.corrupt_all();
@@ -229,12 +219,11 @@ mod tests {
         // The paper's Table 2: neighbors after step 1, density after
         // step 2, father after step 3; head within depth more steps.
         let topo = builders::fig1_example();
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            3,
-        );
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(3)
+            .build()
+            .expect("valid scenario");
         let schedule = measure_info_schedule(&mut net, 50);
         assert_eq!(schedule.neighbors, Some(1));
         assert_eq!(schedule.density, Some(2));

@@ -3,12 +3,12 @@
 
 use mwn_cluster::{
     check_legitimate, density_from_tables, density_of, extract_clustering, extract_dag_ids,
-    is_locally_unique, keys_of, oracle, ClusterConfig, DagConfig, DagProtocol, DagVariant,
-    Density, DensityCluster, HeadRule, Key, MetricKind, NameSpace, OracleConfig, OrderKind,
+    is_locally_unique, keys_of, oracle, ClusterConfig, DagConfig, DagProtocol, DagVariant, Density,
+    DensityCluster, HeadRule, Key, MetricKind, NameSpace, OracleConfig, OrderKind,
 };
 use mwn_graph::{builders, NodeId, Topology};
-use mwn_radio::{BernoulliLoss, PerfectMedium};
-use mwn_sim::Network;
+use mwn_radio::BernoulliLoss;
+use mwn_sim::{Scenario, StopWhen};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -129,13 +129,12 @@ proptest! {
     /// clustering (basic order/rule) on a perfect medium.
     #[test]
     fn distributed_equals_oracle(topo in topo_strategy(), seed in 0u64..1000) {
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            seed,
-        );
-        net.run_until_stable(|_, s| s.output(), 3, 400).expect("stabilizes");
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
+        net.run_to(&StopWhen::stable_for(3).within(400)).expect_stable("stabilizes");
         let got = extract_clustering(net.states()).expect("clean");
         let want = oracle(net.topology(), &OracleConfig::default());
         prop_assert_eq!(got, want);
@@ -147,16 +146,15 @@ proptest! {
     /// configuration and stays there.
     #[test]
     fn corruption_reconverges_to_fixpoint(topo in topo_strategy(), seed in 0u64..1000) {
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            seed,
-        );
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
         net.run(30);
         let fixpoint = extract_clustering(net.states()).expect("stabilized");
         net.corrupt_all();
-        net.run_until_stable(|_, s| s.output(), 3, 600).expect("reconverges");
+        net.run_to(&StopWhen::stable_for(3).within(600)).expect_stable("reconverges");
         prop_assert_eq!(extract_clustering(net.states()).expect("clean"), fixpoint.clone());
         // Closure: keep running, nothing moves.
         net.run(25);
@@ -177,15 +175,15 @@ proptest! {
             DagVariant::SmallestIdRedraws
         };
         let gamma = NameSpace::delta_squared(topo.max_degree().max(1));
-        let mut net = Network::new(
-            DagProtocol::new(gamma, variant, 4),
-            PerfectMedium,
-            topo,
-            seed,
-        );
-        net.run_until_stable(|_, s| s.dag_id, 4, 800).expect("N1 converges");
+        let mut net = Scenario::new(DagProtocol::new(gamma, variant, 4))
+            .topology(topo)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
+        let stop = StopWhen::stable_for(4).within(800);
+        net.run_to(&stop).expect_stable("N1 converges");
         net.corrupt_all();
-        net.run_until_stable(|_, s| s.dag_id, 4, 800).expect("N1 reconverges");
+        net.run_to(&stop).expect_stable("N1 reconverges");
         let names: Vec<u32> = net.states().iter().map(|s| s.dag_id).collect();
         prop_assert!(is_locally_unique(net.topology(), &names));
         prop_assert!(names.iter().all(|&x| gamma.contains(x)));
@@ -208,15 +206,16 @@ proptest! {
         // (1-τ)^ttl ≤ 1e-7, else neighbor sets flap forever.
         let cache_ttl = ((1e-7f64.ln() / (1.0 - tau).ln()).ceil() as u64).max(4) + 2;
         let config = ClusterConfig { cache_ttl, ..ClusterConfig::default() };
-        let mut net = Network::new(
-            DensityCluster::new(config),
-            BernoulliLoss::new(tau),
-            topo,
-            seed,
-        );
-        // With losses the *caches* keep churning; project only the
-        // election output.
-        net.run_until_stable(|_, s| s.output(), cache_ttl + 10, 20_000).expect("stabilizes");
+        let mut net = Scenario::new(DensityCluster::new(config))
+            .medium(BernoulliLoss::new(tau))
+            .topology(topo)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
+        // With losses the *caches* keep churning; the quiet window must
+        // outlast the worst plausible loss streak.
+        net.run_to(&StopWhen::stable_for(cache_ttl + 10).within(20_000))
+            .expect_stable("stabilizes");
         let got = extract_clustering(net.states()).expect("clean");
         let want = oracle(net.topology(), &OracleConfig::default());
         prop_assert_eq!(got, want);
@@ -235,9 +234,13 @@ proptest! {
             ..ClusterConfig::default()
         };
         prop_assume!(config.validate_for(&topo).is_ok());
-        let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo, seed);
-        net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 5, 1000)
-            .expect("stabilizes");
+        let mut net = Scenario::new(DensityCluster::new(config))
+            .topology(topo)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
+        net.run_to(&StopWhen::stable_for(5).within(1000))
+            .expect_stable("stabilizes");
         let got = extract_clustering(net.states()).expect("clean");
         let want = oracle(
             net.topology(),
@@ -259,8 +262,12 @@ proptest! {
             metric: MetricKind::Degree,
             ..ClusterConfig::default()
         };
-        let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo, seed);
-        net.run_until_stable(|_, s| s.output(), 3, 400).expect("stabilizes");
+        let mut net = Scenario::new(DensityCluster::new(config))
+            .topology(topo)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
+        net.run_to(&StopWhen::stable_for(3).within(400)).expect_stable("stabilizes");
         let got = extract_clustering(net.states()).expect("clean");
         let want = oracle(
             net.topology(),

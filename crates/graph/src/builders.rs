@@ -102,7 +102,11 @@ pub fn line(n: usize) -> Topology {
     let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
     let positions = (0..n)
         .map(|i| {
-            let t = if n > 1 { i as f64 / (n - 1) as f64 } else { 0.5 };
+            let t = if n > 1 {
+                i as f64 / (n - 1) as f64
+            } else {
+                0.5
+            };
             Point2::new(t, 0.5)
         })
         .collect();
@@ -168,7 +172,10 @@ pub fn complete(n: usize) -> Topology {
 ///
 /// Panics if `p` is not within `[0, 1]`.
 pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Topology {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]"
+    );
     let mut edges = Vec::new();
     for u in 0..n as u32 {
         for v in (u + 1)..n as u32 {
@@ -318,9 +325,8 @@ mod tests {
     #[test]
     fn fig1_matches_table1_neighbor_and_link_counts() {
         let topo = fig1_example();
-        let by_label = |c: char| {
-            NodeId::new(FIG1_LABELS.iter().position(|&l| l == c).unwrap() as u32)
-        };
+        let by_label =
+            |c: char| NodeId::new(FIG1_LABELS.iter().position(|&l| l == c).unwrap() as u32);
         // Table 1 (all rows except the inconsistent node d):
         // node:       a  b  c  d  e  f  h  i  j
         // #neighbors: 2  4  1  4  1  2  2  4  2

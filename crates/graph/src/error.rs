@@ -45,7 +45,10 @@ impl fmt::Display for GraphError {
                 write!(f, "self-loop on node {node} (the model requires p ∉ N_p)")
             }
             GraphError::InvalidRadius { radius } => {
-                write!(f, "invalid radio range {radius}; must be finite and positive")
+                write!(
+                    f,
+                    "invalid radio range {radius}; must be finite and positive"
+                )
             }
         }
     }
@@ -64,7 +67,9 @@ mod tests {
             len: 4,
         };
         assert!(err.to_string().contains("out of range"));
-        let err = GraphError::SelfLoop { node: NodeId::new(1) };
+        let err = GraphError::SelfLoop {
+            node: NodeId::new(1),
+        };
         assert!(err.to_string().contains("self-loop"));
         let err = GraphError::InvalidRadius { radius: -1.0 };
         assert!(err.to_string().contains("invalid radio range"));

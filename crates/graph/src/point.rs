@@ -53,7 +53,10 @@ impl Point2 {
     /// `self`, `t = 1` yields `other`.
     #[inline]
     pub fn lerp(self, other: Point2, t: f64) -> Point2 {
-        Point2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 
     /// Returns `true` when the point lies inside the closed unit square.

@@ -119,6 +119,9 @@ mod tests {
         }
         mean /= runs as f64;
         // Border effects push the empirical mean a bit below λπR².
-        assert!(mean > expected * 0.8 && mean < expected * 1.05, "mean {mean} vs {expected}");
+        assert!(
+            mean > expected * 0.8 && mean < expected * 1.05,
+            "mean {mean} vs {expected}"
+        );
     }
 }

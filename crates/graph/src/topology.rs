@@ -396,7 +396,9 @@ mod tests {
     fn self_loop_is_rejected() {
         assert_eq!(
             Topology::from_edges(2, &[(1, 1)]),
-            Err(GraphError::SelfLoop { node: NodeId::new(1) })
+            Err(GraphError::SelfLoop {
+                node: NodeId::new(1)
+            })
         );
     }
 

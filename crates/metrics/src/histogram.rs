@@ -117,7 +117,11 @@ impl fmt::Display for Histogram {
             writeln!(f, "[{lo:8.3},{hi:8.3}) {count:8} {}", "#".repeat(width))?;
         }
         if self.underflow > 0 || self.overflow > 0 {
-            writeln!(f, "underflow: {}, overflow: {}", self.underflow, self.overflow)?;
+            writeln!(
+                f,
+                "underflow: {}, overflow: {}",
+                self.underflow, self.overflow
+            )?;
         }
         Ok(())
     }

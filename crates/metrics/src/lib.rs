@@ -5,18 +5,16 @@
 //! (Section 5). This crate provides the pieces that turn raw simulation
 //! outputs into the paper's tables: numerically stable running
 //! statistics ([`RunningStats`]), histograms ([`Histogram`]),
-//! paper-style ASCII tables ([`Table`]), serializable result records
-//! ([`Summary`]), and a deterministic multi-seed parallel runner
-//! ([`run_seeds`]).
+//! paper-style ASCII tables ([`Table`]) and serializable result
+//! records ([`Summary`]). The multi-seed parallel fan-out lives with
+//! the simulator as `mwn_sim::Sweep`.
 //!
 //! # Examples
 //!
 //! ```
-//! use mwn_metrics::{run_seeds, RunningStats};
+//! use mwn_metrics::RunningStats;
 //!
-//! // Average a (toy) per-seed measurement over many deterministic runs.
-//! let results = run_seeds(100, 42, |seed| (seed % 7) as f64);
-//! let stats: RunningStats = results.into_iter().collect();
+//! let stats: RunningStats = (0..100).map(|s| (s % 7) as f64).collect();
 //! assert_eq!(stats.count(), 100);
 //! assert!(stats.mean() > 0.0);
 //! ```
@@ -25,11 +23,9 @@
 #![warn(missing_docs)]
 
 mod histogram;
-mod runner;
 mod running;
 mod table;
 
 pub use histogram::Histogram;
-pub use runner::run_seeds;
 pub use running::{RunningStats, Summary};
 pub use table::Table;

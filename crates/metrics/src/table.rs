@@ -82,10 +82,13 @@ impl Table {
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Column widths: max of header and every cell in that column.
-        let cols = self
-            .headers
-            .len()
-            .max(self.rows.iter().map(|(_, r)| r.len() + 1).max().unwrap_or(0));
+        let cols = self.headers.len().max(
+            self.rows
+                .iter()
+                .map(|(_, r)| r.len() + 1)
+                .max()
+                .unwrap_or(0),
+        );
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());

@@ -52,7 +52,11 @@ impl RandomDirection {
 
     fn draw_leg(&self, rng: &mut StdRng) -> Leg {
         let (lo, hi) = (*self.speed_range.start(), *self.speed_range.end());
-        let speed = if hi > lo { rng.random_range(lo..=hi) } else { lo };
+        let speed = if hi > lo {
+            rng.random_range(lo..=hi)
+        } else {
+            lo
+        };
         let angle = rng.random_range(0.0..std::f64::consts::TAU);
         // Exponential leg duration via inverse CDF; clamped away from 0.
         let u: f64 = rng.random_range(f64::EPSILON..1.0);

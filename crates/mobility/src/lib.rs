@@ -35,5 +35,5 @@ mod waypoint;
 
 pub use direction::RandomDirection;
 pub use model::{meters_per_second, MobilityModel, UNIT_SQUARE_METERS};
-pub use scenario::MobileScenario;
+pub use scenario::{MobileScenario, MobilityDynamics};
 pub use waypoint::RandomWaypoint;

@@ -79,6 +79,36 @@ impl<M: MobilityModel> MobileScenario<M> {
     pub fn model(&self) -> &M {
         &self.model
     }
+
+    /// Turns the scenario into a per-step topology driver for the
+    /// round simulator: each protocol step advances the nodes by
+    /// `seconds_per_step` and rebuilds the links. Plug the result into
+    /// `mwn_sim::Scenario::mobility` to run a protocol over a moving
+    /// network.
+    pub fn into_dynamics(self, seconds_per_step: f64) -> MobilityDynamics<M> {
+        assert!(seconds_per_step > 0.0, "seconds per step must be positive");
+        MobilityDynamics {
+            scenario: self,
+            seconds_per_step,
+        }
+    }
+}
+
+/// Adapter driving a [`MobileScenario`] from the round simulator's
+/// step clock; see [`MobileScenario::into_dynamics`].
+#[derive(Debug)]
+pub struct MobilityDynamics<M> {
+    scenario: MobileScenario<M>,
+    seconds_per_step: f64,
+}
+
+impl<M: MobilityModel> mwn_sim::TopologyDynamics for MobilityDynamics<M> {
+    fn next_topology(&mut self, _step: u64) -> Option<&Topology> {
+        self.scenario.advance(self.seconds_per_step);
+        // Hand the driver a borrow; it copies into its own reused
+        // buffers, so advancing allocates nothing per step here.
+        Some(self.scenario.topology())
+    }
 }
 
 #[cfg(test)]

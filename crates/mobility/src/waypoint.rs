@@ -67,7 +67,11 @@ impl RandomWaypoint {
 
     fn draw_leg(&self, rng: &mut StdRng) -> Leg {
         let (lo, hi) = (*self.speed_range.start(), *self.speed_range.end());
-        let speed = if hi > lo { rng.random_range(lo..=hi) } else { lo };
+        let speed = if hi > lo {
+            rng.random_range(lo..=hi)
+        } else {
+            lo
+        };
         Leg {
             target: Point2::new(rng.random_range(0.0..=1.0), rng.random_range(0.0..=1.0)),
             speed,

@@ -36,10 +36,7 @@ impl BernoulliLoss {
     /// Panics unless `0 < tau <= 1` (the paper requires τ > 0; with
     /// τ = 0 nothing ever converges).
     pub fn new(tau: f64) -> Self {
-        assert!(
-            tau > 0.0 && tau <= 1.0,
-            "τ must be in (0, 1], got {tau}"
-        );
+        assert!(tau > 0.0 && tau <= 1.0, "τ must be in (0, 1], got {tau}");
         BernoulliLoss { tau }
     }
 

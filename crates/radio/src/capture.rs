@@ -99,9 +99,7 @@ impl Medium for CaptureCsma {
                     _ => {
                         let mut ranked: Vec<(f64, NodeId)> = txs
                             .iter()
-                            .map(|&q| {
-                                (positions[q.index()].distance(positions[r.index()]), q)
-                            })
+                            .map(|&q| (positions[q.index()].distance(positions[r.index()]), q))
                             .collect();
                         ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
                         let (d1, nearest) = ranked[0];

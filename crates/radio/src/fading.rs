@@ -64,7 +64,9 @@ impl Medium for DistanceFading {
         let positions = topo
             .positions()
             .expect("distance fading requires node positions");
-        let radius = topo.radius().expect("distance fading requires a radio range");
+        let radius = topo
+            .radius()
+            .expect("distance fading requires a radio range");
         let mut delivery = Delivery::empty(topo.len());
         for &s in senders {
             for &r in topo.neighbors(s) {

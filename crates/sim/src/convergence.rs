@@ -45,13 +45,36 @@ impl<K: PartialEq> StabilityTracker<K> {
             Some(prev) if *prev == projection => {
                 self.stable_for += 1;
             }
-            Some(_) => {
+            _ => {
                 self.stable_for = 0;
                 self.last_change = now;
                 self.last = Some(projection);
             }
+        }
+        self.stable_for >= self.quiet
+    }
+
+    /// Records the projection at `now` without taking ownership; the
+    /// slice is only cloned when it differs from the previous
+    /// observation, so steady-state steps allocate nothing. Returns
+    /// `true` once the projection has been unchanged for the required
+    /// streak.
+    pub fn observe_slice(&mut self, now: u64, projection: &[K]) -> bool
+    where
+        K: Clone,
+    {
+        match &mut self.last {
+            Some(prev) if prev.as_slice() == projection => {
+                self.stable_for += 1;
+            }
+            Some(prev) => {
+                self.stable_for = 0;
+                self.last_change = now;
+                prev.clear();
+                prev.extend_from_slice(projection);
+            }
             None => {
-                self.last = Some(projection);
+                self.last = Some(projection.to_vec());
                 self.last_change = now;
                 self.stable_for = 0;
             }

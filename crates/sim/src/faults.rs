@@ -80,6 +80,12 @@ impl FaultPlan {
         self.events.len()
     }
 
+    /// Consumes the plan into its sorted `(step, fault)` script — the
+    /// form [`crate::Scenario`] installs into the driver.
+    pub(crate) fn into_events(self) -> Vec<(u64, Fault)> {
+        self.events
+    }
+
     /// `true` when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -131,16 +137,18 @@ where
             net.corrupt_fraction(*f);
         }
         Fault::Isolate(p) => net.isolate(*p),
-        Fault::SetTopology(topo) => net.set_topology(topo.clone()),
+        Fault::SetTopology(topo) => net
+            .set_topology(topo.clone())
+            .expect("scripted topology keeps the node count"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Protocol;
     use mwn_graph::builders;
     use mwn_radio::PerfectMedium;
-    use crate::Protocol;
     use rand::rngs::StdRng;
 
     struct MaxFlood;

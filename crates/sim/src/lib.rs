@@ -7,19 +7,26 @@
 //! Herman & Tixeuil \[11\]); neighbors keep *cached copies* of each
 //! other's shared variables.
 //!
-//! This crate turns that model into two runnable drivers:
+//! This crate turns that model into a layered, scenario-driven
+//! simulator:
 //!
+//! * [`Scenario`] — the fluent builder every experiment goes through:
+//!   protocol, medium, topology, seed, scripted [`FaultPlan`]s and
+//!   mobility dynamics, with typed [`SimError`]s instead of panics.
 //! * [`Network`] — the synchronous **round driver**. One round is the
-//!   paper's Δ(τ) "step" (Section 5): every node broadcasts its beacon
-//!   once, the [`mwn_radio::Medium`] decides which copies arrive,
-//!   receivers update their caches, then every node executes all its
-//!   enabled guarded assignments. Step counts measured here are
+//!   paper's Δ(τ) "step" (Section 5). Step counts measured here are
 //!   directly comparable to the paper's Tables 2, 3 and 5.
-//! * [`EventDriver`] — the **continuous-time driver**. Nodes broadcast
-//!   at randomized intervals; frames have a duration and collide when
-//!   they overlap at a receiver (hidden terminals included). This is
-//!   the execution model under which the paper's "expected constant
-//!   time" statements (Theorem 1, Lemmas 1–2) are phrased.
+//! * [`EventDriver`] — the **continuous-time driver**: randomized
+//!   beacons, frames with duration, receiver-side collisions — the
+//!   execution model of the paper's "expected constant time" claims.
+//! * [`StopWhen`] / [`RunReport`] — first-class stop conditions
+//!   (stability streaks, step budgets, predicates, combinators) and
+//!   structured run outcomes, replacing per-call-site projection
+//!   closures and magic numbers. Protocols expose their canonical
+//!   projection through [`Observable`].
+//! * [`Sweep`] — the parallel seed/parameter fan-out behind every
+//!   1000-run experiment average, with deterministic, schedule-independent
+//!   results.
 //!
 //! Self-stabilization is exercised through [`Corruptible`]: a protocol
 //! that can have its state arbitrarily corrupted, after which the
@@ -32,8 +39,7 @@
 //!
 //! ```
 //! use mwn_graph::{builders, NodeId};
-//! use mwn_radio::PerfectMedium;
-//! use mwn_sim::{Network, Protocol};
+//! use mwn_sim::{Observable, Protocol, Scenario, StopWhen};
 //! use rand::rngs::StdRng;
 //!
 //! struct MaxFlood;
@@ -47,28 +53,46 @@
 //!     }
 //!     fn update(&self, _node: NodeId, _state: &mut u32, _now: u64, _rng: &mut StdRng) {}
 //! }
+//! impl Observable for MaxFlood {
+//!     type Output = u32;
+//!     fn output(&self, _node: NodeId, state: &u32) -> u32 { *state }
+//! }
 //!
-//! let topo = builders::line(5);
-//! let mut net = Network::new(MaxFlood, PerfectMedium, topo, 7);
-//! net.run(5);
+//! let mut net = Scenario::new(MaxFlood)
+//!     .topology(builders::line(5))
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid scenario");
+//! let report = net.run_to(&StopWhen::stable_for(1).within(50));
 //! assert!(net.states().iter().all(|&s| s == 4));
+//! assert_eq!(report.expect_stable("flood stabilizes"), 4);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod convergence;
+mod error;
 mod events;
 mod faults;
 mod network;
+mod observable;
 mod protocol;
 mod rng;
+mod scenario;
+mod stop;
+mod sweep;
 mod trace;
 
 pub use convergence::StabilityTracker;
+pub use error::SimError;
 pub use events::{EventConfig, EventDriver};
 pub use faults::{Fault, FaultPlan};
 pub use network::Network;
+pub use observable::Observable;
 pub use protocol::{Corruptible, Protocol};
 pub use rng::{derive_seed, node_streams};
+pub use scenario::{Scenario, TopologyDynamics};
+pub use stop::{RunReport, StopWhen};
+pub use sweep::Sweep;
 pub use trace::Trace;

@@ -4,29 +4,39 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::rng::{derive_seed, node_streams};
-use crate::{Corruptible, Protocol, StabilityTracker};
+use crate::scenario::TopologyDynamics;
+use crate::stop::{RunReport, StopWhen};
+use crate::{Corruptible, Fault, Observable, Protocol, SimError, StabilityTracker};
+
+/// The boxed corruption hook installed by [`crate::Scenario::faults`]:
+/// it captures the [`Corruptible`] capability so scripted faults can
+/// fire inside [`Network::step`] without bounding every driver method.
+pub(crate) type Corruptor<P> =
+    Box<dyn Fn(&P, NodeId, &mut <P as Protocol>::State, &mut StdRng) + Send + Sync>;
 
 /// The synchronous round driver: one call to [`Network::step`] is one
 /// of the paper's Δ(τ) "steps" (Section 5).
 ///
 /// Within a step, in order:
 ///
-/// 1. every node takes a snapshot of its shared variables
+/// 1. if the scenario attached mobility dynamics, the topology moves;
+/// 2. scripted faults due at this step fire;
+/// 3. every node takes a snapshot of its shared variables
 ///    ([`Protocol::beacon`]) — simultaneous, so information moves at
 ///    most one hop per step, exactly as in the paper's Table 2;
-/// 2. the [`Medium`] decides which frame copies arrive;
-/// 3. receivers process arrivals ([`Protocol::receive`]);
-/// 4. every node executes its enabled guarded assignments
+/// 4. the [`Medium`] decides which frame copies arrive;
+/// 5. receivers process arrivals ([`Protocol::receive`]);
+/// 6. every node executes its enabled guarded assignments
 ///    ([`Protocol::update`]).
 ///
-/// All randomness comes from per-node streams plus one medium stream,
-/// all derived from the constructor seed: runs are fully reproducible.
+/// All randomness comes from per-node streams, one medium stream and
+/// one fault stream, all derived from the constructor seed: runs are
+/// fully reproducible, and fault injection never perturbs frame
+/// delivery.
 ///
-/// # Examples
-///
-/// See the crate-level example; [`Network::run_until_stable`] is the
-/// workhorse used by the stabilization-time experiments.
-#[derive(Debug)]
+/// Networks are normally built through [`crate::Scenario`]; the
+/// constructor and the closure-projection run methods remain available
+/// as the low-level interface.
 pub struct Network<P: Protocol, M> {
     protocol: P,
     medium: M,
@@ -34,7 +44,35 @@ pub struct Network<P: Protocol, M> {
     states: Vec<P::State>,
     node_rngs: Vec<StdRng>,
     medium_rng: StdRng,
+    fault_rng: StdRng,
     step: u64,
+    /// Every node broadcasts each round; cached to avoid re-collecting.
+    senders: Vec<NodeId>,
+    /// Per-step beacon snapshot, reused across steps.
+    beacon_buf: Vec<P::Beacon>,
+    /// Scenario-scripted faults, fired inside [`Network::step`].
+    scripted: Vec<(u64, Fault)>,
+    next_scripted: usize,
+    corruptor: Option<Corruptor<P>>,
+    dynamics: Option<Box<dyn TopologyDynamics + Send>>,
+}
+
+impl<P: Protocol, M> std::fmt::Debug for Network<P, M>
+where
+    P: std::fmt::Debug,
+    M: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("protocol", &self.protocol)
+            .field("medium", &self.medium)
+            .field("topo", &self.topo)
+            .field("states", &self.states)
+            .field("step", &self.step)
+            .field("scripted", &self.scripted.len())
+            .field("dynamics", &self.dynamics.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<P: Protocol, M: Medium> Network<P, M> {
@@ -45,6 +83,7 @@ impl<P: Protocol, M: Medium> Network<P, M> {
             .nodes()
             .map(|p| protocol.init(p, &mut node_rngs[p.index()]))
             .collect();
+        let senders = topo.nodes().collect();
         Network {
             protocol,
             medium,
@@ -52,28 +91,122 @@ impl<P: Protocol, M: Medium> Network<P, M> {
             states,
             node_rngs,
             medium_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX)),
+            fault_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX - 2)),
             step: 0,
+            senders,
+            beacon_buf: Vec::new(),
+            scripted: Vec::new(),
+            next_scripted: 0,
+            corruptor: None,
+            dynamics: None,
+        }
+    }
+
+    pub(crate) fn install_script(
+        &mut self,
+        scripted: Vec<(u64, Fault)>,
+        corruptor: Option<Corruptor<P>>,
+    ) {
+        self.scripted = scripted;
+        self.next_scripted = 0;
+        self.corruptor = corruptor;
+    }
+
+    pub(crate) fn install_dynamics(&mut self, dynamics: Box<dyn TopologyDynamics + Send>) {
+        self.dynamics = Some(dynamics);
+    }
+
+    /// Detaches any topology dynamics attached by
+    /// [`crate::Scenario::mobility`] — "the nodes stop moving" — so
+    /// the protocol can settle on the final topology. Returns whether
+    /// dynamics were attached.
+    pub fn stop_dynamics(&mut self) -> bool {
+        self.dynamics.take().is_some()
+    }
+
+    fn apply_dynamics(&mut self) {
+        if let Some(dynamics) = &mut self.dynamics {
+            if let Some(topo) = dynamics.next_topology(self.step) {
+                assert_eq!(
+                    topo.len(),
+                    self.topo.len(),
+                    "topology dynamics must preserve the node count"
+                );
+                // clone_from reuses the driver's existing adjacency
+                // buffers: no per-step allocation in steady state.
+                self.topo.clone_from(topo);
+            }
+        }
+    }
+
+    fn corrupt_scripted(&mut self, p: NodeId) {
+        let corruptor = self
+            .corruptor
+            .as_ref()
+            .expect("Scenario::faults installs the corruption hook");
+        corruptor(
+            &self.protocol,
+            p,
+            &mut self.states[p.index()],
+            &mut self.node_rngs[p.index()],
+        );
+    }
+
+    /// Deterministically picks ≈ `fraction` of the nodes from the
+    /// dedicated fault stream.
+    fn pick_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        use rand::Rng;
+        self.topo
+            .nodes()
+            .filter(|_| self.fault_rng.random_bool(fraction.clamp(0.0, 1.0)))
+            .collect()
+    }
+
+    fn fire_scripted(&mut self) {
+        while self.next_scripted < self.scripted.len()
+            && self.scripted[self.next_scripted].0 <= self.step
+        {
+            let fault = self.scripted[self.next_scripted].1.clone();
+            self.next_scripted += 1;
+            match &fault {
+                Fault::CorruptNode(p) => self.corrupt_scripted(*p),
+                Fault::CorruptAll => {
+                    for p in self.topo.nodes().collect::<Vec<_>>() {
+                        self.corrupt_scripted(p);
+                    }
+                }
+                Fault::CorruptFraction(f) => {
+                    for p in self.pick_fraction(*f) {
+                        self.corrupt_scripted(p);
+                    }
+                }
+                Fault::Isolate(p) => self.isolate(*p),
+                Fault::SetTopology(topo) => self
+                    .set_topology(topo.clone())
+                    .expect("scripted topology keeps the node count"),
+            }
         }
     }
 
     /// Executes one synchronous step; returns the new step count.
     pub fn step(&mut self) -> u64 {
-        let beacons: Vec<P::Beacon> = self
-            .topo
-            .nodes()
-            .map(|p| self.protocol.beacon(p, &self.states[p.index()]))
-            .collect();
-        let senders: Vec<NodeId> = self.topo.nodes().collect();
+        self.apply_dynamics();
+        self.fire_scripted();
+        self.beacon_buf.clear();
+        for i in 0..self.states.len() {
+            self.beacon_buf
+                .push(self.protocol.beacon(NodeId::new(i as u32), &self.states[i]));
+        }
         let delivery = self
             .medium
-            .deliver(&self.topo, &senders, &mut self.medium_rng);
+            .deliver(&self.topo, &self.senders, &mut self.medium_rng);
         for r in self.topo.nodes() {
             for &s in &delivery.heard[r.index()] {
                 self.protocol.receive(
                     r,
                     &mut self.states[r.index()],
                     s,
-                    &beacons[s.index()],
+                    &self.beacon_buf[s.index()],
                     self.step,
                 );
             }
@@ -97,14 +230,15 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         }
     }
 
-    /// Runs until the projection of every node state is unchanged for
-    /// `quiet` consecutive steps, or `max_steps` elapse.
+    /// Low-level: runs until the projection of every node state is
+    /// unchanged for `quiet` consecutive steps, or the absolute step
+    /// count reaches `max_steps`.
     ///
     /// Returns `Some(step)` — the step count after which the projection
     /// last changed (the *stabilization time* in steps) — or `None` on
-    /// timeout. A projection extracts the "output" part of the state
-    /// (e.g. the cluster-head choice) so cache-refresh churn does not
-    /// count as instability.
+    /// timeout. Prefer [`Network::run_to`] with
+    /// [`StopWhen::stable_for`], which uses the protocol's canonical
+    /// [`Observable`] projection instead of a caller-supplied closure.
     pub fn run_until_stable<K, F>(
         &mut self,
         mut project: F,
@@ -112,30 +246,36 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         max_steps: u64,
     ) -> Option<u64>
     where
-        K: PartialEq,
+        K: PartialEq + Clone,
         F: FnMut(NodeId, &P::State) -> K,
     {
         let mut tracker = StabilityTracker::new(quiet);
-        let snapshot =
-            |states: &[P::State], project: &mut F| -> Vec<K> {
+        let mut buf: Vec<K> = Vec::with_capacity(self.states.len());
+        let mut snapshot = |states: &[P::State], buf: &mut Vec<K>| {
+            buf.clear();
+            buf.extend(
                 states
                     .iter()
                     .enumerate()
-                    .map(|(i, s)| project(NodeId::new(i as u32), s))
-                    .collect()
-            };
-        tracker.observe(self.step, snapshot(&self.states, &mut project));
+                    .map(|(i, s)| project(NodeId::new(i as u32), s)),
+            );
+        };
+        snapshot(&self.states, &mut buf);
+        tracker.observe_slice(self.step, &buf);
         while self.step < max_steps {
             self.step();
-            if tracker.observe(self.step, snapshot(&self.states, &mut project)) {
+            snapshot(&self.states, &mut buf);
+            if tracker.observe_slice(self.step, &buf) {
                 return Some(tracker.last_change());
             }
         }
         None
     }
 
-    /// Runs until `pred` holds (checked after each step), or `max_steps`
-    /// elapse. Returns the step count at which the predicate first held.
+    /// Low-level: runs until `pred` holds (checked after each step), or
+    /// the absolute step count reaches `max_steps`. Returns the step
+    /// count at which the predicate first held. Prefer
+    /// [`Network::run_to`] with [`StopWhen::predicate`].
     pub fn run_until<F>(&mut self, mut pred: F, max_steps: u64) -> Option<u64>
     where
         F: FnMut(&Self) -> bool,
@@ -166,16 +306,20 @@ impl<P: Protocol, M: Medium> Network<P, M> {
     /// tick moved nodes. States are preserved: the protocol must cope
     /// with neighbors appearing and disappearing — that is the point.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the node count changes.
-    pub fn set_topology(&mut self, topo: Topology) {
-        assert_eq!(
-            topo.len(),
-            self.topo.len(),
-            "set_topology cannot add or remove nodes"
-        );
+    /// Returns [`SimError::NodeCountMismatch`] if the node count
+    /// changes: protocol state is indexed by node, so nodes cannot be
+    /// added or removed mid-run.
+    pub fn set_topology(&mut self, topo: Topology) -> Result<(), SimError> {
+        if topo.len() != self.topo.len() {
+            return Err(SimError::NodeCountMismatch {
+                expected: self.topo.len(),
+                got: topo.len(),
+            });
+        }
         self.topo = topo;
+        Ok(())
     }
 
     /// All node states, indexed by [`NodeId`].
@@ -209,11 +353,77 @@ impl<P: Protocol, M: Medium> Network<P, M> {
     }
 }
 
+impl<P: Observable, M: Medium> Network<P, M> {
+    /// Projects every node's observable output into `buf` (cleared
+    /// first); the buffer can be reused across steps.
+    pub fn outputs_into(&self, buf: &mut Vec<P::Output>) {
+        buf.clear();
+        buf.extend(
+            self.states
+                .iter()
+                .enumerate()
+                .map(|(i, s)| self.protocol.output(NodeId::new(i as u32), s)),
+        );
+    }
+
+    /// The observable output of every node.
+    pub fn outputs(&self) -> Vec<P::Output> {
+        let mut buf = Vec::with_capacity(self.states.len());
+        self.outputs_into(&mut buf);
+        buf
+    }
+
+    /// Runs until `stop` is satisfied and reports what happened — the
+    /// primary run method of the [`crate::Scenario`] API.
+    ///
+    /// The condition is checked before the first step and after every
+    /// step. A condition with no [`StopWhen::MaxSteps`] budget that
+    /// never holds runs forever; every long-running experiment should
+    /// carry a budget (see [`StopWhen::within`]).
+    ///
+    /// # Examples
+    ///
+    /// See the crate-level example.
+    pub fn run_to(&mut self, stop: &StopWhen<P>) -> RunReport {
+        let start = self.step;
+        let mut cursor = stop.cursor();
+        // Only project outputs when a StableFor leaf will read them;
+        // predicate/budget-only stops skip the per-step O(n) pass.
+        let needs_outputs = stop.needs_outputs();
+        let mut outputs: Vec<P::Output> = Vec::with_capacity(self.states.len());
+        if needs_outputs {
+            self.outputs_into(&mut outputs);
+        }
+        let mut verdict = cursor.observe(self.step, 0, &self.topo, &self.states, &outputs);
+        while !verdict.satisfied {
+            self.step();
+            if needs_outputs {
+                self.outputs_into(&mut outputs);
+            }
+            verdict = cursor.observe(
+                self.step,
+                self.step - start,
+                &self.topo,
+                &self.states,
+                &outputs,
+            );
+        }
+        RunReport {
+            stabilized: cursor.stabilized(),
+            steps: self.step - start,
+            end_step: self.step,
+            satisfied: !verdict.budget_only,
+            timed_out: verdict.budget_only,
+        }
+    }
+}
+
 impl<P: Corruptible, M: Medium> Network<P, M> {
     /// Corrupts the state of one node arbitrarily.
     pub fn corrupt(&mut self, p: NodeId) {
         let state = &mut self.states[p.index()];
-        self.protocol.corrupt(p, state, &mut self.node_rngs[p.index()]);
+        self.protocol
+            .corrupt(p, state, &mut self.node_rngs[p.index()]);
     }
 
     /// Corrupts every node: the adversarial "arbitrary initial
@@ -227,15 +437,16 @@ impl<P: Corruptible, M: Medium> Network<P, M> {
 
     /// Corrupts a deterministic pseudo-random subset of about
     /// `fraction` of the nodes; returns how many were corrupted.
+    ///
+    /// The subset is drawn from a dedicated fault stream, so injecting
+    /// faults never perturbs frame-delivery randomness: two runs with
+    /// the same seed see identical deliveries whether or not one of
+    /// them injects faults.
     pub fn corrupt_fraction(&mut self, fraction: f64) -> usize {
-        use rand::Rng;
-        let nodes: Vec<NodeId> = self.topo.nodes().collect();
-        let mut count = 0;
-        for p in nodes {
-            if self.medium_rng.random_bool(fraction.clamp(0.0, 1.0)) {
-                self.corrupt(p);
-                count += 1;
-            }
+        let picks = self.pick_fraction(fraction);
+        let count = picks.len();
+        for p in picks {
+            self.corrupt(p);
         }
         count
     }
@@ -274,14 +485,21 @@ mod tests {
             *state = 0;
         }
     }
+    impl Observable for MaxFlood {
+        type Output = u32;
+        fn output(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+    }
 
     #[test]
     fn max_flood_converges_on_a_line() {
         let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(6), 1);
-        let stabilized = net.run_until_stable(|_, s| *s, 3, 100).unwrap();
+        let report = net.run_to(&StopWhen::stable_for(3).within(100));
         assert!(net.states().iter().all(|&s| s == 5));
         // Information moves one hop per step: node 0 is 5 hops from node 5.
-        assert_eq!(stabilized, 5);
+        assert_eq!(report.expect_stable("converges"), 5);
+        assert!(!report.timed_out);
     }
 
     #[test]
@@ -296,8 +514,8 @@ mod tests {
     #[test]
     fn lossy_medium_still_converges() {
         let mut net = Network::new(MaxFlood, BernoulliLoss::new(0.3), builders::line(6), 3);
-        let stabilized = net.run_until_stable(|_, s| *s, 10, 2000);
-        assert!(stabilized.is_some(), "τ = 0.3 must still converge w.p. 1");
+        let report = net.run_to(&StopWhen::stable_for(10).within(2000));
+        assert!(report.is_stable(), "τ = 0.3 must still converge w.p. 1");
         assert!(net.states().iter().all(|&s| s == 5));
     }
 
@@ -319,6 +537,29 @@ mod tests {
     }
 
     #[test]
+    fn fault_stream_is_independent_of_delivery_stream() {
+        // Regression: corrupt_fraction used to draw from the medium's
+        // stream, so "same seed + one corruption call" changed which
+        // frames were later lost. With a dedicated fault stream, a run
+        // that injects (zero-effect) faults sees identical deliveries.
+        let run = |inject: bool| {
+            let mut net = Network::new(MaxFlood, BernoulliLoss::new(0.5), builders::ring(16), 9);
+            net.run(3);
+            if inject {
+                // Draws from the fault stream but corrupts nobody.
+                assert_eq!(net.corrupt_fraction(0.0), 0);
+            }
+            net.run(12);
+            net.states().to_vec()
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "fault injection must not perturb delivery randomness"
+        );
+    }
+
+    #[test]
     fn isolation_stops_information_flow() {
         let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(5), 6);
         net.isolate(NodeId::new(2)); // cut the middle
@@ -331,8 +572,7 @@ mod tests {
     #[test]
     fn runs_are_reproducible_from_seed() {
         let run = |seed| {
-            let mut net =
-                Network::new(MaxFlood, BernoulliLoss::new(0.5), builders::ring(12), seed);
+            let mut net = Network::new(MaxFlood, BernoulliLoss::new(0.5), builders::ring(12), seed);
             net.run(7);
             net.states().to_vec()
         };
@@ -341,18 +581,63 @@ mod tests {
     }
 
     #[test]
-    fn run_until_predicate() {
+    fn run_to_predicate() {
         let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(4), 1);
-        let at = net
-            .run_until(|n| n.states().iter().all(|&s| s == 3), 100)
-            .unwrap();
-        assert_eq!(at, 3);
+        let report = net
+            .run_to(&StopWhen::predicate(|_, states| states.iter().all(|&s| s == 3)).within(100));
+        assert!(report.satisfied && !report.timed_out);
+        assert_eq!(report.end_step, 3);
     }
 
     #[test]
-    #[should_panic(expected = "cannot add or remove nodes")]
+    fn run_to_budget_reports_timeout() {
+        // A predicate that can never hold: only the budget fires.
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(4), 1);
+        let report = net.run_to(&StopWhen::predicate(|_, states| states.contains(&99)).within(10));
+        assert!(report.timed_out);
+        assert!(!report.satisfied);
+        assert_eq!(report.steps, 10);
+        assert_eq!(report.stabilized, None);
+    }
+
+    #[test]
+    fn run_to_composes_all_and_any() {
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(6), 2);
+        // Stable AND at least 8 steps executed: forces the run past the
+        // 5-step stabilization point.
+        let report = net.run_to(
+            &StopWhen::stable_for(2)
+                .and(StopWhen::max_steps(8))
+                .within(100),
+        );
+        assert_eq!(report.expect_stable("line flood stabilizes"), 5);
+        assert!(report.steps >= 8);
+    }
+
+    #[test]
+    fn stability_streak_spans_run_to_restarts() {
+        let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(6), 3);
+        net.run_to(&StopWhen::stable_for(3).within(100));
+        // Re-arming on an already-stable network satisfies quickly and
+        // reports the (unchanged-since) current step as last change.
+        let report = net.run_to(&StopWhen::stable_for(2).within(10));
+        assert!(report.is_stable());
+        assert_eq!(report.steps, 2);
+    }
+
+    #[test]
     fn set_topology_rejects_resize() {
         let mut net = Network::new(MaxFlood, PerfectMedium, builders::line(4), 1);
-        net.set_topology(builders::line(5));
+        let err = net.set_topology(builders::line(5)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::NodeCountMismatch {
+                expected: 4,
+                got: 5
+            }
+        );
+        // The rejected swap left the network untouched.
+        assert_eq!(net.topology().len(), 4);
+        assert!(net.set_topology(builders::line(4)).is_ok());
     }
 }

@@ -83,6 +83,7 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(0);
         let p = Noop;
+        #[allow(clippy::let_unit_value)]
         let mut s = p.init(NodeId::new(0), &mut rng);
         p.receive(NodeId::new(0), &mut s, NodeId::new(1), &(), 0);
         p.update(NodeId::new(0), &mut s, 0, &mut rng);

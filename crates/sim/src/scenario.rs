@@ -1,0 +1,341 @@
+//! The fluent, typed scenario builder — the single front door for
+//! every experiment, example and test in the workspace.
+//!
+//! A scenario owns the wiring that `Network::new` callers used to
+//! duplicate: protocol, medium, topology, seed, plus the optional
+//! moving parts (a mobility model driving the topology, a scripted
+//! fault plan). Building returns a `Result` with a typed
+//! [`SimError`] instead of panicking.
+//!
+//! # Examples
+//!
+//! ```
+//! use mwn_graph::{builders, NodeId};
+//! use mwn_radio::BernoulliLoss;
+//! use mwn_sim::{Observable, Protocol, Scenario, StopWhen};
+//! use rand::rngs::StdRng;
+//!
+//! struct MaxFlood;
+//! impl Protocol for MaxFlood {
+//!     type State = u32;
+//!     type Beacon = u32;
+//!     fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 { node.value() }
+//!     fn beacon(&self, _node: NodeId, state: &u32) -> u32 { *state }
+//!     fn receive(&self, _n: NodeId, state: &mut u32, _f: NodeId, beacon: &u32, _now: u64) {
+//!         *state = (*state).max(*beacon);
+//!     }
+//!     fn update(&self, _n: NodeId, _s: &mut u32, _now: u64, _rng: &mut StdRng) {}
+//! }
+//! impl Observable for MaxFlood {
+//!     type Output = u32;
+//!     fn output(&self, _node: NodeId, state: &u32) -> u32 { *state }
+//! }
+//!
+//! let mut net = Scenario::new(MaxFlood)
+//!     .medium(BernoulliLoss::new(0.5))
+//!     .topology(builders::line(5))
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid scenario");
+//! // The quiet window must cover the expected gap between successful
+//! // deliveries at τ = 0.5, or stability is declared prematurely.
+//! let report = net.run_to(&StopWhen::stable_for(20).within(2000));
+//! assert!(report.is_stable());
+//! assert!(net.states().iter().all(|&s| s == 4));
+//! ```
+
+use mwn_graph::Topology;
+use mwn_radio::{Medium, PerfectMedium};
+
+use crate::network::Corruptor;
+use crate::{Corruptible, EventConfig, EventDriver, FaultPlan, Network, Protocol, SimError};
+
+/// A source of topology changes applied before each step — the hook
+/// mobility models plug into (see `mwn_mobility`'s
+/// `MobileScenario::into_dynamics`).
+pub trait TopologyDynamics {
+    /// The topology for the step about to execute, or `None` when it
+    /// is unchanged. Must preserve the node count.
+    ///
+    /// The driver copies the borrowed topology into its own buffers
+    /// (`clone_from`), so implementations hand out a reference to
+    /// their working state instead of allocating a clone per step.
+    fn next_topology(&mut self, step: u64) -> Option<&Topology>;
+}
+
+type Validator = Box<dyn FnOnce(&Topology) -> Result<(), String>>;
+
+/// Fluent builder for simulation runs; see the module docs.
+///
+/// The generic parameters are the protocol and the medium; the medium
+/// defaults to [`PerfectMedium`] and is replaced by
+/// [`Scenario::medium`].
+pub struct Scenario<P: Protocol, M: Medium = PerfectMedium> {
+    protocol: P,
+    medium: M,
+    topology: Option<Topology>,
+    seed: u64,
+    faults: Option<(FaultPlan, Corruptor<P>)>,
+    dynamics: Option<Box<dyn TopologyDynamics + Send>>,
+    validators: Vec<Validator>,
+}
+
+impl<P: Protocol> Scenario<P, PerfectMedium> {
+    /// Starts a scenario for `protocol` over a perfect medium, seed 0
+    /// and no topology (one must be supplied before building).
+    pub fn new(protocol: P) -> Self {
+        Scenario {
+            protocol,
+            medium: PerfectMedium,
+            topology: None,
+            seed: 0,
+            faults: None,
+            dynamics: None,
+            validators: Vec::new(),
+        }
+    }
+}
+
+impl<P: Protocol, M: Medium> Scenario<P, M> {
+    /// Replaces the medium (default: [`PerfectMedium`]).
+    pub fn medium<M2: Medium>(self, medium: M2) -> Scenario<P, M2> {
+        Scenario {
+            protocol: self.protocol,
+            medium,
+            topology: self.topology,
+            seed: self.seed,
+            faults: self.faults,
+            dynamics: self.dynamics,
+            validators: self.validators,
+        }
+    }
+
+    /// Sets the topology the nodes are deployed on. Required.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the master seed every random stream derives from
+    /// (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scripts a reproducible fault plan: each fault fires right
+    /// before its step executes, inside the driver — composable with
+    /// mobility and any stop condition.
+    pub fn faults(mut self, plan: FaultPlan) -> Self
+    where
+        P: Corruptible,
+    {
+        let corruptor: Corruptor<P> =
+            Box::new(|protocol, node, state, rng| protocol.corrupt(node, state, rng));
+        self.faults = Some((plan, corruptor));
+        self
+    }
+
+    /// Attaches topology dynamics — typically a mobility model — that
+    /// move the nodes before every step.
+    pub fn mobility<D: TopologyDynamics + Send + 'static>(mut self, dynamics: D) -> Self {
+        self.dynamics = Some(Box::new(dynamics));
+        self
+    }
+
+    /// Registers a configuration check run against the topology at
+    /// build time (e.g. `ClusterConfig::validate_for`); a failing
+    /// check turns into [`SimError::InvalidConfig`].
+    pub fn validate<F>(mut self, check: F) -> Self
+    where
+        F: FnOnce(&Topology) -> Result<(), String> + 'static,
+    {
+        self.validators.push(Box::new(check));
+        self
+    }
+
+    /// Builds the synchronous round driver.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingTopology`] when no topology was supplied;
+    /// [`SimError::InvalidConfig`] when a [`Scenario::validate`] check
+    /// fails.
+    pub fn build(self) -> Result<Network<P, M>, SimError> {
+        let topology = self.topology.ok_or(SimError::MissingTopology)?;
+        for check in self.validators {
+            check(&topology).map_err(SimError::InvalidConfig)?;
+        }
+        let mut net = Network::new(self.protocol, self.medium, topology, self.seed);
+        if let Some((plan, corruptor)) = self.faults {
+            net.install_script(plan.into_events(), Some(corruptor));
+        }
+        if let Some(dynamics) = self.dynamics {
+            net.install_dynamics(dynamics);
+        }
+        Ok(net)
+    }
+
+    /// Builds the continuous-time event driver instead of the round
+    /// driver. The medium is not used (the event driver models
+    /// collisions itself); fault scripts and mobility are not yet
+    /// supported in continuous time.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingTopology`], [`SimError::InvalidConfig`] (bad
+    /// event parameters, failed validation, or an attached fault
+    /// script / mobility model).
+    pub fn build_events(self, config: EventConfig) -> Result<EventDriver<P>, SimError> {
+        let topology = self.topology.ok_or(SimError::MissingTopology)?;
+        config.check().map_err(SimError::InvalidConfig)?;
+        if self.faults.is_some() || self.dynamics.is_some() {
+            return Err(SimError::InvalidConfig(
+                "the event driver does not support fault scripts or mobility yet".to_string(),
+            ));
+        }
+        for check in self.validators {
+            check(&topology).map_err(SimError::InvalidConfig)?;
+        }
+        Ok(EventDriver::new(self.protocol, topology, config, self.seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fault, Observable, StopWhen};
+    use mwn_graph::{builders, NodeId};
+    use mwn_radio::BernoulliLoss;
+    use rand::rngs::StdRng;
+
+    #[derive(Debug)]
+    struct MaxFlood;
+    impl Protocol for MaxFlood {
+        type State = u32;
+        type Beacon = u32;
+        fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 {
+            node.value()
+        }
+        fn beacon(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+        fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+            *state = (*state).max(*beacon);
+        }
+        fn update(&self, node: NodeId, state: &mut u32, _now: u64, _rng: &mut StdRng) {
+            *state = (*state).max(node.value());
+        }
+    }
+    impl Corruptible for MaxFlood {
+        fn corrupt(&self, _node: NodeId, state: &mut u32, _rng: &mut StdRng) {
+            *state = 0;
+        }
+    }
+    impl Observable for MaxFlood {
+        type Output = u32;
+        fn output(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+    }
+
+    #[test]
+    fn missing_topology_is_a_typed_error() {
+        assert_eq!(
+            Scenario::new(MaxFlood).build().unwrap_err(),
+            SimError::MissingTopology
+        );
+    }
+
+    #[test]
+    fn validation_failure_is_reported() {
+        let err = Scenario::new(MaxFlood)
+            .topology(builders::line(3))
+            .validate(|_| Err("γ too small".to_string()))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SimError::InvalidConfig("γ too small".to_string()));
+    }
+
+    #[test]
+    fn builder_defaults_run_end_to_end() {
+        let mut net = Scenario::new(MaxFlood)
+            .topology(builders::line(4))
+            .build()
+            .expect("builds");
+        let report = net.run_to(&StopWhen::stable_for(2).within(50));
+        assert_eq!(report.expect_stable("stabilizes"), 3);
+    }
+
+    #[test]
+    fn medium_and_seed_thread_through() {
+        let run = |seed| {
+            let mut net = Scenario::new(MaxFlood)
+                .medium(BernoulliLoss::new(0.5))
+                .topology(builders::ring(10))
+                .seed(seed)
+                .build()
+                .expect("builds");
+            net.run(6);
+            net.states().to_vec()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn scripted_faults_fire_inside_the_driver() {
+        let mut plan = FaultPlan::new();
+        plan.at(10, Fault::CorruptAll);
+        let mut net = Scenario::new(MaxFlood)
+            .topology(builders::line(5))
+            .faults(plan)
+            .build()
+            .expect("builds");
+        // run_to sees the corruption and keeps going until re-stable.
+        // The quiet window (8) outlasts the pre-fault stable stretch
+        // (steps 4–10), so stability can only be declared after the
+        // fault has fired and healed.
+        let report = net.run_to(&StopWhen::stable_for(8).within(100));
+        assert!(
+            report.expect_stable("heals") >= 10,
+            "corruption restarted the clock"
+        );
+        assert!(net.states().iter().all(|&s| s == 4));
+    }
+
+    #[test]
+    fn scripted_topology_faults_apply() {
+        let mut plan = FaultPlan::new();
+        plan.at(0, Fault::Isolate(NodeId::new(2)));
+        let mut net = Scenario::new(MaxFlood)
+            .topology(builders::line(5))
+            .faults(plan)
+            .build()
+            .expect("builds");
+        net.run(20);
+        assert_eq!(*net.state(NodeId::new(0)), 1, "max id cannot cross the cut");
+    }
+
+    #[test]
+    fn event_driver_builds_from_the_same_scenario() {
+        let mut driver = Scenario::new(MaxFlood)
+            .topology(builders::line(5))
+            .seed(2)
+            .build_events(EventConfig::default())
+            .expect("builds");
+        driver.run_until_time(40.0);
+        assert!(driver.states().iter().all(|&s| s == 4));
+    }
+
+    #[test]
+    fn event_driver_rejects_bad_config_without_panicking() {
+        let result = Scenario::new(MaxFlood)
+            .topology(builders::line(2))
+            .build_events(EventConfig {
+                beacon_period: 0.0,
+                ..EventConfig::default()
+            });
+        assert!(matches!(result, Err(SimError::InvalidConfig(_))));
+    }
+}

@@ -1,0 +1,326 @@
+//! The parallel sweep runner: fan a scenario out over seed ranges and
+//! parameter grids.
+//!
+//! The paper averages every reported statistic "over 1000
+//! simulations"; probabilistic-stabilization experiments (Devismes et
+//! al.) estimate convergence probabilities the same way. [`Sweep`]
+//! owns that fan-out: seeds are derived deterministically from a base
+//! seed (SplitMix64), work is spread over the available cores with
+//! scoped threads, and results come back **in seed order** — parallel
+//! and serial execution produce byte-identical results.
+//!
+//! `rayon` would be the natural backend, but this build environment
+//! has no registry access, so the runner uses `std::thread::scope`
+//! with a work-stealing index — the same scheduling, no dependency.
+//!
+//! # Examples
+//!
+//! ```
+//! use mwn_sim::Sweep;
+//!
+//! let sweep = Sweep::over(16, 7);
+//! let a = sweep.map(|seed| seed.wrapping_mul(3));
+//! let b = Sweep::over(16, 7).serial().map(|seed| seed.wrapping_mul(3));
+//! assert_eq!(a, b); // parallel == serial, in seed order
+//! ```
+
+use mwn_radio::Medium;
+
+use crate::rng::derive_seed;
+use crate::{Network, Observable, RunReport, Scenario, SimError, StopWhen};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExecMode {
+    /// Scoped threads over the available cores (capped by `threads`).
+    Parallel(Option<usize>),
+    /// A plain loop on the calling thread.
+    Serial,
+}
+
+/// A deterministic fan-out of independent runs over derived seeds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sweep {
+    seeds: Vec<u64>,
+    mode: ExecMode,
+}
+
+impl Sweep {
+    /// `runs` seeds derived from `base_seed` (SplitMix64 — the same
+    /// derivation as [`crate::derive_seed`], so sweeps are reproducible
+    /// and decorrelated).
+    pub fn over(runs: usize, base_seed: u64) -> Self {
+        Sweep {
+            seeds: (0..runs as u64)
+                .map(|i| derive_seed(base_seed, i))
+                .collect(),
+            mode: ExecMode::Parallel(None),
+        }
+    }
+
+    /// An explicit seed list.
+    pub fn with_seeds(seeds: Vec<u64>) -> Self {
+        Sweep {
+            seeds,
+            mode: ExecMode::Parallel(None),
+        }
+    }
+
+    /// Runs everything on the calling thread — for determinism checks
+    /// and wall-clock baselines.
+    pub fn serial(mut self) -> Self {
+        self.mode = ExecMode::Serial;
+        self
+    }
+
+    /// Caps the worker-thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.mode = ExecMode::Parallel(Some(n.max(1)));
+        self
+    }
+
+    /// The derived seeds, in result order.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// `true` when no runs are configured.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Runs `job(seed)` for every seed and returns the results in seed
+    /// order. The schedule cannot leak into the results: each job sees
+    /// only its seed.
+    pub fn map<T, F>(&self, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        let runs = self.seeds.len();
+        match self.mode {
+            ExecMode::Serial => self.seeds.iter().map(|&s| job(s)).collect(),
+            ExecMode::Parallel(cap) => {
+                let threads = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(cap.unwrap_or(usize::MAX))
+                    .min(runs.max(1));
+                let results: std::sync::Mutex<Vec<Option<T>>> =
+                    std::sync::Mutex::new((0..runs).map(|_| None).collect());
+                let next = std::sync::atomic::AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|| loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= runs {
+                                break;
+                            }
+                            let out = job(self.seeds[i]);
+                            results.lock().expect("sweep worker lock")[i] = Some(out);
+                        });
+                    }
+                });
+                results
+                    .into_inner()
+                    .expect("sweep worker lock")
+                    .into_iter()
+                    .map(|r| r.expect("every seed index is filled exactly once"))
+                    .collect()
+            }
+        }
+    }
+
+    /// Fans `job(param, seed)` out over the full `grid × seeds`
+    /// product in parallel; returns one result vector per grid point,
+    /// each in seed order.
+    pub fn map_grid<G, T, F>(&self, grid: &[G], job: F) -> Vec<Vec<T>>
+    where
+        G: Sync,
+        T: Send,
+        F: Fn(&G, u64) -> T + Sync,
+    {
+        let runs = self.seeds.len();
+        if grid.is_empty() || runs == 0 {
+            return grid.iter().map(|_| Vec::new()).collect();
+        }
+        // Flatten to one index space so a slow grid point cannot idle
+        // the workers assigned to a fast one.
+        let flat = Sweep {
+            seeds: (0..(grid.len() * runs) as u64).collect(),
+            mode: self.mode,
+        };
+        let mut flat_results: Vec<Option<T>> = flat
+            .map(|flat_idx| {
+                let g = flat_idx as usize / runs;
+                let s = flat_idx as usize % runs;
+                job(&grid[g], self.seeds[s])
+            })
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(grid.len());
+        for g in 0..grid.len() {
+            out.push(
+                flat_results[g * runs..(g + 1) * runs]
+                    .iter_mut()
+                    .map(|r| r.take().expect("filled exactly once"))
+                    .collect(),
+            );
+        }
+        out
+    }
+
+    /// Builds the scenario for each seed, runs it to `stop`, and
+    /// collects `observe(report, &network)` — the one-stop shop for
+    /// stabilization-time experiments.
+    ///
+    /// The factory receives the derived seed and is responsible for
+    /// threading it into the scenario (`.seed(seed)`, and into the
+    /// deployment when topologies are random).
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] any scenario build produced.
+    pub fn run<P, M, B, G, T>(
+        &self,
+        scenario: B,
+        stop: &StopWhen<P>,
+        observe: G,
+    ) -> Result<Vec<T>, SimError>
+    where
+        P: Observable,
+        M: Medium,
+        B: Fn(u64) -> Scenario<P, M> + Sync,
+        G: Fn(RunReport, &Network<P, M>) -> T + Sync,
+        T: Send,
+    {
+        self.map(|seed| {
+            let mut net = scenario(seed).build()?;
+            let report = net.run_to(stop);
+            Ok(observe(report, &net))
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Protocol, StopWhen};
+    use mwn_graph::{builders, NodeId};
+    use rand::rngs::StdRng;
+
+    struct MaxFlood;
+    impl Protocol for MaxFlood {
+        type State = u32;
+        type Beacon = u32;
+        fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 {
+            node.value()
+        }
+        fn beacon(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+        fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+            *state = (*state).max(*beacon);
+        }
+        fn update(&self, _node: NodeId, _state: &mut u32, _now: u64, _rng: &mut StdRng) {}
+    }
+    impl Observable for MaxFlood {
+        type Output = u32;
+        fn output(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_seed_order() {
+        let out = Sweep::over(100, 0).map(|seed| seed);
+        assert_eq!(out, Sweep::over(100, 0).seeds());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let heavy = |seed: u64| {
+            let mut acc = seed;
+            for _ in 0..1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        assert_eq!(
+            Sweep::over(64, 5).map(heavy),
+            Sweep::over(64, 5).serial().map(heavy)
+        );
+    }
+
+    #[test]
+    fn zero_runs_is_empty() {
+        let out: Vec<u64> = Sweep::over(0, 1).map(|s| s);
+        assert!(out.is_empty());
+        assert!(Sweep::over(0, 1).is_empty());
+    }
+
+    #[test]
+    fn different_bases_derive_different_seeds() {
+        assert_ne!(Sweep::over(10, 1).seeds(), Sweep::over(10, 2).seeds());
+        let mut dedup = Sweep::over(50, 9).seeds().to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 50, "derived seeds must be distinct");
+    }
+
+    #[test]
+    fn grid_results_group_by_parameter() {
+        let grid = [1u64, 10, 100];
+        let out = Sweep::over(8, 3).map_grid(&grid, |&g, seed| g.wrapping_add(seed));
+        assert_eq!(out.len(), 3);
+        for (g, results) in grid.iter().zip(&out) {
+            let expected: Vec<u64> = Sweep::over(8, 3)
+                .seeds()
+                .iter()
+                .map(|s| g.wrapping_add(*s))
+                .collect();
+            assert_eq!(results, &expected);
+        }
+    }
+
+    #[test]
+    fn scenario_sweep_reports_stabilization() {
+        let stop = StopWhen::stable_for(2).within(100);
+        let steps = Sweep::over(4, 11)
+            .run(
+                |seed| {
+                    Scenario::new(MaxFlood)
+                        .topology(builders::line(6))
+                        .seed(seed)
+                },
+                &stop,
+                |report, net| {
+                    assert!(net.states().iter().all(|&s| s == 5));
+                    report.expect_stable("line flood stabilizes")
+                },
+            )
+            .expect("all scenarios build");
+        // The line(6) flood always stabilizes after 5 steps.
+        assert_eq!(steps, vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn scenario_build_errors_surface() {
+        let stop: StopWhen<MaxFlood> = StopWhen::max_steps(1);
+        let err = Sweep::over(2, 1)
+            .run(
+                |_seed| Scenario::new(MaxFlood),
+                &stop,
+                |_report, _net: &Network<MaxFlood, mwn_radio::PerfectMedium>| (),
+            )
+            .unwrap_err();
+        assert_eq!(err, SimError::MissingTopology);
+    }
+}

@@ -76,11 +76,7 @@ impl<K: PartialEq + Clone> Trace<K> {
                 if w[0].1.len() != w[1].1.len() {
                     w[1].1.len().max(w[0].1.len())
                 } else {
-                    w[0].1
-                        .iter()
-                        .zip(&w[1].1)
-                        .filter(|(a, b)| a != b)
-                        .count()
+                    w[0].1.iter().zip(&w[1].1).filter(|(a, b)| a != b).count()
                 }
             })
             .collect()

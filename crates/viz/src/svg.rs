@@ -18,9 +18,7 @@ use mwn_graph::Topology;
 ///
 /// Panics if the topology carries no positions.
 pub fn svg_clustering(topo: &Topology, clustering: &Clustering) -> String {
-    let positions = topo
-        .positions()
-        .expect("rendering requires node positions");
+    let positions = topo.positions().expect("rendering requires node positions");
     let size = 800.0;
     let margin = 20.0;
     let place = |i: usize| {
@@ -42,7 +40,10 @@ pub fn svg_clustering(topo: &Topology, clustering: &Clustering) -> String {
     for (u, v) in topo.edges() {
         let (x1, y1) = place(u.index());
         let (x2, y2) = place(v.index());
-        let _ = writeln!(out, "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\"/>");
+        let _ = writeln!(
+            out,
+            "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\"/>"
+        );
     }
     let _ = writeln!(out, "</g>");
     // Tree edges, colored by cluster.
@@ -71,7 +72,10 @@ pub fn svg_clustering(topo: &Topology, clustering: &Clustering) -> String {
                  stroke=\"black\" stroke-width=\"2\"/>"
             );
         } else {
-            let _ = writeln!(out, "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"3.5\" fill=\"{color}\"/>");
+            let _ = writeln!(
+                out,
+                "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"3.5\" fill=\"{color}\"/>"
+            );
         }
     }
     out.push_str("</svg>\n");

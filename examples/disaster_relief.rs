@@ -16,7 +16,11 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(911);
     // 600 responders over the operations area, 80 m radios.
     let topo = builders::poisson(600.0, 0.08, &mut rng);
-    println!("field network: {} radios, {} links", topo.len(), topo.edge_count());
+    println!(
+        "field network: {} radios, {} links",
+        topo.len(),
+        topo.edge_count()
+    );
 
     // Harsher assumptions than the quickstart: a CSMA medium with
     // hidden terminals, so beacons genuinely collide (τ < 1).
@@ -25,15 +29,16 @@ fn main() {
         cache_ttl: 16,
         ..ClusterConfig::default()
     };
-    let mut net = Network::new(
-        DensityCluster::new(config),
-        SlottedCsma::new(24),
-        topo,
-        1,
-    );
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .medium(SlottedCsma::new(24))
+        .topology(topo)
+        .seed(1)
+        .build()
+        .expect("valid scenario");
+    let stop = StopWhen::stable_for(20).within(20_000);
     let stabilized = net
-        .run_until_stable(|_, s| s.output(), 20, 10_000)
-        .expect("stabilizes despite collisions");
+        .run_to(&stop)
+        .expect_stable("stabilizes despite collisions");
     let before = extract_clustering(net.states()).expect("clean");
     println!(
         "organized into {} clusters after {} steps over a colliding medium",
@@ -45,9 +50,8 @@ fn main() {
     let corrupted = net.corrupt_fraction(0.33);
     println!("aftershock: {corrupted} devices corrupted");
 
-    let healed_at = net
-        .run_until_stable(|_, s| s.output(), 20, 20_000)
-        .expect("self-stabilization: the network heals");
+    let healed = net.run_to(&stop);
+    let healed_at = healed.expect_stable("self-stabilization: the network heals");
     let after = extract_clustering(net.states()).expect("clean");
     println!(
         "healed after {} further steps; {} clusters ({}% of heads kept)",

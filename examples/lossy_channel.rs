@@ -60,24 +60,27 @@ fn main() {
     // The TTL must cover the longest plausible run of lost beacons:
     // with ~35% collision loss, 30 periods keeps false expiries to
     // ~1e-13 per entry.
-    let mut driver = EventDriver::new(
-        DensityCluster::new(ClusterConfig {
-            cache_ttl: 30,
-            ..ClusterConfig::default()
-        }),
-        topo.clone(),
-        EventConfig::default(),
-        3,
-    );
+    let mut driver = Scenario::new(DensityCluster::new(ClusterConfig {
+        cache_ttl: 30,
+        ..ClusterConfig::default()
+    }))
+    .topology(topo.clone())
+    .seed(3)
+    .build_events(EventConfig::default())
+    .expect("valid event scenario");
     let t = driver
-        .run_until_stable(|_, s| s.output(), 1.0, 10, 2000.0)
+        .run_until_output_stable(1.0, 10, 2000.0)
         .expect("event-driven run stabilizes");
     let got = extract_clustering(driver.states()).expect("clean");
     println!(
         "event driver: stabilized at t ≈ {t:.0} beacon periods, measured τ ≈ {:.2}, {} clusters{}",
         driver.measured_tau(),
         got.head_count(),
-        if got == want { " — matches the fixpoint" } else { "" }
+        if got == want {
+            " — matches the fixpoint"
+        } else {
+            ""
+        }
     );
 }
 
@@ -88,14 +91,22 @@ fn run_over<M: Medium>(
     topo: &Topology,
     want: &Clustering,
 ) {
-    let mut net = Network::new(DensityCluster::new(config), medium, topo.clone(), 9);
-    let steps = net
-        .run_until_stable(|_, s| s.output(), 25, 50_000)
-        .expect("stabilizes for any τ > 0");
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .medium(medium)
+        .topology(topo.clone())
+        .seed(9)
+        .build()
+        .expect("valid scenario");
+    let report = net.run_to(&StopWhen::stable_for(25).within(50_000));
+    let steps = report.expect_stable("stabilizes for any τ > 0");
     let got = extract_clustering(net.states()).expect("clean");
     println!(
         "{label:<38} stabilized in {steps:>4} steps, {} clusters{}",
         got.head_count(),
-        if got == *want { " — matches the fixpoint" } else { "" }
+        if got == *want {
+            " — matches the fixpoint"
+        } else {
+            ""
+        }
     );
 }

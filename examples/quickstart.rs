@@ -20,17 +20,15 @@ fn main() {
         topo.max_degree()
     );
 
-    // Run the distributed protocol over a perfect medium until the
-    // election output is stable.
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        topo,
-        7,
-    );
-    let stabilized = net
-        .run_until_stable(|_, s| s.output(), 3, 1000)
-        .expect("the protocol stabilizes (Lemma 2)");
+    // Describe the run as a scenario (perfect medium is the default)
+    // and run until the election output is stable.
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(topo)
+        .seed(7)
+        .build()
+        .expect("valid scenario");
+    let report = net.run_to(&StopWhen::stable_for(3).within(1000));
+    let stabilized = report.expect_stable("the protocol stabilizes (Lemma 2)");
     println!("stabilized after {stabilized} steps (Δ(τ) units)");
 
     // Extract and verify the clustering.
@@ -45,7 +43,9 @@ fn main() {
     let stats = ClusteringStats::of(net.topology(), &clustering).expect("non-empty");
     println!(
         "clusters: {} | mean size: {:.1} | mean tree length: {:.2} | mean head eccentricity: {:.2}",
-        stats.clusters, stats.mean_cluster_size, stats.mean_tree_length,
+        stats.clusters,
+        stats.mean_cluster_size,
+        stats.mean_tree_length,
         stats.mean_head_eccentricity
     );
 

@@ -53,11 +53,14 @@ fn main() {
 }
 
 fn run_to_fixpoint(topo: Topology, config: ClusterConfig) -> (Clustering, Vec<u32>, u64) {
-    config.validate_for(&topo).expect("valid configuration");
-    let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo, 3);
-    let steps = net
-        .run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, 2000)
-        .expect("stabilizes");
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .topology(topo)
+        .seed(3)
+        .validate(move |t| config.validate_for(t))
+        .build()
+        .expect("valid scenario");
+    let report = net.run_to(&StopWhen::stable_for(4).within(2000));
+    let steps = report.expect_stable("stabilizes");
     let clustering = extract_clustering(net.states()).expect("clean");
     let ids = extract_dag_ids(net.states());
     (clustering, ids, steps)

@@ -30,13 +30,9 @@ fn main() {
             level.members.len() as f64 / level.clustering.head_count().max(1) as f64
         );
         let path = format!("backbone_level{k}.svg");
-        write_svg_clustering(&path, &level.topology, &level.clustering)
-            .expect("write level SVG");
+        write_svg_clustering(&path, &level.topology, &level.clustering).expect("write level SVG");
     }
-    println!(
-        "top-level roots: {:?}",
-        hierarchy.top_heads()
-    );
+    println!("top-level roots: {:?}", hierarchy.top_heads());
 
     // Hierarchical addressing: where does an arbitrary node report?
     let p = NodeId::new(0);

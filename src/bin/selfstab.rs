@@ -97,13 +97,19 @@ fn parse(args: &[String]) -> Option<(String, Opts)> {
 
 fn opt_f64(opts: &Opts, key: &str) -> Result<Option<f64>, String> {
     opts.get(key)
-        .map(|v| v.parse::<f64>().map_err(|_| format!("--{key} wants a number, got `{v}`")))
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| format!("--{key} wants a number, got `{v}`"))
+        })
         .transpose()
 }
 
 fn opt_u64(opts: &Opts, key: &str) -> Result<Option<u64>, String> {
     opts.get(key)
-        .map(|v| v.parse::<u64>().map_err(|_| format!("--{key} wants an integer, got `{v}`")))
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--{key} wants an integer, got `{v}`"))
+        })
         .transpose()
 }
 
@@ -189,19 +195,28 @@ fn cmd_cluster(opts: &Opts) -> Result<(), String> {
     let topo = deploy(opts)?;
     let config = cluster_config(opts, &topo)?;
     let seed = opt_u64(opts, "seed")?.unwrap_or(1);
-    let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo, seed);
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .topology(topo)
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?;
     let steps = net
-        .run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, 10_000)
+        .run_to(&StopWhen::stable_for(4).within(10_000))
+        .stabilized
         .ok_or("the protocol did not stabilize within 10000 steps")?;
-    let clustering =
-        extract_clustering(net.states()).ok_or("non-stabilized state extracted")?;
-    let stats = ClusteringStats::of(net.topology(), &clustering)
-        .ok_or("empty clustering")?;
+    let clustering = extract_clustering(net.states()).ok_or("non-stabilized state extracted")?;
+    let stats = ClusteringStats::of(net.topology(), &clustering).ok_or("empty clustering")?;
     let mut table = Table::new(format!("clustering (stabilized after {steps} steps)"));
     table.set_headers(["property", "value"]);
     table.add_row("clusters", vec![format!("{}", stats.clusters)]);
-    table.add_row("mean cluster size", vec![format!("{:.2}", stats.mean_cluster_size)]);
-    table.add_row("mean tree length", vec![format!("{:.2}", stats.mean_tree_length)]);
+    table.add_row(
+        "mean cluster size",
+        vec![format!("{:.2}", stats.mean_cluster_size)],
+    );
+    table.add_row(
+        "mean tree length",
+        vec![format!("{:.2}", stats.mean_tree_length)],
+    );
     table.add_row(
         "mean head eccentricity",
         vec![format!("{:.2}", stats.mean_head_eccentricity)],
@@ -226,14 +241,14 @@ fn cmd_dag(opts: &Opts) -> Result<(), String> {
         None => NameSpace::delta_squared(topo.max_degree().max(1)),
     };
     let seed = opt_u64(opts, "seed")?.unwrap_or(1);
-    let mut net = Network::new(
-        DagProtocol::new(gamma, DagVariant::SmallestIdRedraws, 4),
-        PerfectMedium,
-        topo,
-        seed,
-    );
+    let mut net = Scenario::new(DagProtocol::new(gamma, DagVariant::SmallestIdRedraws, 4))
+        .topology(topo)
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?;
     let steps = net
-        .run_until_stable(|_, s| s.dag_id, 4, 10_000)
+        .run_to(&StopWhen::stable_for(4).within(10_000))
+        .stabilized
         .ok_or("N1 did not stabilize within 10000 steps")?;
     let names: Vec<u32> = net.states().iter().map(|s| s.dag_id).collect();
     let unique = selfstab::cluster::is_locally_unique(net.topology(), &names);
@@ -299,8 +314,7 @@ fn cmd_energy(opts: &Opts) -> Result<(), String> {
     };
     let mut table = Table::new(format!("energy-aware rotation vs static ({rounds} rounds)"));
     table.set_headers(["", "rotating", "static"]);
-    let rotating =
-        simulate_rotation(&topo, &model, &OracleConfig::default(), rounds, true);
+    let rotating = simulate_rotation(&topo, &model, &OracleConfig::default(), rounds, true);
     let fixed = simulate_rotation(&topo, &model, &OracleConfig::default(), rounds, false);
     let death = |d: Option<u64>| d.map_or("none".to_string(), |r| r.to_string());
     table.add_row(
@@ -385,7 +399,8 @@ mod tests {
         cmd_route(&opts).unwrap();
         let (_, opts) = parse(&argv("hierarchy --nodes 80 --radius 0.12 --seed 3")).unwrap();
         cmd_hierarchy(&opts).unwrap();
-        let (_, opts) = parse(&argv("energy --nodes 40 --radius 0.2 --rounds 60 --seed 3")).unwrap();
+        let (_, opts) =
+            parse(&argv("energy --nodes 40 --radius 0.2 --rounds 60 --seed 3")).unwrap();
         cmd_energy(&opts).unwrap();
     }
 }

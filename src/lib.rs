@@ -12,7 +12,9 @@
 //!
 //! * [`graph`] — topologies, deployments, neighborhoods;
 //! * [`radio`] — wireless media (perfect / Bernoulli-τ / slotted CSMA);
-//! * [`sim`] — guarded-command drivers (synchronous steps, events);
+//! * [`sim`] — the `Scenario` builder, guarded-command drivers
+//!   (synchronous steps, events), `StopWhen` stop conditions and the
+//!   parallel `Sweep` runner;
 //! * [`mobility`] — random-waypoint / random-direction movement;
 //! * [`cluster`] — the paper's protocol, DAG renaming, oracle, metrics;
 //! * [`baselines`] — lowest-id, highest-degree, max-min d-cluster;
@@ -30,14 +32,16 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let topo = builders::poisson(1000.0, 0.1, &mut rng);
 //!
-//! // … run the self-stabilizing protocol over a perfect medium …
-//! let mut net = Network::new(
-//!     DensityCluster::new(ClusterConfig::default()),
-//!     PerfectMedium,
-//!     topo,
-//!     1,
-//! );
-//! net.run_until_stable(|_, s| s.output(), 3, 500).expect("stabilizes");
+//! // … describe the run as a scenario over a perfect medium …
+//! let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+//!     .topology(topo)
+//!     .seed(1)
+//!     .build()
+//!     .expect("valid scenario");
+//!
+//! // … run until the election output is stable …
+//! let report = net.run_to(&StopWhen::stable_for(3).within(500));
+//! assert!(report.is_stable(), "the protocol stabilizes (Lemma 2)");
 //!
 //! // … and read off the clusters.
 //! let clustering = extract_clustering(net.states()).expect("stable");
@@ -59,21 +63,23 @@ pub use mwn_viz as viz;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use mwn_cluster::{
-        build_hierarchy, check_legitimate, density_of, energy_aware_clustering,
-        extract_clustering, extract_dag_ids, oracle, simulate_rotation, ClusterConfig,
-        Clustering, ClusteringStats, DagConfig, DagProtocol, DagVariant, Density,
-        DensityCluster, EnergyModel, HeadRule, Hierarchy, MetricKind, NameSpace,
-        OracleConfig, OrderKind,
+        build_hierarchy, check_legitimate, density_of, energy_aware_clustering, extract_clustering,
+        extract_dag_ids, oracle, simulate_rotation, ClusterConfig, ClusterState, ClusterView,
+        Clustering, ClusteringStats, DagConfig, DagProtocol, DagVariant, Density, DensityCluster,
+        EnergyModel, HeadRule, Hierarchy, MetricKind, NameSpace, OracleConfig, OrderKind,
     };
     pub use mwn_graph::{builders, NodeId, Point2, Topology};
-    pub use mwn_metrics::{run_seeds, RunningStats, Table};
-    pub use mwn_mobility::{meters_per_second, MobileScenario, RandomDirection, RandomWaypoint};
+    pub use mwn_metrics::{RunningStats, Table};
+    pub use mwn_mobility::{
+        meters_per_second, MobileScenario, MobilityDynamics, RandomDirection, RandomWaypoint,
+    };
     pub use mwn_radio::{
         measure_tau, BernoulliLoss, CaptureCsma, DistanceFading, Medium, PerfectMedium,
         SlottedCsma, Thinned,
     };
     pub use mwn_sim::{
-        Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Protocol, Trace,
+        Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Observable, Protocol,
+        RunReport, Scenario, SimError, StopWhen, Sweep, TopologyDynamics, Trace,
     };
     pub use mwn_viz::{ascii_grid_clustering, svg_clustering, write_svg_clustering};
 }

@@ -55,31 +55,39 @@ fn density_is_no_worse_than_degree_under_node_arrival() {
     // The density argument (Section 3): one node arriving changes the
     // degree of all its neighbors but barely moves their densities, so
     // fewer heads flip. Simulate arrivals by toggling nodes' links.
-    let topo = field(3);
-    let density_before = oracle(&topo, &OracleConfig::default());
-    let degree_before = oracle(&topo, &highest_degree_config());
-    let mut flips_density = 0usize;
-    let mut flips_degree = 0usize;
-    for victim in topo.nodes().take(25) {
-        let mut t = topo.clone();
-        let nbrs: Vec<NodeId> = t.neighbors(victim).to_vec();
-        for q in nbrs {
-            t.remove_edge(victim, q);
+    // One field is noisy, so the claim is checked as an average over a
+    // seed sweep of deployments.
+    let per_seed = Sweep::over(6, 33).map(|seed| {
+        let topo = field(seed);
+        let density_before = oracle(&topo, &OracleConfig::default());
+        let degree_before = oracle(&topo, &highest_degree_config());
+        let mut flips_density = 0usize;
+        let mut flips_degree = 0usize;
+        for victim in topo.nodes().take(25) {
+            let mut t = topo.clone();
+            let nbrs: Vec<NodeId> = t.neighbors(victim).to_vec();
+            for q in nbrs {
+                t.remove_edge(victim, q);
+            }
+            let density_after = oracle(&t, &OracleConfig::default());
+            let degree_after = oracle(&t, &highest_degree_config());
+            flips_density += topo
+                .nodes()
+                .filter(|&p| p != victim && density_before.is_head(p) != density_after.is_head(p))
+                .count();
+            flips_degree += topo
+                .nodes()
+                .filter(|&p| p != victim && degree_before.is_head(p) != degree_after.is_head(p))
+                .count();
         }
-        let density_after = oracle(&t, &OracleConfig::default());
-        let degree_after = oracle(&t, &highest_degree_config());
-        flips_density += topo
-            .nodes()
-            .filter(|&p| p != victim && density_before.is_head(p) != density_after.is_head(p))
-            .count();
-        flips_degree += topo
-            .nodes()
-            .filter(|&p| p != victim && degree_before.is_head(p) != degree_after.is_head(p))
-            .count();
-    }
+        (flips_density, flips_degree)
+    });
+    let (flips_density, flips_degree) = per_seed
+        .into_iter()
+        .fold((0, 0), |(d, g), (fd, fg)| (d + fd, g + fg));
     assert!(
-        flips_density <= flips_degree + 5,
-        "density flipped {flips_density} heads vs degree {flips_degree}"
+        flips_density <= flips_degree + 10,
+        "density flipped {flips_density} heads vs degree {flips_degree} over the sweep"
     );
 }
 
@@ -100,16 +108,16 @@ fn max_min_with_larger_d_gives_fewer_clusters_than_density() {
 #[test]
 fn unit_metric_distributed_run_equals_lowest_id_oracle() {
     let topo = field(5);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig {
-            metric: MetricKind::Unit,
-            ..ClusterConfig::default()
-        }),
-        PerfectMedium,
-        topo,
-        5,
-    );
-    net.run_until_stable(|_, s| s.output(), 3, 500).expect("stabilizes");
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig {
+        metric: MetricKind::Unit,
+        ..ClusterConfig::default()
+    }))
+    .topology(topo)
+    .seed(5)
+    .build()
+    .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(3).within(500))
+        .expect_stable("stabilizes");
     let got = extract_clustering(net.states()).unwrap();
     assert_eq!(got, oracle(net.topology(), &lowest_id_config()));
 }
@@ -132,9 +140,14 @@ fn density_beats_lowest_id_on_the_adversarial_grid() {
         }),
         ..ClusterConfig::default()
     };
-    let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo, 6);
-    net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, 1000)
-        .expect("stabilizes");
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .topology(topo)
+        .seed(6)
+        .validate(move |t| config.validate_for(t))
+        .build()
+        .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(4).within(1000))
+        .expect_stable("stabilizes");
     let with_dag = extract_clustering(net.states()).unwrap();
     assert!(
         with_dag.head_count() > 5,

@@ -19,14 +19,14 @@ fn pipeline(seed: u64) -> (Vec<NodeId>, Vec<u32>, String) {
         cache_ttl: 16,
         ..ClusterConfig::default()
     };
-    let mut net = Network::new(
-        DensityCluster::new(config),
-        SlottedCsma::new(16),
-        topo,
-        seed,
-    );
-    net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 20, 20_000)
-        .expect("stabilizes");
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .medium(SlottedCsma::new(16))
+        .topology(topo)
+        .seed(seed)
+        .build()
+        .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(20).within(20_000))
+        .expect_stable("stabilizes");
     let clustering = extract_clustering(net.states()).expect("clean");
     let svg = svg_clustering(net.topology(), &clustering);
     (clustering.heads(), extract_dag_ids(net.states()), svg)
@@ -65,17 +65,75 @@ fn mobility_pipeline_is_deterministic() {
 }
 
 #[test]
-fn parallel_seed_runner_is_schedule_independent() {
-    // The same experiment through run_seeds twice — thread scheduling
+fn sweep_parallel_equals_serial_on_oracle_pipelines() {
+    // The same experiment through Sweep twice — thread scheduling
     // must not leak into results.
     let experiment = |seed: u64| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let topo = builders::poisson(120.0, 0.12, &mut rng);
         oracle(&topo, &OracleConfig::default()).head_count()
     };
-    let a = run_seeds(24, 9, experiment);
-    let b = run_seeds(24, 9, experiment);
-    assert_eq!(a, b);
+    let parallel = Sweep::over(24, 9).map(experiment);
+    let again = Sweep::over(24, 9).map(experiment);
+    let serial = Sweep::over(24, 9).serial().map(experiment);
+    assert_eq!(parallel, again);
+    assert_eq!(
+        parallel, serial,
+        "parallel and serial sweeps must agree exactly"
+    );
+}
+
+#[test]
+fn sweep_parallel_equals_serial_on_full_scenario_runs() {
+    // Determinism of the whole Scenario → run_to → observe pipeline
+    // under the parallel runner: byte-identical stabilization steps,
+    // head lists and DAG names for the same seed grid, regardless of
+    // scheduling.
+    type RunRecord = (Option<u64>, Vec<NodeId>, Vec<u32>);
+    let run_grid = |sweep: Sweep| -> Vec<RunRecord> {
+        let stop = StopWhen::stable_for(4).within(2000);
+        sweep
+            .run(
+                |seed| {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                    let topo = builders::poisson(150.0, 0.12, &mut rng);
+                    let gamma = NameSpace::delta_squared(topo.max_degree().max(1));
+                    let config = ClusterConfig {
+                        dag: Some(DagConfig {
+                            gamma,
+                            variant: DagVariant::Randomized,
+                        }),
+                        ..ClusterConfig::default()
+                    };
+                    Scenario::new(DensityCluster::new(config))
+                        .topology(topo)
+                        .seed(seed)
+                },
+                &stop,
+                |report, net| {
+                    let clustering =
+                        extract_clustering(net.states()).expect("stable state is clean");
+                    (
+                        report.stabilized,
+                        clustering.heads(),
+                        extract_dag_ids(net.states()),
+                    )
+                },
+            )
+            .expect("every scenario builds")
+    };
+    let parallel = run_grid(Sweep::over(16, 2005));
+    let serial = run_grid(Sweep::over(16, 2005).serial());
+    assert_eq!(
+        parallel, serial,
+        "parallel sweep must be byte-identical to the serial loop"
+    );
+    assert!(
+        parallel
+            .iter()
+            .all(|(stabilized, _, _)| stabilized.is_some()),
+        "every seed stabilizes"
+    );
 }
 
 #[test]
@@ -83,19 +141,22 @@ fn event_driver_trajectories_replay_exactly() {
     let run = |seed: u64| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let topo = builders::poisson(100.0, 0.12, &mut rng);
-        let mut driver = EventDriver::new(
-            DensityCluster::new(ClusterConfig {
-                cache_ttl: 10,
-                ..ClusterConfig::default()
-            }),
-            topo,
-            EventConfig::default(),
-            seed,
-        );
+        let mut driver = Scenario::new(DensityCluster::new(ClusterConfig {
+            cache_ttl: 10,
+            ..ClusterConfig::default()
+        }))
+        .topology(topo)
+        .seed(seed)
+        .build_events(EventConfig::default())
+        .expect("valid event scenario");
         driver.run_until_time(40.0);
         (
             driver.measured_tau(),
-            driver.states().iter().map(|s| s.output()).collect::<Vec<_>>(),
+            driver
+                .states()
+                .iter()
+                .map(|s| s.output())
+                .collect::<Vec<_>>(),
         )
     };
     assert_eq!(run(3), run(3));

@@ -12,19 +12,20 @@ fn protocol_restabilizes_after_each_mobility_burst() {
     let n = topo.len();
     let model = RandomWaypoint::new(n, 0.0..=meters_per_second(10.0), 0.0);
     let mut scenario = MobileScenario::new(topo.clone(), model, 11);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        topo,
-        11,
-    );
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(topo)
+        .seed(11)
+        .build()
+        .expect("valid scenario");
     net.run(25);
+    let stop = StopWhen::stable_for(4).within(50_000);
     for burst in 0..6 {
         // 10 seconds of vehicular movement, then let the protocol run.
         scenario.advance(10.0);
-        net.set_topology(scenario.topology().clone());
-        net.run_until_stable(|_, s| s.output(), 4, 50_000)
-            .unwrap_or_else(|| panic!("burst {burst}: no restabilization"));
+        net.set_topology(scenario.topology().clone())
+            .expect("mobility keeps the node count");
+        let report = net.run_to(&stop);
+        assert!(report.is_stable(), "burst {burst}: no restabilization");
         let got = extract_clustering(net.states()).expect("clean");
         let want = oracle(net.topology(), &OracleConfig::default());
         assert_eq!(got, want, "burst {burst}");
@@ -37,12 +38,11 @@ fn continuous_small_churn_keeps_output_near_fixpoint() {
     // when churn stops it must land exactly on it.
     let mut rng = rand::rngs::StdRng::seed_from_u64(12);
     let base = builders::uniform(60, 0.18, &mut rng);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        base.clone(),
-        12,
-    );
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(base.clone())
+        .seed(12)
+        .build()
+        .expect("valid scenario");
     net.run(20);
     let edges: Vec<(NodeId, NodeId)> = base.edges().collect();
     for (i, &(u, v)) in edges.iter().take(30).enumerate() {
@@ -52,13 +52,13 @@ fn continuous_small_churn_keeps_output_near_fixpoint() {
         } else {
             topo.add_edge(u, v).unwrap();
         }
-        net.set_topology(topo);
+        net.set_topology(topo).expect("same node count");
         net.run(1);
     }
     // Restore the exact original topology and settle.
-    net.set_topology(base);
-    net.run_until_stable(|_, s| s.output(), 4, 5000)
-        .expect("settles after churn stops");
+    net.set_topology(base).expect("same node count");
+    net.run_to(&StopWhen::stable_for(4).within(5000))
+        .expect_stable("settles after churn stops");
     let got = extract_clustering(net.states()).expect("clean");
     assert_eq!(got, oracle(net.topology(), &OracleConfig::default()));
 }
@@ -81,7 +81,11 @@ fn incumbency_reduces_reelections_under_mobility() {
                     order: OrderKind::Stable,
                     rule: HeadRule::Fusion,
                     prev_heads: Some(
-                        scenario.topology().nodes().map(|p| prev.is_head(p)).collect(),
+                        scenario
+                            .topology()
+                            .nodes()
+                            .map(|p| prev.is_head(p))
+                            .collect(),
                     ),
                     ..OracleConfig::default()
                 }
@@ -105,34 +109,41 @@ fn incumbency_reduces_reelections_under_mobility() {
 
 #[test]
 fn mobile_scenario_with_live_protocol_round_per_tick() {
-    // The fully coupled loop: each 2-second tick moves nodes AND runs
-    // protocol steps (no oracle involved). The clustering must remain
+    // The fully coupled loop through the scenario builder: the
+    // attached mobility dynamics move the nodes before every protocol
+    // step (1 s per step at pedestrian speed — the paper's mobility
+    // study setting, finely discretized). The clustering must remain
     // structurally sane throughout: head claims resolve to nodes that
     // claim themselves once the network quiesces at the end.
     let mut rng = rand::rngs::StdRng::seed_from_u64(14);
     let topo = builders::poisson(150.0, 0.12, &mut rng);
     let n = topo.len();
     let model = RandomWaypoint::new(n, 0.0..=meters_per_second(1.6), 0.0);
-    let mut scenario = MobileScenario::new(topo.clone(), model, 14);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig {
-            cache_ttl: 3,
-            ..ClusterConfig::default()
-        }),
-        PerfectMedium,
-        topo,
-        14,
+    let mobile = MobileScenario::new(topo.clone(), model, 14);
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig {
+        cache_ttl: 3,
+        ..ClusterConfig::default()
+    }))
+    .topology(topo)
+    .seed(14)
+    .mobility(mobile.into_dynamics(1.0))
+    .build()
+    .expect("valid scenario");
+    net.run(70); // ~70 seconds of movement with the protocol live
+                 // Movement continues, but the protocol must keep its output
+                 // structurally clean modulo the churn: the live snapshot's claims
+                 // stay in range.
+    let clustering = extract_clustering(net.states());
+    assert!(
+        clustering.is_some(),
+        "claims stay in range while the network moves"
     );
-    net.run(10);
-    for _ in 0..30 {
-        scenario.advance(2.0);
-        net.set_topology(scenario.topology().clone());
-        net.run(2); // a couple of beacon rounds per tick
-    }
-    // Movement stops; the protocol must stabilize to the oracle of the
-    // final topology.
-    net.run_until_stable(|_, s| s.output(), 4, 5000)
-        .expect("stabilizes once movement stops");
+    // Movement stops: detach the dynamics and let the *live* network
+    // — churned caches, mid-flight election and all — settle. It must
+    // stabilize to the oracle of wherever the nodes ended up.
+    assert!(net.stop_dynamics(), "mobility was attached");
+    net.run_to(&StopWhen::stable_for(4).within(5000))
+        .expect_stable("stabilizes once movement stops");
     let got = extract_clustering(net.states()).expect("clean");
     assert_eq!(got, oracle(net.topology(), &OracleConfig::default()));
 }

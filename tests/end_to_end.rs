@@ -36,15 +36,15 @@ fn topologies() -> Vec<(&'static str, Topology)> {
 
 #[test]
 fn every_topology_stabilizes_to_the_oracle() {
+    let stop = StopWhen::stable_for(3).within(500);
     for (name, topo) in topologies() {
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            42,
-        );
-        net.run_until_stable(|_, s| s.output(), 3, 500)
-            .unwrap_or_else(|| panic!("{name}: did not stabilize"));
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(42)
+            .build()
+            .expect("valid scenario");
+        let report = net.run_to(&stop);
+        assert!(report.is_stable(), "{name}: did not stabilize");
         let got = extract_clustering(net.states()).expect("clean");
         let want = oracle(net.topology(), &OracleConfig::default());
         assert_eq!(got, want, "{name}");
@@ -103,13 +103,16 @@ fn every_configuration_stabilizes() {
             },
         ),
     ];
+    let stop = StopWhen::stable_for(5).within(2000);
     for (name, config) in configs {
-        config
-            .validate_for(&topo)
+        let mut net = Scenario::new(DensityCluster::new(config))
+            .topology(topo.clone())
+            .seed(7)
+            .validate(move |t| config.validate_for(t))
+            .build()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo.clone(), 7);
-        net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 5, 2000)
-            .unwrap_or_else(|| panic!("{name}: did not stabilize"));
+        let report = net.run_to(&stop);
+        assert!(report.is_stable(), "{name}: did not stabilize");
         let clustering = extract_clustering(net.states()).expect("clean");
         assert!(clustering.head_count() >= 1, "{name}");
         check_legitimate(&net).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -120,16 +123,16 @@ fn every_configuration_stabilizes() {
 fn fusion_separates_heads_by_three_hops_end_to_end() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let topo = builders::uniform(120, 0.14, &mut rng);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig {
-            rule: HeadRule::Fusion,
-            ..ClusterConfig::default()
-        }),
-        PerfectMedium,
-        topo,
-        9,
-    );
-    net.run_until_stable(|_, s| s.output(), 5, 1000).expect("stabilizes");
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig {
+        rule: HeadRule::Fusion,
+        ..ClusterConfig::default()
+    }))
+    .topology(topo)
+    .seed(9)
+    .build()
+    .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(5).within(1000))
+        .expect_stable("stabilizes");
     let clustering = extract_clustering(net.states()).unwrap();
     for h in clustering.heads() {
         for q in net.topology().two_hop_neighborhood(h) {
@@ -142,13 +145,13 @@ fn fusion_separates_heads_by_three_hops_end_to_end() {
 fn disconnected_components_cluster_independently() {
     let mut topo = builders::line(9);
     topo.remove_edge(NodeId::new(4), NodeId::new(5));
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        topo,
-        3,
-    );
-    net.run_until_stable(|_, s| s.output(), 3, 200).expect("stabilizes");
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(topo)
+        .seed(3)
+        .build()
+        .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(3).within(200))
+        .expect_stable("stabilizes");
     let clustering = extract_clustering(net.states()).unwrap();
     // Heads on both sides of the cut.
     let left = (0..5).map(NodeId::new).any(|p| clustering.is_head(p));
@@ -166,21 +169,25 @@ fn disconnected_components_cluster_independently() {
 #[test]
 fn statistics_pipeline_runs_over_many_seeds() {
     // graph → sim → cluster → metrics, fanned out over threads.
-    let stats: RunningStats = run_seeds(16, 5, |seed| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let topo = builders::poisson(200.0, 0.12, &mut rng);
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            seed,
-        );
-        net.run_until_stable(|_, s| s.output(), 3, 500).expect("stabilizes");
-        let clustering = extract_clustering(net.states()).unwrap();
-        clustering.head_count() as f64
-    })
-    .into_iter()
-    .collect();
+    let stop = StopWhen::stable_for(3).within(500);
+    let head_counts = Sweep::over(16, 5)
+        .run(
+            |seed| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let topo = builders::poisson(200.0, 0.12, &mut rng);
+                Scenario::new(DensityCluster::new(ClusterConfig::default()))
+                    .topology(topo)
+                    .seed(seed)
+            },
+            &stop,
+            |report, net| {
+                assert!(report.is_stable(), "stabilizes");
+                let clustering = extract_clustering(net.states()).unwrap();
+                clustering.head_count() as f64
+            },
+        )
+        .expect("every scenario builds");
+    let stats: RunningStats = head_counts.into_iter().collect();
     assert_eq!(stats.count(), 16);
     assert!(stats.mean() > 1.0, "mean clusters {}", stats.mean());
 }
@@ -188,12 +195,11 @@ fn statistics_pipeline_runs_over_many_seeds() {
 #[test]
 fn viz_renders_stable_clusterings() {
     let topo = builders::grid(6, 6, 0.25);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        topo,
-        4,
-    );
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(topo)
+        .seed(4)
+        .build()
+        .expect("valid scenario");
     net.run(20);
     let clustering = extract_clustering(net.states()).unwrap();
     let svg = svg_clustering(net.topology(), &clustering);

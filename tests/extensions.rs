@@ -31,13 +31,13 @@ fn hierarchy_over_distributed_level0() {
     // the recursive construction: must agree with the all-oracle
     // hierarchy since the distributed fixpoint equals the oracle.
     let topo = field(2);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        topo.clone(),
-        2,
-    );
-    net.run_until_stable(|_, s| s.output(), 3, 500).expect("stabilizes");
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(topo.clone())
+        .seed(2)
+        .build()
+        .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(3).within(500))
+        .expect_stable("stabilizes");
     let distributed = extract_clustering(net.states()).unwrap();
     let all_oracle = build_hierarchy(&topo, &OracleConfig::default(), 10);
     assert_eq!(
@@ -79,35 +79,35 @@ fn protocol_stabilizes_over_fading_and_capture_media() {
         cache_ttl: 40,
         ..ClusterConfig::default()
     };
+    let stop = StopWhen::stable_for(45).within(60_000);
 
-    let mut net = Network::new(
-        DensityCluster::new(config),
-        DistanceFading::new(2.0, 0.3),
-        topo.clone(),
-        4,
-    );
-    net.run_until_stable(|_, s| s.output(), 45, 60_000)
-        .expect("stabilizes under fading");
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .medium(DistanceFading::new(2.0, 0.3))
+        .topology(topo.clone())
+        .seed(4)
+        .build()
+        .expect("valid scenario");
+    net.run_to(&stop).expect_stable("stabilizes under fading");
     assert_eq!(extract_clustering(net.states()).unwrap(), want);
 
-    let mut net = Network::new(
-        DensityCluster::new(config),
-        CaptureCsma::new(24, 1.5),
-        topo.clone(),
-        4,
-    );
-    net.run_until_stable(|_, s| s.output(), 45, 60_000)
-        .expect("stabilizes under capture CSMA");
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .medium(CaptureCsma::new(24, 1.5))
+        .topology(topo.clone())
+        .seed(4)
+        .build()
+        .expect("valid scenario");
+    net.run_to(&stop)
+        .expect_stable("stabilizes under capture CSMA");
     assert_eq!(extract_clustering(net.states()).unwrap(), want);
 
-    let mut net = Network::new(
-        DensityCluster::new(config),
-        Thinned::new(SlottedCsma::new(24), 0.85),
-        topo,
-        4,
-    );
-    net.run_until_stable(|_, s| s.output(), 45, 60_000)
-        .expect("stabilizes under thinned CSMA");
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .medium(Thinned::new(SlottedCsma::new(24), 0.85))
+        .topology(topo)
+        .seed(4)
+        .build()
+        .expect("valid scenario");
+    net.run_to(&stop)
+        .expect_stable("stabilizes under thinned CSMA");
     assert_eq!(extract_clustering(net.states()).unwrap(), want);
 }
 
@@ -123,16 +123,18 @@ fn fault_plan_scripts_a_full_robustness_scenario() {
         .at(40, Fault::Isolate(hub))
         .at(60, Fault::SetTopology(topo.clone()))
         .at(80, Fault::CorruptAll);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        topo.clone(),
-        5,
-    );
-    plan.run(&mut net, 120);
+    // The plan rides inside the scenario: the driver fires each fault
+    // right before its step, whatever run method is used.
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(topo.clone())
+        .seed(5)
+        .faults(plan)
+        .build()
+        .expect("valid scenario");
+    net.run(120);
     // After the last fault at 80 we ran 40 more steps: converged again.
-    net.run_until_stable(|_, s| s.output(), 4, 5000)
-        .expect("stabilizes after the scripted faults");
+    net.run_to(&StopWhen::stable_for(4).within(5000))
+        .expect_stable("stabilizes after the scripted faults");
     assert_eq!(
         extract_clustering(net.states()).unwrap(),
         oracle(&topo, &OracleConfig::default())
@@ -142,22 +144,20 @@ fn fault_plan_scripts_a_full_robustness_scenario() {
 #[test]
 fn trace_records_the_convergence_curve() {
     let topo = field(6);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        topo,
-        6,
-    );
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(topo)
+        .seed(6)
+        .build()
+        .expect("valid scenario");
     let mut trace = Trace::new();
     for _ in 0..30 {
-        trace.record(
-            net.now(),
-            net.states().iter().map(|s| s.output()).collect(),
-        );
+        trace.record(net.now(), net.states().iter().map(|s| s.output()).collect());
         net.step();
     }
     assert!(trace.is_stable_for(5), "30 steps is far past stabilization");
-    let last_change = trace.last_change().expect("the election moved at least once");
+    let last_change = trace
+        .last_change()
+        .expect("the election moved at least once");
     assert!(last_change <= 15, "stabilized late: step {last_change}");
     // The number of flipping nodes must reach zero and stay there.
     let changes = trace.changed_counts();

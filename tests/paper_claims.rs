@@ -13,21 +13,19 @@ fn poisson_field(lambda: f64, radius: f64, seed: u64) -> Topology {
 /// expected constant time to a DAG which height is at most |γ| + 1."
 #[test]
 fn theorem_1_n1_stabilizes_to_a_bounded_height_dag() {
+    let stop = StopWhen::stable_for(4).within(1000);
     for seed in 0..8 {
         let topo = poisson_field(300.0, 0.1, seed);
         let gamma = NameSpace::delta_squared(topo.max_degree().max(1));
-        let mut net = Network::new(
-            DagProtocol::new(gamma, DagVariant::Randomized, 4),
-            PerfectMedium,
-            topo,
-            seed,
-        );
+        let mut net = Scenario::new(DagProtocol::new(gamma, DagVariant::Randomized, 4))
+            .topology(topo)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
         // Arbitrary initial configuration (self-stabilization quantifies
         // over all of them).
         net.corrupt_all();
-        let steps = net
-            .run_until_stable(|_, s| s.dag_id, 4, 1000)
-            .expect("w.p. 1 convergence");
+        let steps = net.run_to(&stop).expect_stable("w.p. 1 convergence");
         // "expected constant time": single-digit steps at any size.
         assert!(steps < 60, "seed {seed}: {steps} steps");
         let names: Vec<u32> = net.states().iter().map(|s| s.dag_id).collect();
@@ -45,27 +43,25 @@ fn theorem_1_n1_stabilizes_to_a_bounded_height_dag() {
 /// expected constant time."
 #[test]
 fn lemma_1_densities_correct_in_constant_time() {
+    // The condition is a first-class StopWhen predicate — no driver
+    // closure needed.
+    let densities_correct = StopWhen::predicate(|topo, states: &[ClusterState]| {
+        topo.nodes()
+            .all(|p| states[p.index()].density == density_of(topo, p))
+    })
+    .within(100);
     for (lambda, seed) in [(150.0, 1), (300.0, 2), (600.0, 3)] {
         let radius = (8.0 / (lambda * std::f64::consts::PI)).sqrt();
         let topo = poisson_field(lambda, radius, seed);
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo.clone(),
-            seed,
-        );
-        let correct_at = net
-            .run_until(
-                |n| {
-                    n.topology()
-                        .nodes()
-                        .all(|p| n.state(p).density == density_of(n.topology(), p))
-                },
-                100,
-            )
-            .expect("densities converge");
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
+        let report = net.run_to(&densities_correct);
+        assert!(report.satisfied && !report.timed_out, "densities converge");
         // Constant: 2 steps on a perfect medium, independent of λ.
-        assert_eq!(correct_at, 2, "λ = {lambda}");
+        assert_eq!(report.end_step, 2, "λ = {lambda}");
     }
 }
 
@@ -74,22 +70,19 @@ fn lemma_1_densities_correct_in_constant_time() {
 /// expected time proportional to the height of the DAG_≺."
 #[test]
 fn lemma_2_heads_stabilize_proportionally_to_dag_height() {
+    let stop = StopWhen::stable_for(3).within(500);
     let mut ratios = Vec::new();
     for seed in 0..6 {
         let topo = poisson_field(250.0, 0.12, seed);
         let cfg = OracleConfig::default();
         let keys = selfstab::cluster::keys_of(&topo, &cfg);
-        let height =
-            selfstab::cluster::order_dag_height(&topo, &keys, OrderKind::Basic).max(1);
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            seed,
-        );
-        let steps = net
-            .run_until_stable(|_, s| s.output(), 3, 500)
-            .expect("stabilizes");
+        let height = selfstab::cluster::order_dag_height(&topo, &keys, OrderKind::Basic).max(1);
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
+        let steps = net.run_to(&stop).expect_stable("stabilizes");
         ratios.push(steps as f64 / f64::from(height));
     }
     // Proportionality: the steps/height ratio stays within a narrow
@@ -117,14 +110,16 @@ fn claim_no_adjacent_heads() {
 #[test]
 fn claim_head_count_decreases_with_intensity() {
     let radius = 0.1;
+    // The head count falls roughly geometrically in λ, but any single
+    // deployment is noisy — average each intensity over a seed sweep.
     let mut mean_heads = Vec::new();
     for lambda in [300.0, 600.0, 1200.0] {
-        let mut total = 0.0;
-        for seed in 0..6 {
-            let topo = poisson_field(lambda, radius, (lambda as u64) ^ seed);
-            total += oracle(&topo, &OracleConfig::default()).head_count() as f64;
-        }
-        mean_heads.push(total / 6.0);
+        let counts = Sweep::over(16, lambda as u64).map(|seed| {
+            let topo = poisson_field(lambda, radius, seed);
+            oracle(&topo, &OracleConfig::default()).head_count() as f64
+        });
+        let stats: RunningStats = counts.into_iter().collect();
+        mean_heads.push(stats.mean());
     }
     assert!(
         mean_heads[0] >= mean_heads[1] && mean_heads[1] >= mean_heads[2],
@@ -199,7 +194,10 @@ fn claim_fusion_merges_clusters() {
             },
         )
         .head_count();
-        assert!(fusion <= basic, "seed {seed}: fusion {fusion} > basic {basic}");
+        assert!(
+            fusion <= basic,
+            "seed {seed}: fusion {fusion} > basic {basic}"
+        );
     }
 }
 
@@ -209,12 +207,11 @@ fn claim_fusion_merges_clusters() {
 #[test]
 fn claim_information_schedule() {
     let topo = poisson_field(250.0, 0.1, 5);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        topo,
-        5,
-    );
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(topo)
+        .seed(5)
+        .build()
+        .expect("valid scenario");
     let schedule = selfstab::cluster::measure_info_schedule(&mut net, 100);
     assert_eq!(schedule.neighbors, Some(1));
     assert_eq!(schedule.density, Some(2));
@@ -234,12 +231,11 @@ fn claim_head_discovery_bounded_by_tree_depth() {
             .filter_map(|p| want.depth_in_hops(&topo, p))
             .max()
             .unwrap_or(0) as u64;
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            topo,
-            seed,
-        );
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+            .topology(topo)
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
         let schedule = selfstab::cluster::measure_info_schedule(&mut net, 200);
         let heads_at = schedule.head.expect("heads converge");
         assert!(
@@ -253,20 +249,20 @@ fn claim_head_discovery_bounded_by_tree_depth() {
 /// and tree length do not vary too much" across transmission radii.
 #[test]
 fn claim_eccentricity_flat_in_radius() {
-    let mut eccs = Vec::new();
-    for radius in [0.05, 0.08, 0.1] {
-        let mut total = 0.0;
-        let mut n = 0;
-        for seed in 0..5 {
-            let topo = poisson_field(700.0, radius, seed);
-            let c = oracle(&topo, &OracleConfig::default());
-            if let Some(e) = c.mean_head_eccentricity(&topo) {
-                total += e;
-                n += 1;
-            }
-        }
-        eccs.push(total / f64::from(n.max(1)));
-    }
+    let radii = [0.05, 0.08, 0.1];
+    // One parallel sweep over the whole radius × seed grid.
+    let per_radius = Sweep::over(5, 700).map_grid(&radii, |&radius, seed| {
+        let topo = poisson_field(700.0, radius, seed);
+        let c = oracle(&topo, &OracleConfig::default());
+        c.mean_head_eccentricity(&topo)
+    });
+    let eccs: Vec<f64> = per_radius
+        .iter()
+        .map(|runs| {
+            let stats: RunningStats = runs.iter().flatten().copied().collect();
+            stats.mean()
+        })
+        .collect();
     let min = eccs.iter().cloned().fold(f64::MAX, f64::min);
     let max = eccs.iter().cloned().fold(f64::MIN, f64::max);
     assert!(
@@ -294,9 +290,14 @@ fn claim_adversarial_grid_collapse_and_rescue() {
         }),
         ..ClusterConfig::default()
     };
-    let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo, 9);
-    net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, 1000)
-        .expect("stabilizes");
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .topology(topo)
+        .seed(9)
+        .validate(move |t| config.validate_for(t))
+        .build()
+        .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(4).within(1000))
+        .expect_stable("stabilizes");
     let rescued = extract_clustering(net.states()).unwrap();
     assert!(rescued.head_count() > 10, "got {}", rescued.head_count());
 }
@@ -309,16 +310,16 @@ fn claim_adversarial_grid_collapse_and_rescue() {
 fn claim_stabilization_under_minimal_radio_guarantee() {
     let topo = poisson_field(150.0, 0.12, 7);
     let want = oracle(&topo, &OracleConfig::default());
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig {
-            cache_ttl: 40,
-            ..ClusterConfig::default()
-        }),
-        BernoulliLoss::new(0.35),
-        topo,
-        7,
-    );
-    net.run_until_stable(|_, s| s.output(), 45, 60_000)
-        .expect("τ = 0.35 still converges");
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig {
+        cache_ttl: 40,
+        ..ClusterConfig::default()
+    }))
+    .medium(BernoulliLoss::new(0.35))
+    .topology(topo)
+    .seed(7)
+    .build()
+    .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(45).within(60_000))
+        .expect_stable("τ = 0.35 still converges");
     assert_eq!(extract_clustering(net.states()).unwrap(), want);
 }

@@ -2,7 +2,6 @@
 //! every medium and driver: the distributed protocol must always
 //! recover the two clusters headed by `h` and `j`.
 
-use rand::SeedableRng;
 use selfstab::prelude::*;
 
 fn paper_heads() -> Vec<NodeId> {
@@ -14,15 +13,8 @@ fn assert_paper_clustering(clustering: &Clustering) {
     assert_eq!(clustering.heads(), paper_heads());
     // Cluster membership from the paper's walkthrough: c joins b joins
     // h; f and g join j.
-    let topo = builders::fig1_example();
-    let by_label = |c: char| {
-        NodeId::new(
-            builders::FIG1_LABELS
-                .iter()
-                .position(|&l| l == c)
-                .unwrap() as u32,
-        )
-    };
+    let by_label =
+        |c: char| NodeId::new(builders::FIG1_LABELS.iter().position(|&l| l == c).unwrap() as u32);
     let h = by_label('h');
     let j = by_label('j');
     for member in ['a', 'b', 'c', 'd', 'e', 'i'] {
@@ -31,7 +23,6 @@ fn assert_paper_clustering(clustering: &Clustering) {
     for member in ['f', 'g'] {
         assert_eq!(clustering.head(by_label(member)), j, "member {member}");
     }
-    let _ = topo;
 }
 
 #[test]
@@ -69,83 +60,104 @@ fn centralized_oracle_reproduces_figure_1() {
 
 #[test]
 fn distributed_over_perfect_medium_reproduces_figure_1() {
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        builders::fig1_example(),
-        1,
-    );
-    net.run_until_stable(|_, s| s.output(), 3, 100).expect("stabilizes");
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(builders::fig1_example())
+        .seed(1)
+        .build()
+        .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(3).within(100))
+        .expect_stable("stabilizes");
     assert_paper_clustering(&extract_clustering(net.states()).unwrap());
 }
 
 #[test]
 fn distributed_over_csma_reproduces_figure_1() {
+    let stop = StopWhen::stable_for(20).within(5000);
     for seed in 0..5 {
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig {
-                cache_ttl: 16,
-                ..ClusterConfig::default()
-            }),
-            SlottedCsma::new(12),
-            builders::fig1_example(),
-            seed,
-        );
-        net.run_until_stable(|_, s| s.output(), 20, 5000)
-            .expect("stabilizes under collisions");
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig {
+            cache_ttl: 16,
+            ..ClusterConfig::default()
+        }))
+        .medium(SlottedCsma::new(12))
+        .topology(builders::fig1_example())
+        .seed(seed)
+        .build()
+        .expect("valid scenario");
+        net.run_to(&stop)
+            .expect_stable("stabilizes under collisions");
         assert_paper_clustering(&extract_clustering(net.states()).unwrap());
     }
 }
 
 #[test]
 fn distributed_over_bernoulli_loss_reproduces_figure_1() {
+    let stop = StopWhen::stable_for(30).within(10_000);
     for seed in 0..5 {
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig {
-                cache_ttl: 24,
-                ..ClusterConfig::default()
-            }),
-            BernoulliLoss::new(0.4),
-            builders::fig1_example(),
-            seed,
-        );
-        net.run_until_stable(|_, s| s.output(), 30, 10_000)
-            .expect("stabilizes at τ = 0.4");
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig {
+            cache_ttl: 24,
+            ..ClusterConfig::default()
+        }))
+        .medium(BernoulliLoss::new(0.4))
+        .topology(builders::fig1_example())
+        .seed(seed)
+        .build()
+        .expect("valid scenario");
+        net.run_to(&stop).expect_stable("stabilizes at τ = 0.4");
         assert_paper_clustering(&extract_clustering(net.states()).unwrap());
     }
 }
 
 #[test]
+fn sweep_reproduces_figure_1_across_seeds() {
+    // The Sweep runner fans the Figure-1 run over a seed grid; every
+    // seed must land on the same two clusters.
+    let stop = StopWhen::stable_for(3).within(100);
+    let heads = Sweep::over(8, 42)
+        .run(
+            |seed| {
+                Scenario::new(DensityCluster::new(ClusterConfig::default()))
+                    .topology(builders::fig1_example())
+                    .seed(seed)
+            },
+            &stop,
+            |report, net| {
+                assert!(report.is_stable());
+                extract_clustering(net.states()).unwrap().heads()
+            },
+        )
+        .expect("every scenario builds");
+    for h in heads {
+        assert_eq!(h, paper_heads());
+    }
+}
+
+#[test]
 fn event_driver_reproduces_figure_1() {
-    let mut driver = EventDriver::new(
-        DensityCluster::new(ClusterConfig {
-            cache_ttl: 20,
-            ..ClusterConfig::default()
-        }),
-        builders::fig1_example(),
-        EventConfig::default(),
-        2,
-    );
+    let mut driver = Scenario::new(DensityCluster::new(ClusterConfig {
+        cache_ttl: 20,
+        ..ClusterConfig::default()
+    }))
+    .topology(builders::fig1_example())
+    .seed(2)
+    .build_events(EventConfig::default())
+    .expect("valid event scenario");
     driver
-        .run_until_stable(|_, s| s.output(), 1.0, 10, 1000.0)
+        .run_until_output_stable(1.0, 10, 1000.0)
         .expect("stabilizes in continuous time");
     assert_paper_clustering(&extract_clustering(driver.states()).unwrap());
 }
 
 #[test]
 fn corrupting_the_example_always_heals_back() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        builders::fig1_example(),
-        5,
-    );
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(builders::fig1_example())
+        .seed(5)
+        .build()
+        .expect("valid scenario");
+    let stop = StopWhen::stable_for(3).within(200);
     for _ in 0..10 {
         net.corrupt_all();
-        net.run_until_stable(|_, s| s.output(), 3, 200)
-            .expect("heals after corruption");
+        net.run_to(&stop).expect_stable("heals after corruption");
         assert_paper_clustering(&extract_clustering(net.states()).unwrap());
-        let _ = rand::Rng::random_range(&mut rng, 0..10u32);
     }
 }

@@ -12,20 +12,22 @@ fn field(seed: u64) -> Topology {
     builders::poisson(250.0, 0.12, &mut rng)
 }
 
+fn default_scenario(seed: u64) -> Scenario<DensityCluster> {
+    Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(field(seed))
+        .seed(seed)
+}
+
 #[test]
 fn total_corruption_reconverges_to_the_same_fixpoint() {
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        field(1),
-        1,
-    );
+    let mut net = default_scenario(1).build().expect("valid scenario");
     net.run(25);
     let fixpoint = extract_clustering(net.states()).expect("stabilized");
+    let stop = StopWhen::stable_for(3).within(10_000);
     for round in 0..5 {
         net.corrupt_all();
-        net.run_until_stable(|_, s| s.output(), 3, 10_000)
-            .unwrap_or_else(|| panic!("round {round}: no reconvergence"));
+        let report = net.run_to(&stop);
+        assert!(report.is_stable(), "round {round}: no reconvergence");
         assert_eq!(
             extract_clustering(net.states()).expect("clean"),
             fixpoint,
@@ -36,18 +38,13 @@ fn total_corruption_reconverges_to_the_same_fixpoint() {
 
 #[test]
 fn partial_corruption_reconverges() {
+    let stop = StopWhen::stable_for(3).within(10_000);
     for fraction in [0.1, 0.5, 0.9] {
-        let mut net = Network::new(
-            DensityCluster::new(ClusterConfig::default()),
-            PerfectMedium,
-            field(2),
-            2,
-        );
+        let mut net = default_scenario(2).build().expect("valid scenario");
         net.run(25);
         let fixpoint = extract_clustering(net.states()).expect("stabilized");
         net.corrupt_fraction(fraction);
-        net.run_until_stable(|_, s| s.output(), 3, 10_000)
-            .expect("reconverges");
+        net.run_to(&stop).expect_stable("reconverges");
         assert_eq!(extract_clustering(net.states()).expect("clean"), fixpoint);
     }
 }
@@ -56,29 +53,24 @@ fn partial_corruption_reconverges() {
 fn corruption_during_convergence_is_harmless() {
     // Corrupt before the system ever stabilizes — the definition of
     // self-stabilization makes no assumption about when faults stop.
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        field(3),
-        3,
-    );
-    for step in [1, 2, 3, 5] {
-        net.run(step);
-        net.corrupt_fraction(0.4);
+    // The scripted fault plan fires inside the driver itself.
+    let mut plan = FaultPlan::new();
+    for step in [1, 3, 6, 11] {
+        plan.at(step, Fault::CorruptFraction(0.4));
     }
-    net.run_until_stable(|_, s| s.output(), 3, 10_000)
-        .expect("still converges");
+    let mut net = default_scenario(3)
+        .faults(plan)
+        .build()
+        .expect("valid scenario");
+    net.run(12); // all scripted faults have fired by now
+    net.run_to(&StopWhen::stable_for(3).within(10_000))
+        .expect_stable("still converges");
     check_legitimate(&net).expect("legitimate after turbulent start");
 }
 
 #[test]
 fn closure_holds_for_thousands_of_steps() {
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        field(4),
-        4,
-    );
+    let mut net = default_scenario(4).build().expect("valid scenario");
     net.run(30);
     let fixpoint = extract_clustering(net.states()).expect("stabilized");
     for _ in 0..20 {
@@ -93,21 +85,21 @@ fn closure_holds_for_thousands_of_steps() {
 
 #[test]
 fn corruption_under_lossy_medium_reconverges() {
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig {
-            cache_ttl: 30,
-            ..ClusterConfig::default()
-        }),
-        BernoulliLoss::new(0.6),
-        field(5),
-        5,
-    );
-    net.run_until_stable(|_, s| s.output(), 25, 20_000)
-        .expect("initial convergence");
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig {
+        cache_ttl: 30,
+        ..ClusterConfig::default()
+    }))
+    .medium(BernoulliLoss::new(0.6))
+    .topology(field(5))
+    .seed(5)
+    .build()
+    .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(25).within(20_000))
+        .expect_stable("initial convergence");
     let fixpoint = extract_clustering(net.states()).expect("stabilized");
     net.corrupt_all();
-    net.run_until_stable(|_, s| s.output(), 25, 40_000)
-        .expect("reconvergence under loss");
+    net.run_to(&StopWhen::stable_for(25).within(40_000))
+        .expect_stable("reconvergence under loss");
     assert_eq!(extract_clustering(net.states()).expect("clean"), fixpoint);
 }
 
@@ -122,24 +114,27 @@ fn dag_names_self_heal_with_the_full_protocol() {
         }),
         ..ClusterConfig::default()
     };
-    let mut net = Network::new(DensityCluster::new(config), PerfectMedium, topo, 6);
-    net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, 1000)
-        .expect("stabilizes");
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .topology(topo)
+        .seed(6)
+        .validate(move |t| config.validate_for(t))
+        .build()
+        .expect("valid scenario");
+    let stop = StopWhen::stable_for(4).within(1000);
+    net.run_to(&stop).expect_stable("stabilizes");
     net.corrupt_all();
-    net.run_until_stable(|_, s| (s.dag_id, s.head, s.parent), 4, 1000)
-        .expect("reconverges");
+    net.run_to(&stop).expect_stable("reconverges");
     check_legitimate(&net).expect("names and election both legitimate");
 }
 
 #[test]
 fn link_failure_and_recovery_restabilizes() {
     let topo = field(7);
-    let mut net = Network::new(
-        DensityCluster::new(ClusterConfig::default()),
-        PerfectMedium,
-        topo.clone(),
-        7,
-    );
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(topo.clone())
+        .seed(7)
+        .build()
+        .expect("valid scenario");
     net.run(25);
     let before = extract_clustering(net.states()).expect("stabilized");
 
@@ -149,39 +144,42 @@ fn link_failure_and_recovery_restabilizes() {
         .max_by_key(|&p| topo.degree(p))
         .expect("non-empty");
     net.isolate(busiest);
-    net.run_until_stable(|_, s| s.output(), 5, 5000)
-        .expect("restabilizes without the hub");
+    let stop = StopWhen::stable_for(5).within(5000);
+    net.run_to(&stop)
+        .expect_stable("restabilizes without the hub");
     let during = extract_clustering(net.states()).expect("clean");
     assert!(during.is_head(busiest), "an isolated node heads itself");
 
     // Radio comes back: the network returns to the original fixpoint.
-    net.set_topology(topo);
-    net.run_until_stable(|_, s| s.output(), 5, 5000)
-        .expect("restabilizes after recovery");
+    net.set_topology(topo).expect("same node count");
+    net.run_to(&stop)
+        .expect_stable("restabilizes after recovery");
     assert_eq!(extract_clustering(net.states()).expect("clean"), before);
 }
 
 #[test]
 fn event_driver_corruption_reconverges() {
-    let mut driver = EventDriver::new(
-        DensityCluster::new(ClusterConfig {
-            cache_ttl: 25,
-            ..ClusterConfig::default()
-        }),
-        field(8),
-        EventConfig::default(),
-        8,
-    );
+    let mut driver = Scenario::new(DensityCluster::new(ClusterConfig {
+        cache_ttl: 25,
+        ..ClusterConfig::default()
+    }))
+    .topology(field(8))
+    .seed(8)
+    .build_events(EventConfig::default())
+    .expect("valid event scenario");
     // The quiet window must outlast the cache TTL (25 periods):
     // corrupted ghost entries influence the output *constantly* until
     // they expire, so a shorter window could report them as "stable".
     driver
-        .run_until_stable(|_, s| s.output(), 1.0, 30, 3000.0)
+        .run_until_output_stable(1.0, 30, 3000.0)
         .expect("initial convergence");
     let fixpoint = extract_clustering(driver.states()).expect("stabilized");
     driver.corrupt_all();
     driver
-        .run_until_stable(|_, s| s.output(), 1.0, 30, 6000.0)
+        .run_until_output_stable(1.0, 30, 6000.0)
         .expect("reconvergence");
-    assert_eq!(extract_clustering(driver.states()).expect("clean"), fixpoint);
+    assert_eq!(
+        extract_clustering(driver.states()).expect("clean"),
+        fixpoint
+    );
 }

@@ -1,0 +1,206 @@
+//! Offline subset of `criterion`: the macros and types the workspace
+//! benches use, backed by a simple fixed-sample timer instead of the
+//! full statistical harness. Each benchmark runs a short warm-up, then
+//! a fixed number of timed samples, and prints the mean per-iteration
+//! time. Good enough for relative comparisons in an offline container;
+//! swap in real criterion when registry access is available.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; only a marker in this shim.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    #[default]
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Declared throughput of a benchmark, echoed in the output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs one benchmark's measurement loops.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = self.samples as u64;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, T, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iterations = self.samples as u64;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let mean = if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iterations as u32
+        };
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                println!("{name:<44} {mean:>12.2?}/iter  ({n} elems/iter)")
+            }
+            Some(Throughput::Bytes(n)) => {
+                println!("{name:<44} {mean:>12.2?}/iter  ({n} bytes/iter)")
+            }
+            None => println!("{name:<44} {mean:>12.2?}/iter"),
+        }
+    }
+}
+
+/// The top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size.unwrap_or(DEFAULT_SAMPLES));
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the throughput echoed with each following benchmark.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("  {}", name.as_ref()), self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(8));
+        group.bench_function(format!("n{}", 8), |b| {
+            b.iter_batched(
+                || vec![1u64; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

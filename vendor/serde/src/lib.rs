@@ -1,0 +1,19 @@
+//! Offline shim of `serde`.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` so
+//! they are ready for a real serialization backend, but the build
+//! environment has no registry access. This shim provides the two
+//! marker traits and re-exports no-op derive macros so those types
+//! compile unchanged. No serialization is performed anywhere in the
+//! workspace; swapping in real serde is a one-line manifest change.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

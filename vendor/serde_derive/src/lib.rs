@@ -1,0 +1,17 @@
+//! No-op derive macros backing the offline `serde` shim: the derives
+//! expand to nothing, so annotated types compile without generating
+//! serialization code.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (offline stand-in for serde's derive).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (offline stand-in for serde's derive).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
