@@ -122,6 +122,27 @@ mod tests {
     }
 
     #[test]
+    fn event_driven_lowest_id_matches_its_oracle_and_goes_silent() {
+        // The baselines ride on the paper's machinery, so they inherit
+        // the activity-driven engine: a stabilized lowest-id clustering
+        // stops transmitting under event-driven freshness.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let topo = builders::uniform(60, 0.18, &mut rng);
+        let mut net = Scenario::new(DensityCluster::new(lowest_id_protocol().event_driven()))
+            .topology(topo)
+            .seed(23)
+            .build()
+            .expect("valid scenario");
+        net.run_to(&StopWhen::stable_for(3).within(300))
+            .expect_stable("stabilizes");
+        let got = extract_clustering(net.states()).unwrap();
+        assert_eq!(got, oracle(net.topology(), &lowest_id_config()));
+        net.run(10);
+        assert_eq!(net.last_activity().senders, 0, "baseline goes silent too");
+    }
+
+    #[test]
     fn distributed_degree_matches_its_oracle() {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(22);

@@ -1,0 +1,37 @@
+//! The activity-driven engine's scaling story: once a silent protocol
+//! stabilizes, dirty-set scheduling drops per-step messages to zero
+//! and steps/sec by orders of magnitude versus re-running every guard.
+//!
+//! ```sh
+//! cargo run --release -p mwn-bench --bin scaling             # 1k/10k/50k
+//! cargo run --release -p mwn-bench --bin scaling -- --quick  # 1k (CI smoke)
+//! ```
+//!
+//! Writes `BENCH_scaling.json` next to the working directory.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes: Vec<usize> = if args.iter().any(|a| a == "--quick") {
+        vec![1_000]
+    } else {
+        vec![1_000, 10_000, 50_000]
+    };
+    let post_steps = if args.iter().any(|a| a == "--quick") {
+        200
+    } else {
+        1_000
+    };
+    let points = mwn_bench::scaling::run(&sizes, 20050610, post_steps);
+    println!("{}", mwn_bench::scaling::render(&points));
+    for p in &points {
+        assert_eq!(
+            p.messages_per_step_stable_gated, 0.0,
+            "silence violated at n = {}",
+            p.nodes
+        );
+    }
+    let json = mwn_bench::scaling::to_json(&points);
+    let path = "BENCH_scaling.json";
+    std::fs::write(path, &json).expect("write BENCH_scaling.json");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,253 @@
+//! The activity-driven engine at scale: steps/sec and messages/step
+//! before vs. after stabilization, gated vs. eager, across network
+//! sizes.
+//!
+//! The paper's protocol is *silent*: in the legitimate configuration
+//! nothing changes. The classic engine still pays O(n + E) per step
+//! forever; the dirty-set engine pays for exactly the churn. This
+//! bench quantifies the difference — post-stabilization messages/step
+//! must be 0 under gating, and steps/sec must grow by orders of
+//! magnitude at 10k+ nodes.
+
+use std::time::Instant;
+
+use mwn_cluster::{ClusterConfig, DensityCluster};
+use mwn_graph::builders;
+use mwn_sim::{Scenario, StopWhen};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One network size's measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingPoint {
+    /// Poisson intensity requested.
+    pub intensity: usize,
+    /// Actual node count of the deployment.
+    pub nodes: usize,
+    /// Undirected link count.
+    pub edges: usize,
+    /// Steps until the election output stabilized (gated run).
+    pub stabilization_steps: u64,
+    /// Mean broadcasts per step while converging (gated run).
+    pub messages_per_step_converging: f64,
+    /// Broadcasts per step after stabilization, gated — the silence
+    /// claim: must be 0.
+    pub messages_per_step_stable_gated: f64,
+    /// Broadcasts per step after stabilization, eager (always = n).
+    pub messages_per_step_stable_eager: f64,
+    /// Post-stabilization steps/sec with dirty-set scheduling.
+    pub stable_steps_per_sec_gated: f64,
+    /// Post-stabilization steps/sec re-running every guard.
+    pub stable_steps_per_sec_eager: f64,
+}
+
+impl ScalingPoint {
+    /// Post-stabilization speedup of gated over eager stepping.
+    pub fn speedup(&self) -> f64 {
+        if self.stable_steps_per_sec_eager == 0.0 {
+            1.0
+        } else {
+            self.stable_steps_per_sec_gated / self.stable_steps_per_sec_eager
+        }
+    }
+}
+
+fn radius_for(n: usize, degree_target: f64) -> f64 {
+    (degree_target / (n as f64 * std::f64::consts::PI)).sqrt()
+}
+
+/// Times `steps` driver steps and returns (steps/sec, messages/step).
+fn measure<M: mwn_radio::Medium>(
+    net: &mut mwn_sim::Network<DensityCluster, M>,
+    steps: u64,
+) -> (f64, f64) {
+    let messages_before = net.messages_total();
+    let start = Instant::now();
+    net.run(steps);
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let messages = (net.messages_total() - messages_before) as f64;
+    (steps as f64 / elapsed, messages / steps as f64)
+}
+
+/// Runs the scaling measurement at one Poisson intensity.
+///
+/// # Panics
+///
+/// Panics if the protocol fails to stabilize within the step budget
+/// (which would falsify Lemma 2).
+pub fn run_point(intensity: usize, seed: u64, post_steps: u64) -> ScalingPoint {
+    let radius = radius_for(intensity, 8.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = builders::poisson(intensity as f64, radius, &mut rng);
+    let nodes = topo.len();
+    let edges = topo.edge_count();
+
+    // Gated engine: converge, then measure the silent regime.
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default().event_driven()))
+        .topology(topo)
+        .seed(seed)
+        .build()
+        .expect("valid scenario");
+    assert!(net.is_gated(), "EventDriven + PerfectMedium must gate");
+    let report = net.run_to(&StopWhen::stable_for(2).within(10_000));
+    let stabilization_steps = report.expect_stable("the election stabilizes (Lemma 2)");
+    let messages_per_step_converging = net.messages_total() as f64 / net.now().max(1) as f64;
+    // Drain the last pending beacons (a quiet output does not instantly
+    // imply every neighbor caught up), then measure pure silence.
+    net.run(3);
+    let (gated_sps, gated_mps) = measure(&mut net, post_steps);
+
+    // Same network pinned eager: every node re-beacons and re-runs its
+    // guards although nothing can change.
+    net.set_eager(true);
+    let (eager_sps, eager_mps) = measure(&mut net, post_steps.min(200));
+
+    ScalingPoint {
+        intensity,
+        nodes,
+        edges,
+        stabilization_steps,
+        messages_per_step_converging,
+        messages_per_step_stable_gated: gated_mps,
+        messages_per_step_stable_eager: eager_mps,
+        stable_steps_per_sec_gated: gated_sps,
+        stable_steps_per_sec_eager: eager_sps,
+    }
+}
+
+/// Runs the full size sweep.
+pub fn run(sizes: &[usize], seed: u64, post_steps: u64) -> Vec<ScalingPoint> {
+    sizes
+        .iter()
+        .map(|&n| run_point(n, seed, post_steps))
+        .collect()
+}
+
+/// Renders the results as a JSON array (hand-rolled: the workspace's
+/// offline `serde` shim has no serializer), the `BENCH_scaling.json`
+/// payload CI archives.
+pub fn to_json(points: &[ScalingPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"intensity\": {}, \"nodes\": {}, \"edges\": {}, ",
+                "\"stabilization_steps\": {}, ",
+                "\"messages_per_step_converging\": {:.2}, ",
+                "\"messages_per_step_stable_gated\": {:.2}, ",
+                "\"messages_per_step_stable_eager\": {:.2}, ",
+                "\"stable_steps_per_sec_gated\": {:.1}, ",
+                "\"stable_steps_per_sec_eager\": {:.1}, ",
+                "\"post_stabilization_speedup\": {:.1}}}{}"
+            ),
+            p.intensity,
+            p.nodes,
+            p.edges,
+            p.stabilization_steps,
+            p.messages_per_step_converging,
+            p.messages_per_step_stable_gated,
+            p.messages_per_step_stable_eager,
+            p.stable_steps_per_sec_gated,
+            p.stable_steps_per_sec_eager,
+            p.speedup(),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders a human-readable table.
+pub fn render(points: &[ScalingPoint]) -> mwn_metrics::Table {
+    let mut table =
+        mwn_metrics::Table::new("Activity-driven engine: post-stabilization cost (gated vs eager)");
+    let mut headers = vec!["n".to_string()];
+    headers.extend(points.iter().map(|p| p.nodes.to_string()));
+    table.set_headers(headers);
+    table.add_numeric_row(
+        "stabilization steps",
+        &points
+            .iter()
+            .map(|p| p.stabilization_steps as f64)
+            .collect::<Vec<_>>(),
+        0,
+    );
+    table.add_numeric_row(
+        "msgs/step converging",
+        &points
+            .iter()
+            .map(|p| p.messages_per_step_converging)
+            .collect::<Vec<_>>(),
+        1,
+    );
+    table.add_numeric_row(
+        "msgs/step stable (gated)",
+        &points
+            .iter()
+            .map(|p| p.messages_per_step_stable_gated)
+            .collect::<Vec<_>>(),
+        1,
+    );
+    table.add_numeric_row(
+        "msgs/step stable (eager)",
+        &points
+            .iter()
+            .map(|p| p.messages_per_step_stable_eager)
+            .collect::<Vec<_>>(),
+        1,
+    );
+    table.add_numeric_row(
+        "steps/s stable (gated)",
+        &points
+            .iter()
+            .map(|p| p.stable_steps_per_sec_gated)
+            .collect::<Vec<_>>(),
+        0,
+    );
+    table.add_numeric_row(
+        "steps/s stable (eager)",
+        &points
+            .iter()
+            .map(|p| p.stable_steps_per_sec_eager)
+            .collect::<Vec<_>>(),
+        0,
+    );
+    table.add_numeric_row(
+        "speedup",
+        &points.iter().map(ScalingPoint::speedup).collect::<Vec<_>>(),
+        1,
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_point_is_silent_after_stabilization() {
+        let p = run_point(300, 7, 50);
+        assert!(p.nodes > 200);
+        assert_eq!(
+            p.messages_per_step_stable_gated, 0.0,
+            "a stabilized silent protocol sends nothing"
+        );
+        assert!(
+            (p.messages_per_step_stable_eager - p.nodes as f64).abs() < 1e-9,
+            "eager re-broadcasts everyone every step"
+        );
+        assert!(p.messages_per_step_converging > 0.0);
+        assert!(p.stabilization_steps < 200);
+        assert!(p.speedup() > 1.0, "skipping all work must be faster");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let p = run_point(150, 3, 20);
+        let json = to_json(&[p]);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.contains("\"messages_per_step_stable_gated\": 0.00"));
+        assert!(!render(&[run_point(150, 3, 5)]).to_string().is_empty());
+    }
+}

@@ -213,6 +213,7 @@ pub struct DagProtocol {
     gamma: NameSpace,
     variant: DagVariant,
     cache_ttl: u64,
+    event_driven: bool,
 }
 
 impl DagProtocol {
@@ -223,6 +224,22 @@ impl DagProtocol {
             gamma,
             variant,
             cache_ttl: cache_ttl.max(1),
+            event_driven: false,
+        }
+    }
+
+    /// The event-driven variant: receiving an unchanged name is a
+    /// no-op, cached names never expire by age (only future-stamped
+    /// forgeries are purged, and the link layer evicts departed
+    /// neighbors). This satisfies the silence contract, so the protocol
+    /// declares [`mwn_sim::Activity::Gated`] and a stabilized DAG costs
+    /// the activity-driven driver zero messages and zero guard runs.
+    pub fn event_driven(gamma: NameSpace, variant: DagVariant) -> Self {
+        DagProtocol {
+            gamma,
+            variant,
+            cache_ttl: 1,
+            event_driven: true,
         }
     }
 
@@ -258,16 +275,29 @@ impl Protocol for DagProtocol {
     }
 
     fn receive(&self, _node: NodeId, state: &mut DagState, from: NodeId, beacon: &u32, now: u64) {
+        if self.event_driven {
+            // Silence contract: an unchanged name must be a state
+            // no-op — not even a timestamp refresh.
+            if state.cache.get(&from).map(|&(id, _)| id) == Some(*beacon) {
+                return;
+            }
+        }
         state.cache.insert(from, (*beacon, now));
     }
 
     fn update(&self, node: NodeId, state: &mut DagState, now: u64, rng: &mut StdRng) {
         // Expire stale entries; timestamps from the future are
-        // corrupted state and expire immediately.
+        // corrupted state and expire immediately. The event-driven
+        // variant keeps entries alive through silence and only purges
+        // forgeries.
         let ttl = self.cache_ttl;
-        state
-            .cache
-            .retain(|_, &mut (_, seen)| seen <= now && now - seen < ttl);
+        if self.event_driven {
+            state.cache.retain(|_, &mut (_, seen)| seen <= now);
+        } else {
+            state
+                .cache
+                .retain(|_, &mut (_, seen)| seen <= now && now - seen < ttl);
+        }
         let used: Vec<u32> = state.cache.values().map(|&(id, _)| id).collect();
         let conflicted = !self.gamma.contains(state.dag_id) || used.contains(&state.dag_id);
         if !conflicted {
@@ -288,6 +318,22 @@ impl Protocol for DagProtocol {
         if must_redraw {
             state.dag_id = new_id(state.dag_id, &used, self.gamma, rng);
         }
+    }
+
+    fn activity(&self) -> mwn_sim::Activity {
+        if self.event_driven {
+            mwn_sim::Activity::Gated
+        } else {
+            mwn_sim::Activity::Eager
+        }
+    }
+
+    fn beacon_changed(&self, old: &u32, new: &u32) -> bool {
+        old != new
+    }
+
+    fn link_down(&self, _node: NodeId, state: &mut DagState, peer: NodeId) {
+        state.cache.remove(&peer);
     }
 }
 
@@ -326,6 +372,31 @@ mod tests {
 
     fn names_of(net: &Network<DagProtocol, impl mwn_radio::Medium>) -> Vec<u32> {
         net.states().iter().map(|s| s.dag_id).collect()
+    }
+
+    #[test]
+    fn event_driven_dag_goes_silent_once_colored() {
+        let topo = builders::grid(8, 8, 0.2);
+        let gamma = NameSpace::delta_squared(topo.max_degree());
+        let mut net = Scenario::new(DagProtocol::event_driven(
+            gamma,
+            DagVariant::SmallestIdRedraws,
+        ))
+        .topology(topo.clone())
+        .seed(3)
+        .build()
+        .expect("valid scenario");
+        assert!(net.is_gated());
+        net.run_to(&mwn_sim::StopWhen::stable_for(3).within(300))
+            .expect_stable("N1 converges");
+        assert!(is_locally_unique(&topo, &names_of(&net)));
+        net.run(20);
+        assert_eq!(
+            net.last_activity().senders,
+            0,
+            "a proper coloring is silent"
+        );
+        assert_eq!(net.last_activity().updates, 0);
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub use oracle::{keys_of, locally_maximal, oracle, oracle_with_keys, HeadRule, O
 pub use order::{max_key, Key, OrderKind};
 pub use protocol::{
     extract_clustering, extract_dag_ids, ClusterBeacon, ClusterConfig, ClusterState, ClusterView,
-    DagConfig, DensityCluster, NeighborEntry, PeerSummary,
+    DagConfig, DensityCluster, FreshnessPolicy, NeighborEntry, PeerSummary,
 };
 pub use routing::{mean_stretch, ClusterRouter};
 pub use stabilization::{check_legitimate, measure_info_schedule, Illegitimacy, InfoSchedule};

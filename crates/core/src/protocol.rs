@@ -34,6 +34,41 @@ pub struct DagConfig {
     pub variant: DagVariant,
 }
 
+/// How cached neighbor entries are kept fresh — and, dually, how the
+/// engine may schedule the protocol.
+///
+/// The paper keeps caches alive through *periodic* beacons and expires
+/// entries by timeout; that requires every node to broadcast every
+/// step forever. The communication-efficiency literature on silent
+/// protocols (Devismes–Masuzawa–Tixeuil) observes that once the
+/// configuration is legitimate nothing needs to be sent at all — but
+/// then freshness cannot come from timeouts. The two policies embody
+/// that trade-off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FreshnessPolicy {
+    /// Legacy timed discipline: every received beacon stamps its cache
+    /// entry, and entries older than `cache_ttl` steps are swept on
+    /// every update. Requires eager scheduling (periodic beacons are
+    /// what keeps live entries alive), which the protocol declares via
+    /// [`mwn_sim::Activity::Eager`].
+    #[default]
+    TtlSweep,
+    /// Event-driven freshness: receiving a beacon identical to the
+    /// cached copy is a no-op, entries never age out, and departed
+    /// neighbors are evicted by the link-layer
+    /// ([`mwn_sim::Protocol::link_down`]) instead of by timeout.
+    /// Satisfies the silence contract, so the protocol declares
+    /// [`mwn_sim::Activity::Gated`] and the engine stops scheduling —
+    /// and stops transmitting for — stabilized regions entirely.
+    ///
+    /// Known trade-off (inherent to silent communication-efficiency):
+    /// a corrupted ghost entry whose forged timestamp lies in the past
+    /// is only healed by update pressure from its owner's neighborhood,
+    /// not by a wall-clock sweep; future-stamped forgeries are still
+    /// purged immediately.
+    EventDriven,
+}
+
 /// Full configuration of the clustering protocol.
 ///
 /// # Examples
@@ -64,8 +99,12 @@ pub struct ClusterConfig {
     pub dag: Option<DagConfig>,
     /// Steps a cached neighbor entry survives without a fresh beacon.
     /// Must cover the expected beacon loss run-length (≥ 2 for lossy
-    /// media; 2 suffices for the perfect medium).
+    /// media; 2 suffices for the perfect medium). Only meaningful under
+    /// [`FreshnessPolicy::TtlSweep`].
     pub cache_ttl: u64,
+    /// Cache freshness discipline; [`FreshnessPolicy::EventDriven`]
+    /// additionally unlocks activity-driven (gated) scheduling.
+    pub freshness: FreshnessPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -76,6 +115,18 @@ impl Default for ClusterConfig {
             rule: HeadRule::Basic,
             dag: None,
             cache_ttl: 4,
+            freshness: FreshnessPolicy::TtlSweep,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// This configuration with [`FreshnessPolicy::EventDriven`] — the
+    /// silence-compatible variant the activity-driven engine can gate.
+    pub fn event_driven(self) -> Self {
+        ClusterConfig {
+            freshness: FreshnessPolicy::EventDriven,
+            ..self
         }
     }
 }
@@ -286,6 +337,19 @@ impl Protocol for DensityCluster {
         if from == node {
             return; // a radio echo of ourselves carries no information
         }
+        if self.config.freshness == FreshnessPolicy::EventDriven {
+            // Silence contract: an already-incorporated beacon must be
+            // a state no-op — not even a timestamp refresh.
+            if let Some(e) = state.cache.get(&from) {
+                if e.dag_id == beacon.dag_id
+                    && e.density == beacon.density
+                    && e.head == beacon.head
+                    && e.view == beacon.view
+                {
+                    return;
+                }
+            }
+        }
         state.cache.insert(
             from,
             NeighborEntry {
@@ -299,12 +363,18 @@ impl Protocol for DensityCluster {
     }
 
     fn update(&self, node: NodeId, state: &mut ClusterState, now: u64, rng: &mut StdRng) {
-        // Cache hygiene: drop entries that are stale or carry a
-        // timestamp from the future (corrupted state must die out).
+        // Cache hygiene. TtlSweep: drop entries that are stale or carry
+        // a timestamp from the future (corrupted state must die out).
+        // EventDriven: only future-stamped forgeries are swept — live
+        // entries must survive arbitrarily long silence, and departed
+        // neighbors are evicted by `link_down` instead.
         let ttl = self.config.cache_ttl;
-        state
-            .cache
-            .retain(|_, e| e.last_seen <= now && now - e.last_seen < ttl);
+        match self.config.freshness {
+            FreshnessPolicy::TtlSweep => state
+                .cache
+                .retain(|_, e| e.last_seen <= now && now - e.last_seen < ttl),
+            FreshnessPolicy::EventDriven => state.cache.retain(|_, e| e.last_seen <= now),
+        }
 
         // --- N1: DAG renaming (Section 4.1) --------------------------
         match &self.config.dag {
@@ -396,6 +466,24 @@ impl Protocol for DensityCluster {
                 }
             }
         }
+    }
+
+    fn activity(&self) -> mwn_sim::Activity {
+        match self.config.freshness {
+            FreshnessPolicy::TtlSweep => mwn_sim::Activity::Eager,
+            FreshnessPolicy::EventDriven => mwn_sim::Activity::Gated,
+        }
+    }
+
+    fn beacon_changed(&self, old: &ClusterBeacon, new: &ClusterBeacon) -> bool {
+        old != new
+    }
+
+    fn link_down(&self, _node: NodeId, state: &mut ClusterState, peer: NodeId) {
+        // The link layer knows the neighbor is gone: evict immediately
+        // instead of waiting out a TTL (and instead of never noticing,
+        // under the event-driven policy).
+        state.cache.remove(&peer);
     }
 }
 
@@ -752,6 +840,100 @@ mod tests {
                 .contains_key(&NodeId::new(999)),
             "future-stamped ghost must be expired"
         );
+    }
+
+    #[test]
+    fn event_driven_freshness_matches_ttl_sweep_fixpoint() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(14);
+        for seed in 0..3 {
+            let topo = builders::uniform(70, 0.16, &mut rng);
+            let legacy = stabilize(
+                ClusterConfig::default(),
+                PerfectMedium,
+                topo.clone(),
+                seed,
+                400,
+            );
+            let silent = stabilize(
+                ClusterConfig::default().event_driven(),
+                PerfectMedium,
+                topo,
+                seed,
+                400,
+            );
+            assert_eq!(
+                extract_clustering(legacy.states()).unwrap(),
+                extract_clustering(silent.states()).unwrap(),
+                "seed {seed}: both freshness policies reach the oracle fixpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn event_driven_cluster_goes_silent() {
+        let mut net = stabilize(
+            ClusterConfig::default().event_driven(),
+            PerfectMedium,
+            builders::fig1_example(),
+            15,
+            200,
+        );
+        assert!(net.is_gated(), "EventDriven unlocks gated scheduling");
+        let frozen = net.messages_total();
+        net.run(30);
+        assert_eq!(net.last_activity().senders, 0, "stable clusters are silent");
+        assert_eq!(net.last_activity().updates, 0);
+        assert_eq!(net.messages_total(), frozen);
+        // And the output is still the paper's clustering.
+        let c = extract_clustering(net.states()).unwrap();
+        assert_eq!(c.heads(), vec![NodeId::new(5), NodeId::new(7)]);
+    }
+
+    #[test]
+    fn event_driven_cluster_self_stabilizes_after_corruption() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(16);
+        let topo = builders::uniform(60, 0.18, &mut rng);
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default().event_driven()))
+            .topology(topo)
+            .seed(17)
+            .build()
+            .expect("valid scenario");
+        net.run(25);
+        let before = extract_clustering(net.states()).unwrap();
+        net.corrupt_all();
+        net.run_to(&StopWhen::stable_for(5).within(1000))
+            .expect_stable("reconverges after corruption");
+        let after = extract_clustering(net.states()).unwrap();
+        assert_eq!(before, after, "convergence must restore the fixpoint");
+        net.run(10);
+        assert_eq!(net.last_activity().senders, 0, "silent again after healing");
+    }
+
+    #[test]
+    fn event_driven_survives_isolation_via_link_down() {
+        // Under EventDriven freshness there is no TTL: the link-down
+        // notification is what evicts a severed neighbor.
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default().event_driven()))
+            .topology(builders::line(5))
+            .seed(18)
+            .build()
+            .expect("valid scenario");
+        net.run(15);
+        net.isolate(NodeId::new(2));
+        assert!(
+            net.state(NodeId::new(1)).cache.is_empty()
+                || !net
+                    .state(NodeId::new(1))
+                    .cache
+                    .contains_key(&NodeId::new(2)),
+            "link_down evicts the severed neighbor immediately"
+        );
+        net.run_to(&StopWhen::stable_for(4).within(200))
+            .expect_stable("re-stabilizes on the cut topology");
+        let c = extract_clustering(net.states()).unwrap();
+        assert!(c.is_head(NodeId::new(2)), "an isolated node heads itself");
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub mod traversal;
 pub use error::GraphError;
 pub use node::NodeId;
 pub use point::Point2;
-pub use topology::{Edges, Topology};
+pub use topology::{Edges, Topology, TopologyDelta};

@@ -1,6 +1,120 @@
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
 use crate::{GraphError, NodeId, Point2};
+
+/// The edge churn produced by one incremental topology mutation
+/// ([`Topology::apply_moves`]): which links appeared, which vanished,
+/// and which nodes moved.
+///
+/// Each undirected edge is reported exactly once as `(u, v)` with
+/// `u < v`. Activity-driven simulation drivers consume deltas to wake
+/// only the nodes a mobility step actually touched, instead of
+/// rescheduling the whole network.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TopologyDelta {
+    /// Links that came into radio range, each as `(u, v)` with `u < v`.
+    pub added: Vec<(NodeId, NodeId)>,
+    /// Links that left radio range, each as `(u, v)` with `u < v`.
+    pub removed: Vec<(NodeId, NodeId)>,
+    /// Nodes whose position changed (whether or not any link changed).
+    pub moved: Vec<NodeId>,
+}
+
+impl TopologyDelta {
+    /// `true` when no link changed (positions may still have moved).
+    pub fn is_quiet(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Every node incident to an added or removed link, sorted and
+    /// deduplicated — the set a scheduler must mark dirty.
+    pub fn touched(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .added
+            .iter()
+            .chain(&self.removed)
+            .flat_map(|&(u, v)| [u, v])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Empties the delta while keeping its buffers.
+    pub fn clear(&mut self) {
+        self.added.clear();
+        self.removed.clear();
+        self.moved.clear();
+    }
+}
+
+/// Spatial hash over node positions with cells of side `cell` (the
+/// radio range): the 1-neighbors of any point live in the 3×3 block of
+/// cells around it. Kept alongside the adjacency lists so moving a few
+/// nodes re-bins only those nodes instead of rebuilding the hash.
+#[derive(Clone, Debug)]
+struct SpatialGrid {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<u32>>,
+}
+
+impl SpatialGrid {
+    fn cell_of(cell: f64, p: Point2) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    fn build(positions: &[Point2], cell: f64) -> Self {
+        let mut buckets: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, &p) in positions.iter().enumerate() {
+            buckets
+                .entry(Self::cell_of(cell, p))
+                .or_default()
+                .push(i as u32);
+        }
+        SpatialGrid { cell, buckets }
+    }
+
+    /// Re-bins node `i` from position `from` to position `to`.
+    fn relocate(&mut self, i: u32, from: Point2, to: Point2) {
+        let old_cell = Self::cell_of(self.cell, from);
+        let new_cell = Self::cell_of(self.cell, to);
+        if old_cell == new_cell {
+            return;
+        }
+        if let Some(bucket) = self.buckets.get_mut(&old_cell) {
+            if let Some(pos) = bucket.iter().position(|&x| x == i) {
+                bucket.swap_remove(pos);
+                if bucket.is_empty() {
+                    self.buckets.remove(&old_cell);
+                }
+            }
+        }
+        self.buckets.entry(new_cell).or_default().push(i);
+    }
+
+    /// All nodes within `radius` of `p` (excluding `skip`), sorted.
+    fn neighbors_of(&self, positions: &[Point2], p: Point2, radius: f64, skip: u32) -> Vec<NodeId> {
+        let (cx, cy) = Self::cell_of(self.cell, p);
+        let r2 = radius * radius;
+        let mut out = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(bucket) = self.buckets.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &j in bucket {
+                    if j != skip && p.distance_squared(positions[j as usize]) <= r2 {
+                        out.push(NodeId::new(j));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
 
 /// An undirected network graph with optional node positions.
 ///
@@ -21,11 +135,22 @@ use crate::{GraphError, NodeId, Point2};
 /// assert_eq!(topo.edge_count(), 3);
 /// # Ok::<(), mwn_graph::GraphError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Topology {
     adj: Vec<Vec<NodeId>>,
     positions: Option<Vec<Point2>>,
     radius: Option<f64>,
+    /// Cached spatial hash for incremental unit-disk maintenance.
+    /// Rebuilt lazily; never part of equality or serialization.
+    grid: Option<SpatialGrid>,
+}
+
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        // The grid is derived state: two topologies are equal iff their
+        // graphs (and geometry) are.
+        self.adj == other.adj && self.positions == other.positions && self.radius == other.radius
+    }
 }
 
 impl Topology {
@@ -35,6 +160,7 @@ impl Topology {
             adj: vec![Vec::new(); n],
             positions: None,
             radius: None,
+            grid: None,
         }
     }
 
@@ -74,6 +200,7 @@ impl Topology {
             adj: vec![Vec::new(); n],
             positions: Some(positions),
             radius: Some(radius),
+            grid: None,
         };
         topo.rebuild_unit_disk_edges();
         Ok(topo)
@@ -91,6 +218,7 @@ impl Topology {
             "positions must cover every node"
         );
         self.positions = Some(positions);
+        self.grid = None;
         self
     }
 
@@ -115,24 +243,19 @@ impl Topology {
             list.clear();
         }
         if n == 0 {
+            self.grid = Some(SpatialGrid::build(&[], radius));
             return;
         }
         // Spatial hash: cells of side `radius`, so neighbors of a point
-        // can only live in the 3×3 block of cells around it.
-        let cell_of = |p: Point2| -> (i64, i64) {
-            ((p.x / radius).floor() as i64, (p.y / radius).floor() as i64)
-        };
-        let mut grid: std::collections::HashMap<(i64, i64), Vec<u32>> =
-            std::collections::HashMap::new();
-        for (i, &p) in positions.iter().enumerate() {
-            grid.entry(cell_of(p)).or_default().push(i as u32);
-        }
+        // can only live in the 3×3 block of cells around it. The hash
+        // is kept for [`Topology::apply_moves`] to update incrementally.
+        let grid = SpatialGrid::build(positions, radius);
         let r2 = radius * radius;
         for (i, &p) in positions.iter().enumerate() {
-            let (cx, cy) = cell_of(p);
+            let (cx, cy) = SpatialGrid::cell_of(radius, p);
             for dx in -1..=1 {
                 for dy in -1..=1 {
-                    let Some(bucket) = grid.get(&(cx + dx, cy + dy)) else {
+                    let Some(bucket) = grid.buckets.get(&(cx + dx, cy + dy)) else {
                         continue;
                     };
                     for &j in bucket {
@@ -147,6 +270,114 @@ impl Topology {
         for list in &mut self.adj {
             list.sort_unstable();
         }
+        self.grid = Some(grid);
+    }
+
+    /// Moves the given nodes and incrementally updates the unit-disk
+    /// edge set, re-binning only the moved nodes in the cached spatial
+    /// hash. Returns the exact edge churn as a [`TopologyDelta`].
+    ///
+    /// Only links incident to a moved node can change, so the cost is
+    /// proportional to the moved set (and its local density) instead of
+    /// the whole network — `rebuild_unit_disk_edges` stays O(n) and is
+    /// only needed after wholesale position rewrites.
+    ///
+    /// The result is always identical to calling
+    /// [`Topology::rebuild_unit_disk_edges`] after the same moves
+    /// (property-tested in `tests/properties.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no positions or radius (it was not
+    /// built by [`Topology::unit_disk`]) or if a moved node is out of
+    /// range.
+    pub fn apply_moves(&mut self, moves: &[(NodeId, Point2)]) -> TopologyDelta {
+        let radius = self.radius.expect("apply_moves requires a radius");
+        assert!(
+            self.positions.is_some(),
+            "apply_moves requires node positions"
+        );
+        let mut delta = TopologyDelta::default();
+        if moves.is_empty() {
+            return delta;
+        }
+        if self.grid.is_none() {
+            // Positions were rewritten wholesale since the last
+            // rebuild; pay O(n) once, then go incremental.
+            let positions = self.positions.as_ref().expect("checked above");
+            self.grid = Some(SpatialGrid::build(positions, radius));
+        }
+        let grid = self.grid.as_mut().expect("built above");
+        let positions = self.positions.as_mut().expect("checked above");
+        // Phase 1: re-bin every moved node, so neighborhood queries in
+        // phase 2 see the final geometry no matter the move order.
+        for &(p, to) in moves {
+            let from = positions[p.index()];
+            if from == to {
+                continue;
+            }
+            grid.relocate(p.value(), from, to);
+            positions[p.index()] = to;
+            delta.moved.push(p);
+        }
+        // Phase 2: recompute each moved node's neighborhood and diff it
+        // against the adjacency list. Links between two unmoved nodes
+        // cannot have changed.
+        let mut adds: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut removes: Vec<(NodeId, NodeId)> = Vec::new();
+        for &p in &delta.moved {
+            let grid = self.grid.as_ref().expect("built above");
+            let positions = self.positions.as_ref().expect("checked above");
+            let want = grid.neighbors_of(positions, positions[p.index()], radius, p.value());
+            let have = &self.adj[p.index()];
+            // Both lists are sorted: two-pointer diff.
+            let (mut i, mut j) = (0, 0);
+            adds.clear();
+            removes.clear();
+            while i < have.len() || j < want.len() {
+                match (have.get(i), want.get(j)) {
+                    (Some(&h), Some(&w)) if h == w => {
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&h), Some(&w)) if h < w => {
+                        removes.push((p, h));
+                        i += 1;
+                    }
+                    (Some(_), Some(&w)) => {
+                        adds.push((p, w));
+                        j += 1;
+                    }
+                    (Some(&h), None) => {
+                        removes.push((p, h));
+                        i += 1;
+                    }
+                    (None, Some(&w)) => {
+                        adds.push((p, w));
+                        j += 1;
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                }
+            }
+            // When both endpoints moved, the first one processed
+            // already fixed the edge; the has_edge guards keep the
+            // delta duplicate-free.
+            for &(u, v) in &removes {
+                if self.has_edge(u, v) {
+                    self.remove_edge(u, v);
+                    delta.removed.push((u.min(v), u.max(v)));
+                }
+            }
+            for &(u, v) in &adds {
+                if !self.has_edge(u, v) {
+                    self.add_edge(u, v).expect("grid candidates are in range");
+                    delta.added.push((u.min(v), u.max(v)));
+                }
+            }
+        }
+        delta.added.sort_unstable();
+        delta.removed.sort_unstable();
+        delta
     }
 
     /// Adds the undirected edge `(u, v)`; a no-op if already present.
@@ -329,8 +560,11 @@ impl Topology {
     }
 
     /// Mutable access to node positions (used by mobility models).
-    /// Call [`Topology::rebuild_unit_disk_edges`] afterwards.
+    /// Call [`Topology::rebuild_unit_disk_edges`] afterwards; prefer
+    /// [`Topology::apply_moves`], which re-bins only the moved nodes.
     pub fn positions_mut(&mut self) -> Option<&mut [Point2]> {
+        // Arbitrary rewrites invalidate the cached spatial hash.
+        self.grid = None;
         self.positions.as_deref_mut()
     }
 
@@ -493,6 +727,72 @@ mod tests {
         topo.positions_mut().unwrap()[1] = Point2::new(0.05, 0.0);
         topo.rebuild_unit_disk_edges();
         assert_eq!(topo.edge_count(), 1);
+    }
+
+    #[test]
+    fn apply_moves_matches_full_rebuild() {
+        let positions = vec![
+            Point2::new(0.1, 0.1),
+            Point2::new(0.15, 0.1),
+            Point2::new(0.5, 0.5),
+            Point2::new(0.55, 0.5),
+        ];
+        let mut topo = Topology::unit_disk(positions, 0.08).unwrap();
+        assert_eq!(topo.edge_count(), 2);
+        // Move node 1 next to node 2: loses (0,1), gains (1,2) and (1,3).
+        let moves = vec![(NodeId::new(1), Point2::new(0.52, 0.48))];
+        let delta = topo.apply_moves(&moves);
+        assert_eq!(delta.removed, vec![(NodeId::new(0), NodeId::new(1))]);
+        assert_eq!(
+            delta.added,
+            vec![
+                (NodeId::new(1), NodeId::new(2)),
+                (NodeId::new(1), NodeId::new(3)),
+            ]
+        );
+        assert_eq!(delta.moved, vec![NodeId::new(1)]);
+        let mut reference = topo.clone();
+        reference.rebuild_unit_disk_edges();
+        assert_eq!(topo, reference, "incremental must equal full rebuild");
+    }
+
+    #[test]
+    fn apply_moves_of_both_endpoints_reports_each_edge_once() {
+        let positions = vec![Point2::new(0.1, 0.1), Point2::new(0.9, 0.9)];
+        let mut topo = Topology::unit_disk(positions, 0.1).unwrap();
+        let delta = topo.apply_moves(&[
+            (NodeId::new(0), Point2::new(0.5, 0.5)),
+            (NodeId::new(1), Point2::new(0.52, 0.5)),
+        ]);
+        assert_eq!(delta.added, vec![(NodeId::new(0), NodeId::new(1))]);
+        assert!(delta.removed.is_empty());
+        assert_eq!(delta.touched(), vec![NodeId::new(0), NodeId::new(1)]);
+        assert!(topo.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn apply_moves_without_displacement_is_quiet() {
+        let positions = vec![Point2::new(0.2, 0.2), Point2::new(0.25, 0.2)];
+        let mut topo = Topology::unit_disk(positions, 0.1).unwrap();
+        let delta = topo.apply_moves(&[(NodeId::new(0), Point2::new(0.2, 0.2))]);
+        assert!(delta.is_quiet());
+        assert!(delta.moved.is_empty());
+        let delta = topo.apply_moves(&[]);
+        assert!(delta.is_quiet());
+    }
+
+    #[test]
+    fn apply_moves_after_positions_mut_rebuilds_the_grid() {
+        let positions = vec![Point2::new(0.1, 0.1), Point2::new(0.9, 0.9)];
+        let mut topo = Topology::unit_disk(positions, 0.1).unwrap();
+        // Wholesale rewrite through positions_mut invalidates the hash…
+        topo.positions_mut().unwrap()[0] = Point2::new(0.85, 0.9);
+        topo.rebuild_unit_disk_edges();
+        assert_eq!(topo.edge_count(), 1);
+        // …after which incremental maintenance still works.
+        let delta = topo.apply_moves(&[(NodeId::new(0), Point2::new(0.1, 0.1))]);
+        assert_eq!(delta.removed.len(), 1);
+        assert_eq!(topo.edge_count(), 0);
     }
 
     #[test]

@@ -140,6 +140,50 @@ proptest! {
         }
     }
 
+    /// Incremental unit-disk maintenance is exact: after any sequence
+    /// of random moves, `apply_moves` leaves the same edge set as a
+    /// full `rebuild_unit_disk_edges`, and the reported delta is the
+    /// symmetric difference of the before/after edge sets.
+    #[test]
+    fn apply_moves_equals_full_rebuild(
+        topo in unit_disk_strategy(),
+        seed in 0u64..u64::MAX,
+        rounds in 1usize..4,
+    ) {
+        use mwn_graph::Point2;
+        use rand::Rng;
+        let mut incremental = topo.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..rounds {
+            let n = incremental.len();
+            let movers = rng.random_range(0..=n.min(10));
+            let moves: Vec<(NodeId, Point2)> = (0..movers)
+                .map(|_| {
+                    let p = NodeId::new(rng.random_range(0..n as u32));
+                    (p, Point2::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+                })
+                .collect();
+            let before: Vec<_> = incremental.edges().collect();
+            let delta = incremental.apply_moves(&moves);
+            let after: Vec<_> = incremental.edges().collect();
+            // The delta is exactly the symmetric difference.
+            for e in &delta.added {
+                prop_assert!(!before.contains(e) && after.contains(e));
+            }
+            for e in &delta.removed {
+                prop_assert!(before.contains(e) && !after.contains(e));
+            }
+            let churn = delta.added.len() + delta.removed.len();
+            let sym_diff = before.iter().filter(|e| !after.contains(e)).count()
+                + after.iter().filter(|e| !before.contains(e)).count();
+            prop_assert_eq!(churn, sym_diff);
+            // And the incremental graph matches a from-scratch rebuild.
+            let mut reference = incremental.clone();
+            reference.rebuild_unit_disk_edges();
+            prop_assert_eq!(&incremental, &reference);
+        }
+    }
+
     /// BFS distances satisfy the triangle property along edges:
     /// |d(s,u) - d(s,v)| ≤ 1 for every edge (u,v) in the same component.
     #[test]

@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod proportion;
 mod running;
 mod table;
 
 pub use histogram::Histogram;
+pub use proportion::{wilson_interval, Proportion};
 pub use running::{RunningStats, Summary};
 pub use table::Table;

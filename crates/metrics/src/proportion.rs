@@ -1,0 +1,131 @@
+//! Binomial-proportion confidence intervals for convergence-probability
+//! experiments.
+//!
+//! Weak/probabilistic stabilization experiments (Devismes et al.)
+//! estimate "the system stabilizes within k steps with probability p"
+//! from Bernoulli trials over seeds. The Wilson score interval is the
+//! standard small-sample interval for such proportions: unlike the
+//! naive normal approximation it never leaves `[0, 1]` and behaves at
+//! p̂ ∈ {0, 1}.
+
+/// The Wilson score confidence interval for a binomial proportion:
+/// `successes` out of `trials`, at normal quantile `z` (1.96 ≈ 95%).
+///
+/// Returns `(low, high)` with `0 ≤ low ≤ high ≤ 1`. With zero trials
+/// the interval is the uninformative `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_metrics::wilson_interval;
+///
+/// let (low, high) = wilson_interval(95, 100, 1.96);
+/// assert!(low > 0.88 && low < 0.95);
+/// assert!(high > 0.95 && high < 1.0);
+/// ```
+pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// A counted proportion with its 95% Wilson interval — the record a
+/// convergence-probability sweep reports per parameter point.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_metrics::Proportion;
+///
+/// let p = Proportion::new(98, 100);
+/// assert_eq!(p.fraction(), 0.98);
+/// let (low, high) = p.wilson95();
+/// assert!(low < 0.98 && 0.98 < high);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Proportion {
+    /// Number of successes.
+    pub successes: usize,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+impl Proportion {
+    /// Wraps `successes` out of `trials`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials`.
+    pub fn new(successes: usize, trials: usize) -> Self {
+        assert!(
+            successes <= trials,
+            "successes ({successes}) cannot exceed trials ({trials})"
+        );
+        Proportion { successes, trials }
+    }
+
+    /// The point estimate (1.0 for zero trials).
+    pub fn fraction(&self) -> f64 {
+        if self.trials == 0 {
+            1.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// The 95% Wilson score interval.
+    pub fn wilson95(&self) -> (f64, f64) {
+        wilson_interval(self.successes, self.trials, 1.96)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_the_point_estimate() {
+        for &(k, n) in &[(0usize, 10usize), (5, 10), (10, 10), (999, 1000)] {
+            let (low, high) = wilson_interval(k, n, 1.96);
+            let p = k as f64 / n as f64;
+            assert!(low <= p + 1e-12 && p <= high + 1e-12, "k={k} n={n}");
+            assert!((0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high));
+        }
+    }
+
+    #[test]
+    fn more_trials_narrow_the_interval() {
+        let (l1, h1) = wilson_interval(8, 10, 1.96);
+        let (l2, h2) = wilson_interval(800, 1000, 1.96);
+        assert!(h2 - l2 < h1 - l1);
+    }
+
+    #[test]
+    fn degenerate_extremes_stay_in_unit_range() {
+        let (low, high) = wilson_interval(0, 20, 1.96);
+        assert_eq!(low, 0.0);
+        assert!(high > 0.0 && high < 0.3, "upper bound {high}");
+        let (low, high) = wilson_interval(20, 20, 1.96);
+        assert!(low > 0.7 && low < 1.0, "lower bound {low}");
+        assert_eq!(high, 1.0);
+    }
+
+    #[test]
+    fn zero_trials_is_uninformative() {
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        assert_eq!(Proportion::new(0, 0).fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn more_successes_than_trials_rejected() {
+        let _ = Proportion::new(3, 2);
+    }
+}

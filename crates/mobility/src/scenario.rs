@@ -1,4 +1,4 @@
-use mwn_graph::Topology;
+use mwn_graph::{NodeId, Point2, Topology, TopologyDelta};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -32,6 +32,10 @@ pub struct MobileScenario<M> {
     model: M,
     rng: StdRng,
     elapsed: f64,
+    /// Scratch position buffer the model advances.
+    scratch: Vec<Point2>,
+    /// The most recent tick's move list (nodes that actually moved).
+    moves: Vec<(NodeId, Point2)>,
 }
 
 impl<M: MobilityModel> MobileScenario<M> {
@@ -51,18 +55,45 @@ impl<M: MobilityModel> MobileScenario<M> {
             model,
             rng: StdRng::seed_from_u64(seed),
             elapsed: 0.0,
+            scratch: Vec::new(),
+            moves: Vec::new(),
         }
     }
 
-    /// Moves all nodes forward `dt` seconds and rebuilds the links.
-    pub fn advance(&mut self, dt: f64) {
+    /// Moves all nodes forward `dt` seconds and incrementally updates
+    /// the links ([`Topology::apply_moves`]): only nodes that actually
+    /// moved are re-binned, and the returned delta names exactly the
+    /// links that changed — what an activity-driven driver needs to
+    /// wake the right nodes.
+    pub fn advance(&mut self, dt: f64) -> TopologyDelta {
+        // The model advances a scratch copy, so the topology's spatial
+        // hash is updated through the move list instead of being
+        // invalidated by in-place mutation.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(
+            self.topo
+                .positions()
+                .expect("constructor checked positions"),
+        );
+        self.model.step(&mut self.scratch, dt, &mut self.rng);
+        self.moves.clear();
         let positions = self
             .topo
-            .positions_mut()
+            .positions()
             .expect("constructor checked positions");
-        self.model.step(positions, dt, &mut self.rng);
-        self.topo.rebuild_unit_disk_edges();
+        for (i, (&old, &new)) in positions.iter().zip(&self.scratch).enumerate() {
+            if old != new {
+                self.moves.push((NodeId::new(i as u32), new));
+            }
+        }
         self.elapsed += dt;
+        self.topo.apply_moves(&self.moves)
+    }
+
+    /// The move list of the most recent [`MobileScenario::advance`]
+    /// tick (already applied to this scenario's topology).
+    pub fn last_moves(&self) -> &[(NodeId, Point2)] {
+        &self.moves
     }
 
     /// The current topology.
@@ -108,6 +139,14 @@ impl<M: MobilityModel> mwn_sim::TopologyDynamics for MobilityDynamics<M> {
         // Hand the driver a borrow; it copies into its own reused
         // buffers, so advancing allocates nothing per step here.
         Some(self.scenario.topology())
+    }
+
+    fn next_moves(&mut self, _step: u64) -> Option<&[(NodeId, Point2)]> {
+        // Advance our own topology copy with the same move list the
+        // driver will apply to its copy: both evolve identically, and
+        // the driver wakes only the nodes the tick touched.
+        self.scenario.advance(self.seconds_per_step);
+        Some(self.scenario.last_moves())
     }
 }
 

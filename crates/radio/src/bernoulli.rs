@@ -47,18 +47,35 @@ impl BernoulliLoss {
 }
 
 impl Medium for BernoulliLoss {
-    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], rng: &mut StdRng) -> Delivery {
-        let mut delivery = Delivery::empty(topo.len());
+    fn deliver_into(
+        &mut self,
+        topo: &Topology,
+        senders: &[NodeId],
+        rng: &mut StdRng,
+        out: &mut Delivery,
+    ) {
         for &s in senders {
-            for &r in topo.neighbors(s) {
-                delivery.attempted += 1;
-                if rng.random_bool(self.tau) {
-                    delivery.heard[r.index()].push(s);
-                    delivery.delivered += 1;
-                }
+            self.deliver_from(topo, s, rng, out);
+        }
+    }
+
+    fn deliver_from(
+        &mut self,
+        topo: &Topology,
+        sender: NodeId,
+        rng: &mut StdRng,
+        out: &mut Delivery,
+    ) {
+        for &r in topo.neighbors(sender) {
+            out.attempted += 1;
+            if rng.random_bool(self.tau) {
+                out.record(r, sender);
             }
         }
-        delivery
+    }
+
+    fn independent_fates(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -69,11 +69,16 @@ impl Medium for CaptureCsma {
     ///
     /// Panics if the topology carries no positions (capture needs
     /// distances; build it with [`Topology::unit_disk`]).
-    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], rng: &mut StdRng) -> Delivery {
+    fn deliver_into(
+        &mut self,
+        topo: &Topology,
+        senders: &[NodeId],
+        rng: &mut StdRng,
+        delivery: &mut Delivery,
+    ) {
         let positions = topo
             .positions()
             .expect("the capture effect requires node positions");
-        let mut delivery = Delivery::empty(topo.len());
         let mut slot_of = vec![usize::MAX; topo.len()];
         for &s in senders {
             slot_of[s.index()] = rng.random_range(0..self.slots);
@@ -108,12 +113,10 @@ impl Medium for CaptureCsma {
                     }
                 };
                 if let Some(s) = winner {
-                    delivery.heard[r.index()].push(s);
-                    delivery.delivered += 1;
+                    delivery.record(r, s);
                 }
             }
         }
-        delivery
     }
 
     fn name(&self) -> &'static str {

@@ -85,8 +85,13 @@ impl SlottedCsma {
 }
 
 impl Medium for SlottedCsma {
-    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], rng: &mut StdRng) -> Delivery {
-        let mut delivery = Delivery::empty(topo.len());
+    fn deliver_into(
+        &mut self,
+        topo: &Topology,
+        senders: &[NodeId],
+        rng: &mut StdRng,
+        delivery: &mut Delivery,
+    ) {
         let n = topo.len();
         // Slot choice per sender (usize::MAX = not transmitting).
         let mut slot_of = vec![usize::MAX; n];
@@ -134,12 +139,10 @@ impl Medium for SlottedCsma {
                     .iter()
                     .any(|&q| q != s && slot_of[q.index()] == slot);
                 if !collided {
-                    delivery.heard[r.index()].push(s);
-                    delivery.delivered += 1;
+                    delivery.record(r, s);
                 }
             }
         }
-        delivery
     }
 
     fn name(&self) -> &'static str {

@@ -60,25 +60,42 @@ impl Medium for DistanceFading {
     /// Panics if the topology carries no positions or radius (fading
     /// needs link lengths; build the topology with
     /// [`Topology::unit_disk`]).
-    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], rng: &mut StdRng) -> Delivery {
+    fn deliver_into(
+        &mut self,
+        topo: &Topology,
+        senders: &[NodeId],
+        rng: &mut StdRng,
+        out: &mut Delivery,
+    ) {
+        for &s in senders {
+            self.deliver_from(topo, s, rng, out);
+        }
+    }
+
+    fn deliver_from(
+        &mut self,
+        topo: &Topology,
+        sender: NodeId,
+        rng: &mut StdRng,
+        out: &mut Delivery,
+    ) {
         let positions = topo
             .positions()
             .expect("distance fading requires node positions");
         let radius = topo
             .radius()
             .expect("distance fading requires a radio range");
-        let mut delivery = Delivery::empty(topo.len());
-        for &s in senders {
-            for &r in topo.neighbors(s) {
-                delivery.attempted += 1;
-                let d = positions[s.index()].distance(positions[r.index()]);
-                if rng.random_bool(self.success_probability(d / radius)) {
-                    delivery.heard[r.index()].push(s);
-                    delivery.delivered += 1;
-                }
+        for &r in topo.neighbors(sender) {
+            out.attempted += 1;
+            let d = positions[sender.index()].distance(positions[r.index()]);
+            if rng.random_bool(self.success_probability(d / radius)) {
+                out.record(r, sender);
             }
         }
-        delivery
+    }
+
+    fn independent_fates(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -7,14 +7,26 @@ use rand::rngs::StdRng;
 /// round, in delivery order. `attempted` counts every (sender,
 /// 1-neighbor) frame copy that could have been received; `delivered`
 /// counts those that were. Their ratio is the empirical τ of the round.
+///
+/// `touched` lists the receivers whose `heard` list is non-empty, so a
+/// driver can walk the round's recipients in O(deliveries) instead of
+/// scanning all n nodes — the activity-driven engine's hot path.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Delivery {
     /// Per-receiver list of heard senders.
     pub heard: Vec<Vec<NodeId>>,
+    /// Receivers with at least one [`Delivery::record`] call this
+    /// round, in first-hear order, duplicate-free. (A receiver may end
+    /// up with an empty `heard` list if a wrapper like
+    /// [`crate::Thinned`] later dropped its only copy; consumers just
+    /// see an empty list.)
+    pub touched: Vec<NodeId>,
     /// Number of (sender, neighbor) frame copies that were in range.
     pub attempted: usize,
     /// Number of frame copies actually received.
     pub delivered: usize,
+    /// O(1) membership mirror of `touched`.
+    seen: Vec<bool>,
 }
 
 impl Delivery {
@@ -22,9 +34,44 @@ impl Delivery {
     pub fn empty(n: usize) -> Self {
         Delivery {
             heard: vec![Vec::new(); n],
+            touched: Vec::new(),
             attempted: 0,
             delivered: 0,
+            seen: vec![false; n],
         }
+    }
+
+    /// Empties the delivery for `n` receivers while keeping its
+    /// buffers: per-step reuse allocates nothing in steady state (only
+    /// the receivers actually touched last round are cleared).
+    pub fn reset(&mut self, n: usize) {
+        if self.heard.len() == n {
+            for &r in &self.touched {
+                self.heard[r.index()].clear();
+                self.seen[r.index()] = false;
+            }
+        } else {
+            self.heard.iter_mut().for_each(Vec::clear);
+            self.heard.resize_with(n, Vec::new);
+            self.seen.clear();
+            self.seen.resize(n, false);
+        }
+        self.touched.clear();
+        self.attempted = 0;
+        self.delivered = 0;
+    }
+
+    /// Records that `receiver` heard the frame of `sender`, maintaining
+    /// the `touched` index and the `delivered` count. Media use this
+    /// instead of pushing into `heard` directly.
+    #[inline]
+    pub fn record(&mut self, receiver: NodeId, sender: NodeId) {
+        if !self.seen[receiver.index()] {
+            self.seen[receiver.index()] = true;
+            self.touched.push(receiver);
+        }
+        self.heard[receiver.index()].push(sender);
+        self.delivered += 1;
     }
 
     /// Fraction of in-range frame copies that were delivered
@@ -48,9 +95,60 @@ impl Delivery {
 /// The RNG is the concrete [`StdRng`] used across the workspace so that
 /// media can be used as trait objects and every run stays reproducible
 /// from a seed.
+///
+/// The required method is the appending, allocation-free
+/// [`Medium::deliver_into`]; [`Medium::deliver`] is a convenience
+/// wrapper. Media whose frame fates are decided per (sender, receiver)
+/// copy — with no cross-sender contention — should return `true` from
+/// [`Medium::independent_fates`], which lets the activity-driven round
+/// driver skip quiescent senders without perturbing anyone else's
+/// frames.
 pub trait Medium {
-    /// Delivers one round of broadcasts from `senders`.
-    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], rng: &mut StdRng) -> Delivery;
+    /// Delivers one round of broadcasts from `senders`, **appending**
+    /// into `out` (the caller resets and sizes it). Appending semantics
+    /// let a driver accumulate several partial rounds — in particular
+    /// one [`Medium::deliver_from`] call per active sender — into one
+    /// `Delivery`.
+    fn deliver_into(
+        &mut self,
+        topo: &Topology,
+        senders: &[NodeId],
+        rng: &mut StdRng,
+        out: &mut Delivery,
+    );
+
+    /// Delivers one round of broadcasts from `senders` into a fresh
+    /// [`Delivery`].
+    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], rng: &mut StdRng) -> Delivery {
+        let mut out = Delivery::empty(topo.len());
+        self.deliver_into(topo, senders, rng, &mut out);
+        out
+    }
+
+    /// Delivers the frames of a single sender, appending into `out`.
+    ///
+    /// Only meaningful when [`Medium::independent_fates`] holds: the
+    /// activity-driven driver calls this once per scheduled sender with
+    /// a dedicated per-(step, sender) RNG stream, so a frame's fate
+    /// depends only on `(seed, step, sender)` — never on which *other*
+    /// nodes happened to transmit.
+    fn deliver_from(
+        &mut self,
+        topo: &Topology,
+        sender: NodeId,
+        rng: &mut StdRng,
+        out: &mut Delivery,
+    ) {
+        self.deliver_into(topo, &[sender], rng, out);
+    }
+
+    /// `true` when every frame copy's fate is independent of the other
+    /// senders in the round (no contention coupling): the perfect and
+    /// Bernoulli media of the paper's hypothesis qualify, CSMA-style
+    /// collision media do not. Conservative default: `false`.
+    fn independent_fates(&self) -> bool {
+        false
+    }
 
     /// A short human-readable name used in experiment output.
     fn name(&self) -> &'static str;
@@ -83,8 +181,10 @@ pub fn measure_tau<M: Medium + ?Sized>(
     let senders: Vec<NodeId> = topo.nodes().collect();
     let mut attempted = 0usize;
     let mut delivered = 0usize;
+    let mut d = Delivery::empty(topo.len());
     for _ in 0..steps {
-        let d = medium.deliver(topo, &senders, rng);
+        d.reset(topo.len());
+        medium.deliver_into(topo, &senders, rng, &mut d);
         attempted += d.attempted;
         delivered += d.delivered;
     }
@@ -108,11 +208,23 @@ mod tests {
 
     #[test]
     fn success_rate_is_ratio() {
-        let d = Delivery {
-            heard: vec![],
-            attempted: 4,
-            delivered: 3,
-        };
+        let mut d = Delivery::empty(0);
+        d.attempted = 4;
+        d.delivered = 3;
         assert_eq!(d.success_rate(), 0.75);
+    }
+
+    #[test]
+    fn record_maintains_touched_and_counts() {
+        let mut d = Delivery::empty(3);
+        d.attempted += 2;
+        d.record(NodeId::new(1), NodeId::new(0));
+        d.record(NodeId::new(1), NodeId::new(2));
+        assert_eq!(d.touched, vec![NodeId::new(1)]);
+        assert_eq!(d.delivered, 2);
+        d.reset(3);
+        assert!(d.heard.iter().all(Vec::is_empty));
+        assert!(d.touched.is_empty());
+        assert_eq!((d.attempted, d.delivered), (0, 0));
     }
 }

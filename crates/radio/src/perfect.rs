@@ -29,16 +29,33 @@ use crate::{Delivery, Medium};
 pub struct PerfectMedium;
 
 impl Medium for PerfectMedium {
-    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], _rng: &mut StdRng) -> Delivery {
-        let mut delivery = Delivery::empty(topo.len());
+    fn deliver_into(
+        &mut self,
+        topo: &Topology,
+        senders: &[NodeId],
+        rng: &mut StdRng,
+        out: &mut Delivery,
+    ) {
         for &s in senders {
-            for &r in topo.neighbors(s) {
-                delivery.heard[r.index()].push(s);
-                delivery.attempted += 1;
-                delivery.delivered += 1;
-            }
+            self.deliver_from(topo, s, rng, out);
         }
-        delivery
+    }
+
+    fn deliver_from(
+        &mut self,
+        topo: &Topology,
+        sender: NodeId,
+        _rng: &mut StdRng,
+        out: &mut Delivery,
+    ) {
+        for &r in topo.neighbors(sender) {
+            out.attempted += 1;
+            out.record(r, sender);
+        }
+    }
+
+    fn independent_fates(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

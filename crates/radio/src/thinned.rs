@@ -20,10 +20,15 @@ use crate::{Delivery, Medium};
 /// let medium = Thinned::new(SlottedCsma::new(16), 0.9);
 /// assert_eq!(medium.survival(), 0.9);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Thinned<M> {
     inner: M,
     survival: f64,
+    /// Reused inner-round buffer: whole-round thinning must not touch
+    /// copies a previous append already placed in the caller's
+    /// delivery, and reusing the staging area keeps `deliver_into`
+    /// allocation-free in steady state.
+    scratch: Delivery,
 }
 
 impl<M: Medium> Thinned<M> {
@@ -38,7 +43,11 @@ impl<M: Medium> Thinned<M> {
             survival > 0.0 && survival <= 1.0,
             "survival must be in (0, 1]"
         );
-        Thinned { inner, survival }
+        Thinned {
+            inner,
+            survival,
+            scratch: Delivery::empty(0),
+        }
     }
 
     /// The thinning survival probability.
@@ -58,15 +67,55 @@ impl<M: Medium> Thinned<M> {
 }
 
 impl<M: Medium> Medium for Thinned<M> {
-    fn deliver(&mut self, topo: &Topology, senders: &[NodeId], rng: &mut StdRng) -> Delivery {
-        let mut delivery = self.inner.deliver(topo, senders, rng);
-        let mut kept = 0usize;
-        for heard in &mut delivery.heard {
-            heard.retain(|_| rng.random_bool(self.survival));
-            kept += heard.len();
+    fn deliver_into(
+        &mut self,
+        topo: &Topology,
+        senders: &[NodeId],
+        rng: &mut StdRng,
+        out: &mut Delivery,
+    ) {
+        // Stage the inner round separately so thinning never touches
+        // copies a previous append already placed in `out`.
+        let mut inner = std::mem::take(&mut self.scratch);
+        inner.reset(topo.len());
+        self.inner.deliver_into(topo, senders, rng, &mut inner);
+        for &r in &inner.touched {
+            inner.heard[r.index()].retain(|_| rng.random_bool(self.survival));
         }
-        delivery.delivered = kept;
-        delivery
+        out.attempted += inner.attempted;
+        for &r in &inner.touched {
+            for i in 0..inner.heard[r.index()].len() {
+                let s = inner.heard[r.index()][i];
+                out.record(r, s);
+            }
+        }
+        self.scratch = inner;
+    }
+
+    fn deliver_from(
+        &mut self,
+        topo: &Topology,
+        sender: NodeId,
+        rng: &mut StdRng,
+        out: &mut Delivery,
+    ) {
+        // A single sender appends at most one copy at the tail of each
+        // neighbor's heard list, so thinning can pop in place — no
+        // scratch delivery, preserving the zero-alloc per-sender path.
+        self.inner.deliver_from(topo, sender, rng, out);
+        for &r in topo.neighbors(sender) {
+            let list = &mut out.heard[r.index()];
+            if list.last() == Some(&sender) && !rng.random_bool(self.survival) {
+                list.pop();
+                out.delivered -= 1;
+                // `touched` may keep r with an empty list; consumers
+                // treat it as "possibly heard", which is harmless.
+            }
+        }
+    }
+
+    fn independent_fates(&self) -> bool {
+        self.inner.independent_fates()
     }
 
     fn name(&self) -> &'static str {

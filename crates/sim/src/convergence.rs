@@ -24,6 +24,8 @@ pub struct StabilityTracker<K> {
     last: Option<Vec<K>>,
     last_change: u64,
     stable_for: u64,
+    /// Whether any observation has been recorded (snapshot or flag).
+    primed: bool,
 }
 
 impl<K: PartialEq> StabilityTracker<K> {
@@ -35,12 +37,14 @@ impl<K: PartialEq> StabilityTracker<K> {
             last: None,
             last_change: 0,
             stable_for: 0,
+            primed: false,
         }
     }
 
     /// Records the projection at `now`; returns `true` once the
     /// projection has been unchanged for the required streak.
     pub fn observe(&mut self, now: u64, projection: Vec<K>) -> bool {
+        self.primed = true;
         match &self.last {
             Some(prev) if *prev == projection => {
                 self.stable_for += 1;
@@ -54,6 +58,24 @@ impl<K: PartialEq> StabilityTracker<K> {
         self.stable_for >= self.quiet
     }
 
+    /// Records "the projection did / did not change at `now`" without
+    /// materializing the projection at all — the activity-driven
+    /// driver's O(changed-nodes) path. Semantically identical to
+    /// feeding [`StabilityTracker::observe_slice`] the full projection:
+    /// the first observation counts as a change (there is nothing to be
+    /// equal to yet), subsequent quiet observations extend the streak.
+    pub fn observe_flag(&mut self, now: u64, changed: bool) -> bool {
+        let first = !self.primed;
+        self.primed = true;
+        if first || changed {
+            self.stable_for = 0;
+            self.last_change = now;
+        } else {
+            self.stable_for += 1;
+        }
+        self.stable_for >= self.quiet
+    }
+
     /// Records the projection at `now` without taking ownership; the
     /// slice is only cloned when it differs from the previous
     /// observation, so steady-state steps allocate nothing. Returns
@@ -63,6 +85,7 @@ impl<K: PartialEq> StabilityTracker<K> {
     where
         K: Clone,
     {
+        self.primed = true;
         match &mut self.last {
             Some(prev) if prev.as_slice() == projection => {
                 self.stable_for += 1;
@@ -126,5 +149,37 @@ mod tests {
         let mut t = StabilityTracker::new(0);
         assert!(!t.observe(0, vec![1]));
         assert!(t.observe(1, vec![1]));
+    }
+
+    #[test]
+    fn flag_mode_matches_snapshot_mode() {
+        // The same change pattern through both APIs must produce the
+        // same satisfaction step and last-change time.
+        let series = [vec![1], vec![2], vec![2], vec![3], vec![3], vec![3]];
+        let mut snap = StabilityTracker::new(2);
+        let mut flag: StabilityTracker<i32> = StabilityTracker::new(2);
+        let mut prev: Option<Vec<i32>> = None;
+        for (now, s) in series.iter().enumerate() {
+            let changed = prev.as_ref() != Some(s);
+            prev = Some(s.clone());
+            assert_eq!(
+                snap.observe_slice(now as u64, s),
+                flag.observe_flag(now as u64, changed),
+                "diverged at {now}"
+            );
+            assert_eq!(snap.last_change(), flag.last_change());
+            assert_eq!(snap.stable_streak(), flag.stable_streak());
+        }
+    }
+
+    #[test]
+    fn flag_mode_continues_a_snapshot_observation() {
+        // run_to seeds the tracker with one full snapshot, then feeds
+        // flags: the streak must carry across the switch.
+        let mut t = StabilityTracker::new(2);
+        assert!(!t.observe_slice(5, &[7, 7]));
+        assert!(!t.observe_flag(6, false));
+        assert!(t.observe_flag(7, false));
+        assert_eq!(t.last_change(), 5);
     }
 }

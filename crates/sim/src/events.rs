@@ -5,8 +5,9 @@ use mwn_graph::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::rng::{derive_seed, node_streams};
-use crate::{Corruptible, Protocol, StabilityTracker};
+use crate::network::Corruptor;
+use crate::rng::{derive_seed, node_streams, split_rng, streams};
+use crate::{Corruptible, Fault, Protocol, StabilityTracker};
 
 /// Parameters of the continuous-time execution model.
 ///
@@ -182,12 +183,25 @@ pub struct EventDriver<P: Protocol> {
     states: Vec<P::State>,
     node_rngs: Vec<StdRng>,
     loss_rng: StdRng,
+    /// Dedicated stream for scripted-fault site selection, so fault
+    /// injection never perturbs beacon timing or loss randomness.
+    fault_rng: StdRng,
+    /// Base of the per-corruption-event derived streams: corruptor
+    /// draws must not advance the victim's beacon-jitter stream.
+    corrupt_base: u64,
+    corrupt_events: u64,
     queue: BinaryHeap<Event<P::Beacon>>,
     tx_history: Vec<Vec<f64>>,
     time: f64,
     seq: u64,
     frames_attempted: u64,
     frames_delivered: u64,
+    /// Scripted faults in logical-step order: a fault scheduled at step
+    /// `k` fires once the clock reaches `k` beacon periods, before any
+    /// event at or past that time is processed.
+    scripted: Vec<(u64, Fault)>,
+    next_scripted: usize,
+    corruptor: Option<Corruptor<P>>,
 }
 
 impl<P: Protocol> EventDriver<P> {
@@ -209,11 +223,17 @@ impl<P: Protocol> EventDriver<P> {
             states,
             node_rngs,
             loss_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX - 1)),
+            fault_rng: StdRng::seed_from_u64(derive_seed(seed, streams::EVENT_FAULT)),
+            corrupt_base: derive_seed(seed, streams::CORRUPT),
+            corrupt_events: 0,
             queue: BinaryHeap::new(),
             time: 0.0,
             seq: 0,
             frames_attempted: 0,
             frames_delivered: 0,
+            scripted: Vec::new(),
+            next_scripted: 0,
+            corruptor: None,
         };
         let nodes: Vec<NodeId> = driver.topo.nodes().collect();
         for p in nodes {
@@ -237,12 +257,90 @@ impl<P: Protocol> EventDriver<P> {
         (self.time / self.config.beacon_period) as u64
     }
 
-    /// Processes events up to (and including) time `t`.
+    pub(crate) fn install_script(
+        &mut self,
+        scripted: Vec<(u64, Fault)>,
+        corruptor: Option<Corruptor<P>>,
+    ) {
+        self.scripted = scripted;
+        self.next_scripted = 0;
+        self.corruptor = corruptor;
+    }
+
+    /// The wall-clock moment a fault scheduled at logical step `k`
+    /// fires: after `k` beacon periods.
+    fn fault_time(&self, step: u64) -> f64 {
+        step as f64 * self.config.beacon_period
+    }
+
+    /// Fires every scripted fault due at or before time `upto`.
+    fn fire_scripted(&mut self, upto: f64) {
+        while self.next_scripted < self.scripted.len()
+            && self.fault_time(self.scripted[self.next_scripted].0) <= upto
+        {
+            let fault = self.scripted[self.next_scripted].1.clone();
+            self.next_scripted += 1;
+            match &fault {
+                Fault::CorruptNode(p) => self.corrupt_scripted(*p),
+                Fault::CorruptAll => {
+                    for i in 0..self.topo.len() {
+                        self.corrupt_scripted(NodeId::new(i as u32));
+                    }
+                }
+                Fault::CorruptFraction(f) => {
+                    use rand::Rng;
+                    let fraction = f.clamp(0.0, 1.0);
+                    let picks: Vec<NodeId> = self
+                        .topo
+                        .nodes()
+                        .filter(|_| self.fault_rng.random_bool(fraction))
+                        .collect();
+                    for p in picks {
+                        self.corrupt_scripted(p);
+                    }
+                }
+                Fault::Isolate(p) => {
+                    let nbrs: Vec<NodeId> = self.topo.neighbors(*p).to_vec();
+                    for q in nbrs {
+                        self.topo.remove_edge(*p, q);
+                    }
+                }
+                Fault::SetTopology(topo) => {
+                    assert_eq!(
+                        topo.len(),
+                        self.topo.len(),
+                        "scripted topology keeps the node count"
+                    );
+                    self.topo = topo.clone();
+                }
+            }
+        }
+    }
+
+    fn corrupt_scripted(&mut self, p: NodeId) {
+        // Each corruption event gets its own derived stream: however
+        // much randomness the corruptor consumes, the victim's
+        // sequential beacon-jitter stream is untouched.
+        let event = self.corrupt_events;
+        self.corrupt_events += 1;
+        let mut rng = split_rng(self.corrupt_base, event, u64::from(p.value()));
+        let corruptor = self
+            .corruptor
+            .as_ref()
+            .expect("Scenario::faults installs the corruption hook");
+        corruptor(&self.protocol, p, &mut self.states[p.index()], &mut rng);
+    }
+
+    /// Processes events up to (and including) time `t`; scripted faults
+    /// due in the interval fire at their scheduled times, interleaved
+    /// correctly with the event queue.
     pub fn run_until_time(&mut self, t: f64) {
         while let Some(ev) = self.queue.peek() {
             if ev.key.time > t {
                 break;
             }
+            let event_time = ev.key.time;
+            self.fire_scripted(event_time.min(t));
             let Event { key, kind } = self.queue.pop().expect("peeked event exists");
             self.time = key.time;
             match kind {
@@ -255,6 +353,7 @@ impl<P: Protocol> EventDriver<P> {
                 } => self.handle_rx(receiver, sender, tx_time, &beacon),
             }
         }
+        self.fire_scripted(t);
         self.time = t;
     }
 
@@ -448,11 +547,17 @@ impl<P: crate::Observable> EventDriver<P> {
 
 impl<P: Corruptible> EventDriver<P> {
     /// Corrupts every node state (arbitrary-configuration start).
+    ///
+    /// Draws from per-event derived streams, never from the victims'
+    /// beacon-jitter streams: injecting a corruption does not shift any
+    /// node's subsequent transmission times.
     pub fn corrupt_all(&mut self) {
-        for p in self.topo.nodes() {
-            let state = &mut self.states[p.index()];
+        for p in self.topo.nodes().collect::<Vec<_>>() {
+            let event = self.corrupt_events;
+            self.corrupt_events += 1;
+            let mut rng = split_rng(self.corrupt_base, event, u64::from(p.value()));
             self.protocol
-                .corrupt(p, state, &mut self.node_rngs[p.index()]);
+                .corrupt(p, &mut self.states[p.index()], &mut rng);
         }
     }
 }
@@ -564,6 +669,77 @@ mod tests {
             d.states().to_vec()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn scripted_faults_fire_at_logical_steps() {
+        use crate::{FaultPlan, Scenario};
+        // Corrupt everyone at logical step 20 (t = 20 beacon periods):
+        // by then the line has converged, so the fault visibly knocks
+        // the states down before the flood heals them again.
+        let mut plan = FaultPlan::new();
+        plan.at(20, Fault::CorruptAll);
+        let mut driver = Scenario::new(MaxFlood)
+            .topology(builders::line(5))
+            .seed(6)
+            .faults(plan)
+            .build_events(EventConfig::default())
+            .expect("event scenario with faults builds");
+        driver.run_until_time(19.5);
+        assert!(
+            driver.states().iter().all(|&s| s == 4),
+            "converged before the fault"
+        );
+        driver.run_until_time(20.0);
+        assert!(
+            driver.states().iter().any(|&s| s < 4),
+            "corruption at step 20 must be visible at t = 20"
+        );
+        driver.run_until_time(60.0);
+        assert!(
+            driver.states().iter().all(|&s| s == 4),
+            "self-stabilization heals the scripted fault"
+        );
+    }
+
+    #[test]
+    fn scripted_isolation_cuts_the_event_driver_topology() {
+        use crate::{FaultPlan, Scenario};
+        let mut plan = FaultPlan::new();
+        plan.at(0, Fault::Isolate(NodeId::new(2)));
+        let mut driver = Scenario::new(MaxFlood)
+            .topology(builders::line(5))
+            .seed(7)
+            .faults(plan)
+            .build_events(EventConfig::default())
+            .expect("builds");
+        driver.run_until_time(50.0);
+        assert_eq!(
+            *driver.state(NodeId::new(0)),
+            1,
+            "max id cannot cross the cut"
+        );
+    }
+
+    #[test]
+    fn scripted_fault_injection_preserves_beacon_timing() {
+        use crate::{FaultPlan, Scenario};
+        // A zero-effect fault script must not perturb the trajectory:
+        // CorruptFraction draws from the dedicated fault stream.
+        let run = |script: bool| {
+            let mut scenario = Scenario::new(MaxFlood).topology(builders::ring(8)).seed(9);
+            if script {
+                let mut plan = FaultPlan::new();
+                plan.at(5, Fault::CorruptFraction(0.0));
+                scenario = scenario.faults(plan);
+            }
+            let mut driver = scenario
+                .build_events(EventConfig::default())
+                .expect("builds");
+            driver.run_until_time(30.0);
+            (driver.states().to_vec(), driver.measured_tau())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

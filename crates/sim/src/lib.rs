@@ -82,17 +82,18 @@ mod rng;
 mod scenario;
 mod stop;
 mod sweep;
+mod table;
 mod trace;
 
 pub use convergence::StabilityTracker;
 pub use error::SimError;
 pub use events::{EventConfig, EventDriver};
 pub use faults::{Fault, FaultPlan};
-pub use network::Network;
+pub use network::{Network, StepActivity};
 pub use observable::Observable;
-pub use protocol::{Corruptible, Protocol};
-pub use rng::{derive_seed, node_streams};
+pub use protocol::{Activity, Corruptible, Protocol};
+pub use rng::{derive_seed, derive_seed3, node_streams, split_rng};
 pub use scenario::{Scenario, TopologyDynamics};
 pub use stop::{RunReport, StopWhen};
-pub use sweep::Sweep;
+pub use sweep::{Convergence, Sweep};
 pub use trace::Trace;

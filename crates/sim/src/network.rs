@@ -1,12 +1,13 @@
-use mwn_graph::{NodeId, Topology};
-use mwn_radio::Medium;
+use mwn_graph::{NodeId, Point2, Topology, TopologyDelta};
+use mwn_radio::{Delivery, Medium};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::rng::{derive_seed, node_streams};
+use crate::rng::{derive_seed, split_rng, streams};
 use crate::scenario::TopologyDynamics;
-use crate::stop::{RunReport, StopWhen};
-use crate::{Corruptible, Fault, Observable, Protocol, SimError, StabilityTracker};
+use crate::stop::{Obs, RunReport, StopWhen};
+use crate::table::{NodeTable, NEVER};
+use crate::{Activity, Corruptible, Fault, Observable, Protocol, SimError, StabilityTracker};
 
 /// The boxed corruption hook installed by [`crate::Scenario::faults`]:
 /// it captures the [`Corruptible`] capability so scripted faults can
@@ -14,25 +15,64 @@ use crate::{Corruptible, Fault, Observable, Protocol, SimError, StabilityTracker
 pub(crate) type Corruptor<P> =
     Box<dyn Fn(&P, NodeId, &mut <P as Protocol>::State, &mut StdRng) + Send + Sync>;
 
+/// What one [`Network::step`] actually did — the activity counters of
+/// the dirty-set engine.
+///
+/// For a *silent* protocol under gated scheduling, every field except
+/// `updates`/`receives` drops to zero once the network stabilizes: no
+/// node broadcasts, no frame flies, no guard runs. Under eager
+/// scheduling `senders` and `updates` are always the node count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepActivity {
+    /// Nodes that broadcast a beacon this step.
+    pub senders: usize,
+    /// (sender, 1-neighbor) frame copies that were in range.
+    pub frames_attempted: usize,
+    /// Frame copies actually received.
+    pub frames_delivered: usize,
+    /// [`Protocol::receive`] invocations.
+    pub receives: usize,
+    /// [`Protocol::update`] invocations.
+    pub updates: usize,
+    /// Nodes whose state changed (tracked under gated scheduling only;
+    /// 0 under eager scheduling).
+    pub changed: usize,
+}
+
 /// The synchronous round driver: one call to [`Network::step`] is one
 /// of the paper's Δ(τ) "steps" (Section 5).
 ///
 /// Within a step, in order:
 ///
-/// 1. if the scenario attached mobility dynamics, the topology moves;
+/// 1. if the scenario attached mobility dynamics, the topology moves
+///    (incrementally via [`Topology::apply_moves`] when the dynamics
+///    provide per-step moves);
 /// 2. scripted faults due at this step fire;
-/// 3. every node takes a snapshot of its shared variables
+/// 3. every *scheduled* node snapshots its shared variables
 ///    ([`Protocol::beacon`]) — simultaneous, so information moves at
 ///    most one hop per step, exactly as in the paper's Table 2;
 /// 4. the [`Medium`] decides which frame copies arrive;
 /// 5. receivers process arrivals ([`Protocol::receive`]);
-/// 6. every node executes its enabled guarded assignments
+/// 6. scheduled nodes execute their enabled guarded assignments
 ///    ([`Protocol::update`]).
 ///
-/// All randomness comes from per-node streams, one medium stream and
-/// one fault stream, all derived from the constructor seed: runs are
-/// fully reproducible, and fault injection never perturbs frame
-/// delivery.
+/// # Activity-driven scheduling
+///
+/// The paper's algorithms are **silent**: in the legitimate
+/// configuration nothing changes any more. The driver exploits this
+/// with a dirty set (index-backed bitset + dense list): when the
+/// protocol opts in ([`Activity::Gated`]) *and* the medium's frame
+/// fates are per-copy independent ([`Medium::independent_fates`]), a
+/// node is scheduled only if its state changed last round, a beacon it
+/// heard changed, a topology delta touched it, or a fault hit it —
+/// quiescent regions cost (near) zero work and zero messages.
+///
+/// All randomness is derived per (step, node) / (step, sender) from
+/// the constructor seed ([`crate::split_rng`]), so skipping an idle
+/// node consumes no randomness: gated and eager execution are
+/// **byte-identical** (property-tested in `tests/engine_equivalence.rs`).
+/// Fault injection draws from a dedicated stream and never perturbs
+/// frame delivery.
 ///
 /// Networks are normally built through [`crate::Scenario`]; the
 /// constructor and the closure-projection run methods remain available
@@ -41,20 +81,37 @@ pub struct Network<P: Protocol, M> {
     protocol: P,
     medium: M,
     topo: Topology,
-    states: Vec<P::State>,
-    node_rngs: Vec<StdRng>,
+    table: NodeTable<P>,
+    /// Base seeds of the derived stream families (hoisted out of the
+    /// hot loop).
+    update_base: u64,
+    medium_base: u64,
+    corrupt_base: u64,
+    /// Sequential stream for contention-coupled media (whose rounds
+    /// are evaluated with the full sender set in one call).
     medium_rng: StdRng,
+    /// Sequential stream for fault-site selection.
     fault_rng: StdRng,
+    /// Corruption events so far — each gets its own derived stream.
+    corrupt_events: u64,
     step: u64,
-    /// Every node broadcasts each round; cached to avoid re-collecting.
-    senders: Vec<NodeId>,
-    /// Per-step beacon snapshot, reused across steps.
-    beacon_buf: Vec<P::Beacon>,
+    /// `true` when the user pinned the driver to eager scheduling.
+    force_eager: bool,
     /// Scenario-scripted faults, fired inside [`Network::step`].
     scripted: Vec<(u64, Fault)>,
     next_scripted: usize,
     corruptor: Option<Corruptor<P>>,
     dynamics: Option<Box<dyn TopologyDynamics + Send>>,
+    // Reused step buffers: no per-step allocation in steady state.
+    senders_buf: Vec<NodeId>,
+    active_buf: Vec<NodeId>,
+    stale_buf: Vec<NodeId>,
+    scratch_nodes: Vec<NodeId>,
+    delivery: Delivery,
+    // Per-step observability for stop conditions and metrics.
+    last_activity: StepActivity,
+    env_changed: bool,
+    messages_total: u64,
 }
 
 impl<P: Protocol, M> std::fmt::Debug for Network<P, M>
@@ -67,7 +124,7 @@ where
             .field("protocol", &self.protocol)
             .field("medium", &self.medium)
             .field("topo", &self.topo)
-            .field("states", &self.states)
+            .field("states", &self.table.states)
             .field("step", &self.step)
             .field("scripted", &self.scripted.len())
             .field("dynamics", &self.dynamics.is_some())
@@ -75,30 +132,54 @@ where
     }
 }
 
+/// Epoch bump that never lands on the [`NEVER`] sentinel.
+#[inline]
+fn bump_epoch(e: u32) -> u32 {
+    let next = e.wrapping_add(1);
+    if next == NEVER {
+        0
+    } else {
+        next
+    }
+}
+
 impl<P: Protocol, M: Medium> Network<P, M> {
     /// Creates a network of cold-start nodes over `topo`.
     pub fn new(protocol: P, medium: M, topo: Topology, seed: u64) -> Self {
-        let mut node_rngs = node_streams(seed, topo.len());
-        let states = topo
+        let init_base = derive_seed(seed, streams::INIT);
+        let states: Vec<P::State> = topo
             .nodes()
-            .map(|p| protocol.init(p, &mut node_rngs[p.index()]))
+            .map(|p| {
+                let mut rng = StdRng::seed_from_u64(derive_seed(init_base, u64::from(p.value())));
+                protocol.init(p, &mut rng)
+            })
             .collect();
-        let senders = topo.nodes().collect();
+        let table = NodeTable::new(&protocol, &topo, states);
         Network {
+            table,
             protocol,
             medium,
             topo,
-            states,
-            node_rngs,
+            update_base: derive_seed(seed, streams::UPDATE),
+            medium_base: derive_seed(seed, streams::MEDIUM),
+            corrupt_base: derive_seed(seed, streams::CORRUPT),
             medium_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX)),
             fault_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX - 2)),
+            corrupt_events: 0,
             step: 0,
-            senders,
-            beacon_buf: Vec::new(),
+            force_eager: false,
             scripted: Vec::new(),
             next_scripted: 0,
             corruptor: None,
             dynamics: None,
+            senders_buf: Vec::new(),
+            active_buf: Vec::new(),
+            stale_buf: Vec::new(),
+            scratch_nodes: Vec::new(),
+            delivery: Delivery::empty(0),
+            last_activity: StepActivity::default(),
+            env_changed: false,
+            messages_total: 0,
         }
     }
 
@@ -124,22 +205,118 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         self.dynamics.take().is_some()
     }
 
+    /// `true` when the driver is currently using dirty-set (gated)
+    /// scheduling: the protocol declared [`Activity::Gated`], the
+    /// medium has independent frame fates, and the user did not pin
+    /// eager scheduling.
+    pub fn is_gated(&self) -> bool {
+        !self.force_eager
+            && self.protocol.activity() == Activity::Gated
+            && self.medium.independent_fates()
+    }
+
+    /// Pins the driver to eager scheduling (`true`) or restores the
+    /// automatic choice (`false`). Used by equivalence tests and
+    /// before/after benchmarks; both modes are byte-identical for
+    /// protocols honoring the [`Activity::Gated`] contract.
+    pub fn set_eager(&mut self, eager: bool) {
+        if self.force_eager && !eager {
+            // Re-enabling gating after an eager stretch: the dirty
+            // bookkeeping was degenerate, resynchronize conservatively.
+            self.table.mark_all(&self.topo);
+        }
+        self.force_eager = eager;
+    }
+
+    /// The activity counters of the most recent step.
+    pub fn last_activity(&self) -> StepActivity {
+        self.last_activity
+    }
+
+    /// Total beacon broadcasts since construction — the message-count
+    /// metric of the communication-efficiency literature (Devismes et
+    /// al.): for a silent protocol under gated scheduling this stops
+    /// growing once the network stabilizes.
+    pub fn messages_total(&self) -> u64 {
+        self.messages_total
+    }
+
+    /// Nodes whose state changed during the last step (gated
+    /// scheduling only; empty under eager scheduling, which does not
+    /// track changes).
+    pub fn last_changed(&self) -> &[NodeId] {
+        &self.table.changed
+    }
+
     fn apply_dynamics(&mut self) {
-        if let Some(dynamics) = &mut self.dynamics {
-            if let Some(topo) = dynamics.next_topology(self.step) {
-                assert_eq!(
-                    topo.len(),
-                    self.topo.len(),
-                    "topology dynamics must preserve the node count"
-                );
-                // clone_from reuses the driver's existing adjacency
-                // buffers: no per-step allocation in steady state.
-                self.topo.clone_from(topo);
+        let Some(mut dynamics) = self.dynamics.take() else {
+            return;
+        };
+        let step = self.step;
+        if let Some(moves) = dynamics.next_moves(step) {
+            if !moves.is_empty() {
+                let delta = self.topo.apply_moves(moves);
+                self.apply_delta(&delta);
             }
+        } else if let Some(topo) = dynamics.next_topology(step) {
+            assert_eq!(
+                topo.len(),
+                self.topo.len(),
+                "topology dynamics must preserve the node count"
+            );
+            // clone_from reuses the driver's existing adjacency
+            // buffers where possible; a wholesale swap invalidates all
+            // incremental bookkeeping.
+            self.topo.clone_from(topo);
+            self.table.mark_all(&self.topo);
+            self.env_changed = true;
+        }
+        self.dynamics = Some(dynamics);
+    }
+
+    /// Processes an incremental topology change: notify the protocol of
+    /// vanished links, wake the touched nodes, and realign their
+    /// reception bookkeeping.
+    fn apply_delta(&mut self, delta: &TopologyDelta) {
+        if !delta.moved.is_empty() || !delta.is_quiet() {
+            // Even a link-preserving move changes the topology's
+            // geometry: memoized predicate verdicts over (topo, states)
+            // are stale.
+            self.env_changed = true;
+        }
+        if delta.is_quiet() {
+            return;
+        }
+        for &(u, v) in &delta.removed {
+            self.protocol
+                .link_down(u, &mut self.table.states[u.index()], v);
+            self.protocol
+                .link_down(v, &mut self.table.states[v.index()], u);
+        }
+        for p in delta.touched() {
+            self.table.mark_node(p);
+            self.table.reset_heard_row(p, &self.topo);
         }
     }
 
+    fn corrupt_rng(&mut self, p: NodeId) -> StdRng {
+        let event = self.corrupt_events;
+        self.corrupt_events += 1;
+        split_rng(self.corrupt_base, event, u64::from(p.value()))
+    }
+
+    /// Rescheduling for an externally mutated node: besides waking it,
+    /// its reception bookkeeping must be forgotten — a corrupted cache
+    /// can no longer claim to have incorporated anyone's beacon, so its
+    /// neighbors are forced to re-broadcast (exactly what the eager
+    /// engine's unconditional beacons would have repaired implicitly).
+    fn wake_mutated(&mut self, p: NodeId) {
+        self.table.mark_node(p);
+        self.table.reset_heard_row(p, &self.topo);
+    }
+
     fn corrupt_scripted(&mut self, p: NodeId) {
+        let mut rng = self.corrupt_rng(p);
         let corruptor = self
             .corruptor
             .as_ref()
@@ -147,19 +324,25 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         corruptor(
             &self.protocol,
             p,
-            &mut self.states[p.index()],
-            &mut self.node_rngs[p.index()],
+            &mut self.table.states[p.index()],
+            &mut rng,
         );
+        self.wake_mutated(p);
     }
 
     /// Deterministically picks ≈ `fraction` of the nodes from the
-    /// dedicated fault stream.
+    /// dedicated fault stream into the reused scratch buffer.
     fn pick_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
         use rand::Rng;
-        self.topo
-            .nodes()
-            .filter(|_| self.fault_rng.random_bool(fraction.clamp(0.0, 1.0)))
-            .collect()
+        let mut picks = std::mem::take(&mut self.scratch_nodes);
+        picks.clear();
+        let fraction = fraction.clamp(0.0, 1.0);
+        for p in self.topo.nodes() {
+            if self.fault_rng.random_bool(fraction) {
+                picks.push(p);
+            }
+        }
+        picks
     }
 
     fn fire_scripted(&mut self) {
@@ -168,17 +351,20 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         {
             let fault = self.scripted[self.next_scripted].1.clone();
             self.next_scripted += 1;
+            self.env_changed = true;
             match &fault {
                 Fault::CorruptNode(p) => self.corrupt_scripted(*p),
                 Fault::CorruptAll => {
-                    for p in self.topo.nodes().collect::<Vec<_>>() {
-                        self.corrupt_scripted(p);
+                    for i in 0..self.topo.len() {
+                        self.corrupt_scripted(NodeId::new(i as u32));
                     }
                 }
                 Fault::CorruptFraction(f) => {
-                    for p in self.pick_fraction(*f) {
+                    let picks = self.pick_fraction(*f);
+                    for &p in &picks {
                         self.corrupt_scripted(p);
                     }
+                    self.scratch_nodes = picks;
                 }
                 Fault::Isolate(p) => self.isolate(*p),
                 Fault::SetTopology(topo) => self
@@ -190,35 +376,166 @@ impl<P: Protocol, M: Medium> Network<P, M> {
 
     /// Executes one synchronous step; returns the new step count.
     pub fn step(&mut self) -> u64 {
+        self.env_changed = false;
+        self.table.changed.clear();
         self.apply_dynamics();
         self.fire_scripted();
-        self.beacon_buf.clear();
-        for i in 0..self.states.len() {
-            self.beacon_buf
-                .push(self.protocol.beacon(NodeId::new(i as u32), &self.states[i]));
+        let eager = !self.is_gated();
+        if eager {
+            // Degenerate dirty sets: everyone beacons, hears and runs —
+            // the classic semantics, and the reference the gated mode
+            // is tested against.
+            self.table.update_dirty.insert_all();
+            self.table.beacon_stale.insert_all();
+            self.table.send_pending.insert_all();
         }
-        let delivery = self
-            .medium
-            .deliver(&self.topo, &self.senders, &mut self.medium_rng);
-        for r in self.topo.nodes() {
-            for &s in &delivery.heard[r.index()] {
-                self.protocol.receive(
-                    r,
-                    &mut self.states[r.index()],
-                    s,
-                    &self.beacon_buf[s.index()],
-                    self.step,
-                );
+
+        // Phase 1: refresh the beacons of nodes whose state changed.
+        self.table
+            .beacon_stale
+            .drain_sorted_into(&mut self.stale_buf);
+        for &p in &self.stale_buf {
+            let fresh = self.protocol.beacon(p, &self.table.states[p.index()]);
+            if self
+                .protocol
+                .beacon_changed(&self.table.beacons[p.index()], &fresh)
+            {
+                self.table.epoch[p.index()] = bump_epoch(self.table.epoch[p.index()]);
+                self.table.send_pending.insert(p);
             }
+            self.table.beacons[p.index()] = fresh;
         }
-        for p in self.topo.nodes() {
-            self.protocol.update(
-                p,
-                &mut self.states[p.index()],
-                self.step,
-                &mut self.node_rngs[p.index()],
+
+        // Phase 2: the senders of this round.
+        self.table
+            .send_pending
+            .collect_sorted_into(&mut self.senders_buf);
+
+        // Phase 3: frame delivery. Media with independent fates get one
+        // derived stream per (step, sender), so a frame's fate can
+        // never depend on who else transmitted; contention-coupled
+        // media are evaluated with the full sender set (gating is off
+        // for them) on the sequential medium stream.
+        self.delivery.reset(self.topo.len());
+        if self.medium.independent_fates() {
+            for &s in &self.senders_buf {
+                let mut rng = split_rng(self.medium_base, self.step, u64::from(s.value()));
+                self.medium
+                    .deliver_from(&self.topo, s, &mut rng, &mut self.delivery);
+            }
+        } else {
+            self.medium.deliver_into(
+                &self.topo,
+                &self.senders_buf,
+                &mut self.medium_rng,
+                &mut self.delivery,
             );
         }
+
+        // Phase 4: the active set — nodes already dirty plus receivers
+        // of a beacon epoch they have not incorporated yet.
+        if !eager {
+            let table = &mut self.table;
+            let topo = &self.topo;
+            for &r in &self.delivery.touched {
+                let fresh = self.delivery.heard[r.index()].iter().any(|&s| {
+                    let idx = topo
+                        .neighbors(r)
+                        .binary_search(&s)
+                        .expect("media deliver only between 1-neighbors");
+                    table.heard[r.index()][idx] != table.epoch[s.index()]
+                });
+                if fresh {
+                    table.update_dirty.insert(r);
+                }
+            }
+        }
+        self.table
+            .update_dirty
+            .drain_sorted_into(&mut self.active_buf);
+
+        // Phase 5: per-node execution — cached-copy refresh for heard
+        // frames, then one pass of guarded assignments. Nodes only ever
+        // touch their own state and read frozen beacons, so per-node
+        // processing is equivalent to the classic all-receives-then-
+        // all-updates phasing.
+        let now = self.step;
+        let mut receives = 0usize;
+        for i in 0..self.active_buf.len() {
+            let p = self.active_buf[i];
+            if !eager {
+                match &mut self.table.scratch_state {
+                    Some(s) => s.clone_from(&self.table.states[p.index()]),
+                    None => self.table.scratch_state = Some(self.table.states[p.index()].clone()),
+                }
+            }
+            for si in 0..self.delivery.heard[p.index()].len() {
+                let s = self.delivery.heard[p.index()][si];
+                let idx = self
+                    .topo
+                    .neighbors(p)
+                    .binary_search(&s)
+                    .expect("media deliver only between 1-neighbors");
+                let fresh = self.table.heard[p.index()][idx] != self.table.epoch[s.index()];
+                // Eager mode processes every delivered frame (classic
+                // semantics); gated mode skips re-receptions of an
+                // already-incorporated beacon, which the silence
+                // contract makes state no-ops.
+                if eager || fresh {
+                    self.table.heard[p.index()][idx] = self.table.epoch[s.index()];
+                    self.protocol.receive(
+                        p,
+                        &mut self.table.states[p.index()],
+                        s,
+                        &self.table.beacons[s.index()],
+                        now,
+                    );
+                    receives += 1;
+                }
+            }
+            let mut rng = split_rng(self.update_base, now, u64::from(p.value()));
+            self.protocol
+                .update(p, &mut self.table.states[p.index()], now, &mut rng);
+            if !eager {
+                let changed = self.table.forced_changed.contains(p)
+                    || self.table.scratch_state.as_ref() != Some(&self.table.states[p.index()]);
+                if changed {
+                    self.table.changed.push(p);
+                    self.table.update_dirty.insert(p);
+                    self.table.beacon_stale.insert(p);
+                }
+            }
+        }
+
+        // Phase 6: retire senders every neighbor has caught up with.
+        if !eager {
+            for &s in &self.senders_buf {
+                let epoch = self.table.epoch[s.index()];
+                let caught_up = self.topo.neighbors(s).iter().all(|&r| {
+                    let idx = self
+                        .topo
+                        .neighbors(r)
+                        .binary_search(&s)
+                        .expect("adjacency is symmetric");
+                    self.table.heard[r.index()][idx] == epoch
+                });
+                if caught_up {
+                    self.table.send_pending.remove(s);
+                }
+            }
+            // Forced marks are consumed by the change detection above.
+            self.table.forced_changed.clear();
+        }
+
+        self.last_activity = StepActivity {
+            senders: self.senders_buf.len(),
+            frames_attempted: self.delivery.attempted,
+            frames_delivered: self.delivery.delivered,
+            receives,
+            updates: self.active_buf.len(),
+            changed: self.table.changed.len(),
+        };
+        self.messages_total += self.senders_buf.len() as u64;
         self.step += 1;
         self.step
     }
@@ -250,7 +567,7 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         F: FnMut(NodeId, &P::State) -> K,
     {
         let mut tracker = StabilityTracker::new(quiet);
-        let mut buf: Vec<K> = Vec::with_capacity(self.states.len());
+        let mut buf: Vec<K> = Vec::with_capacity(self.table.states.len());
         let mut snapshot = |states: &[P::State], buf: &mut Vec<K>| {
             buf.clear();
             buf.extend(
@@ -260,11 +577,11 @@ impl<P: Protocol, M: Medium> Network<P, M> {
                     .map(|(i, s)| project(NodeId::new(i as u32), s)),
             );
         };
-        snapshot(&self.states, &mut buf);
+        snapshot(&self.table.states, &mut buf);
         tracker.observe_slice(self.step, &buf);
         while self.step < max_steps {
             self.step();
-            snapshot(&self.states, &mut buf);
+            snapshot(&self.table.states, &mut buf);
             if tracker.observe_slice(self.step, &buf) {
                 return Some(tracker.last_change());
             }
@@ -306,6 +623,11 @@ impl<P: Protocol, M: Medium> Network<P, M> {
     /// tick moved nodes. States are preserved: the protocol must cope
     /// with neighbors appearing and disappearing — that is the point.
     ///
+    /// A wholesale swap carries no link-level delta, so it conservatively
+    /// reschedules every node (and fires no [`Protocol::link_down`]
+    /// notifications); incremental paths — mobility moves, scripted
+    /// isolation — stay surgical.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::NodeCountMismatch`] if the node count
@@ -319,22 +641,35 @@ impl<P: Protocol, M: Medium> Network<P, M> {
             });
         }
         self.topo = topo;
+        self.table.mark_all(&self.topo);
+        self.env_changed = true;
         Ok(())
+    }
+
+    /// Applies incremental node moves to the simulated topology
+    /// (unit-disk only), waking exactly the nodes whose links changed.
+    /// Returns the link churn.
+    pub fn apply_moves(&mut self, moves: &[(NodeId, Point2)]) -> TopologyDelta {
+        let delta = self.topo.apply_moves(moves);
+        self.apply_delta(&delta);
+        delta
     }
 
     /// All node states, indexed by [`NodeId`].
     pub fn states(&self) -> &[P::State] {
-        &self.states
+        &self.table.states
     }
 
     /// The state of one node.
     pub fn state(&self, p: NodeId) -> &P::State {
-        &self.states[p.index()]
+        &self.table.states[p.index()]
     }
 
     /// Mutable state access (used by hand-written fault scenarios).
+    /// The node is rescheduled: external mutation is a fault.
     pub fn state_mut(&mut self, p: NodeId) -> &mut P::State {
-        &mut self.states[p.index()]
+        self.wake_mutated(p);
+        &mut self.table.states[p.index()]
     }
 
     /// The protocol instance.
@@ -344,12 +679,28 @@ impl<P: Protocol, M: Medium> Network<P, M> {
 
     /// Severs every link of `p` by removing its edges — the node's
     /// radio goes dark but its state survives (crash of the *link*
-    /// layer). Use [`Network::set_topology`] to restore connectivity.
+    /// layer). Fires [`Protocol::link_down`] on both endpoints of every
+    /// severed link. Use [`Network::set_topology`] to restore
+    /// connectivity.
     pub fn isolate(&mut self, p: NodeId) {
-        let nbrs: Vec<NodeId> = self.topo.neighbors(p).to_vec();
-        for q in nbrs {
+        let mut nbrs = std::mem::take(&mut self.scratch_nodes);
+        nbrs.clear();
+        nbrs.extend_from_slice(self.topo.neighbors(p));
+        for &q in &nbrs {
             self.topo.remove_edge(p, q);
         }
+        for &q in &nbrs {
+            self.protocol
+                .link_down(p, &mut self.table.states[p.index()], q);
+            self.protocol
+                .link_down(q, &mut self.table.states[q.index()], p);
+            self.table.mark_node(q);
+            self.table.reset_heard_row(q, &self.topo);
+        }
+        self.table.mark_node(p);
+        self.table.reset_heard_row(p, &self.topo);
+        self.env_changed = true;
+        self.scratch_nodes = nbrs;
     }
 }
 
@@ -359,7 +710,8 @@ impl<P: Observable, M: Medium> Network<P, M> {
     pub fn outputs_into(&self, buf: &mut Vec<P::Output>) {
         buf.clear();
         buf.extend(
-            self.states
+            self.table
+                .states
                 .iter()
                 .enumerate()
                 .map(|(i, s)| self.protocol.output(NodeId::new(i as u32), s)),
@@ -368,7 +720,7 @@ impl<P: Observable, M: Medium> Network<P, M> {
 
     /// The observable output of every node.
     pub fn outputs(&self) -> Vec<P::Output> {
-        let mut buf = Vec::with_capacity(self.states.len());
+        let mut buf = Vec::with_capacity(self.table.states.len());
         self.outputs_into(&mut buf);
         buf
     }
@@ -381,31 +733,63 @@ impl<P: Observable, M: Medium> Network<P, M> {
     /// never holds runs forever; every long-running experiment should
     /// carry a budget (see [`StopWhen::within`]).
     ///
+    /// Under gated scheduling the per-step evaluation is incremental: a
+    /// quiescent step extends stability streaks and reuses memoized
+    /// predicate verdicts without projecting a single output —
+    /// [`StopWhen::StableFor`] effectively reads "dirty set empty".
+    ///
     /// # Examples
     ///
     /// See the crate-level example.
     pub fn run_to(&mut self, stop: &StopWhen<P>) -> RunReport {
         let start = self.step;
         let mut cursor = stop.cursor();
-        // Only project outputs when a StableFor leaf will read them;
+        let gated = self.is_gated();
+        // Only project outputs when a StableFor leaf will read them (or
+        // when the gated engine tracks them incrementally);
         // predicate/budget-only stops skip the per-step O(n) pass.
         let needs_outputs = stop.needs_outputs();
-        let mut outputs: Vec<P::Output> = Vec::with_capacity(self.states.len());
+        let mut outputs: Vec<P::Output> = Vec::with_capacity(self.table.states.len());
         if needs_outputs {
             self.outputs_into(&mut outputs);
         }
-        let mut verdict = cursor.observe(self.step, 0, &self.topo, &self.states, &outputs);
+        let mut verdict = cursor.observe(
+            self.step,
+            0,
+            &self.topo,
+            &self.table.states,
+            &Obs::Full { outputs: &outputs },
+        );
         while !verdict.satisfied {
             self.step();
-            if needs_outputs {
-                self.outputs_into(&mut outputs);
-            }
+            let obs = if gated {
+                let mut output_changed = false;
+                if needs_outputs {
+                    for &p in &self.table.changed {
+                        let fresh = self.protocol.output(p, &self.table.states[p.index()]);
+                        if outputs[p.index()] != fresh {
+                            outputs[p.index()] = fresh;
+                            output_changed = true;
+                        }
+                    }
+                }
+                Obs::Delta {
+                    output_changed,
+                    state_changed: !self.table.changed.is_empty(),
+                    env_changed: self.env_changed,
+                }
+            } else {
+                if needs_outputs {
+                    self.outputs_into(&mut outputs);
+                }
+                Obs::Full { outputs: &outputs }
+            };
             verdict = cursor.observe(
                 self.step,
                 self.step - start,
                 &self.topo,
-                &self.states,
-                &outputs,
+                &self.table.states,
+                &obs,
             );
         }
         RunReport {
@@ -421,17 +805,17 @@ impl<P: Observable, M: Medium> Network<P, M> {
 impl<P: Corruptible, M: Medium> Network<P, M> {
     /// Corrupts the state of one node arbitrarily.
     pub fn corrupt(&mut self, p: NodeId) {
-        let state = &mut self.states[p.index()];
+        let mut rng = self.corrupt_rng(p);
         self.protocol
-            .corrupt(p, state, &mut self.node_rngs[p.index()]);
+            .corrupt(p, &mut self.table.states[p.index()], &mut rng);
+        self.wake_mutated(p);
     }
 
     /// Corrupts every node: the adversarial "arbitrary initial
     /// configuration" of the self-stabilization definition.
     pub fn corrupt_all(&mut self) {
-        let nodes: Vec<NodeId> = self.topo.nodes().collect();
-        for p in nodes {
-            self.corrupt(p);
+        for i in 0..self.topo.len() {
+            self.corrupt(NodeId::new(i as u32));
         }
     }
 
@@ -445,9 +829,10 @@ impl<P: Corruptible, M: Medium> Network<P, M> {
     pub fn corrupt_fraction(&mut self, fraction: f64) -> usize {
         let picks = self.pick_fraction(fraction);
         let count = picks.len();
-        for p in picks {
+        for &p in &picks {
             self.corrupt(p);
         }
+        self.scratch_nodes = picks;
         count
     }
 }
@@ -489,6 +874,43 @@ mod tests {
         type Output = u32;
         fn output(&self, _node: NodeId, state: &u32) -> u32 {
             *state
+        }
+    }
+
+    /// The same flood with the silence contract declared: receive of an
+    /// already-incorporated beacon and update at a fixpoint are no-ops.
+    struct GatedFlood;
+    impl Protocol for GatedFlood {
+        type State = u32;
+        type Beacon = u32;
+        fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 {
+            node.value()
+        }
+        fn beacon(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+        fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+            *state = (*state).max(*beacon);
+        }
+        fn update(&self, node: NodeId, state: &mut u32, _now: u64, _rng: &mut StdRng) {
+            *state = (*state).max(node.value());
+        }
+        fn activity(&self) -> Activity {
+            Activity::Gated
+        }
+        fn beacon_changed(&self, old: &u32, new: &u32) -> bool {
+            old != new
+        }
+    }
+    impl Observable for GatedFlood {
+        type Output = u32;
+        fn output(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+    }
+    impl Corruptible for GatedFlood {
+        fn corrupt(&self, _node: NodeId, state: &mut u32, _rng: &mut StdRng) {
+            *state = 0;
         }
     }
 
@@ -639,5 +1061,78 @@ mod tests {
         // The rejected swap left the network untouched.
         assert_eq!(net.topology().len(), 4);
         assert!(net.set_topology(builders::line(4)).is_ok());
+    }
+
+    #[test]
+    fn gated_flood_goes_silent_after_stabilization() {
+        let mut net = Network::new(GatedFlood, PerfectMedium, builders::line(6), 1);
+        assert!(net.is_gated());
+        let report = net.run_to(&StopWhen::stable_for(3).within(100));
+        assert_eq!(report.expect_stable("converges"), 5);
+        let sent_before = net.messages_total();
+        net.run(25);
+        let tail = net.last_activity();
+        assert_eq!(tail.senders, 0, "silent network must not broadcast");
+        assert_eq!(tail.updates, 0, "silent network must not run guards");
+        assert_eq!(tail.frames_attempted, 0);
+        assert_eq!(
+            net.messages_total(),
+            sent_before,
+            "message count frozen after stabilization"
+        );
+    }
+
+    #[test]
+    fn gated_equals_eager_on_perfect_medium() {
+        let run = |eager: bool| {
+            let mut net = Network::new(GatedFlood, PerfectMedium, builders::ring(9), 5);
+            net.set_eager(eager);
+            let report = net.run_to(&StopWhen::stable_for(4).within(200));
+            (report, net.states().to_vec())
+        };
+        assert_eq!(run(true), run(false), "gating must be unobservable");
+    }
+
+    #[test]
+    fn gated_equals_eager_under_loss_and_corruption() {
+        let run = |eager: bool| {
+            let mut net = Network::new(GatedFlood, BernoulliLoss::new(0.6), builders::ring(10), 13);
+            net.set_eager(eager);
+            net.run(5);
+            net.corrupt_all();
+            let report = net.run_to(&StopWhen::stable_for(8).within(1000));
+            (report, net.states().to_vec(), net.now())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn eager_protocols_never_gate() {
+        let net = Network::new(MaxFlood, PerfectMedium, builders::line(3), 0);
+        assert!(!net.is_gated(), "Activity::Eager is the default contract");
+    }
+
+    #[test]
+    fn gated_wakes_up_after_corruption() {
+        let mut net = Network::new(GatedFlood, PerfectMedium, builders::line(5), 2);
+        net.run_to(&StopWhen::stable_for(2).within(100));
+        net.run(3);
+        assert_eq!(net.last_activity().senders, 0);
+        net.corrupt(NodeId::new(4));
+        assert_eq!(*net.state(NodeId::new(4)), 0);
+        let report = net.run_to(&StopWhen::stable_for(2).within(100));
+        assert!(report.is_stable());
+        assert!(net.states().iter().all(|&s| s == 4), "re-flooded the max");
+    }
+
+    #[test]
+    fn step_activity_counts_the_cold_start() {
+        let mut net = Network::new(GatedFlood, PerfectMedium, builders::line(4), 3);
+        net.step();
+        let first = net.last_activity();
+        assert_eq!(first.senders, 4, "cold start: everyone broadcasts");
+        assert_eq!(first.updates, 4);
+        assert_eq!(first.frames_attempted, 6, "2·|E| in-range copies");
+        assert_eq!(net.messages_total(), 4);
     }
 }

@@ -1,6 +1,37 @@
 use mwn_graph::NodeId;
 use rand::rngs::StdRng;
 
+/// How the round driver may schedule a protocol.
+///
+/// The paper's algorithms are *silent*: once the legitimate
+/// configuration is reached, no shared variable changes any more. A
+/// protocol that additionally satisfies the **silence contract** below
+/// can declare [`Activity::Gated`], letting [`crate::Network`] skip
+/// quiescent nodes entirely (dirty-set scheduling) while staying
+/// byte-identical to running every guard every step.
+///
+/// The silence contract:
+///
+/// 1. [`Protocol::receive`] of a beacon whose content equals what the
+///    receiver already incorporated from that sender is a state no-op;
+/// 2. [`Protocol::update`] on a state it has already fixed (and with no
+///    new receptions since) is a state no-op, *regardless of `now`* —
+///    in particular no wall-clock cache expiry while the network is
+///    silent;
+/// 3. randomness is only consumed on state-changing transitions (the
+///    driver's per-(step, node) derived streams make stray draws
+///    harmless, but drawing must not be the only side effect).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Activity {
+    /// Run every node every step (the conservative default, always
+    /// correct).
+    #[default]
+    Eager,
+    /// The protocol satisfies the silence contract: the driver may use
+    /// dirty-set scheduling and communication gating.
+    Gated,
+}
+
 /// A distributed protocol in the paper's guarded-command,
 /// shared-variable model (Section 4).
 ///
@@ -21,7 +52,10 @@ use rand::rngs::StdRng;
 /// they are handed, so whole-network runs are reproducible from a seed.
 pub trait Protocol {
     /// Per-node state: shared variables plus neighbor caches.
-    type State: Clone + std::fmt::Debug;
+    ///
+    /// `PartialEq` is what lets the activity-driven driver detect "this
+    /// node's execution was a no-op" and retire it from the dirty set.
+    type State: Clone + std::fmt::Debug + PartialEq;
     /// Snapshot of the shared variables carried by one frame.
     type Beacon: Clone + std::fmt::Debug;
 
@@ -45,6 +79,39 @@ pub trait Protocol {
 
     /// Executes every enabled guarded assignment of `node` once.
     fn update(&self, node: NodeId, state: &mut Self::State, now: u64, rng: &mut StdRng);
+
+    /// Declares the scheduling contract this protocol supports; see
+    /// [`Activity`]. Conservative default: [`Activity::Eager`] — every
+    /// node runs every step, exactly the classic semantics.
+    fn activity(&self) -> Activity {
+        Activity::Eager
+    }
+
+    /// Whether a freshly computed beacon differs from the previous one.
+    ///
+    /// The activity-driven driver re-broadcasts a node's shared
+    /// variables only when they changed; this hook is the change
+    /// detector. The conservative default reports every beacon as
+    /// changed (the node keeps broadcasting while scheduled — correct
+    /// for any protocol, just without communication savings).
+    /// Protocols whose beacon type is `PartialEq` typically implement
+    /// this as `old != new`.
+    fn beacon_changed(&self, old: &Self::Beacon, new: &Self::Beacon) -> bool {
+        let _ = (old, new);
+        true
+    }
+
+    /// Link-layer notification: the link between `node` and `peer`
+    /// disappeared (mobility, isolation fault, or a scripted topology
+    /// change that severed it). Default: no-op.
+    ///
+    /// Protocols that rely on beacon-timeout cache expiry to forget
+    /// departed neighbors can evict here instead — the eviction path
+    /// that stays available once gated scheduling silences the periodic
+    /// beacons a TTL sweep would need.
+    fn link_down(&self, node: NodeId, state: &mut Self::State, peer: NodeId) {
+        let _ = (node, state, peer);
+    }
 }
 
 /// A protocol whose state can be *arbitrarily* corrupted, for

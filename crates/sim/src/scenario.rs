@@ -61,6 +61,20 @@ pub trait TopologyDynamics {
     /// (`clone_from`), so implementations hand out a reference to
     /// their working state instead of allocating a clone per step.
     fn next_topology(&mut self, step: u64) -> Option<&Topology>;
+
+    /// Incremental alternative to [`TopologyDynamics::next_topology`]:
+    /// the position moves for the step about to execute. When this
+    /// returns `Some`, the driver applies the moves to its own topology
+    /// through [`Topology::apply_moves`] — waking only the nodes whose
+    /// links changed — and never calls `next_topology`.
+    ///
+    /// Implementations advancing their own topology copy must use
+    /// `apply_moves` with the same move list, so both copies stay
+    /// identical. Default: `None` (whole-topology dynamics).
+    fn next_moves(&mut self, step: u64) -> Option<&[(mwn_graph::NodeId, mwn_graph::Point2)]> {
+        let _ = step;
+        None
+    }
 }
 
 type Validator = Box<dyn FnOnce(&Topology) -> Result<(), String>>;
@@ -178,26 +192,31 @@ impl<P: Protocol, M: Medium> Scenario<P, M> {
 
     /// Builds the continuous-time event driver instead of the round
     /// driver. The medium is not used (the event driver models
-    /// collisions itself); fault scripts and mobility are not yet
-    /// supported in continuous time.
+    /// collisions itself). Scripted [`FaultPlan`]s carry over: a fault
+    /// scheduled at step `k` fires once the clock reaches `k` beacon
+    /// periods. Mobility is not yet supported in continuous time.
     ///
     /// # Errors
     ///
     /// [`SimError::MissingTopology`], [`SimError::InvalidConfig`] (bad
-    /// event parameters, failed validation, or an attached fault
-    /// script / mobility model).
+    /// event parameters, failed validation, or an attached mobility
+    /// model).
     pub fn build_events(self, config: EventConfig) -> Result<EventDriver<P>, SimError> {
         let topology = self.topology.ok_or(SimError::MissingTopology)?;
         config.check().map_err(SimError::InvalidConfig)?;
-        if self.faults.is_some() || self.dynamics.is_some() {
+        if self.dynamics.is_some() {
             return Err(SimError::InvalidConfig(
-                "the event driver does not support fault scripts or mobility yet".to_string(),
+                "the event driver does not support mobility yet".to_string(),
             ));
         }
         for check in self.validators {
             check(&topology).map_err(SimError::InvalidConfig)?;
         }
-        Ok(EventDriver::new(self.protocol, topology, config, self.seed))
+        let mut driver = EventDriver::new(self.protocol, topology, config, self.seed);
+        if let Some((plan, corruptor)) = self.faults {
+            driver.install_script(plan.into_events(), Some(corruptor));
+        }
+        Ok(driver)
     }
 }
 

@@ -108,7 +108,10 @@ impl<P: Observable> StopWhen<P> {
                 done: false,
             },
             StopWhen::MaxSteps(n) => Cursor::Max(*n),
-            StopWhen::Predicate(f) => Cursor::Pred(*f),
+            StopWhen::Predicate(f) => Cursor::Pred {
+                pred: *f,
+                last: None,
+            },
             StopWhen::All(xs) => Cursor::All(xs.iter().map(StopWhen::cursor).collect()),
             StopWhen::Any(xs) => Cursor::Any(xs.iter().map(StopWhen::cursor).collect()),
         }
@@ -183,6 +186,30 @@ impl RunReport {
     }
 }
 
+/// One per-step observation fed to a [`Cursor`].
+///
+/// The eager driver hands over the full output projection; the
+/// activity-driven driver hands over what its dirty-set bookkeeping
+/// already knows — whether any output, state or environment (topology /
+/// fault) change happened this step — so a quiescent step is evaluated
+/// in O(tree) instead of O(n).
+pub(crate) enum Obs<'a, P: Observable> {
+    /// The complete projected output of every node.
+    Full {
+        /// Outputs indexed by node.
+        outputs: &'a [P::Output],
+    },
+    /// Change flags from the activity-driven step.
+    Delta {
+        /// Some node's observable output changed this step.
+        output_changed: bool,
+        /// Some node's state changed this step.
+        state_changed: bool,
+        /// The topology changed or a fault fired this step.
+        env_changed: bool,
+    },
+}
+
 /// Per-run evaluation state mirroring a [`StopWhen`] tree.
 pub(crate) enum Cursor<P: Observable> {
     Stable {
@@ -190,7 +217,13 @@ pub(crate) enum Cursor<P: Observable> {
         done: bool,
     },
     Max(u64),
-    Pred(fn(&Topology, &[P::State]) -> bool),
+    Pred {
+        pred: fn(&Topology, &[P::State]) -> bool,
+        /// Memoized verdict: predicates are pure functions of
+        /// `(topology, states)`, so a step that changed neither can
+        /// reuse the previous evaluation.
+        last: Option<bool>,
+    },
     All(Vec<Cursor<P>>),
     Any(Vec<Cursor<P>>),
 }
@@ -214,7 +247,7 @@ impl<P: Observable> Cursor<P> {
         steps: u64,
         topo: &Topology,
         states: &[P::State],
-        outputs: &[P::Output],
+        obs: &Obs<'_, P>,
     ) -> Verdict {
         match self {
             Cursor::Stable { tracker, done } => {
@@ -223,7 +256,10 @@ impl<P: Observable> Cursor<P> {
                 // first quiet streak, and a fault that restarts churn
                 // must un-satisfy this leaf (and invalidate its
                 // stabilization step) until the output quiesces again.
-                *done = tracker.observe_slice(now, outputs);
+                *done = match obs {
+                    Obs::Full { outputs } => tracker.observe_slice(now, outputs),
+                    Obs::Delta { output_changed, .. } => tracker.observe_flag(now, *output_changed),
+                };
                 Verdict {
                     satisfied: *done,
                     budget_only: false,
@@ -233,17 +269,31 @@ impl<P: Observable> Cursor<P> {
                 satisfied: steps >= *n,
                 budget_only: true,
             },
-            Cursor::Pred(f) => Verdict {
-                satisfied: f(topo, states),
-                budget_only: false,
-            },
+            Cursor::Pred { pred, last } => {
+                let satisfied = match obs {
+                    Obs::Full { .. } => pred(topo, states),
+                    Obs::Delta {
+                        state_changed,
+                        env_changed,
+                        ..
+                    } => match *last {
+                        Some(prev) if !state_changed && !env_changed => prev,
+                        _ => pred(topo, states),
+                    },
+                };
+                *last = Some(satisfied);
+                Verdict {
+                    satisfied,
+                    budget_only: false,
+                }
+            }
             // Both combinators fold without short-circuiting: every
             // child is evaluated each step so stability trackers see
             // every observation, and nothing is allocated in the
             // per-step hot loop.
             Cursor::All(children) => children
                 .iter_mut()
-                .map(|c| c.observe(now, steps, topo, states, outputs))
+                .map(|c| c.observe(now, steps, topo, states, obs))
                 .fold(
                     Verdict {
                         satisfied: true,
@@ -259,7 +309,7 @@ impl<P: Observable> Cursor<P> {
                 // is a budget.
                 let (satisfied, satisfied_all_budget) = children
                     .iter_mut()
-                    .map(|c| c.observe(now, steps, topo, states, outputs))
+                    .map(|c| c.observe(now, steps, topo, states, obs))
                     .fold((false, true), |(any_sat, all_budget), v| {
                         (
                             any_sat || v.satisfied,
@@ -278,7 +328,7 @@ impl<P: Observable> Cursor<P> {
     pub(crate) fn stabilized(&self) -> Option<u64> {
         match self {
             Cursor::Stable { tracker, done } => done.then(|| tracker.last_change()),
-            Cursor::Max(_) | Cursor::Pred(_) => None,
+            Cursor::Max(_) | Cursor::Pred { .. } => None,
             Cursor::All(children) | Cursor::Any(children) => {
                 children.iter().find_map(Cursor::stabilized)
             }

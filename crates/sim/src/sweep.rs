@@ -29,6 +29,28 @@ use mwn_radio::Medium;
 use crate::rng::derive_seed;
 use crate::{Network, Observable, RunReport, Scenario, SimError, StopWhen};
 
+/// The outcome of a [`Sweep::convergence`] estimate: how many of the
+/// fanned-out runs stabilized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Convergence {
+    /// Runs that satisfied a stability condition.
+    pub stabilized: usize,
+    /// Total runs.
+    pub runs: usize,
+}
+
+impl Convergence {
+    /// The point estimate of the convergence probability (1.0 for an
+    /// empty sweep — nothing failed to stabilize).
+    pub fn fraction(&self) -> f64 {
+        if self.runs == 0 {
+            1.0
+        } else {
+            self.stabilized as f64 / self.runs as f64
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ExecMode {
     /// Scoped threads over the available cores (capped by `threads`).
@@ -175,6 +197,37 @@ impl Sweep {
         out
     }
 
+    /// Estimates the **convergence probability**: the fraction of
+    /// seeds whose run satisfied a stability condition (rather than
+    /// timing out on its budget).
+    ///
+    /// This is the measurement of the weak/probabilistic stabilization
+    /// literature (Devismes et al.): "with probability ≥ p, the system
+    /// stabilizes within k steps" is estimated by fanning
+    /// `StopWhen::stable_for(q).within(k)` over many seeds. Pair the
+    /// returned counts with `mwn_metrics::wilson_interval` for a
+    /// confidence interval.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] any scenario build produced.
+    pub fn convergence<P, M, B>(
+        &self,
+        scenario: B,
+        stop: &StopWhen<P>,
+    ) -> Result<Convergence, SimError>
+    where
+        P: Observable,
+        M: Medium,
+        B: Fn(u64) -> Scenario<P, M> + Sync,
+    {
+        let outcomes = self.run(scenario, stop, |report, _| report.is_stable())?;
+        Ok(Convergence {
+            stabilized: outcomes.iter().filter(|&&ok| ok).count(),
+            runs: outcomes.len(),
+        })
+    }
+
     /// Builds the scenario for each seed, runs it to `stop`, and
     /// collects `observe(report, &network)` — the one-stop shop for
     /// stabilization-time experiments.
@@ -309,6 +362,36 @@ mod tests {
             .expect("all scenarios build");
         // The line(6) flood always stabilizes after 5 steps.
         assert_eq!(steps, vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn convergence_probability_counts_stabilized_runs() {
+        // Within 100 steps every seed stabilizes; within 2 steps none
+        // can (the line needs 5 information hops).
+        let scenario = |seed| {
+            Scenario::new(MaxFlood)
+                .topology(builders::line(6))
+                .seed(seed)
+        };
+        let sweep = Sweep::over(8, 3);
+        let always = sweep
+            .convergence(scenario, &StopWhen::stable_for(2).within(100))
+            .expect("builds");
+        assert_eq!((always.stabilized, always.runs), (8, 8));
+        assert_eq!(always.fraction(), 1.0);
+        let never = sweep
+            .convergence(scenario, &StopWhen::stable_for(2).within(2))
+            .expect("builds");
+        assert_eq!(never.stabilized, 0);
+        assert_eq!(never.fraction(), 0.0);
+        assert_eq!(
+            Convergence {
+                stabilized: 0,
+                runs: 0
+            }
+            .fraction(),
+            1.0
+        );
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Columnar per-node hot state for the activity-driven round driver.
+//!
+//! The step loop's working set — protocol states, current beacon
+//! snapshots, beacon epochs, per-edge reception epochs and the dirty
+//! sets — is regrouped here as parallel columns indexed by [`NodeId`],
+//! so the driver iterates dense active lists instead of walking n
+//! nodes, and a fully quiescent step touches no per-node memory at all.
+
+use mwn_graph::{NodeId, Topology};
+
+use crate::Protocol;
+
+/// Beacon-epoch sentinel meaning "never received anything from this
+/// neighbor" — forces the neighbor to (re-)broadcast at least once.
+pub(crate) const NEVER: u32 = u32::MAX;
+
+/// An index-backed node set: O(1) insert and membership via a bitset,
+/// dense iteration via a companion list. Removal is lazy (flag
+/// cleared, entry skipped at collection time), so every operation on
+/// the hot path is constant-time and allocation-free in steady state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NodeSet {
+    member: Vec<bool>,
+    list: Vec<NodeId>,
+}
+
+impl NodeSet {
+    pub fn new(n: usize) -> Self {
+        NodeSet {
+            member: vec![false; n],
+            list: Vec::with_capacity(n.min(1024)),
+        }
+    }
+
+    #[inline]
+    pub fn insert(&mut self, p: NodeId) {
+        if !self.member[p.index()] {
+            self.member[p.index()] = true;
+            self.list.push(p);
+        }
+    }
+
+    #[inline]
+    pub fn remove(&mut self, p: NodeId) {
+        self.member[p.index()] = false;
+    }
+
+    #[inline]
+    pub fn contains(&self, p: NodeId) -> bool {
+        self.member[p.index()]
+    }
+
+    /// Empties the set in O(marked), keeping the buffers.
+    pub fn clear(&mut self) {
+        for i in 0..self.list.len() {
+            let p = self.list[i];
+            self.member[p.index()] = false;
+        }
+        self.list.clear();
+    }
+
+    pub fn insert_all(&mut self) {
+        self.list.clear();
+        for i in 0..self.member.len() {
+            self.member[i] = true;
+            self.list.push(NodeId::new(i as u32));
+        }
+    }
+
+    /// Copies the live members into `out`, sorted and deduplicated, and
+    /// compacts the internal list (drops lazily-removed entries).
+    pub fn collect_sorted_into(&mut self, out: &mut Vec<NodeId>) {
+        out.clear();
+        self.list.retain(|&p| self.member[p.index()]);
+        out.extend_from_slice(&self.list);
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Copies the live members into `out` (sorted, deduplicated), then
+    /// empties the set.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<NodeId>) {
+        self.collect_sorted_into(out);
+        for &p in out.iter() {
+            self.member[p.index()] = false;
+        }
+        self.list.clear();
+    }
+}
+
+/// The columnar node table: every per-node column the step loop reads
+/// or writes, plus the scheduling sets.
+pub(crate) struct NodeTable<P: Protocol> {
+    /// Protocol state per node.
+    pub states: Vec<P::State>,
+    /// The beacon each node currently broadcasts (recomputed only when
+    /// the node's state changed).
+    pub beacons: Vec<P::Beacon>,
+    /// Beacon version per node: bumped whenever the recomputed beacon
+    /// differs ([`Protocol::beacon_changed`]) from the previous one.
+    pub epoch: Vec<u32>,
+    /// `heard[r][k]`: the epoch of neighbor `adj[r][k]`'s beacon that
+    /// `r` last incorporated ([`NEVER`] if none). Kept aligned with the
+    /// topology's sorted adjacency lists.
+    pub heard: Vec<Vec<u32>>,
+    /// Nodes whose beacon must be recomputed next step (state changed).
+    pub beacon_stale: NodeSet,
+    /// Nodes whose guards must run next step.
+    pub update_dirty: NodeSet,
+    /// Nodes with at least one neighbor that has not yet received their
+    /// current beacon epoch.
+    pub send_pending: NodeSet,
+    /// Nodes mutated outside the protocol this step (faults,
+    /// `link_down`, manual corruption): unconditionally counted as
+    /// changed even if the per-node pass sees no further delta.
+    pub forced_changed: NodeSet,
+    /// Nodes whose state changed during the last executed step.
+    pub changed: Vec<NodeId>,
+    /// Scratch: pre-step snapshot of the node being processed.
+    pub scratch_state: Option<P::State>,
+}
+
+impl<P: Protocol> NodeTable<P> {
+    pub fn new(protocol: &P, topo: &Topology, states: Vec<P::State>) -> Self {
+        let n = states.len();
+        let beacons: Vec<P::Beacon> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| protocol.beacon(NodeId::new(i as u32), s))
+            .collect();
+        let heard = topo.nodes().map(|p| vec![NEVER; topo.degree(p)]).collect();
+        let mut table = NodeTable {
+            states,
+            beacons,
+            epoch: vec![0; n],
+            heard,
+            beacon_stale: NodeSet::new(n),
+            update_dirty: NodeSet::new(n),
+            send_pending: NodeSet::new(n),
+            forced_changed: NodeSet::new(n),
+            changed: Vec::new(),
+            scratch_state: None,
+        };
+        // Cold start: everything is dirty — nobody has heard anyone.
+        table.update_dirty.insert_all();
+        table.send_pending.insert_all();
+        table
+    }
+
+    /// Marks `p` for rescheduling: its state may have changed outside
+    /// the regular pass (fault, manual mutation, link event).
+    pub fn mark_node(&mut self, p: NodeId) {
+        self.update_dirty.insert(p);
+        self.beacon_stale.insert(p);
+        self.forced_changed.insert(p);
+    }
+
+    /// Conservative full invalidation: used on wholesale topology swaps
+    /// and when switching scheduling modes.
+    pub fn mark_all(&mut self, topo: &Topology) {
+        self.update_dirty.insert_all();
+        self.beacon_stale.insert_all();
+        self.send_pending.insert_all();
+        for r in topo.nodes() {
+            let row = &mut self.heard[r.index()];
+            row.clear();
+            row.resize(topo.degree(r), NEVER);
+        }
+    }
+
+    /// Re-aligns `r`'s reception row after its adjacency list changed,
+    /// conservatively forgetting what it had heard: every current
+    /// neighbor is forced to re-broadcast.
+    pub fn reset_heard_row(&mut self, r: NodeId, topo: &Topology) {
+        let row = &mut self.heard[r.index()];
+        row.clear();
+        row.resize(topo.degree(r), NEVER);
+        for &q in topo.neighbors(r) {
+            self.send_pending.insert(q);
+        }
+        // r's own beacon must reach any new neighbor too.
+        self.send_pending.insert(r);
+    }
+}

@@ -71,6 +71,8 @@ CLUSTER OPTIONS:
     --stable        enable the incumbency tie-break (Section 4.3)
     --dag           enable the constant-height DAG renaming
     --gamma <n>     DAG name-space size (default δ²)
+    --silent        event-driven cache freshness: the activity-driven
+                    engine gates stabilized regions (zero messages)
     --svg <path>    write an SVG rendering
     --ascii         print ASCII art (grids only)
 
@@ -168,6 +170,11 @@ fn cluster_config(opts: &Opts, topo: &Topology) -> Result<ClusterConfig, String>
         },
         dag,
         cache_ttl: 4,
+        freshness: if flag(opts, "silent") {
+            FreshnessPolicy::EventDriven
+        } else {
+            FreshnessPolicy::TtlSweep
+        },
     };
     config.validate_for(topo)?;
     Ok(config)

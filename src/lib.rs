@@ -66,7 +66,8 @@ pub mod prelude {
         build_hierarchy, check_legitimate, density_of, energy_aware_clustering, extract_clustering,
         extract_dag_ids, oracle, simulate_rotation, ClusterConfig, ClusterState, ClusterView,
         Clustering, ClusteringStats, DagConfig, DagProtocol, DagVariant, Density, DensityCluster,
-        EnergyModel, HeadRule, Hierarchy, MetricKind, NameSpace, OracleConfig, OrderKind,
+        EnergyModel, FreshnessPolicy, HeadRule, Hierarchy, MetricKind, NameSpace, OracleConfig,
+        OrderKind,
     };
     pub use mwn_graph::{builders, NodeId, Point2, Topology};
     pub use mwn_metrics::{RunningStats, Table};

@@ -1,0 +1,275 @@
+//! The activity-driven engine's contract, end to end: **gated
+//! execution is unobservable**. For every protocol that declares
+//! `Activity::Gated`, running with dirty-set scheduling (quiescent
+//! nodes skipped, silent senders muted) must produce byte-identical
+//! states, observable outputs, and `RunReport`s to eager execution
+//! (every guard re-run, every beacon re-broadcast, every step) — across
+//! seeds, topologies, media, faults and mobility.
+//!
+//! This is what makes the near-zero cost of stable regions a pure
+//! optimization rather than a semantic change, and it is only possible
+//! because every random stream is derived per (step, node) /
+//! (step, sender): a skipped node consumes no randomness.
+
+use rand::SeedableRng;
+use selfstab::prelude::*;
+
+/// Steps a gated and a pinned-eager twin in lockstep for `steps`
+/// steps, asserting byte-identical state trajectories, then returns
+/// both end states.
+fn lockstep<M, F>(build: F, steps: u64) -> Vec<(NodeId, NodeId)>
+where
+    M: Medium,
+    F: Fn() -> mwn_sim::Network<DensityCluster, M>,
+{
+    let mut gated = build();
+    let mut eager = build();
+    eager.set_eager(true);
+    assert!(!eager.is_gated());
+    for s in 0..steps {
+        gated.step();
+        eager.step();
+        assert_eq!(
+            gated.states(),
+            eager.states(),
+            "trajectories diverged at step {s}"
+        );
+    }
+    gated
+        .states()
+        .iter()
+        .map(|st| (st.head, st.parent))
+        .collect()
+}
+
+fn event_driven_config() -> ClusterConfig {
+    ClusterConfig::default().event_driven()
+}
+
+#[test]
+fn gated_equals_eager_on_perfect_medium_trajectories() {
+    for seed in 0..4 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = builders::uniform(60, 0.16, &mut rng);
+        lockstep(
+            || {
+                Scenario::new(DensityCluster::new(event_driven_config()))
+                    .topology(topo.clone())
+                    .seed(seed)
+                    .build()
+                    .expect("valid scenario")
+            },
+            40,
+        );
+    }
+}
+
+#[test]
+fn gated_equals_eager_under_bernoulli_loss() {
+    for seed in 0..4 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100 + seed);
+        let topo = builders::uniform(50, 0.18, &mut rng);
+        lockstep(
+            || {
+                Scenario::new(DensityCluster::new(event_driven_config()))
+                    .medium(BernoulliLoss::new(0.6))
+                    .topology(topo.clone())
+                    .seed(seed)
+                    .build()
+                    .expect("valid scenario")
+            },
+            60,
+        );
+    }
+}
+
+#[test]
+fn gated_equals_eager_under_distance_fading() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let topo = builders::uniform(50, 0.18, &mut rng);
+    lockstep(
+        || {
+            Scenario::new(DensityCluster::new(event_driven_config()))
+                .medium(DistanceFading::new(2.0, 0.3))
+                .topology(topo.clone())
+                .seed(9)
+                .build()
+                .expect("valid scenario")
+        },
+        60,
+    );
+}
+
+#[test]
+fn contention_media_fall_back_to_eager_and_stay_identical() {
+    // CSMA fates are contention-coupled, so the engine must refuse to
+    // gate senders (physics would change); equivalence is then trivial
+    // but the fallback itself is what this checks.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let topo = builders::uniform(40, 0.2, &mut rng);
+    let build = || {
+        Scenario::new(DensityCluster::new(event_driven_config()))
+            .medium(SlottedCsma::new(16))
+            .topology(topo.clone())
+            .seed(4)
+            .build()
+            .expect("valid scenario")
+    };
+    let probe = build();
+    assert!(
+        !probe.is_gated(),
+        "gating must be disabled on contention-coupled media"
+    );
+    lockstep(build, 40);
+}
+
+#[test]
+fn gated_equals_eager_with_scripted_faults() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let topo = builders::uniform(45, 0.18, &mut rng);
+    let build = || {
+        let mut plan = FaultPlan::new();
+        plan.at(10, Fault::CorruptFraction(0.4))
+            .at(20, Fault::Isolate(NodeId::new(3)))
+            .at(30, Fault::CorruptAll);
+        Scenario::new(DensityCluster::new(event_driven_config()))
+            .topology(topo.clone())
+            .seed(6)
+            .faults(plan)
+            .build()
+            .expect("valid scenario")
+    };
+    lockstep(build, 55);
+}
+
+#[test]
+fn gated_equals_eager_under_mobility_deltas() {
+    let build = |seed: u64| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let topo = builders::uniform(50, 0.18, &mut rng);
+        let model = RandomWaypoint::new(topo.len(), 0.0..=meters_per_second(25.0), 0.5);
+        let dynamics = MobileScenario::new(topo.clone(), model, 5).into_dynamics(2.0);
+        Scenario::new(DensityCluster::new(event_driven_config()))
+            .topology(topo)
+            .seed(seed)
+            .mobility(dynamics)
+            .build()
+            .expect("valid scenario")
+    };
+    let mut gated = build(8);
+    let mut eager = build(8);
+    eager.set_eager(true);
+    for s in 0..50 {
+        gated.step();
+        eager.step();
+        assert_eq!(
+            gated.topology(),
+            eager.topology(),
+            "mobility deltas diverged at step {s}"
+        );
+        assert_eq!(
+            gated.states(),
+            eager.states(),
+            "states diverged under mobility at step {s}"
+        );
+    }
+}
+
+#[test]
+fn gated_equals_eager_run_reports() {
+    // The full run_to pipeline: identical RunReports (stabilization
+    // step, steps executed, timeout flags) under composite conditions.
+    for seed in 0..5 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(300 + seed);
+        let topo = builders::uniform(55, 0.17, &mut rng);
+        let run = |eager: bool| {
+            let mut net = Scenario::new(DensityCluster::new(event_driven_config()))
+                .topology(topo.clone())
+                .seed(seed)
+                .build()
+                .expect("valid scenario");
+            net.set_eager(eager);
+            let first = net.run_to(&StopWhen::stable_for(4).within(500));
+            net.corrupt_all();
+            let healed = net.run_to(
+                &StopWhen::stable_for(3)
+                    .and(StopWhen::max_steps(5))
+                    .within(500),
+            );
+            (first, healed, net.outputs(), net.now())
+        };
+        assert_eq!(run(false), run(true), "seed {seed}");
+    }
+}
+
+#[test]
+fn gated_equals_eager_for_the_dag_protocol() {
+    for seed in 0..4 {
+        let topo = builders::grid(9, 9, 0.2);
+        let gamma = NameSpace::delta_squared(topo.max_degree());
+        let run = |eager: bool| {
+            let mut net = Scenario::new(DagProtocol::event_driven(
+                gamma,
+                DagVariant::SmallestIdRedraws,
+            ))
+            .topology(topo.clone())
+            .seed(seed)
+            .build()
+            .expect("valid scenario");
+            net.set_eager(eager);
+            let report = net.run_to(&StopWhen::stable_for(3).within(400));
+            (report, net.outputs())
+        };
+        assert_eq!(run(false), run(true), "seed {seed}");
+    }
+}
+
+#[test]
+fn silence_is_total_after_stabilization() {
+    // The acceptance criterion in numbers: once the output stabilizes,
+    // active nodes and messages drop to exactly zero and stay there.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    let topo = builders::uniform(80, 0.15, &mut rng);
+    let mut net = Scenario::new(DensityCluster::new(event_driven_config()))
+        .topology(topo)
+        .seed(12)
+        .build()
+        .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(2).within(500))
+        .expect_stable("stabilizes");
+    // One or two more steps may drain the last pending beacons (quiet
+    // output does not instantly imply every neighbor caught up).
+    net.run(3);
+    let frozen = net.messages_total();
+    for _ in 0..50 {
+        net.step();
+        let a = net.last_activity();
+        assert_eq!(a.senders, 0);
+        assert_eq!(a.updates, 0);
+        assert_eq!(a.frames_attempted, 0);
+        assert_eq!(a.changed, 0);
+    }
+    assert_eq!(net.messages_total(), frozen);
+}
+
+#[test]
+fn wilson_convergence_probability_pipeline() {
+    // The Sweep::convergence + mwn_metrics::wilson_interval pairing
+    // the weak-stabilization experiments use.
+    let estimate = mwn_sim::Sweep::over(12, 5)
+        .convergence(
+            |seed| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let topo = builders::uniform(40, 0.2, &mut rng);
+                Scenario::new(DensityCluster::new(event_driven_config()))
+                    .topology(topo)
+                    .seed(seed)
+            },
+            &StopWhen::stable_for(3).within(300),
+        )
+        .expect("all scenarios build");
+    assert_eq!(estimate.stabilized, estimate.runs, "Lemma 2 at work");
+    let (low, high) = mwn_metrics::wilson_interval(estimate.stabilized, estimate.runs, 1.96);
+    assert!(low > 0.7, "12/12 successes put the 95% lower bound high");
+    assert_eq!(high, 1.0);
+}
