@@ -1,0 +1,40 @@
+//! The continuous-time engine's scaling story: once a silent protocol
+//! stabilizes, the rewritten `EventDriver`'s queue drains — a quiet
+//! interval processes zero events and zero messages, while the eager
+//! reference keeps firing O(n) beacon slots per period.
+//!
+//! ```sh
+//! cargo run --release -p mwn-bench --bin scaling_events             # 1k/10k/50k
+//! cargo run --release -p mwn-bench --bin scaling_events -- --quick  # 1k (CI smoke)
+//! ```
+//!
+//! Writes `BENCH_events.json` next to the working directory.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sizes: Vec<usize> = if quick {
+        vec![1_000]
+    } else {
+        vec![1_000, 10_000, 50_000]
+    };
+    let quiet_periods = if quick { 500.0 } else { 2_000.0 };
+    let points = mwn_bench::scaling_events::run(&sizes, 20050610, quiet_periods);
+    println!("{}", mwn_bench::scaling_events::render(&points));
+    for p in &points {
+        assert_eq!(
+            p.quiet_messages_gated, 0,
+            "silence violated at n = {}",
+            p.nodes
+        );
+        assert_eq!(
+            p.quiet_events_gated, 0,
+            "O(active) violated at n = {}: events fired during a quiet interval",
+            p.nodes
+        );
+    }
+    let json = mwn_bench::scaling_events::to_json(&points);
+    let path = "BENCH_events.json";
+    std::fs::write(path, &json).expect("write BENCH_events.json");
+    println!("\nwrote {path}");
+}

@@ -14,6 +14,7 @@
 //! | Theorem 1 / Lemmas 1–2 | [`stabilization`] | `cargo run -p mwn-bench --bin stabilization` |
 //! | §3 "features" (\[16\] comparison) | [`ablation`] | `cargo run -p mwn-bench --bin ablation` |
 //! | activity-driven engine scaling | [`scaling`] | `cargo run -p mwn-bench --bin scaling` |
+//! | continuous-time engine scaling | [`scaling_events`] | `cargo run -p mwn-bench --bin scaling_events` |
 //! | hierarchy extension (conclusion) | [`hierarchy_exp`] | `cargo run -p mwn-bench --bin hierarchy` |
 //! | energy extension (conclusion) | [`energy_exp`] | `cargo run -p mwn-bench --bin energy` |
 //! | hierarchical-routing stretch (§1 motivation) | [`routing_exp`] | `cargo run -p mwn-bench --bin routing` |
@@ -33,6 +34,7 @@ pub mod hierarchy_exp;
 pub mod mobility;
 pub mod routing_exp;
 pub mod scaling;
+pub mod scaling_events;
 pub mod stabilization;
 pub mod table1;
 pub mod table2;

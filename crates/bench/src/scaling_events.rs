@@ -1,0 +1,283 @@
+//! The shared activity engine under the **continuous clock**: event
+//! throughput and message cost before vs. after stabilization, gated
+//! vs. eager, across network sizes.
+//!
+//! The round driver's silence story (`scaling`) has a continuous-time
+//! twin: the rewritten `EventDriver` keeps one beacon-slot event per
+//! *armed* node, so once a gated protocol stabilizes the queue drains
+//! and advancing the clock across a quiet interval costs O(1) — zero
+//! events, zero messages — while the eager reference keeps popping
+//! O(n) beacon slots per period forever. This bench quantifies the
+//! difference; `BENCH_events.json` is the payload CI archives, and the
+//! CI smoke asserts the quiet interval is perfectly silent.
+
+use std::time::Instant;
+
+use mwn_cluster::{ClusterConfig, DensityCluster};
+use mwn_graph::builders;
+use mwn_sim::{EventConfig, Scenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One network size's continuous-time measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventScalingPoint {
+    /// Poisson intensity requested.
+    pub intensity: usize,
+    /// Actual node count of the deployment.
+    pub nodes: usize,
+    /// Undirected link count.
+    pub edges: usize,
+    /// Simulated time (beacon periods) until the election output
+    /// stabilized (gated run).
+    pub stabilization_time: f64,
+    /// Mean broadcasts per beacon period while converging.
+    pub messages_per_period_converging: f64,
+    /// Broadcasts across the measured quiet interval, gated — the
+    /// silence claim: must be 0.
+    pub quiet_messages_gated: u64,
+    /// Events processed across the measured quiet interval, gated —
+    /// must be 0 (the queue is empty).
+    pub quiet_events_gated: u64,
+    /// Simulated beacon periods advanced per wall-clock second across
+    /// the quiet interval, gated.
+    pub quiet_periods_per_sec_gated: f64,
+    /// The same rate for the eager reference, which keeps firing every
+    /// node's beacon slot although nothing can change.
+    pub quiet_periods_per_sec_eager: f64,
+    /// Broadcasts per period in the eager reference (always ≈ n).
+    pub messages_per_period_eager: f64,
+}
+
+impl EventScalingPoint {
+    /// Post-stabilization speedup of the gated clock over the eager
+    /// reference.
+    pub fn speedup(&self) -> f64 {
+        if self.quiet_periods_per_sec_eager == 0.0 {
+            1.0
+        } else {
+            self.quiet_periods_per_sec_gated / self.quiet_periods_per_sec_eager
+        }
+    }
+}
+
+fn radius_for(n: usize, degree_target: f64) -> f64 {
+    (degree_target / (n as f64 * std::f64::consts::PI)).sqrt()
+}
+
+/// Runs the continuous-time scaling measurement at one Poisson
+/// intensity. `quiet_periods` is the simulated length of the
+/// post-stabilization interval timed for the gated driver (the eager
+/// reference advances at most 20 periods — it pays O(n) per period).
+///
+/// # Panics
+///
+/// Panics if the protocol fails to stabilize within the time budget
+/// (which would falsify Lemma 2).
+pub fn run_point(intensity: usize, seed: u64, quiet_periods: f64) -> EventScalingPoint {
+    let radius = radius_for(intensity, 8.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = builders::poisson(intensity as f64, radius, &mut rng);
+    let nodes = topo.len();
+    let edges = topo.edge_count();
+
+    let mut driver = Scenario::new(DensityCluster::new(ClusterConfig::default().event_driven()))
+        .topology(topo)
+        .seed(seed)
+        .build_events(EventConfig::default())
+        .expect("valid event scenario");
+    assert!(driver.is_gated(), "EventDriven + PerfectMedium must gate");
+    let stabilization_time = driver
+        .run_until_output_stable(1.0, 3, 10_000.0)
+        .expect("the election stabilizes (Lemma 2)");
+    let messages_per_period_converging = driver.messages_total() as f64 / driver.time().max(1.0);
+    // Drain the last pending beacons (a quiet output does not
+    // instantly imply every sender retired), then measure pure
+    // silence.
+    driver.run_until_time(driver.time() + 20.0);
+
+    let messages_before = driver.messages_total();
+    let events_before = driver.events_processed();
+    let start = Instant::now();
+    driver.run_until_time(driver.time() + quiet_periods);
+    let gated_elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let quiet_messages_gated = driver.messages_total() - messages_before;
+    let quiet_events_gated = driver.events_processed() - events_before;
+
+    // Same network pinned eager: every beacon slot of every node keeps
+    // firing although nothing can change.
+    driver.set_eager(true);
+    let eager_periods = quiet_periods.min(20.0);
+    let messages_before = driver.messages_total();
+    let start = Instant::now();
+    driver.run_until_time(driver.time() + eager_periods);
+    let eager_elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let messages_per_period_eager =
+        (driver.messages_total() - messages_before) as f64 / eager_periods;
+
+    EventScalingPoint {
+        intensity,
+        nodes,
+        edges,
+        stabilization_time,
+        messages_per_period_converging,
+        quiet_messages_gated,
+        quiet_events_gated,
+        quiet_periods_per_sec_gated: quiet_periods / gated_elapsed,
+        quiet_periods_per_sec_eager: eager_periods / eager_elapsed,
+        messages_per_period_eager,
+    }
+}
+
+/// Runs the full size sweep.
+pub fn run(sizes: &[usize], seed: u64, quiet_periods: f64) -> Vec<EventScalingPoint> {
+    sizes
+        .iter()
+        .map(|&n| run_point(n, seed, quiet_periods))
+        .collect()
+}
+
+/// Renders the results as a JSON array (hand-rolled: the workspace's
+/// offline `serde` shim has no serializer), the `BENCH_events.json`
+/// payload CI archives.
+pub fn to_json(points: &[EventScalingPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"intensity\": {}, \"nodes\": {}, \"edges\": {}, ",
+                "\"stabilization_time\": {:.1}, ",
+                "\"messages_per_period_converging\": {:.2}, ",
+                "\"quiet_messages_gated\": {}, ",
+                "\"quiet_events_gated\": {}, ",
+                "\"quiet_periods_per_sec_gated\": {:.1}, ",
+                "\"quiet_periods_per_sec_eager\": {:.1}, ",
+                "\"messages_per_period_eager\": {:.1}, ",
+                "\"post_stabilization_speedup\": {:.1}}}{}"
+            ),
+            p.intensity,
+            p.nodes,
+            p.edges,
+            p.stabilization_time,
+            p.messages_per_period_converging,
+            p.quiet_messages_gated,
+            p.quiet_events_gated,
+            p.quiet_periods_per_sec_gated,
+            p.quiet_periods_per_sec_eager,
+            p.messages_per_period_eager,
+            p.speedup(),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders a human-readable table.
+pub fn render(points: &[EventScalingPoint]) -> mwn_metrics::Table {
+    let mut table =
+        mwn_metrics::Table::new("Continuous-time engine: post-stabilization cost (gated vs eager)");
+    let mut headers = vec!["n".to_string()];
+    headers.extend(points.iter().map(|p| p.nodes.to_string()));
+    table.set_headers(headers);
+    table.add_numeric_row(
+        "stabilization time (periods)",
+        &points
+            .iter()
+            .map(|p| p.stabilization_time)
+            .collect::<Vec<_>>(),
+        1,
+    );
+    table.add_numeric_row(
+        "msgs/period converging",
+        &points
+            .iter()
+            .map(|p| p.messages_per_period_converging)
+            .collect::<Vec<_>>(),
+        1,
+    );
+    table.add_numeric_row(
+        "quiet msgs (gated)",
+        &points
+            .iter()
+            .map(|p| p.quiet_messages_gated as f64)
+            .collect::<Vec<_>>(),
+        0,
+    );
+    table.add_numeric_row(
+        "quiet events (gated)",
+        &points
+            .iter()
+            .map(|p| p.quiet_events_gated as f64)
+            .collect::<Vec<_>>(),
+        0,
+    );
+    table.add_numeric_row(
+        "periods/s quiet (gated)",
+        &points
+            .iter()
+            .map(|p| p.quiet_periods_per_sec_gated)
+            .collect::<Vec<_>>(),
+        0,
+    );
+    table.add_numeric_row(
+        "periods/s quiet (eager)",
+        &points
+            .iter()
+            .map(|p| p.quiet_periods_per_sec_eager)
+            .collect::<Vec<_>>(),
+        0,
+    );
+    table.add_numeric_row(
+        "msgs/period (eager)",
+        &points
+            .iter()
+            .map(|p| p.messages_per_period_eager)
+            .collect::<Vec<_>>(),
+        0,
+    );
+    table.add_numeric_row(
+        "speedup",
+        &points
+            .iter()
+            .map(EventScalingPoint::speedup)
+            .collect::<Vec<_>>(),
+        1,
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_point_is_silent_after_stabilization() {
+        let p = run_point(300, 7, 100.0);
+        assert!(p.nodes > 200);
+        assert_eq!(
+            p.quiet_messages_gated, 0,
+            "a stabilized silent protocol sends nothing"
+        );
+        assert_eq!(
+            p.quiet_events_gated, 0,
+            "a quiet interval processes no events"
+        );
+        assert!(
+            p.messages_per_period_eager > p.nodes as f64 * 0.5,
+            "eager re-beacons everyone roughly once a period"
+        );
+        assert!(p.messages_per_period_converging > 0.0);
+        assert!(p.speedup() > 1.0, "skipping all work must be faster");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let p = run_point(150, 3, 20.0);
+        let json = to_json(std::slice::from_ref(&p));
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.contains("\"quiet_messages_gated\": 0"));
+        assert!(!render(&[p]).to_string().is_empty());
+    }
+}

@@ -231,9 +231,11 @@ impl DagProtocol {
     /// The event-driven variant: receiving an unchanged name is a
     /// no-op, cached names never expire by age (only future-stamped
     /// forgeries are purged, and the link layer evicts departed
-    /// neighbors). This satisfies the silence contract, so the protocol
-    /// declares [`mwn_sim::Activity::Gated`] and a stabilized DAG costs
-    /// the activity-driven driver zero messages and zero guard runs.
+    /// neighbors). This satisfies the silence contract under both
+    /// clocks, so the protocol declares [`mwn_sim::Activity::Gated`]:
+    /// a stabilized DAG costs the round driver zero messages and zero
+    /// guard runs, and the continuous-time `EventDriver` stops
+    /// scheduling its beacon slots entirely.
     pub fn event_driven(gamma: NameSpace, variant: DagVariant) -> Self {
         DagProtocol {
             gamma,

@@ -57,9 +57,13 @@ pub enum FreshnessPolicy {
     /// cached copy is a no-op, entries never age out, and departed
     /// neighbors are evicted by the link-layer
     /// ([`mwn_sim::Protocol::link_down`]) instead of by timeout.
-    /// Satisfies the silence contract, so the protocol declares
-    /// [`mwn_sim::Activity::Gated`] and the engine stops scheduling —
-    /// and stops transmitting for — stabilized regions entirely.
+    /// Satisfies the silence contract — under **both clocks**: no
+    /// guard here depends on wall-clock aging, so the protocol
+    /// declares [`mwn_sim::Activity::Gated`] and the round driver
+    /// skips stabilized regions while the continuous-time
+    /// `EventDriver` stops scheduling their beacon slots entirely
+    /// (arbitrarily long quiet intervals with zero `update` calls are
+    /// safe).
     ///
     /// Known trade-off (inherent to silent communication-efficiency):
     /// a corrupted ghost entry whose forged timestamp lies in the past

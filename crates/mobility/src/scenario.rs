@@ -112,10 +112,12 @@ impl<M: MobilityModel> MobileScenario<M> {
     }
 
     /// Turns the scenario into a per-step topology driver for the
-    /// round simulator: each protocol step advances the nodes by
+    /// simulators: each protocol step advances the nodes by
     /// `seconds_per_step` and rebuilds the links. Plug the result into
     /// `mwn_sim::Scenario::mobility` to run a protocol over a moving
-    /// network.
+    /// network — under the synchronous round driver (one tick per
+    /// step) or the continuous-time event driver (one tick per beacon
+    /// period, at logical-step boundaries).
     pub fn into_dynamics(self, seconds_per_step: f64) -> MobilityDynamics<M> {
         assert!(seconds_per_step > 0.0, "seconds per step must be positive");
         MobilityDynamics {

@@ -146,6 +146,14 @@ pub trait Medium {
     /// senders in the round (no contention coupling): the perfect and
     /// Bernoulli media of the paper's hypothesis qualify, CSMA-style
     /// collision media do not. Conservative default: `false`.
+    ///
+    /// Both clocks honor this flag. The synchronous round driver uses
+    /// it to gate quiescent senders without perturbing anyone else's
+    /// frames; the continuous-time event driver additionally selects
+    /// its channel by it — independent-fates media are evaluated once
+    /// per transmission on a derived per-(slot, sender) stream
+    /// ([`Medium::deliver_from`]), while contention-coupled media fall
+    /// back to the driver's built-in overlap-collision model.
     fn independent_fates(&self) -> bool {
         false
     }

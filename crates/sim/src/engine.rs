@@ -1,0 +1,548 @@
+//! The shared activity-driven scheduling core behind **both** clocks.
+//!
+//! The paper's protocols are *silent*: once the legitimate
+//! configuration is reached, no shared variable changes any more. Both
+//! drivers exploit that through the same machinery, extracted here so
+//! every scheduling model pays the same near-zero stable-state cost:
+//!
+//! * [`NodeSet`] — index-backed dirty sets: O(1) insert/membership,
+//!   dense iteration, allocation-free in steady state;
+//! * [`NodeTable`] — the columnar per-node hot state (protocol states,
+//!   beacon snapshots, beacon epochs, per-edge reception epochs) plus
+//!   the scheduling sets;
+//! * [`ActivityCore`] — the table bundled with the derived-stream bases
+//!   ([`crate::split_rng`]) and the wakeup rules every driver shares:
+//!   what to invalidate when a fault mutates a node, when a topology
+//!   delta rewires links, when a beacon is recomputed;
+//! * [`SlotClock`] — the continuous-time beacon schedule as a *pure
+//!   function* of `(seed, node, slot index)`, so a node skipped while
+//!   silent consumes no randomness and its future transmission times
+//!   are independent of how long it slept;
+//! * [`run_pooled`] — the scoped-thread work-stealing pool shared by
+//!   [`crate::Sweep`] and the round driver's sharded active-set pass.
+//!
+//! The synchronous round driver ([`crate::Network`]) and the
+//! continuous-time driver ([`crate::EventDriver`]) are thin scheduling
+//! disciplines over this core: one advances a global step counter, the
+//! other pops timestamped events — but dirtiness, epochs, stream
+//! derivation and wakeup rules are identical.
+
+use mwn_graph::{NodeId, Topology, TopologyDelta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rng::{derive_seed, split_rng, streams};
+use crate::Protocol;
+
+/// Beacon-epoch sentinel meaning "never received anything from this
+/// neighbor" — forces the neighbor to (re-)broadcast at least once.
+pub(crate) const NEVER: u32 = u32::MAX;
+
+/// Epoch bump that never lands on the [`NEVER`] sentinel.
+#[inline]
+pub(crate) fn bump_epoch(e: u32) -> u32 {
+    let next = e.wrapping_add(1);
+    if next == NEVER {
+        0
+    } else {
+        next
+    }
+}
+
+/// An index-backed node set: O(1) insert and membership via a bitset,
+/// dense iteration via a companion list. Removal is lazy (flag
+/// cleared, entry skipped at collection time), so every operation on
+/// the hot path is constant-time and allocation-free in steady state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NodeSet {
+    member: Vec<bool>,
+    list: Vec<NodeId>,
+}
+
+impl NodeSet {
+    pub fn new(n: usize) -> Self {
+        NodeSet {
+            member: vec![false; n],
+            list: Vec::with_capacity(n.min(1024)),
+        }
+    }
+
+    #[inline]
+    pub fn insert(&mut self, p: NodeId) {
+        if !self.member[p.index()] {
+            self.member[p.index()] = true;
+            self.list.push(p);
+        }
+    }
+
+    #[inline]
+    pub fn remove(&mut self, p: NodeId) {
+        self.member[p.index()] = false;
+    }
+
+    #[inline]
+    pub fn contains(&self, p: NodeId) -> bool {
+        self.member[p.index()]
+    }
+
+    /// Empties the set in O(marked), keeping the buffers.
+    pub fn clear(&mut self) {
+        for i in 0..self.list.len() {
+            let p = self.list[i];
+            self.member[p.index()] = false;
+        }
+        self.list.clear();
+    }
+
+    pub fn insert_all(&mut self) {
+        self.list.clear();
+        for i in 0..self.member.len() {
+            self.member[i] = true;
+            self.list.push(NodeId::new(i as u32));
+        }
+    }
+
+    /// Copies the live members into `out`, sorted and deduplicated, and
+    /// compacts the internal list (drops lazily-removed entries).
+    pub fn collect_sorted_into(&mut self, out: &mut Vec<NodeId>) {
+        out.clear();
+        self.list.retain(|&p| self.member[p.index()]);
+        out.extend_from_slice(&self.list);
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Copies the live members into `out` (sorted, deduplicated), then
+    /// empties the set.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<NodeId>) {
+        self.collect_sorted_into(out);
+        for &p in out.iter() {
+            self.member[p.index()] = false;
+        }
+        self.list.clear();
+    }
+}
+
+/// The columnar node table: every per-node column the hot loops read
+/// or write, plus the scheduling sets.
+pub(crate) struct NodeTable<P: Protocol> {
+    /// Protocol state per node.
+    pub states: Vec<P::State>,
+    /// The beacon each node currently broadcasts (recomputed only when
+    /// the node's state changed).
+    pub beacons: Vec<P::Beacon>,
+    /// Beacon version per node: bumped whenever the recomputed beacon
+    /// differs ([`Protocol::beacon_changed`]) from the previous one.
+    pub epoch: Vec<u32>,
+    /// `heard[r][k]`: the epoch of neighbor `adj[r][k]`'s beacon that
+    /// `r` last incorporated ([`NEVER`] if none). Kept aligned with the
+    /// topology's sorted adjacency lists.
+    pub heard: Vec<Vec<u32>>,
+    /// Nodes whose beacon must be recomputed next step (state changed).
+    pub beacon_stale: NodeSet,
+    /// Nodes whose guards must run next step.
+    pub update_dirty: NodeSet,
+    /// Nodes with at least one neighbor that has not yet received their
+    /// current beacon epoch.
+    pub send_pending: NodeSet,
+    /// Nodes mutated outside the protocol this step (faults,
+    /// `link_down`, manual corruption): unconditionally counted as
+    /// changed even if the per-node pass sees no further delta.
+    pub forced_changed: NodeSet,
+    /// Nodes whose state changed during the last executed step.
+    pub changed: Vec<NodeId>,
+    /// Scratch: pre-step snapshot of the node being processed.
+    pub scratch_state: Option<P::State>,
+}
+
+impl<P: Protocol> NodeTable<P> {
+    pub fn new(protocol: &P, topo: &Topology, states: Vec<P::State>) -> Self {
+        let n = states.len();
+        let beacons: Vec<P::Beacon> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| protocol.beacon(NodeId::new(i as u32), s))
+            .collect();
+        let heard = topo.nodes().map(|p| vec![NEVER; topo.degree(p)]).collect();
+        let mut table = NodeTable {
+            states,
+            beacons,
+            epoch: vec![0; n],
+            heard,
+            beacon_stale: NodeSet::new(n),
+            update_dirty: NodeSet::new(n),
+            send_pending: NodeSet::new(n),
+            forced_changed: NodeSet::new(n),
+            changed: Vec::new(),
+            scratch_state: None,
+        };
+        // Cold start: everything is dirty — nobody has heard anyone.
+        table.update_dirty.insert_all();
+        table.send_pending.insert_all();
+        table
+    }
+
+    /// Marks `p` for rescheduling: its state may have changed outside
+    /// the regular pass (fault, manual mutation, link event).
+    pub fn mark_node(&mut self, p: NodeId) {
+        self.update_dirty.insert(p);
+        self.beacon_stale.insert(p);
+        self.forced_changed.insert(p);
+    }
+
+    /// Conservative full invalidation: used on wholesale topology swaps
+    /// and when switching scheduling modes.
+    pub fn mark_all(&mut self, topo: &Topology) {
+        self.update_dirty.insert_all();
+        self.beacon_stale.insert_all();
+        self.send_pending.insert_all();
+        for r in topo.nodes() {
+            let row = &mut self.heard[r.index()];
+            row.clear();
+            row.resize(topo.degree(r), NEVER);
+        }
+    }
+
+    /// Re-aligns `r`'s reception row after its adjacency list changed,
+    /// conservatively forgetting what it had heard: every current
+    /// neighbor is forced to re-broadcast.
+    pub fn reset_heard_row(&mut self, r: NodeId, topo: &Topology) {
+        let row = &mut self.heard[r.index()];
+        row.clear();
+        row.resize(topo.degree(r), NEVER);
+        for &q in topo.neighbors(r) {
+            self.send_pending.insert(q);
+        }
+        // r's own beacon must reach any new neighbor too.
+        self.send_pending.insert(r);
+    }
+}
+
+/// The [`NodeTable`] bundled with the derived-stream bases and the
+/// wakeup rules both drivers share.
+///
+/// Owning the stream bases here is what keeps the two clocks
+/// byte-compatible with their own eager references: every random draw
+/// is (re-)derived from `(base, tick, node)` at the point of use, so a
+/// node skipped by activity gating consumes no randomness — under
+/// either clock.
+pub(crate) struct ActivityCore<P: Protocol> {
+    /// The columnar hot state.
+    pub table: NodeTable<P>,
+    /// Base of the per-(tick, node) [`Protocol::update`] streams.
+    pub update_base: u64,
+    /// Base of the per-(tick, sender) frame-fate streams.
+    pub medium_base: u64,
+    /// Base of the per-corruption-event state-scrambling streams.
+    pub corrupt_base: u64,
+    /// Corruption events so far — each gets its own derived stream.
+    pub corrupt_events: u64,
+}
+
+impl<P: Protocol> ActivityCore<P> {
+    /// Cold-starts the core over `topo`: per-node derived init streams,
+    /// everything dirty.
+    pub fn new(protocol: &P, topo: &Topology, seed: u64) -> Self {
+        let init_base = derive_seed(seed, streams::INIT);
+        let states: Vec<P::State> = topo
+            .nodes()
+            .map(|p| {
+                let mut rng = StdRng::seed_from_u64(derive_seed(init_base, u64::from(p.value())));
+                protocol.init(p, &mut rng)
+            })
+            .collect();
+        ActivityCore {
+            table: NodeTable::new(protocol, topo, states),
+            update_base: derive_seed(seed, streams::UPDATE),
+            medium_base: derive_seed(seed, streams::MEDIUM),
+            corrupt_base: derive_seed(seed, streams::CORRUPT),
+            corrupt_events: 0,
+        }
+    }
+
+    /// The [`Protocol::update`] stream of node `p` at scheduler tick
+    /// `tick` (the step count under the round clock, the event-time bit
+    /// pattern under the continuous clock).
+    #[inline]
+    pub fn update_rng(&self, tick: u64, p: NodeId) -> StdRng {
+        split_rng(self.update_base, tick, u64::from(p.value()))
+    }
+
+    /// The frame-fate stream of sender `p` at scheduler tick `tick`.
+    #[inline]
+    pub fn medium_rng(&self, tick: u64, p: NodeId) -> StdRng {
+        split_rng(self.medium_base, tick, u64::from(p.value()))
+    }
+
+    /// A fresh stream for the next corruption event against `p`:
+    /// however much randomness the corruptor consumes, no node's other
+    /// streams move.
+    pub fn corrupt_rng(&mut self, p: NodeId) -> StdRng {
+        let event = self.corrupt_events;
+        self.corrupt_events += 1;
+        split_rng(self.corrupt_base, event, u64::from(p.value()))
+    }
+
+    /// Rescheduling for an externally mutated node: besides waking it,
+    /// its reception bookkeeping must be forgotten — a corrupted cache
+    /// can no longer claim to have incorporated anyone's beacon, so its
+    /// neighbors are forced to re-broadcast (exactly what an eager
+    /// engine's unconditional beacons would have repaired implicitly).
+    pub fn wake_mutated(&mut self, p: NodeId, topo: &Topology) {
+        self.table.mark_node(p);
+        self.table.reset_heard_row(p, topo);
+    }
+
+    /// Processes an incremental topology change: notify the protocol of
+    /// vanished links, wake the touched nodes, and realign their
+    /// reception bookkeeping. Returns `true` when anything observable
+    /// changed (memoized predicate verdicts over `(topo, states)` are
+    /// then stale).
+    pub fn apply_delta(&mut self, protocol: &P, topo: &Topology, delta: &TopologyDelta) -> bool {
+        let env_changed = !delta.moved.is_empty() || !delta.is_quiet();
+        if delta.is_quiet() {
+            return env_changed;
+        }
+        for &(u, v) in &delta.removed {
+            protocol.link_down(u, &mut self.table.states[u.index()], v);
+            protocol.link_down(v, &mut self.table.states[v.index()], u);
+        }
+        for p in delta.touched() {
+            self.table.mark_node(p);
+            self.table.reset_heard_row(p, topo);
+        }
+        env_changed
+    }
+
+    /// Severs every link of `p` by removing its edges — the node's
+    /// radio goes dark but its state survives (crash of the *link*
+    /// layer). Fires [`Protocol::link_down`] on both endpoints of
+    /// every severed link and wakes everyone touched; the severed
+    /// neighbors are left in `scratch` for driver-specific follow-up
+    /// (re-arming slots, change notes).
+    pub fn isolate(
+        &mut self,
+        protocol: &P,
+        topo: &mut Topology,
+        p: NodeId,
+        scratch: &mut Vec<NodeId>,
+    ) {
+        scratch.clear();
+        scratch.extend_from_slice(topo.neighbors(p));
+        for &q in scratch.iter() {
+            topo.remove_edge(p, q);
+        }
+        for &q in scratch.iter() {
+            protocol.link_down(p, &mut self.table.states[p.index()], q);
+            protocol.link_down(q, &mut self.table.states[q.index()], p);
+            self.table.mark_node(q);
+            self.table.reset_heard_row(q, topo);
+        }
+        self.table.mark_node(p);
+        self.table.reset_heard_row(p, topo);
+    }
+
+    /// Recomputes `p`'s beacon from its current state; if the content
+    /// changed ([`Protocol::beacon_changed`]) the epoch is bumped and
+    /// `p` becomes send-pending. Returns whether the beacon changed.
+    pub fn refresh_beacon(&mut self, protocol: &P, p: NodeId) -> bool {
+        let fresh = protocol.beacon(p, &self.table.states[p.index()]);
+        let changed = protocol.beacon_changed(&self.table.beacons[p.index()], &fresh);
+        if changed {
+            self.table.epoch[p.index()] = bump_epoch(self.table.epoch[p.index()]);
+            self.table.send_pending.insert(p);
+        }
+        self.table.beacons[p.index()] = fresh;
+        changed
+    }
+
+    /// `true` when every neighbor of `s` has incorporated `s`'s current
+    /// beacon epoch — the retirement condition for a pending sender.
+    pub fn all_caught_up(&self, topo: &Topology, s: NodeId) -> bool {
+        let epoch = self.table.epoch[s.index()];
+        topo.neighbors(s).iter().all(|&r| {
+            topo.neighbors(r)
+                .binary_search(&s)
+                .map(|idx| self.table.heard[r.index()][idx] == epoch)
+                .unwrap_or(true)
+        })
+    }
+}
+
+/// The continuous-time beacon schedule as a pure function of
+/// `(seed, node, slot index)`.
+///
+/// Node `p`'s `k`-th beacon opportunity ("slot") fires at
+///
+/// ```text
+/// slot_time(p, k) = (k + phase_p + jitter · (u_{p,k} − ½)) · period
+/// ```
+///
+/// with `phase_p ~ U(0, 1)` a fixed per-node desynchronization offset
+/// and `u_{p,k} ~ U(0, 1)` a fresh per-slot draw — Herman & Tixeuil's
+/// randomized timing discipline, reparameterized so the whole schedule
+/// is *stateless*: consecutive slots are `period · (1 ± jitter)` apart
+/// (mean exactly `period`), and the time of any slot can be computed
+/// without replaying the slots before it. That statelessness is what
+/// lets the event driver skip a silent node entirely and still wake it
+/// on exactly the schedule its always-transmitting twin would follow.
+pub(crate) struct SlotClock {
+    period: f64,
+    jitter: f64,
+    phase: Vec<f64>,
+    jitter_base: u64,
+}
+
+impl SlotClock {
+    /// Derives the schedule for `n` nodes from the master seed.
+    pub fn new(seed: u64, period: f64, jitter: f64, n: usize) -> Self {
+        let phase_base = derive_seed(seed, streams::PHASE);
+        let phase = (0..n as u64)
+            .map(|p| StdRng::seed_from_u64(derive_seed(phase_base, p)).random_range(0.0..1.0))
+            .collect();
+        SlotClock {
+            period,
+            jitter,
+            phase,
+            jitter_base: derive_seed(seed, streams::TIMING),
+        }
+    }
+
+    /// The absolute time of node `p`'s `k`-th slot.
+    pub fn slot_time(&self, p: NodeId, k: u64) -> f64 {
+        let u: f64 = split_rng(self.jitter_base, k, u64::from(p.value())).random_range(0.0..1.0);
+        (k as f64 + self.phase[p.index()] + self.jitter * (u - 0.5)) * self.period
+    }
+
+    /// The first slot of `p` at or after time `from`:
+    /// `(slot index, slot time)`.
+    ///
+    /// Slot times are strictly increasing in `k` (gaps are at least
+    /// `period · (1 − jitter) > 0`), so a short forward scan from the
+    /// arithmetic lower bound finds it in O(1).
+    pub fn next_at(&self, p: NodeId, from: f64) -> (u64, f64) {
+        let x = (from / self.period - self.phase[p.index()] - self.jitter).floor();
+        let mut k = if x > 0.0 { x as u64 } else { 0 };
+        loop {
+            let t = self.slot_time(p, k);
+            if t >= from {
+                return (k, t);
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Runs `job(0..tasks)` over a scoped work-stealing thread pool and
+/// returns the results **in task order** — the schedule cannot leak
+/// into the results. With `threads <= 1` (or a single task) the jobs
+/// run inline on the calling thread; the two paths are byte-identical
+/// because each job sees only its task index.
+///
+/// This is the one worker-pool loop in the workspace: [`crate::Sweep`]
+/// fans seeds over it and the round driver's sharded active-set pass
+/// fans node chunks over it.
+pub(crate) fn run_pooled<T, F>(tasks: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || tasks <= 1 {
+        return (0..tasks).map(job).collect();
+    }
+    let workers = threads.min(tasks);
+    let results: std::sync::Mutex<Vec<Option<T>>> =
+        std::sync::Mutex::new((0..tasks).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                let out = job(i);
+                results.lock().expect("pool worker lock")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("pool worker lock")
+        .into_iter()
+        .map(|r| r.expect("every task index is filled exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_set_insert_remove_collect() {
+        let mut s = NodeSet::new(5);
+        s.insert(NodeId::new(3));
+        s.insert(NodeId::new(1));
+        s.insert(NodeId::new(3));
+        assert!(s.contains(NodeId::new(3)));
+        s.remove(NodeId::new(3));
+        assert!(!s.contains(NodeId::new(3)));
+        let mut out = Vec::new();
+        s.drain_sorted_into(&mut out);
+        assert_eq!(out, vec![NodeId::new(1)]);
+        assert!(!s.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn bump_epoch_skips_the_sentinel() {
+        assert_eq!(bump_epoch(0), 1);
+        assert_eq!(bump_epoch(NEVER - 1), 0);
+    }
+
+    #[test]
+    fn slot_clock_is_monotone_and_stateless() {
+        let clock = SlotClock::new(7, 1.0, 0.5, 4);
+        let p = NodeId::new(2);
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..200 {
+            let t = clock.slot_time(p, k);
+            assert!(t > prev, "slot {k} not after slot {}", k - 1);
+            // Stateless: recomputing any slot gives the same time.
+            assert_eq!(t, clock.slot_time(p, k));
+            prev = t;
+        }
+        // Mean spacing is the period.
+        let span = clock.slot_time(p, 200) - clock.slot_time(p, 0);
+        assert!(
+            (span / 200.0 - 1.0).abs() < 0.05,
+            "mean gap {}",
+            span / 200.0
+        );
+    }
+
+    #[test]
+    fn slot_clock_next_at_finds_the_first_slot() {
+        let clock = SlotClock::new(3, 2.0, 0.8, 3);
+        let p = NodeId::new(1);
+        for probe in [0.0, 0.1, 5.0, 17.3, 400.0] {
+            let (k, t) = clock.next_at(p, probe);
+            assert!(t >= probe, "slot at {t} before probe {probe}");
+            if k > 0 {
+                assert!(
+                    clock.slot_time(p, k - 1) < probe,
+                    "slot {} already satisfied probe {probe}",
+                    k - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_results_come_back_in_task_order() {
+        let serial = run_pooled(37, 1, |i| i * i);
+        let pooled = run_pooled(37, 4, |i| i * i);
+        assert_eq!(serial, pooled);
+        assert_eq!(pooled[5], 25);
+        assert!(run_pooled(0, 4, |i| i).is_empty());
+    }
+}

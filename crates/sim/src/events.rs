@@ -1,27 +1,33 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use mwn_graph::{NodeId, Topology};
+use mwn_graph::{NodeId, Topology, TopologyDelta};
+use mwn_radio::{Delivery, Medium, PerfectMedium};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::engine::{ActivityCore, NodeSet, SlotClock};
 use crate::network::Corruptor;
-use crate::rng::{derive_seed, node_streams, split_rng, streams};
-use crate::{Corruptible, Fault, Protocol, StabilityTracker};
+use crate::rng::{derive_seed, split_rng, streams};
+use crate::scenario::TopologyDynamics;
+use crate::{Activity, Corruptible, Fault, Protocol, StabilityTracker};
 
 /// Parameters of the continuous-time execution model.
 ///
 /// Nodes rebroadcast their shared variables at randomized intervals
 /// (the timed discipline with "randomization to avoid collision" of
 /// Herman & Tixeuil \[11\], which the paper adopts in Section 4). Frames
-/// have a positive duration; two frames that overlap in time at a
-/// receiver collide and are both lost there.
+/// have a positive duration; under the built-in **collision channel**
+/// two frames that overlap in time at a receiver collide and are both
+/// lost there, while under a **medium channel**
+/// ([`EventDriver::with_medium`]) the per-copy fate comes from the
+/// [`Medium`] instead.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EventConfig {
-    /// Mean time between two beacons of the same node.
+    /// Mean time between two beacon opportunities of the same node.
     pub beacon_period: f64,
-    /// Relative jitter: the next beacon fires after
-    /// `beacon_period · U(1 − jitter, 1 + jitter)`.
+    /// Relative jitter: consecutive beacon slots of a node are
+    /// `beacon_period · (1 ± jitter)` apart (mean exactly one period).
     pub jitter: f64,
     /// Time a frame occupies the channel at a receiver.
     pub frame_time: f64,
@@ -77,11 +83,21 @@ impl EventConfig {
     }
 }
 
-/// Totally ordered event-queue key: (time, sequence), min-first.
+/// Totally ordered event-queue key, min-first.
+///
+/// Ties at the same instant break on **intrinsic identity** (frame
+/// arrivals before beacon slots, then node ids), never on insertion
+/// order: a gated execution schedules fewer events than its eager
+/// twin, so an insertion-sequence tiebreak would let the *schedule*
+/// leak into the trajectory.
 #[derive(Clone, Copy, Debug)]
 struct EventKey {
     time: f64,
-    seq: u64,
+    /// 0 = frame arrival (Rx), 1 = beacon slot (Tx): a state change
+    /// carried by a frame is visible to a same-instant broadcast.
+    class: u8,
+    a: u32,
+    b: u32,
 }
 
 impl PartialEq for EventKey {
@@ -101,19 +117,24 @@ impl Ord for EventKey {
         other
             .time
             .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.class.cmp(&self.class))
+            .then_with(|| other.a.cmp(&self.a))
+            .then_with(|| other.b.cmp(&self.b))
     }
 }
 
 enum EventKind<B> {
-    /// Node starts broadcasting its beacon.
-    Tx(NodeId),
+    /// Node `node`'s beacon slot number `slot` fires.
+    Tx { node: NodeId, slot: u64 },
     /// A frame sent by `sender` at `tx_time` finishes arriving at
-    /// `receiver`; decide collision and deliver.
+    /// `receiver`.
     Rx {
         receiver: NodeId,
         sender: NodeId,
         tx_time: f64,
+        /// The sender's beacon epoch at transmission time — what the
+        /// receiver's reception row records on incorporation.
+        tx_epoch: u32,
         beacon: B,
     },
 }
@@ -140,22 +161,56 @@ impl<B> Ord for Event<B> {
     }
 }
 
-/// The continuous-time discrete-event driver.
+/// The continuous-time discrete-event driver, rebuilt on the shared
+/// activity engine ([`crate::engine`]).
 ///
 /// This realizes the asynchronous execution model under which the
 /// paper's expected-constant-time results (Theorem 1, Lemmas 1–2) are
 /// stated: beacons at randomized intervals, frames with real duration,
-/// receiver-side collisions (hidden terminals included) and half-duplex
-/// radios. The per-frame success probability is some τ > 0 determined
-/// by the configuration and local density — exactly the paper's
-/// hypothesis — and can be read off [`EventDriver::measured_tau`].
+/// and a channel in which the per-frame success probability is some
+/// τ > 0 — exactly the paper's hypothesis (read it off
+/// [`EventDriver::measured_tau`]).
+///
+/// # Two channels
+///
+/// * the **collision channel** ([`EventDriver::new`]): receiver-side
+///   overlap collisions (hidden terminals included) and half-duplex
+///   radios — τ is *emergent*. Frame fates are contention-coupled, so
+///   activity gating is off: every node keeps beaconing.
+/// * a **medium channel** ([`EventDriver::with_medium`], what
+///   [`crate::Scenario::build_events`] builds): the scenario's
+///   [`Medium`] decides each copy's fate from a derived
+///   per-(slot, sender) stream. When the medium has
+///   [`Medium::independent_fates`] *and* the protocol declares
+///   [`Activity::Gated`], silent nodes stop scheduling beacon slots
+///   altogether.
+///
+/// # O(active) scheduling
+///
+/// The event queue holds one beacon-slot event per **armed** node plus
+/// the frames currently in flight — never one entry per node of a
+/// quiescent network. Beacon slots come from the engine's
+/// [`crate::engine::SlotClock`]: node `p`'s `k`-th opportunity is a
+/// pure function of `(seed, p, k)`, so a silent node consumes no
+/// randomness and no queue space, and when something wakes it the next
+/// slot is found arithmetically — exactly the schedule its
+/// always-transmitting eager twin follows. Every other draw (guard
+/// execution, frame fates, extra loss, corruption) is derived per
+/// (event, node) the same way, which makes gated and eager execution
+/// **byte-identical** on independent-fates media — the continuous-time
+/// counterpart of the round driver's equivalence, property-tested in
+/// `tests/engine_equivalence.rs`. After stabilization the queue drains
+/// to empty: a quiet interval costs zero messages and O(1) work.
+///
+/// Scripted faults and [`TopologyDynamics`] (mobility) fire at
+/// logical-step boundaries (multiples of the beacon period),
+/// interleaved with the event queue in time order.
 ///
 /// # Examples
 ///
 /// ```
 /// use mwn_graph::builders;
-/// use mwn_radio::PerfectMedium;
-/// use mwn_sim::{EventConfig, EventDriver, Network, Protocol};
+/// use mwn_sim::{EventConfig, EventDriver, Protocol};
 /// use mwn_graph::NodeId;
 /// use rand::rngs::StdRng;
 ///
@@ -176,24 +231,40 @@ impl<B> Ord for Event<B> {
 /// driver.run_until_time(30.0);
 /// assert!(driver.states().iter().all(|&s| s == 4));
 /// ```
-pub struct EventDriver<P: Protocol> {
+pub struct EventDriver<P: Protocol, M: Medium = PerfectMedium> {
     protocol: P,
     topo: Topology,
     config: EventConfig,
-    states: Vec<P::State>,
-    node_rngs: Vec<StdRng>,
-    loss_rng: StdRng,
-    /// Dedicated stream for scripted-fault site selection, so fault
-    /// injection never perturbs beacon timing or loss randomness.
-    fault_rng: StdRng,
-    /// Base of the per-corruption-event derived streams: corruptor
-    /// draws must not advance the victim's beacon-jitter stream.
-    corrupt_base: u64,
-    corrupt_events: u64,
+    /// The shared activity core: columnar table, dirty sets, derived
+    /// stream bases.
+    core: ActivityCore<P>,
+    /// The stateless beacon-slot schedule.
+    clock: SlotClock,
+    /// `Some` = medium channel; `None` = built-in collision channel.
+    medium: Option<M>,
+    /// `true` when the user pinned the driver to eager scheduling.
+    force_eager: bool,
     queue: BinaryHeap<Event<P::Beacon>>,
+    /// Whether a node currently has a beacon-slot event in the queue.
+    tx_armed: Vec<bool>,
+    /// Recent transmission times per node (collision channel only).
     tx_history: Vec<Vec<f64>>,
+    /// Base of the per-frame extra-loss streams.
+    loss_base: u64,
+    /// Dedicated stream for scripted-fault site selection, so fault
+    /// injection never perturbs beacon timing or frame-fate randomness.
+    fault_rng: StdRng,
+    /// Scratch delivery for per-sender medium evaluation.
+    delivery: Delivery,
+    /// Scratch state snapshot for change detection under gating.
+    scratch_state: Option<P::State>,
+    /// Scratch node list (corruption wakes, isolation).
+    scratch_nodes: Vec<NodeId>,
     time: f64,
-    seq: u64,
+    /// Beacon broadcasts so far (the communication-efficiency metric).
+    messages: u64,
+    /// Events popped so far.
+    events: u64,
     frames_attempted: u64,
     frames_delivered: u64,
     /// Scripted faults in logical-step order: a fault scheduled at step
@@ -202,59 +273,89 @@ pub struct EventDriver<P: Protocol> {
     scripted: Vec<(u64, Fault)>,
     next_scripted: usize,
     corruptor: Option<Corruptor<P>>,
+    /// Mobility (or other topology dynamics), ticked once per beacon
+    /// period at logical-step boundaries.
+    dynamics: Option<Box<dyn TopologyDynamics + Send>>,
+    dynamics_step: u64,
+    /// Nodes whose state changed since the last stability sample —
+    /// what makes quiet-interval sampling O(changed), not O(n).
+    changed_since: NodeSet,
 }
 
-impl<P: Protocol> EventDriver<P> {
-    /// Creates the driver with cold-start states; the first beacon of
-    /// each node fires at a random offset within one period (nodes are
-    /// *not* synchronized).
+impl<P: Protocol> EventDriver<P, PerfectMedium> {
+    /// Creates the driver over the built-in **collision channel** with
+    /// cold-start states; the first beacon slot of each node falls at a
+    /// random phase within one period (nodes are *not* synchronized).
     pub fn new(protocol: P, topo: Topology, config: EventConfig, seed: u64) -> Self {
+        Self::build(protocol, None, topo, config, seed)
+    }
+}
+
+impl<P: Protocol, M: Medium> EventDriver<P, M> {
+    /// Creates the driver with the frame fates decided by `medium`
+    /// (the channel [`crate::Scenario::build_events`] wires up).
+    ///
+    /// Media with [`Medium::independent_fates`] — perfect, Bernoulli,
+    /// fading — are evaluated once per transmission on a derived
+    /// per-(slot, sender) stream, which is what permits activity
+    /// gating. Contention-coupled media (CSMA-style) have no
+    /// per-sender continuous-time semantics; for them the driver falls
+    /// back to the built-in collision channel, which models contention
+    /// directly.
+    pub fn with_medium(
+        protocol: P,
+        medium: M,
+        topo: Topology,
+        config: EventConfig,
+        seed: u64,
+    ) -> Self {
+        let medium = medium.independent_fates().then_some(medium);
+        Self::build(protocol, medium, topo, config, seed)
+    }
+
+    fn build(
+        protocol: P,
+        medium: Option<M>,
+        topo: Topology,
+        config: EventConfig,
+        seed: u64,
+    ) -> Self {
         config.validate();
-        let mut node_rngs = node_streams(seed, topo.len());
-        let states: Vec<P::State> = topo
-            .nodes()
-            .map(|p| protocol.init(p, &mut node_rngs[p.index()]))
-            .collect();
+        let n = topo.len();
+        let core = ActivityCore::new(&protocol, &topo, seed);
+        let clock = SlotClock::new(seed, config.beacon_period, config.jitter, n);
         let mut driver = EventDriver {
             protocol,
-            tx_history: vec![Vec::new(); topo.len()],
             topo,
             config,
-            states,
-            node_rngs,
-            loss_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX - 1)),
-            fault_rng: StdRng::seed_from_u64(derive_seed(seed, streams::EVENT_FAULT)),
-            corrupt_base: derive_seed(seed, streams::CORRUPT),
-            corrupt_events: 0,
+            core,
+            clock,
+            medium,
+            force_eager: false,
             queue: BinaryHeap::new(),
+            tx_armed: vec![false; n],
+            tx_history: vec![Vec::new(); n],
+            loss_base: derive_seed(seed, streams::EXTRA_LOSS),
+            fault_rng: StdRng::seed_from_u64(derive_seed(seed, streams::EVENT_FAULT)),
+            delivery: Delivery::empty(n),
+            scratch_state: None,
+            scratch_nodes: Vec::new(),
             time: 0.0,
-            seq: 0,
+            messages: 0,
+            events: 0,
             frames_attempted: 0,
             frames_delivered: 0,
             scripted: Vec::new(),
             next_scripted: 0,
             corruptor: None,
+            dynamics: None,
+            dynamics_step: 0,
+            changed_since: NodeSet::new(n),
         };
-        let nodes: Vec<NodeId> = driver.topo.nodes().collect();
-        for p in nodes {
-            let offset = driver.node_rngs[p.index()].random_range(0.0..config.beacon_period);
-            driver.push(offset, EventKind::Tx(p));
-        }
+        // Cold start: everyone has something to say (the table marks
+        // all nodes send-pending), so everyone gets a first slot.
+        driver.arm_pending();
         driver
-    }
-
-    fn push(&mut self, time: f64, kind: EventKind<P::Beacon>) {
-        let key = EventKey {
-            time,
-            seq: self.seq,
-        };
-        self.seq += 1;
-        self.queue.push(Event { key, kind });
-    }
-
-    /// The paper-comparable logical clock: beacon periods elapsed.
-    fn logical_now(&self) -> u64 {
-        (self.time / self.config.beacon_period) as u64
     }
 
     pub(crate) fn install_script(
@@ -267,166 +368,456 @@ impl<P: Protocol> EventDriver<P> {
         self.corruptor = corruptor;
     }
 
-    /// The wall-clock moment a fault scheduled at logical step `k`
-    /// fires: after `k` beacon periods.
-    fn fault_time(&self, step: u64) -> f64 {
+    pub(crate) fn install_dynamics(&mut self, dynamics: Box<dyn TopologyDynamics + Send>) {
+        self.dynamics = Some(dynamics);
+    }
+
+    /// Detaches any topology dynamics attached by
+    /// [`crate::Scenario::mobility`] — "the nodes stop moving". Returns
+    /// whether dynamics were attached.
+    pub fn stop_dynamics(&mut self) -> bool {
+        self.dynamics.take().is_some()
+    }
+
+    /// `true` when the driver currently mutes silent nodes: a medium
+    /// channel with independent fates, a protocol under the
+    /// [`Activity::Gated`] contract, and no eager pin.
+    pub fn is_gated(&self) -> bool {
+        !self.force_eager && self.medium.is_some() && self.protocol.activity() == Activity::Gated
+    }
+
+    /// Pins the driver to eager scheduling (`true`) or restores the
+    /// automatic choice (`false`). Both modes are byte-identical for
+    /// protocols honoring the [`Activity::Gated`] contract on
+    /// independent-fates media — eager is the sequential reference the
+    /// gated engine is tested against.
+    pub fn set_eager(&mut self, eager: bool) {
+        if self.force_eager && !eager {
+            // Re-enabling gating after an eager stretch: the dirty
+            // bookkeeping was degenerate, resynchronize conservatively.
+            self.core.table.mark_all(&self.topo);
+        }
+        self.force_eager = eager;
+        if eager {
+            // Eager scheduling fires every node's every slot: arm the
+            // whole population (retired nodes included).
+            for i in 0..self.topo.len() {
+                self.arm(NodeId::new(i as u32));
+            }
+        } else {
+            self.arm_pending();
+        }
+    }
+
+    /// The paper-comparable logical clock: beacon periods elapsed.
+    fn logical_now(&self) -> u64 {
+        (self.time / self.config.beacon_period) as u64
+    }
+
+    /// The wall-clock moment of logical step `k` (fault and mobility
+    /// boundaries).
+    fn step_time(&self, step: u64) -> f64 {
         step as f64 * self.config.beacon_period
     }
 
-    /// Fires every scripted fault due at or before time `upto`.
-    fn fire_scripted(&mut self, upto: f64) {
-        while self.next_scripted < self.scripted.len()
-            && self.fault_time(self.scripted[self.next_scripted].0) <= upto
-        {
-            let fault = self.scripted[self.next_scripted].1.clone();
-            self.next_scripted += 1;
-            match &fault {
-                Fault::CorruptNode(p) => self.corrupt_scripted(*p),
-                Fault::CorruptAll => {
-                    for i in 0..self.topo.len() {
-                        self.corrupt_scripted(NodeId::new(i as u32));
-                    }
-                }
-                Fault::CorruptFraction(f) => {
-                    use rand::Rng;
-                    let fraction = f.clamp(0.0, 1.0);
-                    let picks: Vec<NodeId> = self
-                        .topo
-                        .nodes()
-                        .filter(|_| self.fault_rng.random_bool(fraction))
-                        .collect();
-                    for p in picks {
-                        self.corrupt_scripted(p);
-                    }
-                }
-                Fault::Isolate(p) => {
-                    let nbrs: Vec<NodeId> = self.topo.neighbors(*p).to_vec();
-                    for q in nbrs {
-                        self.topo.remove_edge(*p, q);
-                    }
-                }
-                Fault::SetTopology(topo) => {
-                    assert_eq!(
-                        topo.len(),
-                        self.topo.len(),
-                        "scripted topology keeps the node count"
-                    );
-                    self.topo = topo.clone();
-                }
-            }
+    fn note_changed(&mut self, p: NodeId) {
+        self.changed_since.insert(p);
+    }
+
+    /// Schedules `p`'s next beacon slot at or after the current time,
+    /// unless one is already queued.
+    fn arm(&mut self, p: NodeId) {
+        if self.tx_armed[p.index()] {
+            return;
         }
+        let (slot, t) = self.clock.next_at(p, self.time);
+        self.tx_armed[p.index()] = true;
+        self.queue.push(Event {
+            key: EventKey {
+                time: t,
+                class: 1,
+                a: p.value(),
+                b: 0,
+            },
+            kind: EventKind::Tx { node: p, slot },
+        });
+    }
+
+    /// Arms every node currently marked send-pending — called after
+    /// any wake batch (cold start, faults, topology deltas, mode
+    /// switches) so a pending sender always has a slot queued.
+    fn arm_pending(&mut self) {
+        let mut buf = std::mem::take(&mut self.scratch_nodes);
+        self.core.table.send_pending.collect_sorted_into(&mut buf);
+        for &p in &buf {
+            self.arm(p);
+        }
+        self.scratch_nodes = buf;
+    }
+
+    /// Processes an incremental topology change through the shared
+    /// core, then re-arms the woken senders.
+    fn apply_delta(&mut self, delta: &TopologyDelta) {
+        self.core.apply_delta(&self.protocol, &self.topo, delta);
+        if delta.is_quiet() {
+            return;
+        }
+        for p in delta.touched() {
+            // link_down may have mutated the endpoint states.
+            self.note_changed(p);
+        }
+        self.arm_pending();
+    }
+
+    /// One mobility tick at a logical-step boundary.
+    fn tick_dynamics(&mut self) {
+        let step = self.dynamics_step;
+        self.dynamics_step += 1;
+        self.time = self.time.max(self.step_time(step));
+        let Some(mut dynamics) = self.dynamics.take() else {
+            return;
+        };
+        if let Some(moves) = dynamics.next_moves(step) {
+            if !moves.is_empty() {
+                let delta = self.topo.apply_moves(moves);
+                self.apply_delta(&delta);
+            }
+        } else if let Some(topo) = dynamics.next_topology(step) {
+            assert_eq!(
+                topo.len(),
+                self.topo.len(),
+                "topology dynamics must preserve the node count"
+            );
+            self.topo.clone_from(topo);
+            self.core.table.mark_all(&self.topo);
+            for i in 0..self.topo.len() {
+                self.note_changed(NodeId::new(i as u32));
+            }
+            self.arm_pending();
+        }
+        self.dynamics = Some(dynamics);
     }
 
     fn corrupt_scripted(&mut self, p: NodeId) {
         // Each corruption event gets its own derived stream: however
-        // much randomness the corruptor consumes, the victim's
-        // sequential beacon-jitter stream is untouched.
-        let event = self.corrupt_events;
-        self.corrupt_events += 1;
-        let mut rng = split_rng(self.corrupt_base, event, u64::from(p.value()));
+        // much randomness the corruptor consumes, no node's timing or
+        // frame-fate streams move.
+        let mut rng = self.core.corrupt_rng(p);
         let corruptor = self
             .corruptor
             .as_ref()
             .expect("Scenario::faults installs the corruption hook");
-        corruptor(&self.protocol, p, &mut self.states[p.index()], &mut rng);
+        corruptor(
+            &self.protocol,
+            p,
+            &mut self.core.table.states[p.index()],
+            &mut rng,
+        );
+        self.core.wake_mutated(p, &self.topo);
+        self.note_changed(p);
     }
 
-    /// Processes events up to (and including) time `t`; scripted faults
-    /// due in the interval fire at their scheduled times, interleaved
-    /// correctly with the event queue.
+    /// Severs every link of `p` (the node's radio goes dark), firing
+    /// [`Protocol::link_down`] on both endpoints of every cut link.
+    fn isolate(&mut self, p: NodeId) {
+        let mut nbrs = std::mem::take(&mut self.scratch_nodes);
+        self.core
+            .isolate(&self.protocol, &mut self.topo, p, &mut nbrs);
+        for &q in &nbrs {
+            self.note_changed(q);
+        }
+        self.note_changed(p);
+        self.scratch_nodes = nbrs;
+    }
+
+    /// Fires the next scripted fault (already known to be due).
+    fn fire_one_fault(&mut self) {
+        let (step, fault) = self.scripted[self.next_scripted].clone();
+        self.next_scripted += 1;
+        self.time = self.time.max(self.step_time(step));
+        match &fault {
+            Fault::CorruptNode(p) => self.corrupt_scripted(*p),
+            Fault::CorruptAll => {
+                for i in 0..self.topo.len() {
+                    self.corrupt_scripted(NodeId::new(i as u32));
+                }
+            }
+            Fault::CorruptFraction(f) => {
+                let fraction = f.clamp(0.0, 1.0);
+                let picks: Vec<NodeId> = self
+                    .topo
+                    .nodes()
+                    .filter(|_| self.fault_rng.random_bool(fraction))
+                    .collect();
+                for p in picks {
+                    self.corrupt_scripted(p);
+                }
+            }
+            Fault::Isolate(p) => self.isolate(*p),
+            Fault::SetTopology(topo) => {
+                assert_eq!(
+                    topo.len(),
+                    self.topo.len(),
+                    "scripted topology keeps the node count"
+                );
+                self.topo = topo.clone();
+                self.core.table.mark_all(&self.topo);
+                for i in 0..self.topo.len() {
+                    self.note_changed(NodeId::new(i as u32));
+                }
+            }
+        }
+        self.arm_pending();
+    }
+
+    /// Processes events up to (and including) time `t`; scripted
+    /// faults and mobility ticks due in the interval fire at their
+    /// scheduled times, interleaved correctly with the event queue.
+    /// With an empty queue (a stabilized, gated network) the clock
+    /// jumps straight to `t`: a quiet interval costs O(1).
     pub fn run_until_time(&mut self, t: f64) {
-        while let Some(ev) = self.queue.peek() {
-            if ev.key.time > t {
+        loop {
+            let event_time = self
+                .queue
+                .peek()
+                .map(|e| e.key.time)
+                .unwrap_or(f64::INFINITY);
+            let fault_time = self
+                .scripted
+                .get(self.next_scripted)
+                .map(|&(k, _)| self.step_time(k))
+                .unwrap_or(f64::INFINITY);
+            let dyn_time = if self.dynamics.is_some() {
+                self.step_time(self.dynamics_step)
+            } else {
+                f64::INFINITY
+            };
+            let next = event_time.min(fault_time).min(dyn_time);
+            if next > t {
                 break;
             }
-            let event_time = ev.key.time;
-            self.fire_scripted(event_time.min(t));
-            let Event { key, kind } = self.queue.pop().expect("peeked event exists");
-            self.time = key.time;
-            match kind {
-                EventKind::Tx(p) => self.handle_tx(p),
-                EventKind::Rx {
-                    receiver,
-                    sender,
-                    tx_time,
-                    beacon,
-                } => self.handle_rx(receiver, sender, tx_time, &beacon),
+            // Priority at equal instants mirrors the round driver's
+            // within-step order: topology moves, then faults, then the
+            // protocol events.
+            if dyn_time <= next {
+                self.tick_dynamics();
+            } else if fault_time <= next {
+                self.fire_one_fault();
+            } else {
+                let Event { key, kind } = self.queue.pop().expect("peeked event exists");
+                self.time = key.time;
+                self.events += 1;
+                match kind {
+                    EventKind::Tx { node, slot } => self.handle_tx(node, slot),
+                    EventKind::Rx {
+                        receiver,
+                        sender,
+                        tx_time,
+                        tx_epoch,
+                        beacon,
+                    } => self.handle_rx(receiver, sender, tx_time, tx_epoch, &beacon),
+                }
             }
         }
-        self.fire_scripted(t);
-        self.time = t;
+        self.time = self.time.max(t);
     }
 
-    fn handle_tx(&mut self, p: NodeId) {
-        let now = self.logical_now();
-        // The guarded-command loop runs continuously; executing the
-        // guards right before snapshotting the shared variables gives
-        // the freshest beacon.
-        self.protocol.update(
-            p,
-            &mut self.states[p.index()],
-            now,
-            &mut self.node_rngs[p.index()],
-        );
-        let beacon = self.protocol.beacon(p, &self.states[p.index()]);
-        let t = self.time;
-        // Record the transmission and prune history older than one
-        // collision window.
-        let history = &mut self.tx_history[p.index()];
-        history.push(t);
-        let horizon = t - 4.0 * self.config.frame_time;
-        history.retain(|&x| x >= horizon);
-        let receivers: Vec<NodeId> = self.topo.neighbors(p).to_vec();
-        for r in receivers {
-            self.frames_attempted += 1;
-            self.push(
-                t + self.config.frame_time,
-                EventKind::Rx {
-                    receiver: r,
-                    sender: p,
-                    tx_time: t,
-                    beacon: beacon.clone(),
-                },
-            );
+    /// Snapshots `p`'s state into the reusable scratch slot (change
+    /// detection under gating).
+    fn snapshot_state(&mut self, p: NodeId) {
+        match &mut self.scratch_state {
+            Some(s) => s.clone_from(&self.core.table.states[p.index()]),
+            None => self.scratch_state = Some(self.core.table.states[p.index()].clone()),
         }
-        // Schedule the next beacon with jitter.
-        let jitter = self.config.jitter;
-        let factor = self.node_rngs[p.index()].random_range(1.0 - jitter..1.0 + jitter);
-        let next = t + self.config.beacon_period * factor.max(f64::EPSILON);
-        self.push(next, EventKind::Tx(p));
     }
 
-    fn handle_rx(&mut self, r: NodeId, s: NodeId, tx_time: f64, beacon: &P::Beacon) {
-        // The frame occupied (tx_time, tx_time + frame_time) at r. It is
-        // lost if r itself, or any other neighbor of r, transmitted
-        // within one frame_time of tx_time (overlapping frames), or to
-        // the configured extra loss.
-        let window = |times: &[f64]| {
-            times
-                .iter()
-                .any(|&x| (x - tx_time).abs() < self.config.frame_time)
-        };
-        if window(&self.tx_history[r.index()]) {
-            return; // half-duplex: r was talking
-        }
-        for &q in self.topo.neighbors(r) {
-            if q != s && window(&self.tx_history[q.index()]) {
-                return; // collision (possibly a hidden terminal)
-            }
-        }
-        if self.config.extra_loss > 0.0 && self.loss_rng.random_bool(self.config.extra_loss) {
+    fn state_changed_since_snapshot(&self, p: NodeId) -> bool {
+        self.scratch_state.as_ref() != Some(&self.core.table.states[p.index()])
+    }
+
+    fn handle_tx(&mut self, p: NodeId, slot: u64) {
+        let gated = self.is_gated();
+        if gated && !self.core.table.send_pending.contains(p) {
+            // Nothing to say and nobody waiting: the slot lapses and
+            // the node goes silent until something wakes it.
+            self.tx_armed[p.index()] = false;
             return;
         }
-        self.frames_delivered += 1;
         let now = self.logical_now();
+        let t = self.time;
+        // The guarded-command loop runs continuously; executing the
+        // guards right before snapshotting the shared variables gives
+        // the freshest beacon. The draw is derived per (instant, node),
+        // so a muted slot consumes nothing.
+        if gated {
+            self.snapshot_state(p);
+        }
+        let mut rng = self.core.update_rng(t.to_bits(), p);
         self.protocol
-            .receive(r, &mut self.states[r.index()], s, beacon, now);
-        self.protocol.update(
-            r,
-            &mut self.states[r.index()],
-            now,
-            &mut self.node_rngs[r.index()],
-        );
+            .update(p, &mut self.core.table.states[p.index()], now, &mut rng);
+        let state_changed = gated && self.state_changed_since_snapshot(p);
+        if state_changed {
+            self.note_changed(p);
+        }
+        let beacon_changed = self.core.refresh_beacon(&self.protocol, p);
+        if gated && !state_changed && !beacon_changed && self.core.all_caught_up(&self.topo, p) {
+            // Retire: state at a fixpoint, beacon content unchanged,
+            // every neighbor has incorporated it. The eager twin keeps
+            // broadcasting here — pure no-ops by the silence contract.
+            self.core.table.send_pending.remove(p);
+            self.tx_armed[p.index()] = false;
+            return;
+        }
+        // Broadcast.
+        self.messages += 1;
+        let epoch = self.core.table.epoch[p.index()];
+        let beacon = self.core.table.beacons[p.index()].clone();
+        let degree = self.topo.degree(p);
+        self.frames_attempted += degree as u64;
+        if let Some(medium) = self.medium.as_mut() {
+            // Medium channel: one derived stream per (slot, sender)
+            // decides every copy's fate — independent of who else is
+            // transmitting, which is what keeps muted senders
+            // unobservable.
+            let mut rng = self.core.medium_rng(slot, p);
+            self.delivery.reset(self.topo.len());
+            medium.deliver_from(&self.topo, p, &mut rng, &mut self.delivery);
+            let arrival = t + self.config.frame_time;
+            for i in 0..self.delivery.touched.len() {
+                let r = self.delivery.touched[i];
+                if self.delivery.heard[r.index()].is_empty() {
+                    continue;
+                }
+                if self.config.extra_loss > 0.0 && rng.random_bool(self.config.extra_loss) {
+                    continue;
+                }
+                self.queue.push(Event {
+                    key: EventKey {
+                        time: arrival,
+                        class: 0,
+                        a: r.value(),
+                        b: p.value(),
+                    },
+                    kind: EventKind::Rx {
+                        receiver: r,
+                        sender: p,
+                        tx_time: t,
+                        tx_epoch: epoch,
+                        beacon: beacon.clone(),
+                    },
+                });
+            }
+        } else {
+            // Collision channel: record the transmission, prune history
+            // older than one collision window, and let every in-range
+            // copy race to its receiver.
+            let history = &mut self.tx_history[p.index()];
+            history.push(t);
+            let horizon = t - 4.0 * self.config.frame_time;
+            history.retain(|&x| x >= horizon);
+            let arrival = t + self.config.frame_time;
+            for i in 0..self.topo.degree(p) {
+                let r = self.topo.neighbors(p)[i];
+                self.queue.push(Event {
+                    key: EventKey {
+                        time: arrival,
+                        class: 0,
+                        a: r.value(),
+                        b: p.value(),
+                    },
+                    kind: EventKind::Rx {
+                        receiver: r,
+                        sender: p,
+                        tx_time: t,
+                        tx_epoch: epoch,
+                        beacon: beacon.clone(),
+                    },
+                });
+            }
+        }
+        // Schedule the next slot; under gating a later pop decides
+        // whether it still has anything to say.
+        let next_time = self.clock.slot_time(p, slot + 1);
+        self.queue.push(Event {
+            key: EventKey {
+                time: next_time,
+                class: 1,
+                a: p.value(),
+                b: 0,
+            },
+            kind: EventKind::Tx {
+                node: p,
+                slot: slot + 1,
+            },
+        });
+    }
+
+    fn handle_rx(&mut self, r: NodeId, s: NodeId, tx_time: f64, tx_epoch: u32, beacon: &P::Beacon) {
+        // The link may have vanished while the frame was in flight
+        // (mobility, isolation): radio range is a hard constraint.
+        let Ok(idx) = self.topo.neighbors(r).binary_search(&s) else {
+            return;
+        };
+        if self.medium.is_none() {
+            // Collision channel: the frame occupied
+            // (tx_time, tx_time + frame_time) at r. It is lost if r
+            // itself, or any other neighbor of r, transmitted within
+            // one frame_time of tx_time (overlapping frames), or to
+            // the configured extra loss.
+            let window = |times: &[f64]| {
+                times
+                    .iter()
+                    .any(|&x| (x - tx_time).abs() < self.config.frame_time)
+            };
+            if window(&self.tx_history[r.index()]) {
+                return; // half-duplex: r was talking
+            }
+            for &q in self.topo.neighbors(r) {
+                if q != s && window(&self.tx_history[q.index()]) {
+                    return; // collision (possibly a hidden terminal)
+                }
+            }
+            if self.config.extra_loss > 0.0 {
+                let mut rng = split_rng(
+                    self.loss_base,
+                    tx_time.to_bits(),
+                    (u64::from(s.value()) << 32) | u64::from(r.value()),
+                );
+                if rng.random_bool(self.config.extra_loss) {
+                    return;
+                }
+            }
+        }
+        // Counted here, after the channel checks *and* the in-flight
+        // link check above, so both channels agree on what "delivered"
+        // means — a frame whose link vanished mid-flight never counts.
+        self.frames_delivered += 1;
+        let gated = self.is_gated();
+        let fresh = self.core.table.heard[r.index()][idx] != tx_epoch;
+        if gated && !fresh {
+            // Already incorporated this exact beacon epoch: the
+            // silence contract makes the receive (and the follow-up
+            // update) a state no-op — skip it entirely.
+            return;
+        }
+        self.core.table.heard[r.index()][idx] = tx_epoch;
+        let now = self.logical_now();
+        let t = self.time;
+        if gated {
+            self.snapshot_state(r);
+        }
+        self.protocol
+            .receive(r, &mut self.core.table.states[r.index()], s, beacon, now);
+        let mut rng = self.core.update_rng(t.to_bits(), r);
+        self.protocol
+            .update(r, &mut self.core.table.states[r.index()], now, &mut rng);
+        if gated && self.state_changed_since_snapshot(r) {
+            self.note_changed(r);
+            // The state moved: r may have a new beacon to announce —
+            // wake its slot schedule (its next pop decides).
+            self.core.table.send_pending.insert(r);
+            self.arm(r);
+        }
     }
 
     /// Runs until a projection of all states is unchanged for
@@ -434,6 +825,10 @@ impl<P: Protocol> EventDriver<P> {
     /// `sample_interval`, or until `max_time` has elapsed *from the
     /// current simulation time* (so the driver can be re-armed after a
     /// corruption to measure re-stabilization).
+    ///
+    /// Under gating the per-sample work is O(nodes changed since the
+    /// last sample) — a quiet interval extends the streak without
+    /// projecting anything.
     ///
     /// Returns the elapsed time at which the projection last changed
     /// (the stabilization duration), or `None` on timeout.
@@ -448,10 +843,36 @@ impl<P: Protocol> EventDriver<P> {
         K: PartialEq,
         F: FnMut(NodeId, &P::State) -> K,
     {
+        self.run_until_projection_stable(
+            move |_protocol, p, s| project(p, s),
+            sample_interval,
+            quiet_samples,
+            max_time,
+        )
+    }
+
+    /// The one sampling loop behind both stability APIs: the
+    /// projection receives the protocol explicitly so the
+    /// [`crate::Observable`] wrapper can delegate here without
+    /// borrowing `self` inside its closure.
+    fn run_until_projection_stable<K, F>(
+        &mut self,
+        mut project: F,
+        sample_interval: f64,
+        quiet_samples: u64,
+        max_time: f64,
+    ) -> Option<f64>
+    where
+        K: PartialEq,
+        F: FnMut(&P, NodeId, &P::State) -> K,
+    {
         assert!(sample_interval > 0.0, "sample interval must be positive");
         let start = self.time;
         let deadline = start + max_time;
-        let mut tracker = StabilityTracker::new(quiet_samples);
+        let gated = self.is_gated();
+        let mut tracker: StabilityTracker<()> = StabilityTracker::new(quiet_samples);
+        let mut proj: Vec<K> = Vec::new();
+        let mut changed_buf: Vec<NodeId> = Vec::new();
         let mut sample_idx: u64 = 0;
         loop {
             let target = start + (sample_idx as f64) * sample_interval;
@@ -459,13 +880,37 @@ impl<P: Protocol> EventDriver<P> {
                 return None;
             }
             self.run_until_time(target);
-            let projection: Vec<K> = self
-                .states
-                .iter()
-                .enumerate()
-                .map(|(i, s)| project(NodeId::new(i as u32), s))
-                .collect();
-            if tracker.observe(sample_idx, projection) {
+            let changed = if gated && sample_idx > 0 {
+                // Only nodes whose state moved since the last sample
+                // can have a different projection: O(changed), not
+                // O(n), per quiet sample.
+                self.changed_since.drain_sorted_into(&mut changed_buf);
+                let mut any = false;
+                for &p in &changed_buf {
+                    let fresh = project(&self.protocol, p, &self.core.table.states[p.index()]);
+                    if proj[p.index()] != fresh {
+                        proj[p.index()] = fresh;
+                        any = true;
+                    }
+                }
+                any
+            } else {
+                self.changed_since.clear();
+                let fresh: Vec<K> = self
+                    .core
+                    .table
+                    .states
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| project(&self.protocol, NodeId::new(i as u32), s))
+                    .collect();
+                let any = fresh != proj;
+                if any {
+                    proj = fresh;
+                }
+                any
+            };
+            if tracker.observe_flag(sample_idx, changed) {
                 return Some(tracker.last_change() as f64 * sample_interval);
             }
             sample_idx += 1;
@@ -479,17 +924,31 @@ impl<P: Protocol> EventDriver<P> {
 
     /// All node states, indexed by [`NodeId`].
     pub fn states(&self) -> &[P::State] {
-        &self.states
+        &self.core.table.states
     }
 
     /// The state of one node.
     pub fn state(&self, p: NodeId) -> &P::State {
-        &self.states[p.index()]
+        &self.core.table.states[p.index()]
     }
 
     /// The topology being simulated.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Beacon broadcasts so far — the message-count metric of the
+    /// communication-efficiency literature: for a silent protocol
+    /// under gating this stops growing once the network stabilizes.
+    pub fn messages_total(&self) -> u64 {
+        self.messages
+    }
+
+    /// Events processed so far (beacon slots fired plus frame
+    /// arrivals). For a stabilized, gated network this freezes: a
+    /// quiet interval processes no events at all.
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// The fraction of in-range frame copies delivered so far — the
@@ -503,7 +962,7 @@ impl<P: Protocol> EventDriver<P> {
     }
 }
 
-impl<P: crate::Observable> EventDriver<P> {
+impl<P: crate::Observable, M: Medium> EventDriver<P, M> {
     /// Runs until the protocol's canonical [`crate::Observable`]
     /// output is unchanged for `quiet_samples` consecutive samples
     /// taken every `sample_interval`, or until `max_time` has elapsed
@@ -518,47 +977,31 @@ impl<P: crate::Observable> EventDriver<P> {
         quiet_samples: u64,
         max_time: f64,
     ) -> Option<f64> {
-        assert!(sample_interval > 0.0, "sample interval must be positive");
-        let start = self.time;
-        let deadline = start + max_time;
-        let mut tracker = StabilityTracker::new(quiet_samples);
-        let mut buf: Vec<P::Output> = Vec::with_capacity(self.states.len());
-        let mut sample_idx: u64 = 0;
-        loop {
-            let target = start + (sample_idx as f64) * sample_interval;
-            if target > deadline {
-                return None;
-            }
-            self.run_until_time(target);
-            buf.clear();
-            buf.extend(
-                self.states
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| self.protocol.output(NodeId::new(i as u32), s)),
-            );
-            if tracker.observe_slice(sample_idx, &buf) {
-                return Some(tracker.last_change() as f64 * sample_interval);
-            }
-            sample_idx += 1;
-        }
+        self.run_until_projection_stable(
+            |protocol, p, s| protocol.output(p, s),
+            sample_interval,
+            quiet_samples,
+            max_time,
+        )
     }
 }
 
-impl<P: Corruptible> EventDriver<P> {
+impl<P: Corruptible, M: Medium> EventDriver<P, M> {
     /// Corrupts every node state (arbitrary-configuration start).
     ///
-    /// Draws from per-event derived streams, never from the victims'
-    /// beacon-jitter streams: injecting a corruption does not shift any
-    /// node's subsequent transmission times.
+    /// Draws from per-event derived streams, never from timing or
+    /// frame-fate streams: injecting a corruption does not shift any
+    /// node's transmission schedule.
     pub fn corrupt_all(&mut self) {
-        for p in self.topo.nodes().collect::<Vec<_>>() {
-            let event = self.corrupt_events;
-            self.corrupt_events += 1;
-            let mut rng = split_rng(self.corrupt_base, event, u64::from(p.value()));
+        for i in 0..self.topo.len() {
+            let p = NodeId::new(i as u32);
+            let mut rng = self.core.corrupt_rng(p);
             self.protocol
-                .corrupt(p, &mut self.states[p.index()], &mut rng);
+                .corrupt(p, &mut self.core.table.states[p.index()], &mut rng);
+            self.core.wake_mutated(p, &self.topo);
+            self.note_changed(p);
         }
+        self.arm_pending();
     }
 }
 
@@ -566,6 +1009,7 @@ impl<P: Corruptible> EventDriver<P> {
 mod tests {
     use super::*;
     use mwn_graph::builders;
+    use mwn_radio::BernoulliLoss;
 
     struct MaxFlood;
     impl Protocol for MaxFlood {
@@ -587,6 +1031,36 @@ mod tests {
         }
     }
     impl Corruptible for MaxFlood {
+        fn corrupt(&self, _node: NodeId, state: &mut u32, _rng: &mut StdRng) {
+            *state = 0;
+        }
+    }
+
+    /// The flood with the silence contract declared.
+    struct GatedFlood;
+    impl Protocol for GatedFlood {
+        type State = u32;
+        type Beacon = u32;
+        fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 {
+            node.value()
+        }
+        fn beacon(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+        fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+            *state = (*state).max(*beacon);
+        }
+        fn update(&self, node: NodeId, state: &mut u32, _now: u64, _rng: &mut StdRng) {
+            *state = (*state).max(node.value());
+        }
+        fn activity(&self) -> Activity {
+            Activity::Gated
+        }
+        fn beacon_changed(&self, old: &u32, new: &u32) -> bool {
+            old != new
+        }
+    }
+    impl Corruptible for GatedFlood {
         fn corrupt(&self, _node: NodeId, state: &mut u32, _rng: &mut StdRng) {
             *state = 0;
         }
@@ -621,10 +1095,9 @@ mod tests {
 
     #[test]
     fn collisions_occur_on_dense_graphs() {
-        // Long frames → many overlaps. At 0.2 the per-frame clear
-        // probability on K12 is ≈ 0.6¹¹ ≈ 0.004, making τ = 0 a likely
-        // outcome of a 30 s run; 0.1 keeps τ bounded away from both 0
-        // and 1 regardless of the RNG stream.
+        // Long frames → many overlaps on the collision channel. At 0.1
+        // the per-frame clear probability on K12 keeps τ bounded away
+        // from both 0 and 1 regardless of the RNG stream.
         let cfg = EventConfig {
             frame_time: 0.1,
             ..EventConfig::default()
@@ -740,6 +1213,71 @@ mod tests {
             (driver.states().to_vec(), driver.measured_tau())
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn gated_event_driver_goes_silent_after_stabilization() {
+        let mut d = EventDriver::with_medium(
+            GatedFlood,
+            mwn_radio::PerfectMedium,
+            builders::line(6),
+            EventConfig::default(),
+            11,
+        );
+        assert!(d.is_gated());
+        d.run_until_time(40.0);
+        assert!(d.states().iter().all(|&s| s == 5));
+        // Let the last pending beacons retire, then measure silence.
+        d.run_until_time(45.0);
+        let (msgs, events) = (d.messages_total(), d.events_processed());
+        d.run_until_time(1045.0);
+        assert_eq!(d.messages_total(), msgs, "silent network must not send");
+        assert_eq!(
+            d.events_processed(),
+            events,
+            "a quiet interval processes zero events"
+        );
+        // Waking one node re-floods without a full restart.
+        d.corrupt_all();
+        d.run_until_time(1100.0);
+        assert!(d.states().iter().all(|&s| s == 5), "healed after wake");
+        assert!(d.messages_total() > msgs, "healing requires traffic");
+    }
+
+    #[test]
+    fn gated_equals_eager_in_continuous_time() {
+        // The continuous-time equivalence: muting silent senders on an
+        // independent-fates medium is unobservable in the trajectory.
+        let run = |eager: bool| {
+            let mut d = EventDriver::with_medium(
+                GatedFlood,
+                BernoulliLoss::new(0.7),
+                builders::ring(9),
+                EventConfig::default(),
+                13,
+            );
+            d.set_eager(eager);
+            d.run_until_time(25.0);
+            d.corrupt_all();
+            let stable = d.run_until_stable(|_, s| *s, 0.5, 6, 400.0);
+            (d.states().to_vec(), stable)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn contention_media_fall_back_to_the_collision_channel() {
+        let d = EventDriver::with_medium(
+            GatedFlood,
+            mwn_radio::SlottedCsma::new(8),
+            builders::line(4),
+            EventConfig::default(),
+            2,
+        );
+        assert!(
+            !d.is_gated(),
+            "contention-coupled media must not gate in continuous time"
+        );
     }
 
     #[test]

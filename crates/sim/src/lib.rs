@@ -17,8 +17,17 @@
 //!   paper's Δ(τ) "step" (Section 5). Step counts measured here are
 //!   directly comparable to the paper's Tables 2, 3 and 5.
 //! * [`EventDriver`] — the **continuous-time driver**: randomized
-//!   beacons, frames with duration, receiver-side collisions — the
-//!   execution model of the paper's "expected constant time" claims.
+//!   beacons, frames with duration, and either receiver-side
+//!   collisions or medium-decided frame fates — the execution model of
+//!   the paper's "expected constant time" claims.
+//!
+//! Both drivers run on one shared activity core (the private `engine`
+//! module): columnar per-node state, dirty-set scheduling, beacon
+//! epochs, per-(tick, node) derived randomness and a common worker
+//! pool — so silent stabilized regions cost (near) zero work under
+//! either clock, gated execution is byte-identical to eager execution,
+//! and the round driver's per-step active pass can be sharded across
+//! threads without changing a single byte of output.
 //! * [`StopWhen`] / [`RunReport`] — first-class stop conditions
 //!   (stability streaks, step budgets, predicates, combinators) and
 //!   structured run outcomes, replacing per-call-site projection
@@ -72,6 +81,7 @@
 #![warn(missing_docs)]
 
 mod convergence;
+mod engine;
 mod error;
 mod events;
 mod faults;
@@ -82,7 +92,6 @@ mod rng;
 mod scenario;
 mod stop;
 mod sweep;
-mod table;
 mod trace;
 
 pub use convergence::StabilityTracker;

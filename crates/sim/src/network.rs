@@ -3,10 +3,10 @@ use mwn_radio::{Delivery, Medium};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::rng::{derive_seed, split_rng, streams};
+use crate::engine::{run_pooled, ActivityCore};
+use crate::rng::derive_seed;
 use crate::scenario::TopologyDynamics;
 use crate::stop::{Obs, RunReport, StopWhen};
-use crate::table::{NodeTable, NEVER};
 use crate::{Activity, Corruptible, Fault, Observable, Protocol, SimError, StabilityTracker};
 
 /// The boxed corruption hook installed by [`crate::Scenario::faults`]:
@@ -39,6 +39,34 @@ pub struct StepActivity {
     pub changed: usize,
 }
 
+/// How many worker shards the per-step active-set pass uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShardMode {
+    /// Size from `available_parallelism`, and only shard when the
+    /// active set is large enough to amortize thread spawn.
+    Auto,
+    /// Always split into exactly this many shards (equivalence tests,
+    /// the CI forced-shard matrix leg).
+    Forced(usize),
+}
+
+/// Below this many active nodes the sharded pass is not worth the
+/// scoped-thread round trip; `Auto` falls back to the serial loop.
+const AUTO_SHARD_MIN_ACTIVE: usize = 1024;
+
+/// The per-node outcome a shard worker computes; applied to the table
+/// by the ordered merge.
+struct NodeOutcome<P: Protocol> {
+    /// The node's post-pass state.
+    state: P::State,
+    /// `(adjacency index, epoch)` reception-row writes.
+    patches: Vec<(usize, u32)>,
+    /// Whether the pass changed the state (gated scheduling only).
+    changed: bool,
+    /// [`Protocol::receive`] invocations performed.
+    receives: u32,
+}
+
 /// The synchronous round driver: one call to [`Network::step`] is one
 /// of the paper's Δ(τ) "steps" (Section 5).
 ///
@@ -60,12 +88,13 @@ pub struct StepActivity {
 ///
 /// The paper's algorithms are **silent**: in the legitimate
 /// configuration nothing changes any more. The driver exploits this
-/// with a dirty set (index-backed bitset + dense list): when the
-/// protocol opts in ([`Activity::Gated`]) *and* the medium's frame
-/// fates are per-copy independent ([`Medium::independent_fates`]), a
-/// node is scheduled only if its state changed last round, a beacon it
-/// heard changed, a topology delta touched it, or a fault hit it —
-/// quiescent regions cost (near) zero work and zero messages.
+/// through the shared [`crate::engine`] core (dirty sets, beacon
+/// epochs, per-edge reception tracking): when the protocol opts in
+/// ([`Activity::Gated`]) *and* the medium's frame fates are per-copy
+/// independent ([`Medium::independent_fates`]), a node is scheduled
+/// only if its state changed last round, a beacon it heard changed, a
+/// topology delta touched it, or a fault hit it — quiescent regions
+/// cost (near) zero work and zero messages.
 ///
 /// All randomness is derived per (step, node) / (step, sender) from
 /// the constructor seed ([`crate::split_rng`]), so skipping an idle
@@ -74,6 +103,19 @@ pub struct StepActivity {
 /// Fault injection draws from a dedicated stream and never perturbs
 /// frame delivery.
 ///
+/// # Sharded execution
+///
+/// The per-node pass of a step (phase 5) only ever writes a node's own
+/// state and reception row while reading frozen beacon columns, so it
+/// is embarrassingly parallel. [`Network::set_shards`] splits the
+/// active set into deterministic contiguous chunks, runs them on the
+/// shared worker pool, and merges the outcomes **in active-set order**
+/// — sharded and serial execution are byte-identical for every shard
+/// count (states, outputs, `RunReport`s), which is what makes the
+/// parallelism testable on any machine. The `MWN_FORCE_SHARDS`
+/// environment variable forces a shard count at construction (the CI
+/// matrix leg runs the whole suite with 4).
+///
 /// Networks are normally built through [`crate::Scenario`]; the
 /// constructor and the closure-projection run methods remain available
 /// as the low-level interface.
@@ -81,22 +123,19 @@ pub struct Network<P: Protocol, M> {
     protocol: P,
     medium: M,
     topo: Topology,
-    table: NodeTable<P>,
-    /// Base seeds of the derived stream families (hoisted out of the
-    /// hot loop).
-    update_base: u64,
-    medium_base: u64,
-    corrupt_base: u64,
+    /// The shared activity core: columnar node table, dirty sets and
+    /// derived-stream bases.
+    core: ActivityCore<P>,
     /// Sequential stream for contention-coupled media (whose rounds
     /// are evaluated with the full sender set in one call).
     medium_rng: StdRng,
     /// Sequential stream for fault-site selection.
     fault_rng: StdRng,
-    /// Corruption events so far — each gets its own derived stream.
-    corrupt_events: u64,
     step: u64,
     /// `true` when the user pinned the driver to eager scheduling.
     force_eager: bool,
+    /// How the per-step active pass is split across workers.
+    shards: ShardMode,
     /// Scenario-scripted faults, fired inside [`Network::step`].
     scripted: Vec<(u64, Fault)>,
     next_scripted: usize,
@@ -124,7 +163,7 @@ where
             .field("protocol", &self.protocol)
             .field("medium", &self.medium)
             .field("topo", &self.topo)
-            .field("states", &self.table.states)
+            .field("states", &self.core.table.states)
             .field("step", &self.step)
             .field("scripted", &self.scripted.len())
             .field("dynamics", &self.dynamics.is_some())
@@ -132,42 +171,25 @@ where
     }
 }
 
-/// Epoch bump that never lands on the [`NEVER`] sentinel.
-#[inline]
-fn bump_epoch(e: u32) -> u32 {
-    let next = e.wrapping_add(1);
-    if next == NEVER {
-        0
-    } else {
-        next
-    }
-}
-
 impl<P: Protocol, M: Medium> Network<P, M> {
     /// Creates a network of cold-start nodes over `topo`.
     pub fn new(protocol: P, medium: M, topo: Topology, seed: u64) -> Self {
-        let init_base = derive_seed(seed, streams::INIT);
-        let states: Vec<P::State> = topo
-            .nodes()
-            .map(|p| {
-                let mut rng = StdRng::seed_from_u64(derive_seed(init_base, u64::from(p.value())));
-                protocol.init(p, &mut rng)
-            })
-            .collect();
-        let table = NodeTable::new(&protocol, &topo, states);
+        let core = ActivityCore::new(&protocol, &topo, seed);
+        let shards = std::env::var("MWN_FORCE_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|k| ShardMode::Forced(k.max(1)))
+            .unwrap_or(ShardMode::Auto);
         Network {
-            table,
+            core,
             protocol,
             medium,
             topo,
-            update_base: derive_seed(seed, streams::UPDATE),
-            medium_base: derive_seed(seed, streams::MEDIUM),
-            corrupt_base: derive_seed(seed, streams::CORRUPT),
             medium_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX)),
             fault_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX - 2)),
-            corrupt_events: 0,
             step: 0,
             force_eager: false,
+            shards,
             scripted: Vec::new(),
             next_scripted: 0,
             corruptor: None,
@@ -223,9 +245,41 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         if self.force_eager && !eager {
             // Re-enabling gating after an eager stretch: the dirty
             // bookkeeping was degenerate, resynchronize conservatively.
-            self.table.mark_all(&self.topo);
+            self.core.table.mark_all(&self.topo);
         }
         self.force_eager = eager;
+    }
+
+    /// Overrides how the per-step active pass is split across worker
+    /// threads: `Some(k)` forces exactly `k` shards for every step
+    /// (even tiny ones — what the equivalence tests rely on), `None`
+    /// restores the automatic policy (shard by `available_parallelism`
+    /// once the active set is large enough to amortize thread spawn).
+    ///
+    /// Sharded and serial execution are byte-identical for every shard
+    /// count; this knob only moves wall-clock time.
+    pub fn set_shards(&mut self, shards: Option<usize>) {
+        self.shards = match shards {
+            Some(k) => ShardMode::Forced(k.max(1)),
+            None => ShardMode::Auto,
+        };
+    }
+
+    /// How many shards the next active pass of `active` nodes would
+    /// use.
+    fn shard_count(&self, active: usize) -> usize {
+        match self.shards {
+            ShardMode::Forced(k) => k.min(active.max(1)),
+            ShardMode::Auto => {
+                if active < AUTO_SHARD_MIN_ACTIVE {
+                    1
+                } else {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                }
+            }
+        }
     }
 
     /// The activity counters of the most recent step.
@@ -245,7 +299,7 @@ impl<P: Protocol, M: Medium> Network<P, M> {
     /// scheduling only; empty under eager scheduling, which does not
     /// track changes).
     pub fn last_changed(&self) -> &[NodeId] {
-        &self.table.changed
+        &self.core.table.changed
     }
 
     fn apply_dynamics(&mut self) {
@@ -268,55 +322,26 @@ impl<P: Protocol, M: Medium> Network<P, M> {
             // buffers where possible; a wholesale swap invalidates all
             // incremental bookkeeping.
             self.topo.clone_from(topo);
-            self.table.mark_all(&self.topo);
+            self.core.table.mark_all(&self.topo);
             self.env_changed = true;
         }
         self.dynamics = Some(dynamics);
     }
 
-    /// Processes an incremental topology change: notify the protocol of
-    /// vanished links, wake the touched nodes, and realign their
-    /// reception bookkeeping.
+    /// Processes an incremental topology change through the shared
+    /// core: notify the protocol of vanished links, wake the touched
+    /// nodes, realign their reception bookkeeping.
     fn apply_delta(&mut self, delta: &TopologyDelta) {
-        if !delta.moved.is_empty() || !delta.is_quiet() {
+        if self.core.apply_delta(&self.protocol, &self.topo, delta) {
             // Even a link-preserving move changes the topology's
             // geometry: memoized predicate verdicts over (topo, states)
             // are stale.
             self.env_changed = true;
         }
-        if delta.is_quiet() {
-            return;
-        }
-        for &(u, v) in &delta.removed {
-            self.protocol
-                .link_down(u, &mut self.table.states[u.index()], v);
-            self.protocol
-                .link_down(v, &mut self.table.states[v.index()], u);
-        }
-        for p in delta.touched() {
-            self.table.mark_node(p);
-            self.table.reset_heard_row(p, &self.topo);
-        }
-    }
-
-    fn corrupt_rng(&mut self, p: NodeId) -> StdRng {
-        let event = self.corrupt_events;
-        self.corrupt_events += 1;
-        split_rng(self.corrupt_base, event, u64::from(p.value()))
-    }
-
-    /// Rescheduling for an externally mutated node: besides waking it,
-    /// its reception bookkeeping must be forgotten — a corrupted cache
-    /// can no longer claim to have incorporated anyone's beacon, so its
-    /// neighbors are forced to re-broadcast (exactly what the eager
-    /// engine's unconditional beacons would have repaired implicitly).
-    fn wake_mutated(&mut self, p: NodeId) {
-        self.table.mark_node(p);
-        self.table.reset_heard_row(p, &self.topo);
     }
 
     fn corrupt_scripted(&mut self, p: NodeId) {
-        let mut rng = self.corrupt_rng(p);
+        let mut rng = self.core.corrupt_rng(p);
         let corruptor = self
             .corruptor
             .as_ref()
@@ -324,10 +349,10 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         corruptor(
             &self.protocol,
             p,
-            &mut self.table.states[p.index()],
+            &mut self.core.table.states[p.index()],
             &mut rng,
         );
-        self.wake_mutated(p);
+        self.core.wake_mutated(p, &self.topo);
     }
 
     /// Deterministically picks ≈ `fraction` of the nodes from the
@@ -377,7 +402,7 @@ impl<P: Protocol, M: Medium> Network<P, M> {
     /// Executes one synchronous step; returns the new step count.
     pub fn step(&mut self) -> u64 {
         self.env_changed = false;
-        self.table.changed.clear();
+        self.core.table.changed.clear();
         self.apply_dynamics();
         self.fire_scripted();
         let eager = !self.is_gated();
@@ -385,29 +410,23 @@ impl<P: Protocol, M: Medium> Network<P, M> {
             // Degenerate dirty sets: everyone beacons, hears and runs —
             // the classic semantics, and the reference the gated mode
             // is tested against.
-            self.table.update_dirty.insert_all();
-            self.table.beacon_stale.insert_all();
-            self.table.send_pending.insert_all();
+            self.core.table.update_dirty.insert_all();
+            self.core.table.beacon_stale.insert_all();
+            self.core.table.send_pending.insert_all();
         }
 
         // Phase 1: refresh the beacons of nodes whose state changed.
-        self.table
+        self.core
+            .table
             .beacon_stale
             .drain_sorted_into(&mut self.stale_buf);
         for &p in &self.stale_buf {
-            let fresh = self.protocol.beacon(p, &self.table.states[p.index()]);
-            if self
-                .protocol
-                .beacon_changed(&self.table.beacons[p.index()], &fresh)
-            {
-                self.table.epoch[p.index()] = bump_epoch(self.table.epoch[p.index()]);
-                self.table.send_pending.insert(p);
-            }
-            self.table.beacons[p.index()] = fresh;
+            self.core.refresh_beacon(&self.protocol, p);
         }
 
         // Phase 2: the senders of this round.
-        self.table
+        self.core
+            .table
             .send_pending
             .collect_sorted_into(&mut self.senders_buf);
 
@@ -419,7 +438,7 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         self.delivery.reset(self.topo.len());
         if self.medium.independent_fates() {
             for &s in &self.senders_buf {
-                let mut rng = split_rng(self.medium_base, self.step, u64::from(s.value()));
+                let mut rng = self.core.medium_rng(self.step, s);
                 self.medium
                     .deliver_from(&self.topo, s, &mut rng, &mut self.delivery);
             }
@@ -435,7 +454,7 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         // Phase 4: the active set — nodes already dirty plus receivers
         // of a beacon epoch they have not incorporated yet.
         if !eager {
-            let table = &mut self.table;
+            let table = &mut self.core.table;
             let topo = &self.topo;
             for &r in &self.delivery.touched {
                 let fresh = self.delivery.heard[r.index()].iter().any(|&s| {
@@ -450,7 +469,8 @@ impl<P: Protocol, M: Medium> Network<P, M> {
                 }
             }
         }
-        self.table
+        self.core
+            .table
             .update_dirty
             .drain_sorted_into(&mut self.active_buf);
 
@@ -458,15 +478,52 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         // frames, then one pass of guarded assignments. Nodes only ever
         // touch their own state and read frozen beacons, so per-node
         // processing is equivalent to the classic all-receives-then-
-        // all-updates phasing.
+        // all-updates phasing — and embarrassingly parallel: the
+        // sharded pass splits the active set into contiguous chunks and
+        // merges outcomes in order, byte-identical to the serial loop.
         let now = self.step;
+        let shards = self.shard_count(self.active_buf.len());
+        let receives = if shards > 1 {
+            self.sharded_active_pass(eager, now, shards)
+        } else {
+            self.serial_active_pass(eager, now)
+        };
+
+        // Phase 6: retire senders every neighbor has caught up with.
+        if !eager {
+            for &s in &self.senders_buf {
+                if self.core.all_caught_up(&self.topo, s) {
+                    self.core.table.send_pending.remove(s);
+                }
+            }
+            // Forced marks are consumed by the change detection above.
+            self.core.table.forced_changed.clear();
+        }
+
+        self.last_activity = StepActivity {
+            senders: self.senders_buf.len(),
+            frames_attempted: self.delivery.attempted,
+            frames_delivered: self.delivery.delivered,
+            receives,
+            updates: self.active_buf.len(),
+            changed: self.core.table.changed.len(),
+        };
+        self.messages_total += self.senders_buf.len() as u64;
+        self.step += 1;
+        self.step
+    }
+
+    /// The serial phase-5 loop: in-place state mutation, no per-node
+    /// allocation. The reference the sharded pass is tested against.
+    fn serial_active_pass(&mut self, eager: bool, now: u64) -> usize {
         let mut receives = 0usize;
         for i in 0..self.active_buf.len() {
             let p = self.active_buf[i];
+            let table = &mut self.core.table;
             if !eager {
-                match &mut self.table.scratch_state {
-                    Some(s) => s.clone_from(&self.table.states[p.index()]),
-                    None => self.table.scratch_state = Some(self.table.states[p.index()].clone()),
+                match &mut table.scratch_state {
+                    Some(s) => s.clone_from(&table.states[p.index()]),
+                    None => table.scratch_state = Some(table.states[p.index()].clone()),
                 }
             }
             for si in 0..self.delivery.heard[p.index()].len() {
@@ -476,68 +533,109 @@ impl<P: Protocol, M: Medium> Network<P, M> {
                     .neighbors(p)
                     .binary_search(&s)
                     .expect("media deliver only between 1-neighbors");
-                let fresh = self.table.heard[p.index()][idx] != self.table.epoch[s.index()];
+                let table = &mut self.core.table;
+                let fresh = table.heard[p.index()][idx] != table.epoch[s.index()];
                 // Eager mode processes every delivered frame (classic
                 // semantics); gated mode skips re-receptions of an
                 // already-incorporated beacon, which the silence
                 // contract makes state no-ops.
                 if eager || fresh {
-                    self.table.heard[p.index()][idx] = self.table.epoch[s.index()];
-                    self.protocol.receive(
-                        p,
-                        &mut self.table.states[p.index()],
-                        s,
-                        &self.table.beacons[s.index()],
-                        now,
-                    );
+                    table.heard[p.index()][idx] = table.epoch[s.index()];
+                    let (states, beacons) = (&mut table.states, &table.beacons);
+                    self.protocol
+                        .receive(p, &mut states[p.index()], s, &beacons[s.index()], now);
                     receives += 1;
                 }
             }
-            let mut rng = split_rng(self.update_base, now, u64::from(p.value()));
+            let mut rng = self.core.update_rng(now, p);
             self.protocol
-                .update(p, &mut self.table.states[p.index()], now, &mut rng);
+                .update(p, &mut self.core.table.states[p.index()], now, &mut rng);
             if !eager {
-                let changed = self.table.forced_changed.contains(p)
-                    || self.table.scratch_state.as_ref() != Some(&self.table.states[p.index()]);
+                let table = &mut self.core.table;
+                let changed = table.forced_changed.contains(p)
+                    || table.scratch_state.as_ref() != Some(&table.states[p.index()]);
                 if changed {
-                    self.table.changed.push(p);
-                    self.table.update_dirty.insert(p);
-                    self.table.beacon_stale.insert(p);
+                    table.changed.push(p);
+                    table.update_dirty.insert(p);
+                    table.beacon_stale.insert(p);
                 }
             }
         }
+        receives
+    }
 
-        // Phase 6: retire senders every neighbor has caught up with.
-        if !eager {
-            for &s in &self.senders_buf {
-                let epoch = self.table.epoch[s.index()];
-                let caught_up = self.topo.neighbors(s).iter().all(|&r| {
-                    let idx = self
-                        .topo
-                        .neighbors(r)
+    /// The sharded phase-5 pass: a deterministic owner-computes
+    /// partition of the active set into `shards` contiguous chunks,
+    /// computed on the shared worker pool, merged back **in active-set
+    /// order**.
+    ///
+    /// Workers read only frozen columns (beacons, epochs, pre-pass
+    /// states, the delivery) and write nothing: each produces its
+    /// nodes' [`NodeOutcome`]s, and the single-threaded merge applies
+    /// them exactly as the serial loop would have — which is why
+    /// sharded ≡ serial holds byte-for-byte for every shard count.
+    fn sharded_active_pass(&mut self, eager: bool, now: u64, shards: usize) -> usize {
+        let chunk = self.active_buf.len().div_ceil(shards);
+        let active = &self.active_buf;
+        let table = &self.core.table;
+        let core = &self.core;
+        let protocol = &self.protocol;
+        let topo = &self.topo;
+        let delivery = &self.delivery;
+        let outcomes: Vec<Vec<NodeOutcome<P>>> = run_pooled(shards, shards, |shard| {
+            let lo = (shard * chunk).min(active.len());
+            let hi = ((shard + 1) * chunk).min(active.len());
+            let mut out = Vec::with_capacity(hi - lo);
+            for &p in &active[lo..hi] {
+                let mut state = table.states[p.index()].clone();
+                let mut patches = Vec::new();
+                let mut node_receives = 0u32;
+                for &s in &delivery.heard[p.index()] {
+                    let idx = topo
+                        .neighbors(p)
                         .binary_search(&s)
-                        .expect("adjacency is symmetric");
-                    self.table.heard[r.index()][idx] == epoch
+                        .expect("media deliver only between 1-neighbors");
+                    let fresh = table.heard[p.index()][idx] != table.epoch[s.index()];
+                    if eager || fresh {
+                        patches.push((idx, table.epoch[s.index()]));
+                        protocol.receive(p, &mut state, s, &table.beacons[s.index()], now);
+                        node_receives += 1;
+                    }
+                }
+                let mut rng = core.update_rng(now, p);
+                protocol.update(p, &mut state, now, &mut rng);
+                let changed = !eager
+                    && (table.forced_changed.contains(p) || state != table.states[p.index()]);
+                out.push(NodeOutcome {
+                    state,
+                    patches,
+                    changed,
+                    receives: node_receives,
                 });
-                if caught_up {
-                    self.table.send_pending.remove(s);
+            }
+            out
+        });
+        let mut receives = 0usize;
+        let mut cursor = 0usize;
+        for shard in outcomes {
+            for outcome in shard {
+                let p = self.active_buf[cursor];
+                cursor += 1;
+                let table = &mut self.core.table;
+                for (idx, epoch) in outcome.patches {
+                    table.heard[p.index()][idx] = epoch;
+                }
+                table.states[p.index()] = outcome.state;
+                receives += outcome.receives as usize;
+                if outcome.changed {
+                    table.changed.push(p);
+                    table.update_dirty.insert(p);
+                    table.beacon_stale.insert(p);
                 }
             }
-            // Forced marks are consumed by the change detection above.
-            self.table.forced_changed.clear();
         }
-
-        self.last_activity = StepActivity {
-            senders: self.senders_buf.len(),
-            frames_attempted: self.delivery.attempted,
-            frames_delivered: self.delivery.delivered,
-            receives,
-            updates: self.active_buf.len(),
-            changed: self.table.changed.len(),
-        };
-        self.messages_total += self.senders_buf.len() as u64;
-        self.step += 1;
-        self.step
+        debug_assert_eq!(cursor, self.active_buf.len());
+        receives
     }
 
     /// Runs `steps` synchronous steps.
@@ -567,7 +665,7 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         F: FnMut(NodeId, &P::State) -> K,
     {
         let mut tracker = StabilityTracker::new(quiet);
-        let mut buf: Vec<K> = Vec::with_capacity(self.table.states.len());
+        let mut buf: Vec<K> = Vec::with_capacity(self.core.table.states.len());
         let mut snapshot = |states: &[P::State], buf: &mut Vec<K>| {
             buf.clear();
             buf.extend(
@@ -577,11 +675,11 @@ impl<P: Protocol, M: Medium> Network<P, M> {
                     .map(|(i, s)| project(NodeId::new(i as u32), s)),
             );
         };
-        snapshot(&self.table.states, &mut buf);
+        snapshot(&self.core.table.states, &mut buf);
         tracker.observe_slice(self.step, &buf);
         while self.step < max_steps {
             self.step();
-            snapshot(&self.table.states, &mut buf);
+            snapshot(&self.core.table.states, &mut buf);
             if tracker.observe_slice(self.step, &buf) {
                 return Some(tracker.last_change());
             }
@@ -641,7 +739,7 @@ impl<P: Protocol, M: Medium> Network<P, M> {
             });
         }
         self.topo = topo;
-        self.table.mark_all(&self.topo);
+        self.core.table.mark_all(&self.topo);
         self.env_changed = true;
         Ok(())
     }
@@ -657,19 +755,19 @@ impl<P: Protocol, M: Medium> Network<P, M> {
 
     /// All node states, indexed by [`NodeId`].
     pub fn states(&self) -> &[P::State] {
-        &self.table.states
+        &self.core.table.states
     }
 
     /// The state of one node.
     pub fn state(&self, p: NodeId) -> &P::State {
-        &self.table.states[p.index()]
+        &self.core.table.states[p.index()]
     }
 
     /// Mutable state access (used by hand-written fault scenarios).
     /// The node is rescheduled: external mutation is a fault.
     pub fn state_mut(&mut self, p: NodeId) -> &mut P::State {
-        self.wake_mutated(p);
-        &mut self.table.states[p.index()]
+        self.core.wake_mutated(p, &self.topo);
+        &mut self.core.table.states[p.index()]
     }
 
     /// The protocol instance.
@@ -684,21 +782,8 @@ impl<P: Protocol, M: Medium> Network<P, M> {
     /// connectivity.
     pub fn isolate(&mut self, p: NodeId) {
         let mut nbrs = std::mem::take(&mut self.scratch_nodes);
-        nbrs.clear();
-        nbrs.extend_from_slice(self.topo.neighbors(p));
-        for &q in &nbrs {
-            self.topo.remove_edge(p, q);
-        }
-        for &q in &nbrs {
-            self.protocol
-                .link_down(p, &mut self.table.states[p.index()], q);
-            self.protocol
-                .link_down(q, &mut self.table.states[q.index()], p);
-            self.table.mark_node(q);
-            self.table.reset_heard_row(q, &self.topo);
-        }
-        self.table.mark_node(p);
-        self.table.reset_heard_row(p, &self.topo);
+        self.core
+            .isolate(&self.protocol, &mut self.topo, p, &mut nbrs);
         self.env_changed = true;
         self.scratch_nodes = nbrs;
     }
@@ -710,7 +795,8 @@ impl<P: Observable, M: Medium> Network<P, M> {
     pub fn outputs_into(&self, buf: &mut Vec<P::Output>) {
         buf.clear();
         buf.extend(
-            self.table
+            self.core
+                .table
                 .states
                 .iter()
                 .enumerate()
@@ -720,7 +806,7 @@ impl<P: Observable, M: Medium> Network<P, M> {
 
     /// The observable output of every node.
     pub fn outputs(&self) -> Vec<P::Output> {
-        let mut buf = Vec::with_capacity(self.table.states.len());
+        let mut buf = Vec::with_capacity(self.core.table.states.len());
         self.outputs_into(&mut buf);
         buf
     }
@@ -749,7 +835,7 @@ impl<P: Observable, M: Medium> Network<P, M> {
         // when the gated engine tracks them incrementally);
         // predicate/budget-only stops skip the per-step O(n) pass.
         let needs_outputs = stop.needs_outputs();
-        let mut outputs: Vec<P::Output> = Vec::with_capacity(self.table.states.len());
+        let mut outputs: Vec<P::Output> = Vec::with_capacity(self.core.table.states.len());
         if needs_outputs {
             self.outputs_into(&mut outputs);
         }
@@ -757,7 +843,7 @@ impl<P: Observable, M: Medium> Network<P, M> {
             self.step,
             0,
             &self.topo,
-            &self.table.states,
+            &self.core.table.states,
             &Obs::Full { outputs: &outputs },
         );
         while !verdict.satisfied {
@@ -765,8 +851,8 @@ impl<P: Observable, M: Medium> Network<P, M> {
             let obs = if gated {
                 let mut output_changed = false;
                 if needs_outputs {
-                    for &p in &self.table.changed {
-                        let fresh = self.protocol.output(p, &self.table.states[p.index()]);
+                    for &p in &self.core.table.changed {
+                        let fresh = self.protocol.output(p, &self.core.table.states[p.index()]);
                         if outputs[p.index()] != fresh {
                             outputs[p.index()] = fresh;
                             output_changed = true;
@@ -775,7 +861,7 @@ impl<P: Observable, M: Medium> Network<P, M> {
                 }
                 Obs::Delta {
                     output_changed,
-                    state_changed: !self.table.changed.is_empty(),
+                    state_changed: !self.core.table.changed.is_empty(),
                     env_changed: self.env_changed,
                 }
             } else {
@@ -788,7 +874,7 @@ impl<P: Observable, M: Medium> Network<P, M> {
                 self.step,
                 self.step - start,
                 &self.topo,
-                &self.table.states,
+                &self.core.table.states,
                 &obs,
             );
         }
@@ -805,10 +891,10 @@ impl<P: Observable, M: Medium> Network<P, M> {
 impl<P: Corruptible, M: Medium> Network<P, M> {
     /// Corrupts the state of one node arbitrarily.
     pub fn corrupt(&mut self, p: NodeId) {
-        let mut rng = self.corrupt_rng(p);
+        let mut rng = self.core.corrupt_rng(p);
         self.protocol
-            .corrupt(p, &mut self.table.states[p.index()], &mut rng);
-        self.wake_mutated(p);
+            .corrupt(p, &mut self.core.table.states[p.index()], &mut rng);
+        self.core.wake_mutated(p, &self.topo);
     }
 
     /// Corrupts every node: the adversarial "arbitrary initial
@@ -1134,5 +1220,36 @@ mod tests {
         assert_eq!(first.updates, 4);
         assert_eq!(first.frames_attempted, 6, "2·|E| in-range copies");
         assert_eq!(net.messages_total(), 4);
+    }
+
+    #[test]
+    fn sharded_steps_equal_serial_steps() {
+        // The deterministic owner-computes partition: every forced
+        // shard count must reproduce the serial trajectory byte for
+        // byte, through corruption and re-stabilization.
+        let run = |shards: Option<usize>| {
+            let mut net = Network::new(GatedFlood, BernoulliLoss::new(0.7), builders::ring(24), 8);
+            net.set_shards(shards);
+            net.run(6);
+            net.corrupt_all();
+            let report = net.run_to(&StopWhen::stable_for(5).within(500));
+            (report, net.states().to_vec(), net.messages_total())
+        };
+        let serial = run(Some(1));
+        for shards in [2, 3, 4, 7] {
+            assert_eq!(serial, run(Some(shards)), "{shards} shards diverged");
+        }
+        assert_eq!(serial, run(None));
+    }
+
+    #[test]
+    fn sharded_eager_equals_serial_eager() {
+        let run = |shards: usize| {
+            let mut net = Network::new(MaxFlood, BernoulliLoss::new(0.5), builders::ring(17), 21);
+            net.set_shards(Some(shards));
+            net.run(25);
+            net.states().to_vec()
+        };
+        assert_eq!(run(1), run(4));
     }
 }

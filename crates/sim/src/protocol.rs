@@ -21,6 +21,15 @@ use rand::rngs::StdRng;
 /// 3. randomness is only consumed on state-changing transitions (the
 ///    driver's per-(step, node) derived streams make stray draws
 ///    harmless, but drawing must not be the only side effect).
+///
+/// **The contract spans both clocks.** Under the synchronous round
+/// driver a gated node is skipped for a *step*; under the continuous
+/// [`crate::EventDriver`] a gated node stops scheduling beacon events
+/// altogether until something wakes it — so clause 2's
+/// "regardless of `now`" matters doubly there: between a node's last
+/// event and its wakeup, arbitrarily much simulated time passes without
+/// a single `update` call. Protocols with wall-clock cache expiry
+/// (TTL sweeps) must stay [`Activity::Eager`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Activity {
     /// Run every node every step (the conservative default, always
@@ -50,14 +59,22 @@ pub enum Activity {
 ///
 /// Protocol implementations must be deterministic given the RNG stream
 /// they are handed, so whole-network runs are reproducible from a seed.
-pub trait Protocol {
+///
+/// The `Sync` supertrait and the `Send + Sync` bounds on the associated
+/// types exist for the sharded active-set pass: the round driver may
+/// split one step's active nodes across worker threads (an
+/// owner-computes partition with an ordered merge — byte-identical to
+/// the serial pass), and the workers share the protocol and read the
+/// frozen beacon columns. Protocols are plain data in practice, so the
+/// bounds are auto-satisfied.
+pub trait Protocol: Sync {
     /// Per-node state: shared variables plus neighbor caches.
     ///
     /// `PartialEq` is what lets the activity-driven driver detect "this
     /// node's execution was a no-op" and retire it from the dirty set.
-    type State: Clone + std::fmt::Debug + PartialEq;
+    type State: Clone + std::fmt::Debug + PartialEq + Send + Sync;
     /// Snapshot of the shared variables carried by one frame.
-    type Beacon: Clone + std::fmt::Debug;
+    type Beacon: Clone + std::fmt::Debug + Send + Sync;
 
     /// Cold-start state for `node`. Self-stabilization must not depend
     /// on this being the actual initial state — see [`Corruptible`].

@@ -65,6 +65,12 @@ pub(crate) mod streams {
     pub const CORRUPT: u64 = u64::MAX - 11;
     /// Tag for the event driver's scripted-fault stream.
     pub const EVENT_FAULT: u64 = u64::MAX - 12;
+    /// Tag for the event driver's fixed per-node phase offsets.
+    pub const PHASE: u64 = u64::MAX - 13;
+    /// Tag for the event driver's per-(slot, node) beacon jitter.
+    pub const TIMING: u64 = u64::MAX - 14;
+    /// Tag for the event driver's per-frame extra-loss draws.
+    pub const EXTRA_LOSS: u64 = u64::MAX - 15;
 }
 
 /// The RNG handed to one node for one activity: a fresh [`StdRng`]

@@ -191,30 +191,40 @@ impl<P: Protocol, M: Medium> Scenario<P, M> {
     }
 
     /// Builds the continuous-time event driver instead of the round
-    /// driver. The medium is not used (the event driver models
-    /// collisions itself). Scripted [`FaultPlan`]s carry over: a fault
-    /// scheduled at step `k` fires once the clock reaches `k` beacon
-    /// periods. Mobility is not yet supported in continuous time.
+    /// driver.
+    ///
+    /// The scenario's medium is honored: media with
+    /// [`Medium::independent_fates`] (perfect, Bernoulli, fading)
+    /// decide each frame copy's fate from a derived per-(slot, sender)
+    /// stream — and permit activity gating for
+    /// [`crate::Activity::Gated`] protocols, whose silent nodes then
+    /// stop scheduling beacon events altogether. Contention-coupled
+    /// media fall back to the driver's built-in overlap-collision
+    /// channel, which models contention directly in continuous time.
+    ///
+    /// Scripted [`FaultPlan`]s carry over: a fault scheduled at step
+    /// `k` fires once the clock reaches `k` beacon periods. Mobility
+    /// dynamics tick once per beacon period at logical-step
+    /// boundaries, with [`crate::Protocol::link_down`] fired for every
+    /// severed link.
     ///
     /// # Errors
     ///
     /// [`SimError::MissingTopology`], [`SimError::InvalidConfig`] (bad
-    /// event parameters, failed validation, or an attached mobility
-    /// model).
-    pub fn build_events(self, config: EventConfig) -> Result<EventDriver<P>, SimError> {
+    /// event parameters or failed validation).
+    pub fn build_events(self, config: EventConfig) -> Result<EventDriver<P, M>, SimError> {
         let topology = self.topology.ok_or(SimError::MissingTopology)?;
         config.check().map_err(SimError::InvalidConfig)?;
-        if self.dynamics.is_some() {
-            return Err(SimError::InvalidConfig(
-                "the event driver does not support mobility yet".to_string(),
-            ));
-        }
         for check in self.validators {
             check(&topology).map_err(SimError::InvalidConfig)?;
         }
-        let mut driver = EventDriver::new(self.protocol, topology, config, self.seed);
+        let mut driver =
+            EventDriver::with_medium(self.protocol, self.medium, topology, config, self.seed);
         if let Some((plan, corruptor)) = self.faults {
             driver.install_script(plan.into_events(), Some(corruptor));
+        }
+        if let Some(dynamics) = self.dynamics {
+            driver.install_dynamics(dynamics);
         }
         Ok(driver)
     }

@@ -26,6 +26,7 @@
 
 use mwn_radio::Medium;
 
+use crate::engine::run_pooled;
 use crate::rng::derive_seed;
 use crate::{Network, Observable, RunReport, Scenario, SimError, StopWhen};
 
@@ -132,27 +133,10 @@ impl Sweep {
                     .unwrap_or(1)
                     .min(cap.unwrap_or(usize::MAX))
                     .min(runs.max(1));
-                let results: std::sync::Mutex<Vec<Option<T>>> =
-                    std::sync::Mutex::new((0..runs).map(|_| None).collect());
-                let next = std::sync::atomic::AtomicUsize::new(0);
-                std::thread::scope(|scope| {
-                    for _ in 0..threads {
-                        scope.spawn(|| loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= runs {
-                                break;
-                            }
-                            let out = job(self.seeds[i]);
-                            results.lock().expect("sweep worker lock")[i] = Some(out);
-                        });
-                    }
-                });
-                results
-                    .into_inner()
-                    .expect("sweep worker lock")
-                    .into_iter()
-                    .map(|r| r.expect("every seed index is filled exactly once"))
-                    .collect()
+                // The shared engine pool: the same scoped-thread
+                // work-stealing loop the round driver's sharded
+                // active-set pass runs on.
+                run_pooled(runs, threads, |i| job(self.seeds[i]))
             }
         }
     }

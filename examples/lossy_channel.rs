@@ -58,15 +58,17 @@ fn main() {
         &want,
     );
 
-    // Continuous time: randomized beacons, frames with duration,
-    // overlap collisions.
+    // Continuous time: randomized beacons, frames with duration. The
+    // event driver honors the scenario's medium — here Bernoulli loss
+    // at τ = 0.65, roughly what overlap collisions used to cost.
     // The TTL must cover the longest plausible run of lost beacons:
-    // with ~35% collision loss, 30 periods keeps false expiries to
-    // ~1e-13 per entry.
+    // at 35% loss, 30 periods keeps false expiries to ~1e-13 per
+    // entry.
     let mut driver = Scenario::new(DensityCluster::new(ClusterConfig {
         cache_ttl: 30,
         ..ClusterConfig::default()
     }))
+    .medium(BernoulliLoss::new(0.65))
     .topology(topo.clone())
     .seed(3)
     .build_events(EventConfig::default())

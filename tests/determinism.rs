@@ -137,6 +137,61 @@ fn sweep_parallel_equals_serial_on_full_scenario_runs() {
 }
 
 #[test]
+fn forced_shards_replay_the_unsharded_pipeline() {
+    // The full deploy → cluster → extract pipeline is a pure function
+    // of its seed regardless of how many worker shards the active-set
+    // pass uses: the owner-computes partition and ordered merge keep
+    // thread scheduling out of the results.
+    let run = |shards: Option<usize>| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(64);
+        let topo = builders::poisson(150.0, 0.12, &mut rng);
+        let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default().event_driven()))
+            .topology(topo)
+            .seed(64)
+            .build()
+            .expect("valid scenario");
+        net.set_shards(shards);
+        let report = net.run_to(&StopWhen::stable_for(4).within(2000));
+        let clustering = extract_clustering(net.states()).expect("clean");
+        (report, clustering.heads())
+    };
+    let baseline = run(Some(1));
+    for shards in [2, 4] {
+        assert_eq!(baseline, run(Some(shards)), "shards = {shards}");
+    }
+}
+
+#[test]
+fn event_driver_mobility_replays_exactly() {
+    // Continuous-time mobility (dynamics ticking at logical-step
+    // boundaries) is reproducible from the seed pair.
+    let run = || {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let topo = builders::uniform(60, 0.16, &mut rng);
+        let model = RandomWaypoint::new(topo.len(), 0.0..=meters_per_second(10.0), 1.0);
+        let dynamics = MobileScenario::new(topo.clone(), model, 3).into_dynamics(2.0);
+        let mut driver =
+            Scenario::new(DensityCluster::new(ClusterConfig::default().event_driven()))
+                .topology(topo)
+                .seed(12)
+                .mobility(dynamics)
+                .build_events(EventConfig::default())
+                .expect("valid event scenario");
+        driver.run_until_time(35.0);
+        (
+            driver.topology().edges().collect::<Vec<_>>(),
+            driver
+                .states()
+                .iter()
+                .map(|s| s.output())
+                .collect::<Vec<_>>(),
+            driver.messages_total(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
 fn event_driver_trajectories_replay_exactly() {
     let run = |seed: u64| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

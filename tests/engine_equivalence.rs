@@ -253,6 +253,162 @@ fn silence_is_total_after_stabilization() {
 }
 
 #[test]
+fn sharded_equals_serial_across_shard_counts() {
+    // The deterministic owner-computes partition of the active-set
+    // pass: every forced shard count must reproduce the serial
+    // trajectory byte for byte — states, outputs, RunReports — through
+    // loss, scripted faults and re-stabilization. This is what makes
+    // the converging-phase parallelism testable on a 1-CPU container.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let topo = builders::uniform(60, 0.16, &mut rng);
+    let run = |shards: Option<usize>, eager: bool| {
+        let mut plan = FaultPlan::new();
+        plan.at(12, Fault::CorruptFraction(0.5))
+            .at(25, Fault::CorruptAll);
+        let mut net = Scenario::new(DensityCluster::new(event_driven_config()))
+            .medium(BernoulliLoss::new(0.7))
+            .topology(topo.clone())
+            .seed(5)
+            .faults(plan)
+            .build()
+            .expect("valid scenario");
+        net.set_eager(eager);
+        net.set_shards(shards);
+        let report = net.run_to(&StopWhen::stable_for(6).within(800));
+        (report, net.outputs(), net.messages_total(), net.now())
+    };
+    for eager in [false, true] {
+        let serial = run(Some(1), eager);
+        for shards in [2, 4] {
+            assert_eq!(
+                serial,
+                run(Some(shards), eager),
+                "{shards} shards diverged from serial (eager = {eager})"
+            );
+        }
+        assert_eq!(serial, run(None, eager), "auto sharding diverged");
+    }
+}
+
+#[test]
+fn event_driver_gated_equals_eager_trajectories() {
+    // The continuous-time counterpart of the round-driver equivalence:
+    // on an independent-fates medium, muting silent senders (gated)
+    // must be unobservable against the sequential eager reference that
+    // transmits at every beacon slot — same states, same outputs, same
+    // stabilization times, across seeds and media.
+    for seed in 0..3 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(500 + seed);
+        let topo = builders::uniform(45, 0.18, &mut rng);
+        let run = |eager: bool| {
+            let mut driver = Scenario::new(DensityCluster::new(event_driven_config()))
+                .medium(BernoulliLoss::new(0.75))
+                .topology(topo.clone())
+                .seed(seed)
+                .build_events(EventConfig::default())
+                .expect("valid event scenario");
+            driver.set_eager(eager);
+            assert_eq!(driver.is_gated(), !eager);
+            let first = driver.run_until_output_stable(1.0, 5, 600.0);
+            driver.corrupt_all();
+            let healed = driver.run_until_output_stable(1.0, 5, 600.0);
+            let outputs: Vec<_> = driver.states().iter().map(|s| (s.head, s.parent)).collect();
+            (first, healed, outputs)
+        };
+        let gated = run(false);
+        let eager = run(true);
+        assert_eq!(gated, eager, "seed {seed}");
+        assert!(
+            gated.0.is_some() && gated.1.is_some(),
+            "both phases stabilize"
+        );
+    }
+}
+
+#[test]
+fn event_driver_silence_is_total_after_stabilization() {
+    // The acceptance criterion for the continuous clock: once a gated
+    // network stabilizes, the event queue drains — a long quiet
+    // interval processes zero events and sends zero messages, so its
+    // cost is O(1), not O(n · periods).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+    let topo = builders::uniform(70, 0.15, &mut rng);
+    let mut driver = Scenario::new(DensityCluster::new(event_driven_config()))
+        .topology(topo)
+        .seed(4)
+        .build_events(EventConfig::default())
+        .expect("valid event scenario");
+    assert!(driver.is_gated());
+    driver
+        .run_until_output_stable(1.0, 5, 600.0)
+        .expect("stabilizes");
+    // Let the last pending beacons retire.
+    driver.run_until_time(driver.time() + 20.0);
+    let (messages, events) = (driver.messages_total(), driver.events_processed());
+    driver.run_until_time(driver.time() + 10_000.0);
+    assert_eq!(driver.messages_total(), messages, "silence must be total");
+    assert_eq!(driver.events_processed(), events, "no events while quiet");
+    // And the network is still awake: a corruption re-floods.
+    driver.corrupt_all();
+    driver
+        .run_until_output_stable(1.0, 5, 600.0)
+        .expect("heals after the quiet eon");
+    assert!(driver.messages_total() > messages);
+}
+
+#[test]
+fn event_driver_gated_equals_eager_under_mobility() {
+    // Mobility in continuous time (the last PR-1 open item): dynamics
+    // tick at logical-step boundaries in both modes, apply incremental
+    // deltas and fire link_down — and gating stays unobservable while
+    // the topology churns.
+    let run = |eager: bool| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let topo = builders::uniform(50, 0.18, &mut rng);
+        let model = RandomWaypoint::new(topo.len(), 0.0..=meters_per_second(20.0), 0.5);
+        let dynamics = MobileScenario::new(topo.clone(), model, 5).into_dynamics(2.0);
+        let mut driver = Scenario::new(DensityCluster::new(event_driven_config()))
+            .topology(topo)
+            .seed(8)
+            .mobility(dynamics)
+            .build_events(EventConfig::default())
+            .expect("valid event scenario");
+        driver.set_eager(eager);
+        driver.run_until_time(40.0);
+        let outputs: Vec<_> = driver.states().iter().map(|s| (s.head, s.parent)).collect();
+        (
+            driver.topology().edges().collect::<Vec<_>>(),
+            outputs,
+            driver.time(),
+        )
+    };
+    assert_eq!(run(false), run(true), "mobility must not break equivalence");
+}
+
+#[test]
+fn event_driver_mobility_then_settlement_stabilizes() {
+    // After the nodes stop moving, the protocol settles on the final
+    // topology and the gated driver goes silent on it.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+    let topo = builders::uniform(40, 0.2, &mut rng);
+    let model = RandomWaypoint::new(topo.len(), 0.0..=meters_per_second(15.0), 0.5);
+    let dynamics = MobileScenario::new(topo.clone(), model, 9).into_dynamics(2.0);
+    let mut driver = Scenario::new(DensityCluster::new(event_driven_config()))
+        .topology(topo)
+        .seed(10)
+        .mobility(dynamics)
+        .build_events(EventConfig::default())
+        .expect("valid event scenario");
+    driver.run_until_time(30.0);
+    assert!(driver.stop_dynamics(), "dynamics were attached");
+    driver
+        .run_until_output_stable(1.0, 5, 600.0)
+        .expect("settles once the nodes stop moving");
+    let clustering = extract_clustering(driver.states()).expect("clean fixpoint");
+    assert!(clustering.head_count() > 0);
+}
+
+#[test]
 fn wilson_convergence_probability_pipeline() {
     // The Sweep::convergence + mwn_metrics::wilson_interval pairing
     // the weak-stabilization experiments use.
