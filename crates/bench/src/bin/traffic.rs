@@ -1,0 +1,42 @@
+//! Traffic over the stabilized overlay: delivered throughput, latency
+//! percentiles and loss-during-restabilization under a scripted fault
+//! burst, at scale.
+//!
+//! ```sh
+//! cargo run --release -p mwn-bench --bin traffic             # 1k + 10k
+//! cargo run --release -p mwn-bench --bin traffic -- --quick  # 1k (CI smoke)
+//! ```
+//!
+//! Writes `BENCH_traffic.json` next to the working directory. Exits
+//! non-zero (asserts) unless every quiet run delivered 100% with
+//! byte-identical sharded/serial reports and every churn run shows
+//! non-zero restabilization loss.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sizes: Vec<usize> = if quick {
+        vec![1_000]
+    } else {
+        vec![1_000, 10_000]
+    };
+    let points = mwn_bench::traffic::run(&sizes, 20050610, quick);
+    println!("{}", mwn_bench::traffic::render(&points));
+    for p in &points {
+        assert_eq!(
+            p.quiet.delivered_fraction, 1.0,
+            "quiet network lost packets at n = {}",
+            p.nodes
+        );
+        assert!(p.sharded_identical, "sharded != serial at n = {}", p.nodes);
+        assert!(
+            p.churn.dropped_stranded > 0,
+            "no restabilization loss measured at n = {}",
+            p.nodes
+        );
+    }
+    let json = mwn_bench::traffic::to_json(&points);
+    let path = "BENCH_traffic.json";
+    std::fs::write(path, &json).expect("write BENCH_traffic.json");
+    println!("\nwrote {path}");
+}

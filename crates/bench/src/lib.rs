@@ -18,6 +18,7 @@
 //! | hierarchy extension (conclusion) | [`hierarchy_exp`] | `cargo run -p mwn-bench --bin hierarchy` |
 //! | energy extension (conclusion) | [`energy_exp`] | `cargo run -p mwn-bench --bin energy` |
 //! | hierarchical-routing stretch (§1 motivation) | [`routing_exp`] | `cargo run -p mwn-bench --bin routing` |
+//! | traffic plane: throughput / latency / loss under churn | [`traffic`] | `cargo run -p mwn-bench --bin traffic` |
 //!
 //! Every experiment takes an [`ExperimentScale`]; binaries accept
 //! `--quick` (seconds, for smoke tests) and `--runs N` (the paper uses
@@ -41,5 +42,6 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod traffic;
 
 pub use common::ExperimentScale;

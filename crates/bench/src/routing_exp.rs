@@ -5,7 +5,9 @@
 //! stretch).
 
 use mwn_baselines::{highest_degree_config, lowest_id_config};
-use mwn_cluster::{mean_stretch, oracle, HeadRule, OracleConfig};
+use mwn_cluster::{
+    mean_stretch_over, oracle, FlatRoutes, HeadRule, HierarchicalRoutes, OracleConfig,
+};
 use mwn_graph::builders;
 use mwn_metrics::{RunningStats, Table};
 use mwn_sim::Sweep;
@@ -49,7 +51,10 @@ pub fn run(scale: ExperimentScale) -> RoutingResult {
             let mut rng = StdRng::seed_from_u64(seed);
             let topo = builders::poisson(scale.lambda / 2.0, 0.1, &mut rng);
             let clustering = oracle(&topo, &cfg);
-            let stretch = mean_stretch(&topo, &clustering, 200, &mut rng);
+            // Route through the shared RoutingView abstraction — the
+            // same view the traffic plane forwards packets over.
+            let view = HierarchicalRoutes::new(&topo, clustering.clone());
+            let stretch = mean_stretch_over(&topo, &view, 200, &mut rng);
             stretch.map(|s| (s, clustering.head_count() as f64))
         });
         let mut stretch = RunningStats::new();
@@ -62,6 +67,22 @@ pub fn run(scale: ExperimentScale) -> RoutingResult {
         result.stretch.push(stretch.mean());
         result.clusters.push(clusters.mean());
     }
+
+    // Reference row: the flat shortest-path view has stretch exactly 1
+    // by definition — it anchors the table and exercises the trait's
+    // other implementation.
+    let flat = Sweep::over(scale.runs.min(4), scale.seed ^ 0x207E).map(|seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = builders::poisson(scale.lambda / 2.0, 0.1, &mut rng);
+        mean_stretch_over(&topo, &FlatRoutes, 200, &mut rng)
+    });
+    let mut flat_stretch = RunningStats::new();
+    for s in flat.into_iter().flatten() {
+        flat_stretch.push(s);
+    }
+    result.policies.push("flat shortest-path".into());
+    result.stretch.push(flat_stretch.mean());
+    result.clusters.push(f64::NAN);
     result
 }
 
@@ -70,12 +91,14 @@ pub fn render(result: &RoutingResult) -> Table {
     let mut table = Table::new("Hierarchical routing stretch by clustering policy");
     table.set_headers(["policy", "mean stretch", "mean #clusters"]);
     for i in 0..result.policies.len() {
+        let clusters = if result.clusters[i].is_finite() {
+            format!("{:.1}", result.clusters[i])
+        } else {
+            "—".to_string()
+        };
         table.add_row(
             result.policies[i].clone(),
-            vec![
-                format!("{:.3}", result.stretch[i]),
-                format!("{:.1}", result.clusters[i]),
-            ],
+            vec![format!("{:.3}", result.stretch[i]), clusters],
         );
     }
     table
@@ -92,7 +115,7 @@ mod tests {
             lambda: 500.0,
             ..ExperimentScale::quick()
         });
-        assert_eq!(result.policies.len(), 4);
+        assert_eq!(result.policies.len(), 5);
         for (i, p) in result.policies.iter().enumerate() {
             assert!(
                 result.stretch[i] >= 1.0 && result.stretch[i] < 3.0,
@@ -100,6 +123,13 @@ mod tests {
                 result.stretch[i]
             );
         }
+        // The flat baseline is exactly 1 by construction.
+        let flat = result
+            .policies
+            .iter()
+            .position(|p| p == "flat shortest-path")
+            .unwrap();
+        assert!((result.stretch[flat] - 1.0).abs() < 1e-9);
         // Fusion merges clusters: fewer of them than plain density.
         let density = result
             .policies

@@ -1,0 +1,301 @@
+//! **Traffic experiment**: the production question behind the paper's
+//! clustering — how much *data* does the overlay carry, and how much
+//! is lost while the control plane re-stabilizes?
+//!
+//! Each size point runs the same heavy-tailed workload twice over a
+//! stabilized density clustering:
+//!
+//! * **quiet** — no faults: every injected packet must be delivered
+//!   (100%), and the run is repeated with the forwarding pass forced
+//!   to 4 shards to check byte-identical reports (the data plane
+//!   inherits the sharded ≡ serial discipline);
+//! * **churn** — a scripted fault burst isolates the workload's
+//!   hottest sink mid-run and restores it after the packet TTL has
+//!   passed: packets caught without a route strand, which is the
+//!   reported (and asserted non-zero) loss-during-restabilization.
+
+use mwn_cluster::{extract_clustering, ClusterConfig, DensityCluster, HierarchicalRoutes};
+use mwn_graph::{builders, traversal, NodeId, Topology};
+use mwn_sim::{Network, Scenario, StopWhen};
+use mwn_traffic::{
+    hottest_sink, run_rounds, DemandModel, FlowSpec, TrafficConfig, TrafficPlane, TrafficReport,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One network size's traffic measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficPoint {
+    /// Poisson intensity requested.
+    pub intensity: usize,
+    /// Actual node count of the deployment.
+    pub nodes: usize,
+    /// Undirected link count.
+    pub edges: usize,
+    /// Node count of the giant component the workload lives in.
+    pub component_nodes: usize,
+    /// Steps the election needed to stabilize before traffic started.
+    pub stabilization_steps: u64,
+    /// The quiet (fault-free) run.
+    pub quiet: TrafficReport,
+    /// Quiet run repeated with the forward pass forced to 4 shards:
+    /// `true` when its report is byte-identical to the serial one.
+    pub sharded_identical: bool,
+    /// The fault-burst run (hottest sink isolated, then restored).
+    pub churn: TrafficReport,
+}
+
+fn radius_for(n: usize, degree_target: f64) -> f64 {
+    (degree_target / (n as f64 * std::f64::consts::PI)).sqrt()
+}
+
+/// Maps a workload generated over giant-component indices onto the
+/// component's real node ids, so every flow is routable on a quiet
+/// network.
+fn remap(flows: Vec<FlowSpec>, component: &[NodeId]) -> Vec<FlowSpec> {
+    flows
+        .into_iter()
+        .map(|f| FlowSpec {
+            src: component[f.src.index()],
+            dst: component[f.dst.index()],
+            ..f
+        })
+        .collect()
+}
+
+/// Builds a stabilized control plane over `topo`; returns the network
+/// and its stabilization step count.
+fn stabilized_net(
+    topo: &Topology,
+    seed: u64,
+) -> (Network<DensityCluster, mwn_radio::PerfectMedium>, u64) {
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default().event_driven()))
+        .topology(topo.clone())
+        .seed(seed)
+        .build()
+        .expect("valid scenario");
+    let report = net.run_to(&StopWhen::stable_for(5).within(10_000));
+    let steps = report.expect_stable("the election stabilizes (Lemma 2)");
+    // Drain trailing beacons so traffic starts on a silent network.
+    net.run(5);
+    (net, steps)
+}
+
+/// The view factory every traffic run uses: routes exist only when the
+/// clustering snapshot is extractable *and* internally consistent —
+/// mid-restabilization it is not, which is precisely what the plane's
+/// stranded-loss accounting measures.
+fn cluster_view(
+    topo: &Topology,
+    states: &[mwn_cluster::ClusterState],
+) -> Option<HierarchicalRoutes> {
+    extract_clustering(states).and_then(|c| HierarchicalRoutes::try_new(topo, c))
+}
+
+/// Runs the quiet workload on a fresh stabilized network, with the
+/// forward pass forced to `shards` shards.
+fn quiet_run(
+    topo: &Topology,
+    seed: u64,
+    flows: &[FlowSpec],
+    cfg: TrafficConfig,
+    budget: u64,
+    shards: usize,
+) -> TrafficReport {
+    let (mut net, _) = stabilized_net(topo, seed);
+    let mut plane = TrafficPlane::new(topo.len(), cfg);
+    plane.set_shards(Some(shards));
+    plane.add_flows(flows);
+    run_rounds(&mut net, &mut plane, budget, cluster_view)
+}
+
+/// Runs the traffic measurement at one Poisson intensity.
+///
+/// # Panics
+///
+/// Panics if the election fails to stabilize, the deployment's giant
+/// component is degenerate, or the workload has no hottest sink.
+pub fn run_point(intensity: usize, seed: u64, quick: bool) -> TrafficPoint {
+    let radius = radius_for(intensity, 8.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = builders::poisson(intensity as f64, radius, &mut rng);
+    let nodes = topo.len();
+    let edges = topo.edge_count();
+
+    let mut components = traversal::connected_components(&topo);
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let component = components.first().cloned().unwrap_or_default();
+    assert!(component.len() >= 16, "degenerate giant component");
+
+    // Heavy-tailed demand over the giant component, starts staggered
+    // so the instantaneous load stays within the service capacity.
+    let model = DemandModel {
+        flows: (component.len() / 16).max(8),
+        zipf_exponent: 0.9,
+        pareto_shape: 1.5,
+        mean_packets: if quick { 60.0 } else { 200.0 },
+        max_packets: if quick { 600 } else { 4_000 },
+        start_spread: if quick { 400 } else { 2_000 },
+    };
+    let flows = remap(model.generate(component.len(), seed ^ 0x7AFF), &component);
+
+    // Quiet run: effectively unbounded queues and TTL, so the only
+    // possible loss would be control-plane loss — and there is none.
+    let quiet_cfg = TrafficConfig {
+        queue_capacity: 1 << 20,
+        service_rate: 16,
+        ttl: u64::MAX / 4,
+        inject_rate: 1,
+    };
+    let budget = model.max_packets + model.start_spread + 20_000;
+    let quiet = quiet_run(&topo, seed, &flows, quiet_cfg, budget, 1);
+    let sharded = quiet_run(&topo, seed, &flows, quiet_cfg, budget, 4);
+    let sharded_identical = sharded.to_json() == quiet.to_json();
+
+    // Churn run: bounded queues, a TTL shorter than the outage window,
+    // and a fault burst that severs the hottest sink mid-run.
+    let churn_cfg = TrafficConfig {
+        queue_capacity: 256,
+        service_rate: 16,
+        ttl: 64,
+        inject_rate: 1,
+    };
+    let hot = hottest_sink(&flows).expect("non-empty workload");
+    let (mut net, stabilization_steps) = stabilized_net(&topo, seed);
+    let mut plane = TrafficPlane::new(topo.len(), churn_cfg);
+    plane.add_flows(&flows);
+    // Phase A: normal operation.
+    run_rounds(&mut net, &mut plane, 150, cluster_view);
+    // Phase B: the burst — the hottest sink drops off the network for
+    // an outage longer than the TTL, so packets caught without a
+    // route age out as stranded.
+    net.isolate(hot);
+    run_rounds(&mut net, &mut plane, 150, cluster_view);
+    // Phase C: restore and let the protocol re-stabilize; traffic
+    // resumes and the backlog drains.
+    net.set_topology(topo.clone()).expect("same node count");
+    let churn = run_rounds(&mut net, &mut plane, budget, cluster_view);
+
+    TrafficPoint {
+        intensity,
+        nodes,
+        edges,
+        component_nodes: component.len(),
+        stabilization_steps,
+        quiet,
+        sharded_identical,
+        churn,
+    }
+}
+
+/// Runs the full size sweep.
+pub fn run(sizes: &[usize], seed: u64, quick: bool) -> Vec<TrafficPoint> {
+    sizes.iter().map(|&n| run_point(n, seed, quick)).collect()
+}
+
+/// Renders the results as a JSON array (hand-rolled: the vendored
+/// `serde` shim has no serializer) — the `BENCH_traffic.json` payload
+/// CI archives.
+pub fn to_json(points: &[TrafficPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"intensity\": {}, \"nodes\": {}, \"edges\": {}, ",
+                "\"component_nodes\": {}, \"stabilization_steps\": {}, ",
+                "\"sharded_identical\": {}, ",
+                "\"quiet\": {}, \"churn\": {}}}{}"
+            ),
+            p.intensity,
+            p.nodes,
+            p.edges,
+            p.component_nodes,
+            p.stabilization_steps,
+            p.sharded_identical,
+            p.quiet.to_json(),
+            p.churn.to_json(),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders a human-readable table.
+pub fn render(points: &[TrafficPoint]) -> mwn_metrics::Table {
+    let mut table = mwn_metrics::Table::new("Traffic over the stabilized overlay: quiet vs churn");
+    let mut headers = vec!["n".to_string()];
+    headers.extend(points.iter().map(|p| p.nodes.to_string()));
+    table.set_headers(headers);
+    let col = |f: fn(&TrafficPoint) -> f64| points.iter().map(f).collect::<Vec<_>>();
+    table.add_numeric_row(
+        "quiet delivered %",
+        &col(|p| p.quiet.delivered_fraction * 100.0),
+        2,
+    );
+    table.add_numeric_row("quiet throughput pkt/step", &col(|p| p.quiet.throughput), 1);
+    table.add_numeric_row("quiet latency p50", &col(|p| p.quiet.latency_p50), 0);
+    table.add_numeric_row("quiet latency p95", &col(|p| p.quiet.latency_p95), 0);
+    table.add_numeric_row("quiet latency p99", &col(|p| p.quiet.latency_p99), 0);
+    table.add_numeric_row("quiet mean hops", &col(|p| p.quiet.mean_hops), 2);
+    table.add_numeric_row(
+        "churn stranded pkts",
+        &col(|p| p.churn.dropped_stranded as f64),
+        0,
+    );
+    table.add_numeric_row(
+        "churn overflow pkts",
+        &col(|p| p.churn.dropped_overflow as f64),
+        0,
+    );
+    table.add_numeric_row(
+        "churn restab. loss %",
+        &col(|p| p.churn.loss_during_restabilization * 100.0),
+        3,
+    );
+    table.add_numeric_row(
+        "sharded == serial",
+        &col(|p| if p.sharded_identical { 1.0 } else { 0.0 }),
+        0,
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_point_delivers_quiet_and_loses_under_churn() {
+        let p = run_point(300, 11, true);
+        assert!(p.nodes > 200);
+        assert_eq!(
+            p.quiet.delivered_fraction, 1.0,
+            "quiet network must deliver everything: {:?}",
+            p.quiet
+        );
+        assert_eq!(p.quiet.injected, p.quiet.delivered);
+        assert!(p.sharded_identical, "sharded forwarding diverged");
+        assert!(
+            p.churn.dropped_stranded > 0,
+            "fault burst produced no restabilization loss: {:?}",
+            p.churn
+        );
+        assert!(p.churn.loss_during_restabilization > 0.0);
+        assert!(p.quiet.latency_p50 <= p.quiet.latency_p95);
+        assert!(p.quiet.latency_p95 <= p.quiet.latency_p99);
+        assert!(p.quiet.mean_hops >= 1.0);
+    }
+
+    #[test]
+    fn json_embeds_both_reports() {
+        let p = run_point(200, 3, true);
+        let json = to_json(&[p]);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.contains("\"quiet\": {"));
+        assert!(json.contains("\"churn\": {"));
+        assert!(json.contains("\"loss_during_restabilization\""));
+        assert!(!render(&[run_point(200, 3, true)]).to_string().is_empty());
+    }
+}

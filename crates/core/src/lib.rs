@@ -92,5 +92,7 @@ pub use protocol::{
     extract_clustering, extract_dag_ids, ClusterBeacon, ClusterConfig, ClusterState, ClusterView,
     DagConfig, DensityCluster, FreshnessPolicy, NeighborEntry, PeerSummary,
 };
-pub use routing::{mean_stretch, ClusterRouter};
+pub use routing::{
+    mean_stretch, mean_stretch_over, ClusterRouter, FlatRoutes, HierarchicalRoutes, RoutingView,
+};
 pub use stabilization::{check_legitimate, measure_info_schedule, Illegitimacy, InfoSchedule};

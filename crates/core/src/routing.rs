@@ -11,9 +11,14 @@
 //!   inside the union of the two adjacent clusters — and finally
 //!   descends from the destination's head.
 //!
-//! The price of locality is path *stretch* (hierarchical hops divided
-//! by the shortest-path hops); [`mean_stretch`] measures it, which is
-//! how the routing bench compares election metrics.
+//! Consumers (the traffic plane, the routing bench) program against
+//! the [`RoutingView`] trait — "give me a route / next hop toward
+//! `dst` on this topology" — so hierarchical routes
+//! ([`HierarchicalRoutes`]) and the flat shortest-path baseline
+//! ([`FlatRoutes`]) are interchangeable. The price of hierarchy is
+//! path *stretch* (hierarchical hops divided by the shortest-path
+//! hops); [`mean_stretch`] measures it, which is how the routing
+//! bench compares election metrics.
 
 use mwn_graph::{traversal, NodeId, Topology};
 use rand::rngs::StdRng;
@@ -22,7 +27,154 @@ use rand::Rng;
 use crate::hierarchy::head_overlay;
 use crate::Clustering;
 
-/// A router over one topology + clustering.
+/// Next-hop routing over a topology: the contract between the
+/// stabilized control plane and anything that forwards data.
+///
+/// A view owns its routing *state* (clustering, overlays, …) but not
+/// the topology — the caller passes the topology at lookup time so one
+/// view can be queried against the live, churning graph it was built
+/// from. After churn, routes a view answers with may no longer be
+/// walks in the current topology; forwarding code must re-check each
+/// edge at its forwarding instant and rebuild the view from fresh
+/// protocol outputs when lookups go stale.
+pub trait RoutingView {
+    /// Full route from `src` to `dst`, inclusive of both endpoints, or
+    /// `None` when the view knows no route.
+    fn route(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>>;
+
+    /// The neighbor `at` should forward to next for `dst`. `None` when
+    /// unroutable; `at == dst` also answers `None` (nothing to do).
+    fn next_hop(&self, topo: &Topology, at: NodeId, dst: NodeId) -> Option<NodeId> {
+        self.route(topo, at, dst)?.get(1).copied()
+    }
+}
+
+/// The two-level hierarchical routing state, owned: a snapshot of the
+/// clustering plus the derived head overlay. Build one per stable
+/// clustering (e.g. from [`crate::extract_clustering`]) and query it
+/// through [`RoutingView`].
+///
+/// # Examples
+///
+/// ```
+/// use mwn_cluster::{oracle, HierarchicalRoutes, OracleConfig, RoutingView};
+/// use mwn_graph::{builders, NodeId};
+///
+/// let topo = builders::grid(6, 6, 0.25);
+/// let routes = HierarchicalRoutes::new(&topo, oracle(&topo, &OracleConfig::default()));
+/// let route = routes.route(&topo, NodeId::new(0), NodeId::new(35)).unwrap();
+/// assert_eq!(route.first(), Some(&NodeId::new(0)));
+/// assert_eq!(route.last(), Some(&NodeId::new(35)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HierarchicalRoutes {
+    clustering: Clustering,
+    heads: Vec<NodeId>,
+    overlay: Topology,
+}
+
+impl HierarchicalRoutes {
+    /// Prepares routing state (the head overlay) for a stable
+    /// clustering of `topo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the clustering's head claims are inconsistent (a
+    /// node names a head that has not elected itself) — snapshots
+    /// taken mid-convergence can look like that; use
+    /// [`HierarchicalRoutes::try_new`] for those.
+    pub fn new(topo: &Topology, clustering: Clustering) -> Self {
+        Self::try_new(topo, clustering).expect("consistent head claims in a stable clustering")
+    }
+
+    /// Like [`HierarchicalRoutes::new`], but answers `None` instead of
+    /// panicking when the clustering is not internally consistent —
+    /// the right constructor for view factories sampling a protocol
+    /// that may still be converging.
+    pub fn try_new(topo: &Topology, clustering: Clustering) -> Option<Self> {
+        let consistent = (0..topo.len() as u32)
+            .map(NodeId::new)
+            .all(|p| clustering.is_head(clustering.head(p)));
+        if !consistent {
+            return None;
+        }
+        let (heads, overlay) = head_overlay(topo, &clustering);
+        Some(HierarchicalRoutes {
+            clustering,
+            heads,
+            overlay,
+        })
+    }
+
+    /// The clustering snapshot this view routes over.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    fn overlay_id(&self, head: NodeId) -> Option<u32> {
+        self.heads.binary_search(&head).ok().map(|i| i as u32)
+    }
+
+    /// Routes inside one cluster: shortest path among that cluster's
+    /// members.
+    fn route_within(
+        &self,
+        topo: &Topology,
+        cluster: NodeId,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<Vec<NodeId>> {
+        traversal::bfs_path_filtered(topo, from, to, |v| self.clustering.head(v) == cluster)
+    }
+}
+
+impl RoutingView for HierarchicalRoutes {
+    /// Computes the hierarchical route from `src` to `dst`, inclusive.
+    ///
+    /// Returns `None` when no route exists (different components) —
+    /// also when the hierarchy's overlay is partitioned, which cannot
+    /// happen for a stable clustering of a connected graph.
+    fn route(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let h_src = self.clustering.head(src);
+        let h_dst = self.clustering.head(dst);
+        if h_src == h_dst {
+            return self.route_within(topo, h_src, src, dst);
+        }
+        // Overlay path between the two heads.
+        let o_src = NodeId::new(self.overlay_id(h_src)?);
+        let o_dst = NodeId::new(self.overlay_id(h_dst)?);
+        let overlay_path = traversal::bfs_path_filtered(&self.overlay, o_src, o_dst, |_| true)?;
+        // Expand: climb to the head, hop cluster to cluster, descend.
+        let mut route = self.route_within(topo, h_src, src, h_src)?;
+        for pair in overlay_path.windows(2) {
+            let a = self.heads[pair[0].index()];
+            let b = self.heads[pair[1].index()];
+            let segment = traversal::bfs_path_filtered(topo, *route.last()?, b, |v| {
+                let h = self.clustering.head(v);
+                h == a || h == b
+            })?;
+            route.extend_from_slice(&segment[1..]);
+        }
+        let tail = self.route_within(topo, h_dst, *route.last()?, dst)?;
+        route.extend_from_slice(&tail[1..]);
+        Some(route)
+    }
+}
+
+/// The flat shortest-path baseline: global BFS, no hierarchy, no
+/// locality — what the clustered scheme's stretch is measured against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlatRoutes;
+
+impl RoutingView for FlatRoutes {
+    fn route(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        traversal::bfs_path_filtered(topo, src, dst, |_| true)
+    }
+}
+
+/// A router over one topology + clustering — the borrow-based
+/// convenience wrapper around [`HierarchicalRoutes`] for callers that
+/// route against a fixed topology snapshot.
 ///
 /// # Examples
 ///
@@ -40,32 +192,17 @@ use crate::Clustering;
 #[derive(Debug)]
 pub struct ClusterRouter<'a> {
     topo: &'a Topology,
-    clustering: &'a Clustering,
-    heads: Vec<NodeId>,
-    overlay: Topology,
+    routes: HierarchicalRoutes,
 }
 
 impl<'a> ClusterRouter<'a> {
     /// Prepares routing state (the head overlay) for a stable
     /// clustering.
-    pub fn new(topo: &'a Topology, clustering: &'a Clustering) -> Self {
-        let (heads, overlay) = head_overlay(topo, clustering);
+    pub fn new(topo: &'a Topology, clustering: &Clustering) -> Self {
         ClusterRouter {
             topo,
-            clustering,
-            heads,
-            overlay,
+            routes: HierarchicalRoutes::new(topo, clustering.clone()),
         }
-    }
-
-    fn overlay_id(&self, head: NodeId) -> Option<u32> {
-        self.heads.binary_search(&head).ok().map(|i| i as u32)
-    }
-
-    /// Routes inside one cluster: shortest path among that cluster's
-    /// members.
-    fn route_within(&self, cluster: NodeId, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
-        traversal::bfs_path_filtered(self.topo, from, to, |v| self.clustering.head(v) == cluster)
     }
 
     /// Computes the hierarchical route from `src` to `dst`, inclusive.
@@ -74,29 +211,7 @@ impl<'a> ClusterRouter<'a> {
     /// also when the hierarchy's overlay is partitioned, which cannot
     /// happen for a stable clustering of a connected graph.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
-        let h_src = self.clustering.head(src);
-        let h_dst = self.clustering.head(dst);
-        if h_src == h_dst {
-            return self.route_within(h_src, src, dst);
-        }
-        // Overlay path between the two heads.
-        let o_src = NodeId::new(self.overlay_id(h_src)?);
-        let o_dst = NodeId::new(self.overlay_id(h_dst)?);
-        let overlay_path = traversal::bfs_path_filtered(&self.overlay, o_src, o_dst, |_| true)?;
-        // Expand: climb to the head, hop cluster to cluster, descend.
-        let mut route = self.route_within(h_src, src, h_src)?;
-        for pair in overlay_path.windows(2) {
-            let a = self.heads[pair[0].index()];
-            let b = self.heads[pair[1].index()];
-            let segment = traversal::bfs_path_filtered(self.topo, *route.last()?, b, |v| {
-                let h = self.clustering.head(v);
-                h == a || h == b
-            })?;
-            route.extend_from_slice(&segment[1..]);
-        }
-        let tail = self.route_within(h_dst, *route.last()?, dst)?;
-        route.extend_from_slice(&tail[1..]);
-        Some(route)
+        self.routes.route(self.topo, src, dst)
     }
 
     /// Route length in hops (`route.len() - 1`), or `None` if
@@ -111,19 +226,19 @@ impl<'a> ClusterRouter<'a> {
     }
 }
 
-/// Mean stretch (hierarchical hops / shortest hops) over `samples`
-/// random connected pairs. Pairs in different components are skipped;
-/// returns `None` when no valid pair was sampled.
-pub fn mean_stretch(
+/// Mean stretch (view hops / shortest hops) of an arbitrary
+/// [`RoutingView`] over `samples` random connected pairs. Pairs in
+/// different components are skipped; returns `None` when no valid
+/// pair was sampled.
+pub fn mean_stretch_over<R: RoutingView>(
     topo: &Topology,
-    clustering: &Clustering,
+    view: &R,
     samples: usize,
     rng: &mut StdRng,
 ) -> Option<f64> {
     if topo.len() < 2 {
         return None;
     }
-    let router = ClusterRouter::new(topo, clustering);
     let mut total = 0.0;
     let mut count = 0usize;
     for _ in 0..samples {
@@ -134,13 +249,25 @@ pub fn mean_stretch(
         }
         let direct = traversal::bfs_distances(topo, src)[dst.index()];
         let Some(direct) = direct else { continue };
-        let Some(hier) = router.hops(src, dst) else {
+        let Some(route) = view.route(topo, src, dst) else {
             continue;
         };
-        total += hier as f64 / f64::from(direct.max(1));
+        total += (route.len() - 1) as f64 / f64::from(direct.max(1));
         count += 1;
     }
     (count > 0).then(|| total / count as f64)
+}
+
+/// Mean stretch of the two-level hierarchical scheme for `clustering`
+/// — [`mean_stretch_over`] specialized to [`HierarchicalRoutes`].
+pub fn mean_stretch(
+    topo: &Topology,
+    clustering: &Clustering,
+    samples: usize,
+    rng: &mut StdRng,
+) -> Option<f64> {
+    let view = HierarchicalRoutes::new(topo, clustering.clone());
+    mean_stretch_over(topo, &view, samples, rng)
 }
 
 #[cfg(test)]
@@ -181,6 +308,50 @@ mod tests {
     }
 
     #[test]
+    fn next_hop_agrees_with_route_second_entry() {
+        let topo = field(4);
+        let clustering = oracle(&topo, &OracleConfig::default());
+        let view = HierarchicalRoutes::new(&topo, clustering);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut checked = 0;
+        for _ in 0..100 {
+            let src = NodeId::new(rng.random_range(0..topo.len() as u32));
+            let dst = NodeId::new(rng.random_range(0..topo.len() as u32));
+            if src == dst {
+                continue;
+            }
+            if let Some(route) = view.route(&topo, src, dst) {
+                let hop = view.next_hop(&topo, src, dst).expect("route implies hop");
+                assert_eq!(Some(&hop), route.get(1));
+                assert!(topo.has_edge(src, hop), "next hop is a neighbor");
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "only {checked} pairs checked");
+    }
+
+    #[test]
+    fn flat_routes_are_shortest_paths() {
+        let topo = field(5);
+        let view = FlatRoutes;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let src = NodeId::new(rng.random_range(0..topo.len() as u32));
+            let dst = NodeId::new(rng.random_range(0..topo.len() as u32));
+            let direct = traversal::bfs_distances(&topo, src)[dst.index()];
+            match (view.route(&topo, src, dst), direct) {
+                (Some(route), Some(d)) => assert_eq!(route.len() as u32 - 1, d),
+                (None, None) => {}
+                (r, d) => panic!("flat route {r:?} vs bfs {d:?}"),
+            }
+        }
+        // Flat stretch is exactly 1 by construction.
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = mean_stretch_over(&topo, &view, 100, &mut rng).expect("pairs");
+        assert!((s - 1.0).abs() < 1e-12, "flat stretch {s} != 1");
+    }
+
+    #[test]
     fn intra_cluster_routes_are_shortest_within_the_cluster() {
         let topo = builders::complete(8);
         let clustering = oracle(&topo, &OracleConfig::default());
@@ -199,6 +370,8 @@ mod tests {
             Some(vec![NodeId::new(2)])
         );
         assert_eq!(router.hops(NodeId::new(2), NodeId::new(2)), Some(0));
+        let view = HierarchicalRoutes::new(&topo, clustering);
+        assert_eq!(view.next_hop(&topo, NodeId::new(2), NodeId::new(2)), None);
     }
 
     #[test]

@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod percentile;
 mod proportion;
 mod running;
 mod table;
 
 pub use histogram::Histogram;
+pub use percentile::{percentiles, LatencyHistogram};
 pub use proportion::{wilson_interval, Proportion};
 pub use running::{RunningStats, Summary};
 pub use table::Table;

@@ -440,9 +440,13 @@ impl SlotClock {
 /// because each job sees only its task index.
 ///
 /// This is the one worker-pool loop in the workspace: [`crate::Sweep`]
-/// fans seeds over it and the round driver's sharded active-set pass
-/// fans node chunks over it.
-pub(crate) fn run_pooled<T, F>(tasks: usize, threads: usize, job: F) -> Vec<T>
+/// fans seeds over it, the round driver's sharded active-set pass fans
+/// node chunks over it, and the traffic plane's batch forwarding pass
+/// fans queue shards over it. Note the worker contract: jobs get only
+/// shared, immutable access to captured state (`Fn` + `Sync`), so a
+/// caller that needs to mutate must split its pass into a read-only
+/// examine phase here plus a serial merge of the returned values.
+pub fn run_pooled<T, F>(tasks: usize, threads: usize, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

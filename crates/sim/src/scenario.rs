@@ -92,6 +92,7 @@ pub struct Scenario<P: Protocol, M: Medium = PerfectMedium> {
     faults: Option<(FaultPlan, Corruptor<P>)>,
     dynamics: Option<Box<dyn TopologyDynamics + Send>>,
     validators: Vec<Validator>,
+    shards: Option<usize>,
 }
 
 impl<P: Protocol> Scenario<P, PerfectMedium> {
@@ -106,6 +107,7 @@ impl<P: Protocol> Scenario<P, PerfectMedium> {
             faults: None,
             dynamics: None,
             validators: Vec::new(),
+            shards: None,
         }
     }
 }
@@ -121,6 +123,7 @@ impl<P: Protocol, M: Medium> Scenario<P, M> {
             faults: self.faults,
             dynamics: self.dynamics,
             validators: self.validators,
+            shards: self.shards,
         }
     }
 
@@ -147,6 +150,17 @@ impl<P: Protocol, M: Medium> Scenario<P, M> {
         let corruptor: Corruptor<P> =
             Box::new(|protocol, node, state, rng| protocol.corrupt(node, state, rng));
         self.faults = Some((plan, corruptor));
+        self
+    }
+
+    /// Forces the round driver's sharded active pass to exactly `k`
+    /// shards (`k = 1` forces the serial path), overriding the
+    /// automatic policy and the `MWN_FORCE_SHARDS` environment
+    /// variable. Sharded and serial execution are byte-identical, so
+    /// this is a performance knob, not a semantics knob. Ignored by
+    /// [`Scenario::build_events`].
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = Some(k);
         self
     }
 
@@ -181,6 +195,9 @@ impl<P: Protocol, M: Medium> Scenario<P, M> {
             check(&topology).map_err(SimError::InvalidConfig)?;
         }
         let mut net = Network::new(self.protocol, self.medium, topology, self.seed);
+        if let Some(k) = self.shards {
+            net.set_shards(Some(k));
+        }
         if let Some((plan, corruptor)) = self.faults {
             net.install_script(plan.into_events(), Some(corruptor));
         }

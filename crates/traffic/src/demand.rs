@@ -1,0 +1,241 @@
+//! Heavy-tailed flow workloads: who talks to whom, and how much.
+//!
+//! Real ad-hoc traffic is not uniform — a few sinks (gateways,
+//! collection points) attract most flows and a few elephant flows
+//! carry most bytes. [`DemandModel`] reproduces both skews:
+//!
+//! * **sink popularity** is Zipf-distributed over a seeded random
+//!   ranking of the nodes (rank-r sink drawn with probability
+//!   ∝ 1/rᵉ);
+//! * **flow sizes** are Pareto-distributed (shape α, scaled to a
+//!   target mean, capped so one sample cannot swallow the experiment).
+//!
+//! Generation is a pure function of `(model, n, seed)` — the same
+//! workload replays byte-identically across runs, shard counts and
+//! machines.
+
+use mwn_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One source→sink flow: `packets` packets injected at `src` from step
+/// `start` on, addressed to `dst`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Injecting node.
+    pub src: NodeId,
+    /// Destination node (≠ `src`).
+    pub dst: NodeId,
+    /// Total packets this flow will inject.
+    pub packets: u64,
+    /// First step at which injection may happen.
+    pub start: u64,
+}
+
+/// A heavy-tailed (Zipf sinks × Pareto sizes) demand model; see the
+/// module docs.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_traffic::DemandModel;
+///
+/// let flows = DemandModel {
+///     flows: 100,
+///     ..DemandModel::default()
+/// }
+/// .generate(50, 7);
+/// assert_eq!(flows.len(), 100);
+/// assert!(flows.iter().all(|f| f.src != f.dst && f.packets >= 1));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct DemandModel {
+    /// Number of flows to generate.
+    pub flows: usize,
+    /// Zipf exponent for sink popularity (0 = uniform; ~1 = strongly
+    /// skewed).
+    pub zipf_exponent: f64,
+    /// Pareto shape α for flow sizes (must be > 1 for a finite mean;
+    /// smaller = heavier tail).
+    pub pareto_shape: f64,
+    /// Target mean flow size in packets.
+    pub mean_packets: f64,
+    /// Hard cap on one flow's size (tames the Pareto tail).
+    pub max_packets: u64,
+    /// Flow starts drawn uniformly from `[0, start_spread]` steps.
+    pub start_spread: u64,
+}
+
+impl Default for DemandModel {
+    fn default() -> Self {
+        DemandModel {
+            flows: 64,
+            zipf_exponent: 0.9,
+            pareto_shape: 1.5,
+            mean_packets: 100.0,
+            max_packets: 10_000,
+            start_spread: 0,
+        }
+    }
+}
+
+impl DemandModel {
+    /// Generates the workload for an `n`-node network,
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n < 2` (a flow needs two distinct endpoints) or
+    /// the Pareto shape is ≤ 1.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<FlowSpec> {
+        assert!(n >= 2, "flows need at least two nodes");
+        assert!(
+            self.pareto_shape > 1.0,
+            "Pareto shape must exceed 1 for a finite mean"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Seeded popularity ranking: a Fisher–Yates permutation maps
+        // Zipf rank r to a concrete node.
+        let mut rank_to_node: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..(i as u32 + 1)) as usize;
+            rank_to_node.swap(i, j);
+        }
+
+        // Cumulative Zipf weights over ranks.
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(self.zipf_exponent);
+            cum.push(total);
+        }
+
+        // Pareto scale for the target mean: E[X] = x_m · α / (α − 1).
+        let x_m = self.mean_packets * (self.pareto_shape - 1.0) / self.pareto_shape;
+
+        (0..self.flows)
+            .map(|_| {
+                let u: f64 = rng.random_range(0.0..total);
+                let rank = cum.partition_point(|&c| c < u).min(n - 1);
+                let dst = rank_to_node[rank];
+                let src = loop {
+                    let s = rng.random_range(0..n as u32);
+                    if s != dst {
+                        break s;
+                    }
+                };
+                let u: f64 = rng.random_range(0.0..1.0);
+                let size = (x_m * (1.0 - u).powf(-1.0 / self.pareto_shape)).round() as u64;
+                let start = if self.start_spread == 0 {
+                    0
+                } else {
+                    rng.random_range(0..self.start_spread + 1)
+                };
+                FlowSpec {
+                    src: NodeId::new(src),
+                    dst: NodeId::new(dst),
+                    packets: size.clamp(1, self.max_packets),
+                    start,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The most popular sink of a workload (the destination of the most
+/// flows, ties to the lowest id) — the natural target for a scripted
+/// fault burst, since severing it maximizes traffic caught
+/// mid-restabilization.
+pub fn hottest_sink(flows: &[FlowSpec]) -> Option<NodeId> {
+    let max_id = flows.iter().map(|f| f.dst.index()).max()?;
+    let mut counts = vec![0u64; max_id + 1];
+    for f in flows {
+        counts[f.dst.index()] += 1;
+    }
+    let (best, _) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))?;
+    Some(NodeId::new(best as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let m = DemandModel {
+            flows: 200,
+            start_spread: 10,
+            ..DemandModel::default()
+        };
+        assert_eq!(m.generate(64, 42), m.generate(64, 42));
+        assert_ne!(m.generate(64, 42), m.generate(64, 43));
+    }
+
+    #[test]
+    fn endpoints_are_distinct_and_sizes_bounded() {
+        let m = DemandModel {
+            flows: 500,
+            max_packets: 1_000,
+            ..DemandModel::default()
+        };
+        for f in m.generate(10, 1) {
+            assert_ne!(f.src, f.dst);
+            assert!(f.src.index() < 10 && f.dst.index() < 10);
+            assert!((1..=1_000).contains(&f.packets));
+            assert_eq!(f.start, 0);
+        }
+    }
+
+    #[test]
+    fn sink_popularity_is_heavy_tailed() {
+        let m = DemandModel {
+            flows: 2_000,
+            zipf_exponent: 1.2,
+            ..DemandModel::default()
+        };
+        let flows = m.generate(100, 3);
+        let hot = hottest_sink(&flows).expect("non-empty");
+        let hot_count = flows.iter().filter(|f| f.dst == hot).count();
+        // Uniform demand would give ~20 flows per sink; Zipf(1.2)
+        // concentrates far more on the head.
+        assert!(
+            hot_count > 100,
+            "hottest sink got only {hot_count}/2000 flows"
+        );
+    }
+
+    #[test]
+    fn flow_sizes_are_heavy_tailed_around_the_mean() {
+        let m = DemandModel {
+            flows: 4_000,
+            mean_packets: 100.0,
+            max_packets: 100_000,
+            ..DemandModel::default()
+        };
+        let flows = m.generate(50, 9);
+        let mean = flows.iter().map(|f| f.packets as f64).sum::<f64>() / flows.len() as f64;
+        assert!(
+            (30.0..300.0).contains(&mean),
+            "empirical mean {mean} far from target"
+        );
+        let max = flows.iter().map(|f| f.packets).max().unwrap();
+        assert!(max > 500, "no elephant flows in {} samples", flows.len());
+    }
+
+    #[test]
+    fn zipf_zero_is_roughly_uniform() {
+        let m = DemandModel {
+            flows: 3_000,
+            zipf_exponent: 0.0,
+            ..DemandModel::default()
+        };
+        let flows = m.generate(10, 5);
+        let hot = hottest_sink(&flows).expect("non-empty");
+        let hot_count = flows.iter().filter(|f| f.dst == hot).count();
+        assert!(hot_count < 600, "uniform sinks skewed: {hot_count}/3000");
+    }
+}

@@ -1,0 +1,154 @@
+//! The data-plane scorecard: what the network delivered, how fast,
+//! and what it lost — and to whom (congestion vs. the control plane).
+
+/// Accounting snapshot of one traffic run, produced by
+/// [`crate::TrafficPlane::report`].
+///
+/// The headline production number is
+/// [`TrafficReport::loss_during_restabilization`]: the fraction of
+/// injected packets that died *because the control plane had no
+/// answer* (no route, or a route over a vanished link) — as opposed
+/// to [`TrafficReport::dropped_overflow`] /
+/// [`TrafficReport::dropped_expired`], which are congestion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficReport {
+    /// Network size.
+    pub nodes: usize,
+    /// Flows registered.
+    pub flows: usize,
+    /// Traffic steps executed.
+    pub steps: u64,
+    /// Packets injected into source queues.
+    pub injected: u64,
+    /// Packets that reached their destination.
+    pub delivered: u64,
+    /// Packets still queued when the report was taken.
+    pub in_flight: u64,
+    /// Injection attempts deferred at a full source queue (these are
+    /// retried, not lost).
+    pub deferred: u64,
+    /// Packets dropped at a full next-hop queue.
+    pub dropped_overflow: u64,
+    /// Packets that out-lived their TTL *without* a usable next hop —
+    /// the restabilization loss.
+    pub dropped_stranded: u64,
+    /// Packets that out-lived their TTL despite a usable next hop
+    /// (service starvation).
+    pub dropped_expired: u64,
+    /// `delivered / injected` (1.0 when nothing was injected).
+    pub delivered_fraction: f64,
+    /// Delivered packets per step.
+    pub throughput: f64,
+    /// Median delivery latency in steps (histogram upper edge).
+    pub latency_p50: f64,
+    /// 95th-percentile delivery latency in steps.
+    pub latency_p95: f64,
+    /// 99th-percentile delivery latency in steps.
+    pub latency_p99: f64,
+    /// Mean delivery latency in steps (exact).
+    pub latency_mean: f64,
+    /// Mean hop count of delivered packets.
+    pub mean_hops: f64,
+    /// Largest hop count of any delivered packet.
+    pub max_hops: u64,
+    /// `dropped_stranded / injected`.
+    pub loss_during_restabilization: f64,
+    /// Full-route resolutions performed against the control plane.
+    pub route_resolutions: u64,
+}
+
+/// Formats a float as JSON: finite values with fixed precision,
+/// non-finite as `null` (empty runs have `NaN` percentiles).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl TrafficReport {
+    /// Renders the report as one JSON object. Hand-rolled (the
+    /// workspace's vendored `serde` has no serializer) and fully
+    /// deterministic — the byte-identity tests compare these strings.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"nodes\":{},\"flows\":{},\"steps\":{},",
+                "\"injected\":{},\"delivered\":{},\"in_flight\":{},\"deferred\":{},",
+                "\"dropped_overflow\":{},\"dropped_stranded\":{},\"dropped_expired\":{},",
+                "\"delivered_fraction\":{},\"throughput\":{},",
+                "\"latency_p50\":{},\"latency_p95\":{},\"latency_p99\":{},\"latency_mean\":{},",
+                "\"mean_hops\":{},\"max_hops\":{},",
+                "\"loss_during_restabilization\":{},\"route_resolutions\":{}}}"
+            ),
+            self.nodes,
+            self.flows,
+            self.steps,
+            self.injected,
+            self.delivered,
+            self.in_flight,
+            self.deferred,
+            self.dropped_overflow,
+            self.dropped_stranded,
+            self.dropped_expired,
+            num(self.delivered_fraction),
+            num(self.throughput),
+            num(self.latency_p50),
+            num(self.latency_p95),
+            num(self.latency_p99),
+            num(self.latency_mean),
+            num(self.mean_hops),
+            self.max_hops,
+            num(self.loss_during_restabilization),
+            self.route_resolutions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrafficReport {
+        TrafficReport {
+            nodes: 10,
+            flows: 2,
+            steps: 50,
+            injected: 100,
+            delivered: 90,
+            in_flight: 0,
+            deferred: 3,
+            dropped_overflow: 4,
+            dropped_stranded: 5,
+            dropped_expired: 1,
+            delivered_fraction: 0.9,
+            throughput: 1.8,
+            latency_p50: 4.0,
+            latency_p95: 9.0,
+            latency_p99: 12.0,
+            latency_mean: 4.5,
+            mean_hops: 3.2,
+            max_hops: 7,
+            loss_during_restabilization: 0.05,
+            route_resolutions: 12,
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_balanced() {
+        let a = sample().to_json();
+        assert_eq!(a, sample().to_json());
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert!(a.contains("\"loss_during_restabilization\":0.050000"));
+        assert!(a.contains("\"dropped_stranded\":5"));
+    }
+
+    #[test]
+    fn nan_percentiles_render_as_null() {
+        let mut r = sample();
+        r.latency_p50 = f64::NAN;
+        assert!(r.to_json().contains("\"latency_p50\":null"));
+    }
+}

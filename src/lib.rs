@@ -19,6 +19,8 @@
 //! * [`cluster`] — the paper's protocol, DAG renaming, oracle, metrics;
 //! * [`baselines`] — lowest-id, highest-degree, max-min d-cluster;
 //! * [`metrics`] — statistics and experiment tables;
+//! * [`traffic`] — the data plane: flow workloads forwarded over the
+//!   stabilized overlay, with loss accounting under churn;
 //! * [`viz`] — SVG / ASCII rendering of clusterings.
 //!
 //! # Quickstart
@@ -58,6 +60,7 @@ pub use mwn_metrics as metrics;
 pub use mwn_mobility as mobility;
 pub use mwn_radio as radio;
 pub use mwn_sim as sim;
+pub use mwn_traffic as traffic;
 pub use mwn_viz as viz;
 
 /// The most commonly used items, for glob import.
@@ -66,8 +69,8 @@ pub mod prelude {
         build_hierarchy, check_legitimate, density_of, energy_aware_clustering, extract_clustering,
         extract_dag_ids, oracle, simulate_rotation, ClusterConfig, ClusterState, ClusterView,
         Clustering, ClusteringStats, DagConfig, DagProtocol, DagVariant, Density, DensityCluster,
-        EnergyModel, FreshnessPolicy, HeadRule, Hierarchy, MetricKind, NameSpace, OracleConfig,
-        OrderKind,
+        EnergyModel, FlatRoutes, FreshnessPolicy, HeadRule, HierarchicalRoutes, Hierarchy,
+        MetricKind, NameSpace, OracleConfig, OrderKind, RoutingView,
     };
     pub use mwn_graph::{builders, NodeId, Point2, Topology};
     pub use mwn_metrics::{RunningStats, Table};
@@ -81,6 +84,9 @@ pub mod prelude {
     pub use mwn_sim::{
         Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Observable, Protocol,
         RunReport, Scenario, SimError, StopWhen, Sweep, TopologyDynamics, Trace,
+    };
+    pub use mwn_traffic::{
+        run_events, run_rounds, DemandModel, FlowSpec, TrafficConfig, TrafficPlane, TrafficReport,
     };
     pub use mwn_viz::{ascii_grid_clustering, svg_clustering, write_svg_clustering};
 }
