@@ -1,0 +1,196 @@
+//! Criterion micro-benchmarks of the engine's kernel layer
+//! (`mwn_sim::kernels`): every kernel against its scalar reference, on
+//! the data shapes the converging phase actually produces.
+//!
+//! Three families:
+//!
+//! * **bitset-scan** — [`BitWords::decode_into`] (word-at-a-time,
+//!   `trailing_zeros` decode with the all-ones fast path) vs the
+//!   per-bit scalar test loop, at converging density (every bit set),
+//!   mixed density and quiet sparsity;
+//! * **epoch-compare** — [`kernels::any_fresh`] (early-exit over the
+//!   contiguous reception row, merge-joined on wide rows) and
+//!   [`kernels::count_eq_u32`] (autovectorized bulk compare) vs their
+//!   scalar references;
+//! * **merge** — [`kernels::sorted_positions`] (adaptive: per-key
+//!   binary search at radio degrees, two-pointer merge on wide
+//!   densely-hit rows) vs unconditional per-frame `binary_search` —
+//!   the degree sweep shows the strategy crossover the adaptive split
+//!   is tuned to.
+//!
+//! On the 1-CPU CI container the absolute numbers wobble; compare the
+//! kernel row against its `_scalar` sibling in the same run — the
+//! ratio is the signal (see README § Kernels).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mwn_graph::NodeId;
+use mwn_sim::kernels::{self, BitWords};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 100_000;
+
+fn bits_at_density(n: usize, density: f64, seed: u64) -> BitWords {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = BitWords::new(n);
+    for i in 0..n {
+        if rng.random_bool(density) {
+            w.set(i);
+        }
+    }
+    w
+}
+
+fn bench_bitset_scan(c: &mut Criterion) {
+    for (label, density) in [
+        ("converging_dense_1.0", 1.0),
+        ("mixed_0.5", 0.5),
+        ("quiet_sparse_0.01", 0.01),
+    ] {
+        let bits = bits_at_density(N, density, 11);
+        let mut group = c.benchmark_group(&format!("bitset_scan/{label}"));
+        group.throughput(Throughput::Elements(N as u64));
+        let mut out = Vec::with_capacity(N);
+        group.bench_function("kernel", |b| {
+            b.iter(|| {
+                out.clear();
+                bits.decode_into(black_box(&mut out));
+                black_box(out.len())
+            })
+        });
+        group.bench_function("scalar", |b| {
+            b.iter(|| {
+                out.clear();
+                bits.decode_into_scalar(black_box(&mut out));
+                black_box(out.len())
+            })
+        });
+        group.finish();
+    }
+}
+
+/// A receiver's worth of join input: sorted adjacency row of `deg`
+/// entries plus a sorted ~60% subset of it as the delivered senders.
+fn join_rows(deg: usize, rows: usize, seed: u64) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows)
+        .map(|_| {
+            let mut neighbors: Vec<NodeId> = (0..deg as u32 * 3)
+                .map(|_| NodeId::new(rng.random_range(0..50_000)))
+                .collect();
+            neighbors.sort_unstable();
+            neighbors.dedup();
+            neighbors.truncate(deg);
+            let senders: Vec<NodeId> = neighbors
+                .iter()
+                .copied()
+                .filter(|_| rng.random_bool(0.6))
+                .collect();
+            (neighbors, senders)
+        })
+        .collect()
+}
+
+fn bench_merge_join(c: &mut Criterion) {
+    for deg in [8usize, 32, 256, 1024] {
+        let rows = join_rows(deg, (16_000 / deg).max(12), 23);
+        let frames: u64 = rows.iter().map(|(_, s)| s.len() as u64).sum();
+        let mut group = c.benchmark_group(&format!("merge_join/degree_{deg}"));
+        group.throughput(Throughput::Elements(frames));
+        group.bench_function("kernel", |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (neighbors, senders) in &rows {
+                    kernels::sorted_positions(neighbors, senders, |idx, _| acc += idx);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function("scalar_binary_search", |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (neighbors, senders) in &rows {
+                    kernels::sorted_positions_scalar(neighbors, senders, |idx, _| acc += idx);
+                }
+                black_box(acc)
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_epoch_compare(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(31);
+    let epochs: Vec<u32> = (0..50_000).map(|_| rng.random_range(0..4)).collect();
+    for deg in [16usize, 256] {
+        let rows = join_rows(deg, (16_000 / deg).max(50), 37);
+        let heard: Vec<Vec<u32>> = rows
+            .iter()
+            .map(|(n, _)| n.iter().map(|_| rng.random_range(0..4)).collect())
+            .collect();
+        let mut group = c.benchmark_group(&format!("epoch_compare/any_fresh_degree_{deg}"));
+        group.throughput(Throughput::Elements(rows.len() as u64));
+        group.bench_function("kernel", |b| {
+            b.iter(|| {
+                let mut fresh = 0usize;
+                for ((neighbors, senders), row) in rows.iter().zip(&heard) {
+                    fresh += usize::from(kernels::any_fresh(row, &epochs, neighbors, senders));
+                }
+                black_box(fresh)
+            })
+        });
+        group.bench_function("scalar", |b| {
+            b.iter(|| {
+                let mut fresh = 0usize;
+                for ((neighbors, senders), row) in rows.iter().zip(&heard) {
+                    fresh +=
+                        usize::from(kernels::any_fresh_scalar(row, &epochs, neighbors, senders));
+                }
+                black_box(fresh)
+            })
+        });
+        group.finish();
+    }
+
+    let column: Vec<u32> = (0..N).map(|_| rng.random_range(0..3)).collect();
+    let mut group = c.benchmark_group("epoch_compare/count_eq");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("kernel", |b| {
+        b.iter(|| black_box(kernels::count_eq_u32(black_box(&column), 1)))
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| black_box(kernels::count_eq_u32_scalar(black_box(&column), 1)))
+    });
+    group.finish();
+}
+
+fn bench_drain(c: &mut Criterion) {
+    // The per-step dirty-set drain at converging density: decode +
+    // clear in one pass, the shape `NodeSet::drain_sorted_into` takes
+    // on the dense path.
+    let bits = bits_at_density(N, 1.0, 41);
+    let mut group = c.benchmark_group("bitset_scan/drain_dense");
+    group.throughput(Throughput::Elements(N as u64));
+    let mut out = Vec::with_capacity(N);
+    group.bench_function("kernel", |b| {
+        let mut scratch = bits.clone();
+        b.iter(|| {
+            scratch.clone_from(&bits);
+            out.clear();
+            scratch.decode_and_zero_into(&mut out);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels_suite,
+    bench_bitset_scan,
+    bench_merge_join,
+    bench_epoch_compare,
+    bench_drain
+);
+criterion_main!(kernels_suite);

@@ -3,24 +3,31 @@
 //! and steps/sec by orders of magnitude versus re-running every guard.
 //!
 //! ```sh
-//! cargo run --release -p mwn-bench --bin scaling             # 1k/10k/50k
+//! cargo run --release -p mwn-bench --bin scaling             # 1k..1M sweep
 //! cargo run --release -p mwn-bench --bin scaling -- --quick  # 1k (CI smoke)
+//! cargo run --release -p mwn-bench --bin scaling -- --smoke  # 10k converging smoke
 //! ```
+//!
+//! `--smoke` is the CI guard for the kernelized converging phase: one
+//! n = 10k point with a short post-stabilization window, plus the
+//! assertion that the converging-throughput column is present and
+//! non-zero (a silent regression to an unmeasured column would
+//! otherwise slip through).
 //!
 //! Writes `BENCH_scaling.json` next to the working directory.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let sizes: Vec<usize> = if args.iter().any(|a| a == "--quick") {
+    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sizes: Vec<usize> = if quick {
         vec![1_000]
+    } else if smoke {
+        vec![10_000]
     } else {
-        vec![1_000, 10_000, 50_000]
+        vec![1_000, 10_000, 50_000, 250_000, 1_000_000]
     };
-    let post_steps = if args.iter().any(|a| a == "--quick") {
-        200
-    } else {
-        1_000
-    };
+    let post_steps = if quick || smoke { 200 } else { 1_000 };
     let points = mwn_bench::scaling::run(&sizes, 20050610, post_steps);
     println!("{}", mwn_bench::scaling::render(&points));
     for p in &points {
@@ -29,8 +36,17 @@ fn main() {
             "silence violated at n = {}",
             p.nodes
         );
+        assert!(
+            p.converging_steps_per_sec > 0.0,
+            "converging throughput missing at n = {}",
+            p.nodes
+        );
     }
     let json = mwn_bench::scaling::to_json(&points);
+    assert!(
+        json.contains("converging_steps_per_sec"),
+        "BENCH_scaling.json must carry the converging-throughput column"
+    );
     let path = "BENCH_scaling.json";
     std::fs::write(path, &json).expect("write BENCH_scaling.json");
     println!("\nwrote {path}");

@@ -5,8 +5,6 @@
 //! which bounds the stabilization time of the subsequent election even
 //! when the globally unique identifiers are adversarially distributed.
 
-use std::collections::BTreeMap;
-
 use mwn_graph::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use mwn_sim::{Corruptible, Protocol};
 
-use crate::{Key, OrderKind};
+use crate::{Key, OrderKind, SmallMap};
 
 /// How conflicts are resolved when re-drawing a DAG identifier.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -257,7 +255,9 @@ pub struct DagState {
     /// The node's current DAG identifier (shared variable `Id_p`).
     pub dag_id: u32,
     /// Cached neighbor identifiers with their last-refresh time.
-    pub cache: BTreeMap<NodeId, (u32, u64)>,
+    /// Sorted-vector backed for the same hot-loop reasons as
+    /// [`crate::ClusterState::cache`].
+    pub cache: SmallMap<NodeId, (u32, u64)>,
 }
 
 impl Protocol for DagProtocol {
@@ -268,7 +268,7 @@ impl Protocol for DagProtocol {
         // "each node randomly chooses a DAG Id" (Section 5).
         DagState {
             dag_id: rng.random_range(0..self.gamma.size()),
-            cache: BTreeMap::new(),
+            cache: SmallMap::new(),
         }
     }
 

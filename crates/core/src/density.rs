@@ -143,17 +143,43 @@ pub fn density_of(topo: &Topology, p: NodeId) -> Density {
 /// `neighbors[i]`.
 pub fn density_from_tables(me: NodeId, neighbors: &[NodeId], tables: &[&[NodeId]]) -> Density {
     debug_assert_eq!(neighbors.len(), tables.len());
-    let mut links = neighbors.len() as u32; // edges from me to each neighbor
-    for (i, &q) in neighbors.iter().enumerate() {
-        for &r in tables[i] {
+    density_from_rows(
+        me,
+        neighbors.len() as u32,
+        neighbors
+            .iter()
+            .copied()
+            .zip(tables.iter().map(|t| t.iter().copied())),
+        |r| neighbors.binary_search(&r).is_ok(),
+    )
+}
+
+/// [`density_from_tables`] without the tables: the same Definition-1
+/// value computed straight off any iterator of `(neighbor, its
+/// neighbor ids)` rows plus a membership test for the node's own
+/// neighbor set. This is the protocol hot path's entry point — it
+/// walks the neighbor cache in place instead of materializing
+/// id-vectors for every active node on every step.
+///
+/// `rows` must yield neighbors in ascending order and `contains` must
+/// answer membership in exactly that neighbor set.
+pub fn density_from_rows<I, J, F>(me: NodeId, degree: u32, rows: I, contains: F) -> Density
+where
+    I: IntoIterator<Item = (NodeId, J)>,
+    J: IntoIterator<Item = NodeId>,
+    F: Fn(NodeId) -> bool,
+{
+    let mut links = degree; // edges from me to each neighbor
+    for (q, row) in rows {
+        for r in row {
             // Count each among-neighbor edge (q, r) once: q < r, and r
             // must also be my neighbor (not me, handled by r != me).
-            if r != me && q < r && neighbors.binary_search(&r).is_ok() {
+            if r != me && q < r && contains(r) {
                 links += 1;
             }
         }
     }
-    Density::ratio(links, neighbors.len() as u32)
+    Density::ratio(links, degree)
 }
 
 #[cfg(test)]

@@ -71,6 +71,7 @@ mod oracle;
 mod order;
 mod protocol;
 mod routing;
+mod smallmap;
 mod stabilization;
 
 pub use clustering::Clustering;
@@ -78,7 +79,7 @@ pub use dag::{
     is_locally_unique, name_dag_height, new_id, order_dag_height, DagProtocol, DagState,
     DagVariant, NameSpace,
 };
-pub use density::{density_from_tables, density_of, Density};
+pub use density::{density_from_rows, density_from_tables, density_of, Density};
 pub use energy::{
     charge_round, energy_aware_clustering, simulate_rotation, EnergyModel, RotationOutcome,
 };
@@ -95,4 +96,5 @@ pub use protocol::{
 pub use routing::{
     mean_stretch, mean_stretch_over, ClusterRouter, FlatRoutes, HierarchicalRoutes, RoutingView,
 };
+pub use smallmap::SmallMap;
 pub use stabilization::{check_legitimate, measure_info_schedule, Illegitimacy, InfoSchedule};

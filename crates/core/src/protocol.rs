@@ -13,8 +13,6 @@
 //! after two it can compute its density, after three its parent, and
 //! its cluster-head after a number of steps bounded by the tree depth.
 
-use std::collections::BTreeMap;
-
 use mwn_graph::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -23,7 +21,9 @@ use serde::{Deserialize, Serialize};
 use mwn_sim::{Corruptible, Observable, Protocol};
 
 use crate::dag::new_id;
-use crate::{Clustering, DagVariant, Density, HeadRule, Key, MetricKind, NameSpace, OrderKind};
+use crate::{
+    Clustering, DagVariant, Density, HeadRule, Key, MetricKind, NameSpace, OrderKind, SmallMap,
+};
 
 /// DAG-renaming configuration (Section 4.1), when enabled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -174,7 +174,7 @@ pub struct PeerSummary {
 }
 
 /// A cached neighbor entry.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct NeighborEntry {
     /// Logical time the last beacon from this neighbor arrived.
     pub last_seen: u64,
@@ -189,8 +189,31 @@ pub struct NeighborEntry {
     pub view: Vec<PeerSummary>,
 }
 
+/// `clone_from` reuses the `view` buffer, so the engine's per-step
+/// scratch-state clones stop allocating once the view capacities have
+/// settled.
+impl Clone for NeighborEntry {
+    fn clone(&self) -> Self {
+        NeighborEntry {
+            last_seen: self.last_seen,
+            dag_id: self.dag_id,
+            density: self.density,
+            head: self.head,
+            view: self.view.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.last_seen = source.last_seen;
+        self.dag_id = source.dag_id;
+        self.density = source.density;
+        self.head = source.head;
+        self.view.clone_from(&source.view);
+    }
+}
+
 /// Per-node state: shared variables plus the neighbor cache.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterState {
     /// DAG identifier (equals the unique id when the DAG is disabled).
     pub dag_id: u32,
@@ -200,8 +223,34 @@ pub struct ClusterState {
     pub head: NodeId,
     /// Current parent `F(p)`.
     pub parent: NodeId,
-    /// Cached neighbor state, keyed by neighbor id.
-    pub cache: BTreeMap<NodeId, NeighborEntry>,
+    /// Cached neighbor state, keyed by neighbor id. Sorted-vector
+    /// backed ([`SmallMap`]): the converging phase clones and compares
+    /// this map for every active node on every step, and a contiguous
+    /// degree-sized vector makes both near-free.
+    pub cache: SmallMap<NodeId, NeighborEntry>,
+}
+
+/// `clone_from` forwards to the cache's buffer-reusing `clone_from` —
+/// the engine's scratch-state clone is allocation-free at steady
+/// state.
+impl Clone for ClusterState {
+    fn clone(&self) -> Self {
+        ClusterState {
+            dag_id: self.dag_id,
+            density: self.density,
+            head: self.head,
+            parent: self.parent,
+            cache: self.cache.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.dag_id = source.dag_id;
+        self.density = source.density;
+        self.head = source.head;
+        self.parent = source.parent;
+        self.cache.clone_from(&source.cache);
+    }
 }
 
 impl ClusterState {
@@ -308,7 +357,7 @@ impl Protocol for DensityCluster {
             density: Density::zero(),
             head: node,
             parent: node,
-            cache: BTreeMap::new(),
+            cache: SmallMap::new(),
         }
     }
 
@@ -341,29 +390,38 @@ impl Protocol for DensityCluster {
         if from == node {
             return; // a radio echo of ourselves carries no information
         }
-        if self.config.freshness == FreshnessPolicy::EventDriven {
+        let event_driven = self.config.freshness == FreshnessPolicy::EventDriven;
+        if let Some(e) = state.cache.get_mut(&from) {
             // Silence contract: an already-incorporated beacon must be
             // a state no-op — not even a timestamp refresh.
-            if let Some(e) = state.cache.get(&from) {
-                if e.dag_id == beacon.dag_id
-                    && e.density == beacon.density
-                    && e.head == beacon.head
-                    && e.view == beacon.view
-                {
-                    return;
-                }
+            if event_driven
+                && e.dag_id == beacon.dag_id
+                && e.density == beacon.density
+                && e.head == beacon.head
+                && e.view == beacon.view
+            {
+                return;
             }
+            // Overwrite in place: the entry's view buffer is reused,
+            // so a refresh from a known neighbor never allocates once
+            // the view capacity has settled.
+            e.last_seen = now;
+            e.dag_id = beacon.dag_id;
+            e.density = beacon.density;
+            e.head = beacon.head;
+            e.view.clone_from(&beacon.view);
+        } else {
+            state.cache.insert(
+                from,
+                NeighborEntry {
+                    last_seen: now,
+                    dag_id: beacon.dag_id,
+                    density: beacon.density,
+                    head: beacon.head,
+                    view: beacon.view.clone(),
+                },
+            );
         }
-        state.cache.insert(
-            from,
-            NeighborEntry {
-                last_seen: now,
-                dag_id: beacon.dag_id,
-                density: beacon.density,
-                head: beacon.head,
-                view: beacon.view.clone(),
-            },
-        );
     }
 
     fn update(&self, node: NodeId, state: &mut ClusterState, now: u64, rng: &mut StdRng) {
@@ -383,8 +441,8 @@ impl Protocol for DensityCluster {
         // --- N1: DAG renaming (Section 4.1) --------------------------
         match &self.config.dag {
             Some(dag) => {
-                let used: Vec<u32> = state.cache.values().map(|e| e.dag_id).collect();
-                let conflicted = !dag.gamma.contains(state.dag_id) || used.contains(&state.dag_id);
+                let conflicted = !dag.gamma.contains(state.dag_id)
+                    || state.cache.values().any(|e| e.dag_id == state.dag_id);
                 if conflicted {
                     let must_redraw = match dag.variant {
                         DagVariant::Randomized => true,
@@ -397,6 +455,10 @@ impl Protocol for DensityCluster {
                         }
                     };
                     if must_redraw {
+                        // The used-name list is only materialized on an
+                        // actual redraw — conflict-free steps (the
+                        // overwhelming majority) stay allocation-free.
+                        let used: Vec<u32> = state.cache.values().map(|e| e.dag_id).collect();
                         state.dag_id = new_id(state.dag_id, &used, dag.gamma, rng);
                     }
                 }
@@ -409,17 +471,18 @@ impl Protocol for DensityCluster {
         }
 
         // --- R1: density (Section 4.2) --------------------------------
-        let neighbors: Vec<NodeId> = state.cache.keys().copied().collect();
-        let tables: Vec<Vec<NodeId>> = state
-            .cache
-            .values()
-            .map(|e| e.view.iter().map(|s| s.id).collect())
-            .collect();
-        let table_refs: Vec<&[NodeId]> = tables.iter().map(Vec::as_slice).collect();
-        state.density = self
-            .config
-            .metric
-            .value_from_tables(node, &neighbors, &table_refs);
+        // Streamed straight off the cache: the rows are already sorted
+        // by neighbor id and membership is a binary search, so no
+        // id-tables are materialized per node per step.
+        state.density = self.config.metric.value_from_rows(
+            node,
+            state.cache.len() as u32,
+            state
+                .cache
+                .iter()
+                .map(|(&q, e)| (q, e.view.iter().map(|s| s.id))),
+            |r| state.cache.contains_key(&r),
+        );
 
         // --- R2: cluster-head choice (Sections 4.2 / 4.3) -------------
         let my_key = state.key(node);
@@ -960,7 +1023,7 @@ mod tests {
             density: Density::zero(),
             head: NodeId::new(42),
             parent: NodeId::new(0),
-            cache: BTreeMap::new(),
+            cache: SmallMap::new(),
         };
         assert!(extract_clustering(&[state]).is_none());
     }

@@ -19,7 +19,15 @@
 //!   silent consumes no randomness and its future transmission times
 //!   are independent of how long it slept;
 //! * [`run_pooled`] — the scoped-thread work-stealing pool shared by
-//!   [`crate::Sweep`] and the round driver's sharded active-set pass.
+//!   [`crate::Sweep`] and the traffic plane's batch forwarding;
+//! * [`run_sharded`] — the allocation-free variant backing the round
+//!   driver's sharded active pass: workers write into caller-owned,
+//!   reused arenas instead of returning fresh `Vec`s;
+//! * [`kernels`] — the branch-lean word-at-a-time kernels and columnar
+//!   layouts ([`kernels::BitWords`], [`kernels::HeardTable`], the
+//!   sorted join and epoch compares) the structures above are built
+//!   on, each with a scalar reference implementation and criterion
+//!   micro-benches under `crates/bench`.
 //!
 //! The synchronous round driver ([`crate::Network`]) and the
 //! continuous-time driver ([`crate::EventDriver`]) are thin scheduling
@@ -27,12 +35,16 @@
 //! other pops timestamped events — but dirtiness, epochs, stream
 //! derivation and wakeup rules are identical.
 
+pub mod kernels;
+
 use mwn_graph::{NodeId, Topology, TopologyDelta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::rng::{derive_seed, split_rng, streams};
 use crate::Protocol;
+
+use kernels::{BitWords, HeardTable};
 
 /// Beacon-epoch sentinel meaning "never received anything from this
 /// neighbor" — forces the neighbor to (re-)broadcast at least once.
@@ -49,77 +61,128 @@ pub(crate) fn bump_epoch(e: u32) -> u32 {
     }
 }
 
-/// An index-backed node set: O(1) insert and membership via a bitset,
-/// dense iteration via a companion list. Removal is lazy (flag
-/// cleared, entry skipped at collection time), so every operation on
-/// the hot path is constant-time and allocation-free in steady state.
+/// An index-backed node set: O(1) insert and membership via a
+/// cache-line-aligned bitset ([`kernels::BitWords`]), dense iteration
+/// via the word-at-a-time decode kernel, sparse iteration via a
+/// companion insertion log. Removal is lazy (bit cleared, log entry
+/// skipped at collection time), so every operation on the hot path is
+/// constant-time and allocation-free in steady state.
+///
+/// The bitset is always authoritative; the log is an accelerator for
+/// sparse collections. A bulk fill ([`NodeSet::insert_all`]) marks the
+/// log stale instead of materializing n entries, and the dense drain
+/// decodes the bitset directly — bit order *is* node order, so the
+/// result arrives sorted without the sort the log path needs.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct NodeSet {
-    member: Vec<bool>,
+    bits: BitWords,
+    /// Insertion log (may hold lazily-removed or duplicate entries;
+    /// compacted at collection time).
     list: Vec<NodeId>,
+    /// `false` after a bulk fill: the log no longer enumerates the
+    /// members and collections must decode the bitset.
+    list_complete: bool,
 }
+
+/// Collections switch from the log path (compact + sort, O(k log k))
+/// to the bitset decode (O(n/64) word scan) once the log holds more
+/// than one entry per this many nodes.
+const DENSE_COLLECT_DIVISOR: usize = 16;
 
 impl NodeSet {
     pub fn new(n: usize) -> Self {
         NodeSet {
-            member: vec![false; n],
-            list: Vec::with_capacity(n.min(1024)),
+            bits: BitWords::new(n),
+            list: Vec::new(),
+            list_complete: true,
         }
     }
 
     #[inline]
     pub fn insert(&mut self, p: NodeId) {
-        if !self.member[p.index()] {
-            self.member[p.index()] = true;
+        if self.bits.set(p.index()) {
+            if self.list.len() == self.list.capacity() && self.list.capacity() < self.bits.len() {
+                // Grow once, straight to node count: converging-phase
+                // insert storms never reallocate the log mid-step.
+                self.list.reserve_exact(self.bits.len() - self.list.len());
+            }
             self.list.push(p);
         }
     }
 
     #[inline]
     pub fn remove(&mut self, p: NodeId) {
-        self.member[p.index()] = false;
+        self.bits.clear(p.index());
     }
 
     #[inline]
     pub fn contains(&self, p: NodeId) -> bool {
-        self.member[p.index()]
+        self.bits.test(p.index())
     }
 
-    /// Empties the set in O(marked), keeping the buffers.
+    /// Empties the set, keeping the buffers: O(logged) while the log is
+    /// live, one bulk zero after a bulk fill.
     pub fn clear(&mut self) {
-        for i in 0..self.list.len() {
-            let p = self.list[i];
-            self.member[p.index()] = false;
+        if self.list_complete {
+            for i in 0..self.list.len() {
+                let p = self.list[i];
+                self.bits.clear(p.index());
+            }
+        } else {
+            self.bits.zero_all();
         }
         self.list.clear();
+        self.list_complete = true;
     }
 
+    /// Bulk fill: every node becomes a member in one masked word fill;
+    /// the insertion log is marked stale rather than materialized.
     pub fn insert_all(&mut self) {
+        self.bits.fill_all();
         self.list.clear();
-        for i in 0..self.member.len() {
-            self.member[i] = true;
-            self.list.push(NodeId::new(i as u32));
-        }
+        self.list_complete = false;
     }
 
     /// Copies the live members into `out`, sorted and deduplicated, and
-    /// compacts the internal list (drops lazily-removed entries).
+    /// resynchronizes the internal log (drops lazily-removed entries).
     pub fn collect_sorted_into(&mut self, out: &mut Vec<NodeId>) {
         out.clear();
-        self.list.retain(|&p| self.member[p.index()]);
-        out.extend_from_slice(&self.list);
-        out.sort_unstable();
-        out.dedup();
+        if self.dense() {
+            self.bits.decode_into(out);
+            self.list.clear();
+            self.list.extend_from_slice(out);
+        } else {
+            self.list.retain(|&p| self.bits.test(p.index()));
+            out.extend_from_slice(&self.list);
+            out.sort_unstable();
+            out.dedup();
+        }
+        self.list_complete = true;
     }
 
     /// Copies the live members into `out` (sorted, deduplicated), then
     /// empties the set.
     pub fn drain_sorted_into(&mut self, out: &mut Vec<NodeId>) {
-        self.collect_sorted_into(out);
-        for &p in out.iter() {
-            self.member[p.index()] = false;
+        out.clear();
+        if self.dense() {
+            self.bits.decode_and_zero_into(out);
+        } else {
+            self.list.retain(|&p| self.bits.test(p.index()));
+            out.extend_from_slice(&self.list);
+            out.sort_unstable();
+            out.dedup();
+            for &p in out.iter() {
+                self.bits.clear(p.index());
+            }
         }
         self.list.clear();
+        self.list_complete = true;
+    }
+
+    /// Whether collections should take the bitset-decode path.
+    #[inline]
+    fn dense(&self) -> bool {
+        !self.list_complete || self.list.len() * DENSE_COLLECT_DIVISOR >= self.bits.len()
     }
 }
 
@@ -134,10 +197,12 @@ pub(crate) struct NodeTable<P: Protocol> {
     /// Beacon version per node: bumped whenever the recomputed beacon
     /// differs ([`Protocol::beacon_changed`]) from the previous one.
     pub epoch: Vec<u32>,
-    /// `heard[r][k]`: the epoch of neighbor `adj[r][k]`'s beacon that
-    /// `r` last incorporated ([`NEVER`] if none). Kept aligned with the
-    /// topology's sorted adjacency lists.
-    pub heard: Vec<Vec<u32>>,
+    /// `heard.get(r, k)`: the epoch of neighbor `adj[r][k]`'s beacon
+    /// that `r` last incorporated ([`NEVER`] if none). Kept aligned
+    /// with the topology's sorted adjacency lists; one contiguous CSR
+    /// arena rather than a `Vec` per node (see
+    /// [`kernels::HeardTable`]).
+    pub heard: HeardTable,
     /// Nodes whose beacon must be recomputed next step (state changed).
     pub beacon_stale: NodeSet,
     /// Nodes whose guards must run next step.
@@ -163,7 +228,7 @@ impl<P: Protocol> NodeTable<P> {
             .enumerate()
             .map(|(i, s)| protocol.beacon(NodeId::new(i as u32), s))
             .collect();
-        let heard = topo.nodes().map(|p| vec![NEVER; topo.degree(p)]).collect();
+        let heard = HeardTable::new(topo.nodes().map(|p| topo.degree(p)));
         let mut table = NodeTable {
             states,
             beacons,
@@ -196,20 +261,14 @@ impl<P: Protocol> NodeTable<P> {
         self.update_dirty.insert_all();
         self.beacon_stale.insert_all();
         self.send_pending.insert_all();
-        for r in topo.nodes() {
-            let row = &mut self.heard[r.index()];
-            row.clear();
-            row.resize(topo.degree(r), NEVER);
-        }
+        self.heard.reset_all(topo.nodes().map(|p| topo.degree(p)));
     }
 
     /// Re-aligns `r`'s reception row after its adjacency list changed,
     /// conservatively forgetting what it had heard: every current
     /// neighbor is forced to re-broadcast.
     pub fn reset_heard_row(&mut self, r: NodeId, topo: &Topology) {
-        let row = &mut self.heard[r.index()];
-        row.clear();
-        row.resize(topo.degree(r), NEVER);
+        self.heard.reset_row(r.index(), topo.degree(r));
         for &q in topo.neighbors(r) {
             self.send_pending.insert(q);
         }
@@ -363,7 +422,7 @@ impl<P: Protocol> ActivityCore<P> {
         topo.neighbors(s).iter().all(|&r| {
             topo.neighbors(r)
                 .binary_search(&s)
-                .map(|idx| self.table.heard[r.index()][idx] == epoch)
+                .map(|idx| self.table.heard.get(r.index(), idx) == epoch)
                 .unwrap_or(true)
         })
     }
@@ -478,6 +537,36 @@ where
         .collect()
 }
 
+/// Runs `job(i, &mut scratch[i])` for every scratch slot, one scoped
+/// worker thread per slot — the allocation-free sibling of
+/// [`run_pooled`] for callers that own reusable per-task arenas.
+///
+/// Where [`run_pooled`] returns freshly allocated per-task values
+/// (and pays a `Mutex`-guarded result vector), workers here write
+/// directly into the caller's pre-sized scratch slots: in steady state
+/// the only cost beyond the job itself is thread spawn, and with a
+/// single slot the job runs inline with no cost at all. Slot index
+/// order is the task order — the schedule cannot leak into the
+/// results, because each worker owns exactly one slot.
+pub(crate) fn run_sharded<S, F>(scratch: &mut [S], job: F)
+where
+    S: Send,
+    F: Fn(usize, &mut S) + Sync,
+{
+    if scratch.len() <= 1 {
+        for (i, slot) in scratch.iter_mut().enumerate() {
+            job(i, slot);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (i, slot) in scratch.iter_mut().enumerate() {
+            let job = &job;
+            scope.spawn(move || job(i, slot));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,6 +584,49 @@ mod tests {
         s.drain_sorted_into(&mut out);
         assert_eq!(out, vec![NodeId::new(1)]);
         assert!(!s.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn node_set_bulk_fill_and_dense_drain() {
+        let mut s = NodeSet::new(133);
+        s.insert_all();
+        assert!(s.contains(NodeId::new(0)) && s.contains(NodeId::new(132)));
+        s.remove(NodeId::new(7));
+        s.insert(NodeId::new(7));
+        s.remove(NodeId::new(70));
+        let mut out = Vec::new();
+        s.drain_sorted_into(&mut out);
+        assert_eq!(out.len(), 132, "all but the removed node");
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted, deduplicated");
+        assert!(!out.contains(&NodeId::new(70)));
+        assert!(!s.contains(NodeId::new(0)), "drain empties the set");
+        // The set keeps working through the log path afterwards.
+        s.insert(NodeId::new(5));
+        s.collect_sorted_into(&mut out);
+        assert_eq!(out, vec![NodeId::new(5)]);
+    }
+
+    #[test]
+    fn node_set_log_grows_once_to_node_count() {
+        let mut s = NodeSet::new(5000);
+        s.insert(NodeId::new(0));
+        let cap = s.list.capacity();
+        assert!(cap >= 5000, "first insert reserves the full node count");
+        for i in 1..5000 {
+            s.insert(NodeId::new(i));
+        }
+        assert_eq!(s.list.capacity(), cap, "insert storm never reallocates");
+    }
+
+    #[test]
+    fn node_set_clear_after_bulk_fill() {
+        let mut s = NodeSet::new(90);
+        s.insert_all();
+        s.clear();
+        let mut out = Vec::new();
+        s.collect_sorted_into(&mut out);
+        assert!(out.is_empty());
+        assert!(!s.contains(NodeId::new(89)));
     }
 
     #[test]
@@ -548,5 +680,15 @@ mod tests {
         assert_eq!(serial, pooled);
         assert_eq!(pooled[5], 25);
         assert!(run_pooled(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn sharded_arenas_fill_in_slot_order() {
+        for slots in [0usize, 1, 3, 7] {
+            let mut scratch = vec![0usize; slots];
+            run_sharded(&mut scratch, |i, slot| *slot = i * i + 1);
+            let expect: Vec<usize> = (0..slots).map(|i| i * i + 1).collect();
+            assert_eq!(scratch, expect, "{slots} slots");
+        }
     }
 }

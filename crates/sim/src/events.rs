@@ -793,14 +793,14 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
         // means — a frame whose link vanished mid-flight never counts.
         self.frames_delivered += 1;
         let gated = self.is_gated();
-        let fresh = self.core.table.heard[r.index()][idx] != tx_epoch;
+        let fresh = self.core.table.heard.get(r.index(), idx) != tx_epoch;
         if gated && !fresh {
             // Already incorporated this exact beacon epoch: the
             // silence contract makes the receive (and the follow-up
             // update) a state no-op — skip it entirely.
             return;
         }
-        self.core.table.heard[r.index()][idx] = tx_epoch;
+        self.core.table.heard.set(r.index(), idx, tx_epoch);
         let now = self.logical_now();
         let t = self.time;
         if gated {

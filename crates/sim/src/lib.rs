@@ -95,6 +95,7 @@ mod sweep;
 mod trace;
 
 pub use convergence::StabilityTracker;
+pub use engine::kernels;
 pub use engine::run_pooled;
 pub use error::SimError;
 pub use events::{EventConfig, EventDriver};

@@ -3,8 +3,8 @@ use mwn_radio::{Delivery, Medium};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::engine::{run_pooled, ActivityCore};
-use crate::rng::derive_seed;
+use crate::engine::{kernels, run_sharded, ActivityCore};
+use crate::rng::{derive_seed, split_rng};
 use crate::scenario::TopologyDynamics;
 use crate::stop::{Obs, RunReport, StopWhen};
 use crate::{Activity, Corruptible, Fault, Observable, Protocol, SimError, StabilityTracker};
@@ -54,17 +54,59 @@ enum ShardMode {
 /// scoped-thread round trip; `Auto` falls back to the serial loop.
 const AUTO_SHARD_MIN_ACTIVE: usize = 1024;
 
-/// The per-node outcome a shard worker computes; applied to the table
-/// by the ordered merge.
-struct NodeOutcome<P: Protocol> {
-    /// The node's post-pass state.
-    state: P::State,
-    /// `(adjacency index, epoch)` reception-row writes.
-    patches: Vec<(usize, u32)>,
-    /// Whether the pass changed the state (gated scheduling only).
-    changed: bool,
-    /// [`Protocol::receive`] invocations performed.
+/// One shard's reusable outcome arena for the sharded phase-5 pass:
+/// the worker appends its chunk's results here (SoA: post-pass states,
+/// flattened reception patches, change flags), and the ordered merge
+/// drains them back into the table. Buffers keep their capacity across
+/// steps, so the steady-state converging loop performs zero per-node
+/// heap allocation; the `align(64)` pads each arena onto its own cache
+/// line so two workers never write the same line (the padding audit in
+/// [`crate::kernels`]).
+#[repr(align(64))]
+struct ShardScratch<P: Protocol> {
+    /// Start of this shard's contiguous active-buffer chunk.
+    lo: usize,
+    /// End (exclusive) of the chunk.
+    hi: usize,
+    /// Post-pass state per chunk node.
+    states: Vec<P::State>,
+    /// Reception-row writes, flattened: `patch_len[k]` entries belong
+    /// to chunk node `k`; adjacency-slot and epoch columns.
+    patch_idx: Vec<u32>,
+    patch_epoch: Vec<u32>,
+    patch_len: Vec<u32>,
+    /// Whether the pass changed the node's state (gated only).
+    changed: Vec<bool>,
+    /// [`Protocol::receive`] invocations in this chunk.
     receives: u32,
+}
+
+impl<P: Protocol> ShardScratch<P> {
+    fn new() -> Self {
+        ShardScratch {
+            lo: 0,
+            hi: 0,
+            states: Vec::new(),
+            patch_idx: Vec::new(),
+            patch_epoch: Vec::new(),
+            patch_len: Vec::new(),
+            changed: Vec::new(),
+            receives: 0,
+        }
+    }
+
+    /// Re-arms the arena for a fresh chunk, keeping every buffer's
+    /// capacity.
+    fn reset(&mut self, lo: usize, hi: usize) {
+        self.lo = lo;
+        self.hi = hi;
+        self.states.clear();
+        self.patch_idx.clear();
+        self.patch_epoch.clear();
+        self.patch_len.clear();
+        self.changed.clear();
+        self.receives = 0;
+    }
 }
 
 /// The synchronous round driver: one call to [`Network::step`] is one
@@ -146,6 +188,8 @@ pub struct Network<P: Protocol, M> {
     active_buf: Vec<NodeId>,
     stale_buf: Vec<NodeId>,
     scratch_nodes: Vec<NodeId>,
+    /// Pooled per-shard outcome arenas for the sharded active pass.
+    shard_scratch: Vec<ShardScratch<P>>,
     delivery: Delivery,
     // Per-step observability for stop conditions and metrics.
     last_activity: StepActivity,
@@ -198,6 +242,7 @@ impl<P: Protocol, M: Medium> Network<P, M> {
             active_buf: Vec::new(),
             stale_buf: Vec::new(),
             scratch_nodes: Vec::new(),
+            shard_scratch: Vec::new(),
             delivery: Delivery::empty(0),
             last_activity: StepActivity::default(),
             env_changed: false,
@@ -452,19 +497,19 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         }
 
         // Phase 4: the active set — nodes already dirty plus receivers
-        // of a beacon epoch they have not incorporated yet.
+        // of a beacon epoch they have not incorporated yet. The
+        // freshness test is the branch-lean epoch-compare kernel over
+        // the receiver's contiguous reception row.
         if !eager {
             let table = &mut self.core.table;
             let topo = &self.topo;
             for &r in &self.delivery.touched {
-                let fresh = self.delivery.heard[r.index()].iter().any(|&s| {
-                    let idx = topo
-                        .neighbors(r)
-                        .binary_search(&s)
-                        .expect("media deliver only between 1-neighbors");
-                    table.heard[r.index()][idx] != table.epoch[s.index()]
-                });
-                if fresh {
+                if kernels::any_fresh(
+                    table.heard.row(r.index()),
+                    &table.epoch,
+                    topo.neighbors(r),
+                    &self.delivery.heard[r.index()],
+                ) {
                     table.update_dirty.insert(r);
                 }
             }
@@ -515,43 +560,41 @@ impl<P: Protocol, M: Medium> Network<P, M> {
 
     /// The serial phase-5 loop: in-place state mutation, no per-node
     /// allocation. The reference the sharded pass is tested against.
+    ///
+    /// The per-frame binary search of the scalar reference is replaced
+    /// by the sorted-join kernel: the delivered-sender list and the
+    /// adjacency list merge in one two-pointer sweep per node
+    /// ([`kernels::sorted_positions`]).
     fn serial_active_pass(&mut self, eager: bool, now: u64) -> usize {
         let mut receives = 0usize;
-        for i in 0..self.active_buf.len() {
-            let p = self.active_buf[i];
-            let table = &mut self.core.table;
+        let update_base = self.core.update_base;
+        let table = &mut self.core.table;
+        let protocol = &self.protocol;
+        let topo = &self.topo;
+        let delivery = &self.delivery;
+        for &p in &self.active_buf {
             if !eager {
                 match &mut table.scratch_state {
                     Some(s) => s.clone_from(&table.states[p.index()]),
                     None => table.scratch_state = Some(table.states[p.index()].clone()),
                 }
             }
-            for si in 0..self.delivery.heard[p.index()].len() {
-                let s = self.delivery.heard[p.index()][si];
-                let idx = self
-                    .topo
-                    .neighbors(p)
-                    .binary_search(&s)
-                    .expect("media deliver only between 1-neighbors");
-                let table = &mut self.core.table;
-                let fresh = table.heard[p.index()][idx] != table.epoch[s.index()];
+            kernels::sorted_positions(topo.neighbors(p), &delivery.heard[p.index()], |idx, s| {
+                let e = table.epoch[s.index()];
                 // Eager mode processes every delivered frame (classic
                 // semantics); gated mode skips re-receptions of an
                 // already-incorporated beacon, which the silence
                 // contract makes state no-ops.
-                if eager || fresh {
-                    table.heard[p.index()][idx] = table.epoch[s.index()];
+                if eager || table.heard.get(p.index(), idx) != e {
+                    table.heard.set(p.index(), idx, e);
                     let (states, beacons) = (&mut table.states, &table.beacons);
-                    self.protocol
-                        .receive(p, &mut states[p.index()], s, &beacons[s.index()], now);
+                    protocol.receive(p, &mut states[p.index()], s, &beacons[s.index()], now);
                     receives += 1;
                 }
-            }
-            let mut rng = self.core.update_rng(now, p);
-            self.protocol
-                .update(p, &mut self.core.table.states[p.index()], now, &mut rng);
+            });
+            let mut rng = split_rng(update_base, now, u64::from(p.value()));
+            protocol.update(p, &mut table.states[p.index()], now, &mut rng);
             if !eager {
-                let table = &mut self.core.table;
                 let changed = table.forced_changed.contains(p)
                     || table.scratch_state.as_ref() != Some(&table.states[p.index()]);
                 if changed {
@@ -566,75 +609,83 @@ impl<P: Protocol, M: Medium> Network<P, M> {
 
     /// The sharded phase-5 pass: a deterministic owner-computes
     /// partition of the active set into `shards` contiguous chunks,
-    /// computed on the shared worker pool, merged back **in active-set
-    /// order**.
+    /// computed over pooled per-shard arenas ([`ShardScratch`]), merged
+    /// back **in active-set order**.
     ///
     /// Workers read only frozen columns (beacons, epochs, pre-pass
-    /// states, the delivery) and write nothing: each produces its
-    /// nodes' [`NodeOutcome`]s, and the single-threaded merge applies
-    /// them exactly as the serial loop would have — which is why
-    /// sharded ≡ serial holds byte-for-byte for every shard count.
+    /// states, the delivery) and write only their own arena: the
+    /// single-threaded merge then applies the arenas exactly as the
+    /// serial loop would have — which is why sharded ≡ serial holds
+    /// byte-for-byte for every shard count. The arenas are reused
+    /// across steps ([`run_sharded`] spawns one scoped thread per
+    /// slot, no result vectors), so the steady-state pass performs
+    /// zero per-node heap allocation.
     fn sharded_active_pass(&mut self, eager: bool, now: u64, shards: usize) -> usize {
-        let chunk = self.active_buf.len().div_ceil(shards);
-        let active = &self.active_buf;
-        let table = &self.core.table;
-        let core = &self.core;
-        let protocol = &self.protocol;
-        let topo = &self.topo;
-        let delivery = &self.delivery;
-        let outcomes: Vec<Vec<NodeOutcome<P>>> = run_pooled(shards, shards, |shard| {
-            let lo = (shard * chunk).min(active.len());
-            let hi = ((shard + 1) * chunk).min(active.len());
-            let mut out = Vec::with_capacity(hi - lo);
-            for &p in &active[lo..hi] {
-                let mut state = table.states[p.index()].clone();
-                let mut patches = Vec::new();
-                let mut node_receives = 0u32;
-                for &s in &delivery.heard[p.index()] {
-                    let idx = topo
-                        .neighbors(p)
-                        .binary_search(&s)
-                        .expect("media deliver only between 1-neighbors");
-                    let fresh = table.heard[p.index()][idx] != table.epoch[s.index()];
-                    if eager || fresh {
-                        patches.push((idx, table.epoch[s.index()]));
-                        protocol.receive(p, &mut state, s, &table.beacons[s.index()], now);
-                        node_receives += 1;
-                    }
+        if self.shard_scratch.len() != shards {
+            self.shard_scratch.resize_with(shards, ShardScratch::new);
+        }
+        let n_active = self.active_buf.len();
+        let chunk = n_active.div_ceil(shards);
+        for (i, sc) in self.shard_scratch.iter_mut().enumerate() {
+            sc.reset((i * chunk).min(n_active), ((i + 1) * chunk).min(n_active));
+        }
+        let update_base = self.core.update_base;
+        {
+            let table = &self.core.table;
+            let protocol = &self.protocol;
+            let topo = &self.topo;
+            let delivery = &self.delivery;
+            let active = &self.active_buf;
+            run_sharded(&mut self.shard_scratch, |_, sc| {
+                for &p in &active[sc.lo..sc.hi] {
+                    let mut state = table.states[p.index()].clone();
+                    let before = sc.patch_idx.len();
+                    kernels::sorted_positions(
+                        topo.neighbors(p),
+                        &delivery.heard[p.index()],
+                        |idx, s| {
+                            let e = table.epoch[s.index()];
+                            if eager || table.heard.get(p.index(), idx) != e {
+                                sc.patch_idx.push(idx as u32);
+                                sc.patch_epoch.push(e);
+                                protocol.receive(p, &mut state, s, &table.beacons[s.index()], now);
+                                sc.receives += 1;
+                            }
+                        },
+                    );
+                    let mut rng = split_rng(update_base, now, u64::from(p.value()));
+                    protocol.update(p, &mut state, now, &mut rng);
+                    let changed = !eager
+                        && (table.forced_changed.contains(p) || state != table.states[p.index()]);
+                    sc.patch_len.push((sc.patch_idx.len() - before) as u32);
+                    sc.changed.push(changed);
+                    sc.states.push(state);
                 }
-                let mut rng = core.update_rng(now, p);
-                protocol.update(p, &mut state, now, &mut rng);
-                let changed = !eager
-                    && (table.forced_changed.contains(p) || state != table.states[p.index()]);
-                out.push(NodeOutcome {
-                    state,
-                    patches,
-                    changed,
-                    receives: node_receives,
-                });
-            }
-            out
-        });
+            });
+        }
         let mut receives = 0usize;
-        let mut cursor = 0usize;
-        for shard in outcomes {
-            for outcome in shard {
-                let p = self.active_buf[cursor];
-                cursor += 1;
-                let table = &mut self.core.table;
-                for (idx, epoch) in outcome.patches {
-                    table.heard[p.index()][idx] = epoch;
+        let table = &mut self.core.table;
+        for sc in self.shard_scratch.iter_mut() {
+            receives += sc.receives as usize;
+            let mut patch_cursor = 0usize;
+            for (k, state) in sc.states.drain(..).enumerate() {
+                let p = self.active_buf[sc.lo + k];
+                let np = sc.patch_len[k] as usize;
+                for j in patch_cursor..patch_cursor + np {
+                    table
+                        .heard
+                        .set(p.index(), sc.patch_idx[j] as usize, sc.patch_epoch[j]);
                 }
-                table.states[p.index()] = outcome.state;
-                receives += outcome.receives as usize;
-                if outcome.changed {
+                patch_cursor += np;
+                table.states[p.index()] = state;
+                if sc.changed[k] {
                     table.changed.push(p);
                     table.update_dirty.insert(p);
                     table.beacon_stale.insert(p);
                 }
             }
+            debug_assert_eq!(patch_cursor, sc.patch_idx.len());
         }
-        debug_assert_eq!(cursor, self.active_buf.len());
         receives
     }
 

@@ -11,7 +11,10 @@
 //! because every random stream is derived per (step, node) /
 //! (step, sender): a skipped node consumes no randomness.
 
-use rand::SeedableRng;
+use mwn_sim::kernels;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use selfstab::prelude::*;
 
 /// Steps a gated and a pinned-eager twin in lockstep for `steps`
@@ -279,7 +282,7 @@ fn sharded_equals_serial_across_shard_counts() {
     };
     for eager in [false, true] {
         let serial = run(Some(1), eager);
-        for shards in [2, 4] {
+        for shards in [2, 4, 7] {
             assert_eq!(
                 serial,
                 run(Some(shards), eager),
@@ -406,6 +409,102 @@ fn event_driver_mobility_then_settlement_stabilizes() {
         .expect("settles once the nodes stop moving");
     let clustering = extract_clustering(driver.states()).expect("clean fixpoint");
     assert!(clustering.head_count() > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The kernelized active pass — word-at-a-time dirty-set drains,
+    /// sorted-join receive loop, CSR reception rows, pooled shard
+    /// arenas — is byte-identical to the scalar reference across shard
+    /// counts {1, 2, 4, 7} on both clocks.
+    ///
+    /// Two legs close the chain. (1) The kernels themselves are pinned
+    /// against their scalar references (`binary_search` per frame,
+    /// early-exiting `any`) on join shapes sampled from the *actual*
+    /// adjacency lists of the generated topology. (2) Whole-trajectory
+    /// equivalence: on the round clock every shard count must
+    /// reproduce the serial trajectory (reports, outputs, message
+    /// totals) through corruption and healing, gated and eager; on the
+    /// continuous clock, where the same kernelized reception path
+    /// feeds the event loop, gated ≡ eager pins it against the
+    /// scalar-semantics reference.
+    #[test]
+    fn kernelized_pass_equals_scalar_across_shards_and_clocks(
+        n in 30usize..60,
+        r in 15u32..21,
+        tau_pct in 55u32..96,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut trng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let topo = builders::uniform(n, f64::from(r) / 100.0, &mut trng);
+
+        // Leg 1: kernels vs scalar references on real adjacency rows.
+        let mut krng = StdRng::seed_from_u64(seed ^ 0xD00D);
+        for p in topo.nodes() {
+            let neighbors = topo.neighbors(p);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let mut senders: Vec<NodeId> = neighbors
+                .iter()
+                .copied()
+                .filter(|_| krng.random_bool(0.6))
+                .collect();
+            senders.sort_unstable();
+            let mut fast = Vec::new();
+            kernels::sorted_positions(neighbors, &senders, |idx, s| fast.push((idx, s)));
+            let mut scalar = Vec::new();
+            kernels::sorted_positions_scalar(neighbors, &senders, |idx, s| scalar.push((idx, s)));
+            prop_assert_eq!(&fast, &scalar, "join diverged at node {}", p);
+            let epochs: Vec<u32> = (0..topo.len()).map(|_| krng.random_range(0..3)).collect();
+            let heard_row: Vec<u32> = neighbors.iter().map(|_| krng.random_range(0..3)).collect();
+            prop_assert_eq!(
+                kernels::any_fresh(&heard_row, &epochs, neighbors, &senders),
+                kernels::any_fresh_scalar(&heard_row, &epochs, neighbors, &senders)
+            );
+        }
+
+        // Leg 2a: round clock, every shard count, gated and eager.
+        let run = |shards: Option<usize>, eager: bool| {
+            let mut net = Scenario::new(DensityCluster::new(event_driven_config()))
+                .medium(BernoulliLoss::new(f64::from(tau_pct) / 100.0))
+                .topology(topo.clone())
+                .seed(seed)
+                .build()
+                .expect("valid scenario");
+            net.set_eager(eager);
+            net.set_shards(shards);
+            let report = net.run_to(&StopWhen::stable_for(3).within(400));
+            net.corrupt_all();
+            let healed = net.run_to(&StopWhen::stable_for(3).within(400));
+            (report, healed, net.outputs(), net.messages_total(), net.now())
+        };
+        for eager in [false, true] {
+            let serial = run(Some(1), eager);
+            for shards in [2usize, 4, 7] {
+                let forced = run(Some(shards), eager);
+                prop_assert_eq!(&serial, &forced, "{} shards, eager = {}", shards, eager);
+            }
+        }
+
+        // Leg 2b: the continuous clock over the same kernel substrate.
+        let run_events = |eager: bool| {
+            let mut driver = Scenario::new(DensityCluster::new(event_driven_config()))
+                .medium(BernoulliLoss::new(f64::from(tau_pct) / 100.0))
+                .topology(topo.clone())
+                .seed(seed)
+                .build_events(EventConfig::default())
+                .expect("valid event scenario");
+            driver.set_eager(eager);
+            let stable = driver.run_until_output_stable(1.0, 4, 400.0);
+            let outputs: Vec<_> = driver.states().iter().map(|s| (s.head, s.parent)).collect();
+            // (messages_total is *not* compared: sending less is the
+            // entire point of gating — states and outputs are.)
+            (stable, outputs)
+        };
+        prop_assert_eq!(run_events(false), run_events(true));
+    }
 }
 
 #[test]
