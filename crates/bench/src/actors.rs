@@ -1,0 +1,292 @@
+//! The actor fabric at scale: message-passing processes vs. the
+//! synchronous reference, across network sizes and thread counts.
+//!
+//! Two claims with numbers attached:
+//!
+//! 1. **Agreement survives scale.** At every measured size and thread
+//!    count the actor driver stabilizes in exactly the round driver's
+//!    period count with exactly its message total — the commutative-
+//!    receive argument of the agreement suite, re-checked at n = 10⁴.
+//! 2. **The token governor keeps actors feasible.** Virtual-time slot
+//!    release means a period costs O(active) sends plus O(deliveries)
+//!    receives — no wall-clock timers, no idle spinning — so tens of
+//!    thousands of actor-nodes step at interactive rates.
+//!
+//! `BENCH_actors.json` is the payload CI archives.
+
+use std::time::Instant;
+
+use mwn_cluster::{ClusterConfig, DensityCluster};
+use mwn_graph::builders;
+use mwn_sim::{Scenario, StopWhen};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One thread count's measurements at one network size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThreadPoint {
+    /// Worker threads driving the send/receive phases.
+    pub threads: usize,
+    /// Periods until the election output stabilized.
+    pub stabilization_periods: u64,
+    /// Actor periods executed per wall-clock second while converging.
+    pub steps_per_sec: f64,
+    /// Actor periods per second across a post-stabilization quiet
+    /// stretch (gated: no sends, no receives — pure governor overhead).
+    pub quiet_steps_per_sec: f64,
+    /// Beacon broadcasts until stabilization.
+    pub messages_total: u64,
+}
+
+/// One network size's actor-vs-round measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActorScalingPoint {
+    /// Poisson intensity requested.
+    pub intensity: usize,
+    /// Actual node count of the deployment.
+    pub nodes: usize,
+    /// Undirected link count.
+    pub edges: usize,
+    /// Round-driver reference: periods until stabilization.
+    pub round_periods: u64,
+    /// Round-driver reference: messages until stabilization.
+    pub round_messages: u64,
+    /// Round-driver steps per wall-clock second while converging.
+    pub round_steps_per_sec: f64,
+    /// Per-thread-count actor measurements.
+    pub per_thread: Vec<ThreadPoint>,
+}
+
+impl ActorScalingPoint {
+    /// Whether every thread count reproduced the round driver exactly
+    /// (periods and message totals).
+    pub fn agrees(&self) -> bool {
+        self.per_thread.iter().all(|t| {
+            t.stabilization_periods == self.round_periods && t.messages_total == self.round_messages
+        })
+    }
+}
+
+fn radius_for(n: usize, degree_target: f64) -> f64 {
+    (degree_target / (n as f64 * std::f64::consts::PI)).sqrt()
+}
+
+fn stop() -> StopWhen<DensityCluster> {
+    StopWhen::stable_for(3).within(10_000)
+}
+
+/// Runs the actor scaling measurement at one Poisson intensity:
+/// the round-driver reference once, then the actor fabric at each of
+/// `threads`, asserting exact agreement along the way.
+///
+/// # Panics
+///
+/// Panics if any driver fails to stabilize within the budget, or if an
+/// actor run disagrees with the round-driver reference.
+pub fn run_point(
+    intensity: usize,
+    seed: u64,
+    threads: &[usize],
+    quiet_steps: u64,
+) -> ActorScalingPoint {
+    let radius = radius_for(intensity, 8.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = builders::poisson(intensity as f64, radius, &mut rng);
+    let nodes = topo.len();
+    let edges = topo.edge_count();
+    let config = ClusterConfig::default().event_driven();
+
+    // The synchronous reference.
+    let mut net = Scenario::new(DensityCluster::new(config))
+        .topology(topo.clone())
+        .seed(seed)
+        .build()
+        .expect("valid scenario");
+    let start = Instant::now();
+    let report = net.run_to(&stop());
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let round_periods = report
+        .stabilized
+        .expect("the election stabilizes (Lemma 2)");
+    let round_messages = net.messages_total();
+    let round_steps_per_sec = report.steps as f64 / elapsed;
+
+    let per_thread = threads
+        .iter()
+        .map(|&t| {
+            let mut actors = Scenario::new(DensityCluster::new(config))
+                .topology(topo.clone())
+                .seed(seed)
+                .build_actors(t)
+                .expect("valid actor scenario");
+            let start = Instant::now();
+            let report = actors.run_to(&stop());
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            let stabilization_periods = report
+                .stabilized
+                .expect("the actor election stabilizes (Lemma 2)");
+            let messages_total = actors.messages_total();
+            assert_eq!(
+                (stabilization_periods, messages_total),
+                (round_periods, round_messages),
+                "actor run (threads = {t}) diverged from the round driver at n = {nodes}"
+            );
+            // Quiet stretch: stabilized + gated, so a period is pure
+            // governor bookkeeping.
+            let start = Instant::now();
+            actors.run(quiet_steps);
+            let quiet_elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            ThreadPoint {
+                threads: t,
+                stabilization_periods,
+                steps_per_sec: report.steps as f64 / elapsed,
+                quiet_steps_per_sec: quiet_steps as f64 / quiet_elapsed,
+                messages_total,
+            }
+        })
+        .collect();
+
+    ActorScalingPoint {
+        intensity,
+        nodes,
+        edges,
+        round_periods,
+        round_messages,
+        round_steps_per_sec,
+        per_thread,
+    }
+}
+
+/// Runs the full size sweep.
+pub fn run(
+    sizes: &[usize],
+    seed: u64,
+    threads: &[usize],
+    quiet_steps: u64,
+) -> Vec<ActorScalingPoint> {
+    sizes
+        .iter()
+        .map(|&n| run_point(n, seed, threads, quiet_steps))
+        .collect()
+}
+
+/// Renders the results as a JSON array (hand-rolled: the workspace's
+/// offline `serde` shim has no serializer), the `BENCH_actors.json`
+/// payload CI archives.
+pub fn to_json(points: &[ActorScalingPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"intensity\": {}, \"nodes\": {}, \"edges\": {}, ",
+                "\"round_periods\": {}, \"round_messages\": {}, ",
+                "\"round_steps_per_sec\": {:.1}, \"agrees\": {}, ",
+                "\"per_thread\": ["
+            ),
+            p.intensity,
+            p.nodes,
+            p.edges,
+            p.round_periods,
+            p.round_messages,
+            p.round_steps_per_sec,
+            p.agrees(),
+        ));
+        for (j, t) in p.per_thread.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "{{\"threads\": {}, \"stabilization_periods\": {}, ",
+                    "\"steps_per_sec\": {:.1}, \"quiet_steps_per_sec\": {:.1}, ",
+                    "\"messages_total\": {}}}{}"
+                ),
+                t.threads,
+                t.stabilization_periods,
+                t.steps_per_sec,
+                t.quiet_steps_per_sec,
+                t.messages_total,
+                if j + 1 == p.per_thread.len() {
+                    ""
+                } else {
+                    ", "
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders a human-readable table (columns: network sizes).
+pub fn render(points: &[ActorScalingPoint]) -> mwn_metrics::Table {
+    let mut table = mwn_metrics::Table::new("Actor fabric vs synchronous reference");
+    let mut headers = vec!["n".to_string()];
+    headers.extend(points.iter().map(|p| p.nodes.to_string()));
+    table.set_headers(headers);
+    table.add_numeric_row(
+        "stabilization (periods)",
+        &points
+            .iter()
+            .map(|p| p.round_periods as f64)
+            .collect::<Vec<_>>(),
+        0,
+    );
+    table.add_numeric_row(
+        "round steps/s converging",
+        &points
+            .iter()
+            .map(|p| p.round_steps_per_sec)
+            .collect::<Vec<_>>(),
+        0,
+    );
+    let thread_counts: Vec<usize> = points
+        .first()
+        .map(|p| p.per_thread.iter().map(|t| t.threads).collect())
+        .unwrap_or_default();
+    for (k, t) in thread_counts.iter().enumerate() {
+        table.add_numeric_row(
+            format!("actor steps/s (threads={t})"),
+            &points
+                .iter()
+                .map(|p| p.per_thread[k].steps_per_sec)
+                .collect::<Vec<_>>(),
+            0,
+        );
+        table.add_numeric_row(
+            format!("quiet steps/s (threads={t})"),
+            &points
+                .iter()
+                .map(|p| p.per_thread[k].quiet_steps_per_sec)
+                .collect::<Vec<_>>(),
+            0,
+        );
+    }
+    table.add_row(
+        "agrees with rounds",
+        points
+            .iter()
+            .map(|p| p.agrees().to_string())
+            .collect::<Vec<_>>(),
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_point_agrees_and_reports() {
+        let p = run_point(300, 7, &[1, 2], 50);
+        assert!(p.nodes > 200);
+        assert!(p.agrees(), "actor runs must replay the round driver");
+        assert_eq!(p.per_thread.len(), 2);
+        assert!(p.per_thread.iter().all(|t| t.steps_per_sec > 0.0));
+        let json = to_json(std::slice::from_ref(&p));
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.contains("\"agrees\": true"));
+        assert!(!render(&[p]).to_string().is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! The actor fabric's scaling story: real message-passing processes
+//! reproduce the synchronous reference exactly, at 10⁴ nodes and any
+//! thread count, while the virtual-time token governor keeps periods
+//! cheap.
+//!
+//! ```sh
+//! cargo run --release -p mwn-bench --bin actors             # 1k/10k
+//! cargo run --release -p mwn-bench --bin actors -- --quick  # 1k (CI smoke)
+//! ```
+//!
+//! Writes `BENCH_actors.json` next to the working directory.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sizes: Vec<usize> = if quick {
+        vec![1_000]
+    } else {
+        vec![1_000, 10_000]
+    };
+    let threads = [1usize, 2, 4];
+    let quiet_steps = if quick { 200 } else { 500 };
+    let points = mwn_bench::actors::run(&sizes, 20050610, &threads, quiet_steps);
+    println!("{}", mwn_bench::actors::render(&points));
+    for p in &points {
+        assert!(
+            p.agrees(),
+            "actor fabric diverged from the round driver at n = {}",
+            p.nodes
+        );
+    }
+    let json = mwn_bench::actors::to_json(&points);
+    let path = "BENCH_actors.json";
+    std::fs::write(path, &json).expect("write BENCH_actors.json");
+    println!("\nwrote {path}");
+}

@@ -15,6 +15,7 @@
 //! | §3 "features" (\[16\] comparison) | [`ablation`] | `cargo run -p mwn-bench --bin ablation` |
 //! | activity-driven engine scaling | [`scaling`] | `cargo run -p mwn-bench --bin scaling` |
 //! | continuous-time engine scaling | [`scaling_events`] | `cargo run -p mwn-bench --bin scaling_events` |
+//! | actor fabric vs synchronous reference | [`actors`] | `cargo run -p mwn-bench --bin actors` |
 //! | hierarchy extension (conclusion) | [`hierarchy_exp`] | `cargo run -p mwn-bench --bin hierarchy` |
 //! | energy extension (conclusion) | [`energy_exp`] | `cargo run -p mwn-bench --bin energy` |
 //! | hierarchical-routing stretch (§1 motivation) | [`routing_exp`] | `cargo run -p mwn-bench --bin routing` |
@@ -28,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod actors;
 pub mod common;
 pub mod energy_exp;
 pub mod figures;

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use mwn_sim::{Corruptible, Observable, Protocol};
+use mwn_sim::{put_u32, take_u32, Corruptible, Observable, Protocol, WireBeacon};
 
 use crate::dag::new_id;
 use crate::{
@@ -278,6 +278,62 @@ pub struct ClusterBeacon {
     pub view: Vec<PeerSummary>,
 }
 
+/// The actor driver's wire format for one beacon frame: the sender's
+/// shared variables followed by its length-prefixed neighbor view, all
+/// little-endian `u32`s. [`Density`] crosses the wire as its exact
+/// `(links, degree)` pair, so `decode(encode(b)) == b` — the
+/// losslessness the cross-driver agreement suite relies on.
+impl WireBeacon for ClusterBeacon {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.dag_id);
+        put_u32(out, self.density.links());
+        put_u32(out, self.density.degree());
+        put_u32(out, self.head.value());
+        put_u32(out, self.view.len() as u32);
+        for p in &self.view {
+            put_u32(out, p.id.value());
+            put_u32(out, p.dag_id);
+            put_u32(out, p.density.links());
+            put_u32(out, p.density.degree());
+            put_u32(out, p.head.value());
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut bytes = bytes;
+        let dag_id = take_u32(&mut bytes)?;
+        let links = take_u32(&mut bytes)?;
+        let degree = take_u32(&mut bytes)?;
+        let head = NodeId::new(take_u32(&mut bytes)?);
+        let len = take_u32(&mut bytes)? as usize;
+        // A length prefix larger than the remaining frame is malformed;
+        // checking first keeps a hostile prefix from reserving memory.
+        if bytes.len() < len * 20 {
+            return None;
+        }
+        let mut view = Vec::with_capacity(len);
+        for _ in 0..len {
+            let id = NodeId::new(take_u32(&mut bytes)?);
+            let dag_id = take_u32(&mut bytes)?;
+            let links = take_u32(&mut bytes)?;
+            let degree = take_u32(&mut bytes)?;
+            let head = NodeId::new(take_u32(&mut bytes)?);
+            view.push(PeerSummary {
+                id,
+                dag_id,
+                density: Density::ratio(links, degree),
+                head,
+            });
+        }
+        bytes.is_empty().then_some(ClusterBeacon {
+            dag_id,
+            density: Density::ratio(links, degree),
+            head,
+            view,
+        })
+    }
+}
+
 /// The self-stabilizing density-driven clustering protocol.
 ///
 /// # Examples
@@ -377,6 +433,24 @@ impl Protocol for DensityCluster {
                 })
                 .collect(),
         }
+    }
+
+    fn beacon_into(&self, _node: NodeId, state: &ClusterState, out: &mut ClusterBeacon) {
+        // Pooled rebuild: the engine hands back the same scratch beacon
+        // every refresh, so the `view` vec's capacity is reused and the
+        // per-beacon rebuild — the last protocol-side allocation on the
+        // converging path — costs no heap traffic at steady state.
+        out.dag_id = state.dag_id;
+        out.density = state.density;
+        out.head = state.head;
+        out.view.clear();
+        out.view
+            .extend(state.cache.iter().map(|(&q, e)| PeerSummary {
+                id: q,
+                dag_id: e.dag_id,
+                density: e.density,
+                head: e.head,
+            }));
     }
 
     fn receive(

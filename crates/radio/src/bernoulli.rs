@@ -78,6 +78,27 @@ impl Medium for BernoulliLoss {
         true
     }
 
+    fn proxyable(&self) -> bool {
+        true
+    }
+
+    fn proxy_fates(
+        &self,
+        topo: &Topology,
+        sender: NodeId,
+        rng: &mut StdRng,
+        heard: &mut Vec<NodeId>,
+    ) -> usize {
+        // Same draws in the same neighbor order as deliver_from, so the
+        // per-(slot, sender) stream reproduces identical fates.
+        for &r in topo.neighbors(sender) {
+            if rng.random_bool(self.tau) {
+                heard.push(r);
+            }
+        }
+        topo.degree(sender)
+    }
+
     fn name(&self) -> &'static str {
         "bernoulli-loss"
     }

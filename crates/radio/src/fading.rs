@@ -98,6 +98,32 @@ impl Medium for DistanceFading {
         true
     }
 
+    fn proxyable(&self) -> bool {
+        true
+    }
+
+    fn proxy_fates(
+        &self,
+        topo: &Topology,
+        sender: NodeId,
+        rng: &mut StdRng,
+        heard: &mut Vec<NodeId>,
+    ) -> usize {
+        let positions = topo
+            .positions()
+            .expect("distance fading requires node positions");
+        let radius = topo
+            .radius()
+            .expect("distance fading requires a radio range");
+        for &r in topo.neighbors(sender) {
+            let d = positions[sender.index()].distance(positions[r.index()]);
+            if rng.random_bool(self.success_probability(d / radius)) {
+                heard.push(r);
+            }
+        }
+        topo.degree(sender)
+    }
+
     fn name(&self) -> &'static str {
         "distance-fading"
     }

@@ -158,6 +158,41 @@ pub trait Medium {
         false
     }
 
+    /// `true` when [`Medium::proxy_fates`] is implemented: per-sender
+    /// frame fates can be evaluated through a **shared** reference, so
+    /// a concurrent driver can hand one medium proxy to many worker
+    /// threads at once. Implies [`Medium::independent_fates`].
+    /// Conservative default: `false`.
+    fn proxyable(&self) -> bool {
+        false
+    }
+
+    /// Evaluates which neighbors hear one frame of `sender` through a
+    /// shared reference, appending the lucky receivers to `heard` and
+    /// returning the number of frame copies attempted (the sender's
+    /// degree for a broadcast medium).
+    ///
+    /// This is the hook the actor driver's `MediumProxy` shares across
+    /// worker threads. Implementations **must** draw from `rng` exactly
+    /// as [`Medium::deliver_from`] would, so that replaying the same
+    /// per-(slot, sender) stream reproduces the same drop decisions on
+    /// every driver. Only meaningful when [`Medium::proxyable`] holds;
+    /// the default delivers nothing and reports zero attempts.
+    fn proxy_fates(
+        &self,
+        topo: &Topology,
+        sender: NodeId,
+        rng: &mut StdRng,
+        heard: &mut Vec<NodeId>,
+    ) -> usize {
+        let _ = (topo, sender, rng, heard);
+        debug_assert!(
+            !self.proxyable(),
+            "proxyable media must override proxy_fates"
+        );
+        0
+    }
+
     /// A short human-readable name used in experiment output.
     fn name(&self) -> &'static str;
 }

@@ -58,6 +58,21 @@ impl Medium for PerfectMedium {
         true
     }
 
+    fn proxyable(&self) -> bool {
+        true
+    }
+
+    fn proxy_fates(
+        &self,
+        topo: &Topology,
+        sender: NodeId,
+        _rng: &mut StdRng,
+        heard: &mut Vec<NodeId>,
+    ) -> usize {
+        heard.extend_from_slice(topo.neighbors(sender));
+        topo.degree(sender)
+    }
+
     fn name(&self) -> &'static str {
         "perfect"
     }

@@ -118,6 +118,34 @@ impl<M: Medium> Medium for Thinned<M> {
         self.inner.independent_fates()
     }
 
+    fn proxyable(&self) -> bool {
+        self.inner.proxyable()
+    }
+
+    fn proxy_fates(
+        &self,
+        topo: &Topology,
+        sender: NodeId,
+        rng: &mut StdRng,
+        heard: &mut Vec<NodeId>,
+    ) -> usize {
+        // Mirrors deliver_from's draw order: the inner medium decides
+        // its fates first, then one thinning coin per *delivered* copy
+        // in neighbor order.
+        let start = heard.len();
+        let attempted = self.inner.proxy_fates(topo, sender, rng, heard);
+        let mut keep = start;
+        for i in start..heard.len() {
+            let r = heard[i];
+            if rng.random_bool(self.survival) {
+                heard[keep] = r;
+                keep += 1;
+            }
+        }
+        heard.truncate(keep);
+        attempted
+    }
+
     fn name(&self) -> &'static str {
         "thinned"
     }

@@ -1,0 +1,1020 @@
+//! The **actor driver**: the protocol as real message-passing
+//! processes — the third execution substrate next to the synchronous
+//! [`crate::Network`] and the continuous-time [`crate::EventDriver`].
+//!
+//! Every claim the repo makes elsewhere is measured on *simulated*
+//! clocks; this driver is the validation harness that runs the same
+//! protocol as genuinely concurrent actors. Each node is an actor: a
+//! bounded multi-producer mailbox plus its protocol state. Actors are
+//! multiplexed over a small pool of OS worker threads (`threads`), and
+//! they exchange **serialized beacon frames** ([`crate::WireBeacon`])
+//! through a [`MediumProxy`] that replays the scenario's [`Medium`]
+//! decisions on the same split-RNG streams the round driver uses — so
+//! for a given seed, exactly the same frame copies are dropped on both
+//! drivers.
+//!
+//! # The virtual-time token governor
+//!
+//! Real concurrency over 10⁴–10⁵ nodes cannot mean 10⁵ OS threads.
+//! Instead every actor holds a logical clock (the beacon period `k`),
+//! and the driver releases beacon slots one period at a time:
+//!
+//! 1. **Slot release** — mobility ticks and scripted faults for period
+//!    `k` fire first (the *fault ≤ send* ordering contract), then every
+//!    send-pending actor's beacon slot is released at once.
+//! 2. **Send phase** — the released actors run concurrently on the
+//!    worker pool: each evaluates its frame fates through the shared
+//!    [`MediumProxy`], encodes its beacon once, and pushes one frame
+//!    copy into each lucky receiver's bounded mailbox.
+//! 3. **Quiescence barrier** — the governor waits until every released
+//!    slot has quiesced (all sends delivered), then releases the
+//!    receive side: actors with mail or pending guards drain their
+//!    mailboxes **in arrival order**, decode, receive, and run one pass
+//!    of guarded assignments.
+//!
+//! Within a slot the interleaving is genuinely nondeterministic: with
+//! `threads > 1` the OS scheduler decides the cross-sender arrival
+//! order in every mailbox, and receivers process frames in exactly that
+//! order. Across slots the governor keeps the run aligned with the
+//! synchronous rounds, which is what keeps huge actor counts feasible
+//! and the comparison against the other drivers meaningful:
+//!
+//! - **`threads == 1`** — arrival order degenerates to sorted sender
+//!   order and the whole run is deterministic.
+//! - **`threads > 1`** — per-seed frame fates, update randomness, and
+//!   fault timing are still byte-reproducible (they live on derived
+//!   streams), but arrival order varies run to run. For protocols whose
+//!   per-period receives commute (each sender touches its own cache
+//!   entry — true of `DensityCluster` and the flooding test protocols)
+//!   the period outcome is order-independent and the actor run tracks
+//!   the round driver **exactly**; in general the agreement is
+//!   distributional (see `tests/actor_equivalence.rs`).
+//!
+//! The driver supports the same [`Scenario`](crate::Scenario) surface
+//! as the other two: scripted faults, mobility ticks at period
+//! boundaries, [`StopWhen`] conditions, and [`RunReport`] results.
+
+use std::sync::{Arc, Mutex};
+
+use mwn_graph::{NodeId, Point2, Topology, TopologyDelta};
+use mwn_radio::{Medium, PerfectMedium};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::{run_pooled, ActivityCore, NodeSet};
+use crate::error::SimError;
+use crate::faults::Fault;
+use crate::network::{Corruptor, StepActivity};
+use crate::observable::Observable;
+use crate::protocol::{Activity, Corruptible, Protocol};
+use crate::rng::derive_seed;
+use crate::scenario::TopologyDynamics;
+use crate::stop::{Obs, RunReport, StopWhen};
+use crate::wire::WireBeacon;
+
+/// One serialized beacon in flight: the wire bytes plus the routing
+/// metadata a link layer would carry in the frame header.
+struct ActorFrame {
+    sender: NodeId,
+    epoch: u32,
+    payload: Arc<[u8]>,
+}
+
+/// A bounded multi-producer mailbox: the channel end of one actor.
+///
+/// The bound is the actor's in-degree — the protocol sends at most one
+/// beacon per neighbor per period, so a push can never block and an
+/// overflow is a driver bug, not backpressure.
+struct Mailbox {
+    capacity: usize,
+    queue: Mutex<Vec<ActorFrame>>,
+}
+
+impl Mailbox {
+    fn new(capacity: usize) -> Self {
+        Mailbox {
+            capacity,
+            queue: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn push(&self, frame: ActorFrame) {
+        let mut q = self.queue.lock().expect("mailbox lock");
+        assert!(
+            q.len() < self.capacity.max(1),
+            "mailbox overflow: more than one frame per neighbor per period"
+        );
+        q.push(frame);
+    }
+
+    fn drain_into(&self, out: &mut Vec<ActorFrame>) {
+        out.clear();
+        out.append(&mut self.queue.lock().expect("mailbox lock"));
+    }
+}
+
+/// Shares the scenario's medium across the send-phase workers and
+/// replays its drop decisions on the round driver's per-(period,
+/// sender) RNG streams — the actor fabric's stand-in for the ether.
+struct MediumProxy<'a, M> {
+    medium: &'a M,
+    medium_base: u64,
+}
+
+impl<M: Medium> MediumProxy<'_, M> {
+    /// Which neighbors hear `sender`'s period-`k` frame; returns the
+    /// attempted copy count. Identical stream keying to the round
+    /// driver's delivery phase, so both drivers drop the same copies.
+    fn fates(
+        &self,
+        topo: &Topology,
+        period: u64,
+        sender: NodeId,
+        heard: &mut Vec<NodeId>,
+    ) -> usize {
+        let mut rng = crate::rng::split_rng(self.medium_base, period, u64::from(sender.value()));
+        self.medium.proxy_fates(topo, sender, &mut rng, heard)
+    }
+}
+
+/// The per-candidate outcome of one receive-phase actor execution,
+/// merged back by the governor in deterministic (sorted) order.
+struct NodeOutcome<P: Protocol> {
+    /// The actor's post-period state; `None` when the actor stayed
+    /// inactive (gated, no pending guards, nothing fresh in the mail).
+    state: Option<P::State>,
+    /// Reception-row patches: `(adjacency slot, incorporated epoch)`.
+    patches: Vec<(u32, u32)>,
+    receives: u32,
+    changed: bool,
+}
+
+/// The actor driver. Build one through
+/// [`Scenario::build_actors`](crate::Scenario::build_actors).
+pub struct ActorDriver<P: Protocol, M: Medium = PerfectMedium> {
+    protocol: P,
+    medium: M,
+    topo: Topology,
+    core: ActivityCore<P>,
+    threads: usize,
+    period: u64,
+    force_eager: bool,
+    mailboxes: Vec<Mailbox>,
+    scripted: Vec<(u64, Fault)>,
+    next_scripted: usize,
+    corruptor: Option<Corruptor<P>>,
+    fault_rng: StdRng,
+    dynamics: Option<Box<dyn TopologyDynamics + Send>>,
+    env_changed: bool,
+    messages_total: u64,
+    last_activity: StepActivity,
+    scratch_nodes: Vec<NodeId>,
+    stale_buf: Vec<NodeId>,
+    senders_buf: Vec<NodeId>,
+    dirty_buf: Vec<NodeId>,
+    touched_buf: Vec<NodeId>,
+    touched: NodeSet,
+}
+
+impl<P, M> ActorDriver<P, M>
+where
+    P: Protocol,
+    P::Beacon: WireBeacon,
+    M: Medium + Sync,
+{
+    /// Creates the actor fabric over `topo` with `threads` worker
+    /// threads (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless the medium supports
+    /// shared-reference fate evaluation ([`Medium::proxyable`]) —
+    /// contention-coupled media (CSMA) serialize all senders through
+    /// one channel state and cannot be replayed concurrently.
+    pub fn new(
+        protocol: P,
+        medium: M,
+        topo: Topology,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self, SimError> {
+        if !medium.proxyable() {
+            return Err(SimError::InvalidConfig(format!(
+                "medium `{}` cannot back the actor driver: per-sender frame \
+                 fates must be evaluable through a shared reference \
+                 (Medium::proxyable); contention-coupled media are not",
+                medium.name()
+            )));
+        }
+        let core = ActivityCore::new(&protocol, &topo, seed);
+        let mailboxes = topo.nodes().map(|p| Mailbox::new(topo.degree(p))).collect();
+        Ok(ActorDriver {
+            protocol,
+            medium,
+            core,
+            threads: threads.max(1),
+            period: 0,
+            force_eager: false,
+            mailboxes,
+            scripted: Vec::new(),
+            next_scripted: 0,
+            corruptor: None,
+            fault_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX - 2)),
+            dynamics: None,
+            env_changed: false,
+            messages_total: 0,
+            last_activity: StepActivity::default(),
+            scratch_nodes: Vec::new(),
+            stale_buf: Vec::new(),
+            senders_buf: Vec::new(),
+            dirty_buf: Vec::new(),
+            touched_buf: Vec::new(),
+            touched: NodeSet::new(topo.len()),
+            topo,
+        })
+    }
+
+    pub(crate) fn install_script(
+        &mut self,
+        scripted: Vec<(u64, Fault)>,
+        corruptor: Option<Corruptor<P>>,
+    ) {
+        self.scripted = scripted;
+        self.next_scripted = 0;
+        self.corruptor = corruptor;
+    }
+
+    pub(crate) fn install_dynamics(&mut self, dynamics: Box<dyn TopologyDynamics + Send>) {
+        self.dynamics = Some(dynamics);
+    }
+
+    /// Re-derives every mailbox bound after a topology change (the
+    /// in-degree bound follows the adjacency lists).
+    fn resize_mailboxes(&mut self) {
+        for p in self.topo.nodes() {
+            self.mailboxes[p.index()].capacity = self.topo.degree(p);
+        }
+    }
+
+    /// `true` when the driver is currently using dirty-set (gated)
+    /// scheduling — same contract as [`crate::Network::is_gated`].
+    pub fn is_gated(&self) -> bool {
+        !self.force_eager
+            && self.protocol.activity() == Activity::Gated
+            && self.medium.independent_fates()
+    }
+
+    /// Pins eager scheduling (`true`) or restores the automatic choice.
+    pub fn set_eager(&mut self, eager: bool) {
+        if self.force_eager && !eager {
+            self.core.table.mark_all(&self.topo);
+        }
+        self.force_eager = eager;
+    }
+
+    /// The worker-thread count the actor pool multiplexes over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn apply_dynamics(&mut self) {
+        let Some(mut dynamics) = self.dynamics.take() else {
+            return;
+        };
+        let step = self.period;
+        if let Some(moves) = dynamics.next_moves(step) {
+            if !moves.is_empty() {
+                let delta = self.topo.apply_moves(moves);
+                self.apply_delta(&delta);
+            }
+        } else if let Some(topo) = dynamics.next_topology(step) {
+            assert_eq!(
+                topo.len(),
+                self.topo.len(),
+                "topology dynamics must preserve the node count"
+            );
+            self.topo.clone_from(topo);
+            self.core.table.mark_all(&self.topo);
+            self.resize_mailboxes();
+            self.env_changed = true;
+        }
+        self.dynamics = Some(dynamics);
+    }
+
+    fn apply_delta(&mut self, delta: &TopologyDelta) {
+        if self.core.apply_delta(&self.protocol, &self.topo, delta) {
+            self.env_changed = true;
+        }
+        self.resize_mailboxes();
+    }
+
+    fn corrupt_scripted(&mut self, p: NodeId) {
+        let mut rng = self.core.corrupt_rng(p);
+        let corruptor = self
+            .corruptor
+            .as_ref()
+            .expect("Scenario::faults installs the corruption hook");
+        corruptor(
+            &self.protocol,
+            p,
+            &mut self.core.table.states[p.index()],
+            &mut rng,
+        );
+        self.core.wake_mutated(p, &self.topo);
+    }
+
+    fn pick_fraction(&mut self, fraction: f64) -> Vec<NodeId> {
+        let mut picks = std::mem::take(&mut self.scratch_nodes);
+        picks.clear();
+        let fraction = fraction.clamp(0.0, 1.0);
+        for p in self.topo.nodes() {
+            if self.fault_rng.random_bool(fraction) {
+                picks.push(p);
+            }
+        }
+        picks
+    }
+
+    /// Fires every scripted fault due at the current period — **before**
+    /// the period's beacon slots are released. This is the actor-side
+    /// ordering contract: at equal logical timestamps, fault ≤ send, so
+    /// a frame is never evaluated against a pre-fault topology (see
+    /// `tests/fault_ordering.rs`).
+    fn fire_scripted(&mut self) {
+        while self.next_scripted < self.scripted.len()
+            && self.scripted[self.next_scripted].0 <= self.period
+        {
+            let fault = self.scripted[self.next_scripted].1.clone();
+            self.next_scripted += 1;
+            self.env_changed = true;
+            match &fault {
+                Fault::CorruptNode(p) => self.corrupt_scripted(*p),
+                Fault::CorruptAll => {
+                    for i in 0..self.topo.len() {
+                        self.corrupt_scripted(NodeId::new(i as u32));
+                    }
+                }
+                Fault::CorruptFraction(f) => {
+                    let picks = self.pick_fraction(*f);
+                    for &p in &picks {
+                        self.corrupt_scripted(p);
+                    }
+                    self.scratch_nodes = picks;
+                }
+                Fault::Isolate(p) => self.isolate(*p),
+                Fault::SetTopology(topo) => self
+                    .set_topology(topo.clone())
+                    .expect("scripted topology keeps the node count"),
+            }
+        }
+    }
+
+    /// Executes one beacon period of the actor fabric; returns the new
+    /// period count.
+    ///
+    /// One call is one governor cycle: slot release (dynamics, faults,
+    /// beacon refresh), the concurrent send phase, the quiescence
+    /// barrier, and the concurrent receive/update phase.
+    pub fn step(&mut self) -> u64 {
+        self.env_changed = false;
+        self.core.table.changed.clear();
+        self.apply_dynamics();
+        self.fire_scripted();
+        let eager = !self.is_gated();
+        if eager {
+            self.core.table.update_dirty.insert_all();
+            self.core.table.beacon_stale.insert_all();
+            self.core.table.send_pending.insert_all();
+        }
+
+        // Slot release: refresh the beacons of state-changed actors and
+        // pick this period's senders (serial — it touches the shared
+        // epoch column, and is cheap relative to the phases it gates).
+        let mut stale_buf = std::mem::take(&mut self.stale_buf);
+        self.core
+            .table
+            .beacon_stale
+            .drain_sorted_into(&mut stale_buf);
+        for &p in &stale_buf {
+            self.core.refresh_beacon(&self.protocol, p);
+        }
+        self.stale_buf = stale_buf;
+        let mut senders = std::mem::take(&mut self.senders_buf);
+        self.core
+            .table
+            .send_pending
+            .collect_sorted_into(&mut senders);
+
+        // Send phase: released actors broadcast concurrently. Each
+        // evaluates its fates through the shared medium proxy, encodes
+        // its beacon once, and pushes one frame per lucky receiver.
+        // Cross-sender push order into a mailbox is whatever the OS
+        // scheduler makes of it — the genuine nondeterminism this
+        // driver exists to exercise.
+        let period = self.period;
+        let proxy = MediumProxy {
+            medium: &self.medium,
+            medium_base: self.core.medium_base,
+        };
+        let (mut attempted, mut delivered) = (0usize, 0usize);
+        {
+            let topo = &self.topo;
+            let table = &self.core.table;
+            let mailboxes = &self.mailboxes;
+            let sent = run_pooled(senders.len(), self.threads, |i| {
+                let s = senders[i];
+                let mut heard = Vec::new();
+                let attempted = proxy.fates(topo, period, s, &mut heard);
+                if heard.is_empty() {
+                    return (attempted, 0usize);
+                }
+                let mut bytes = Vec::new();
+                table.beacons[s.index()].encode(&mut bytes);
+                let payload: Arc<[u8]> = bytes.into();
+                let epoch = table.epoch[s.index()];
+                for &r in &heard {
+                    mailboxes[r.index()].push(ActorFrame {
+                        sender: s,
+                        epoch,
+                        payload: payload.clone(),
+                    });
+                }
+                (attempted, heard.len())
+            });
+            for (a, d) in sent {
+                attempted += a;
+                delivered += d;
+            }
+        }
+
+        // Quiescence barrier: run_pooled joined its workers, so every
+        // released slot has delivered. Release the receive side: the
+        // candidates are actors with pending guards plus the touched
+        // receivers (under gating a candidate only actually runs when
+        // its mail contains an epoch it has not incorporated yet —
+        // mirroring the round driver's freshness kernel).
+        let mut dirty_buf = std::mem::take(&mut self.dirty_buf);
+        self.core
+            .table
+            .update_dirty
+            .drain_sorted_into(&mut dirty_buf);
+        for &s in &senders {
+            for &r in self.topo.neighbors(s) {
+                self.touched.insert(r);
+            }
+        }
+        let mut touched_buf = std::mem::take(&mut self.touched_buf);
+        self.touched.drain_sorted_into(&mut touched_buf);
+
+        let mut receives = 0usize;
+        let mut updates = 0usize;
+        {
+            let topo = &self.topo;
+            let table = &self.core.table;
+            let protocol = &self.protocol;
+            let core = &self.core;
+            let mailboxes = &self.mailboxes;
+            // Sorted union of the two candidate lists, with a "guards
+            // pending" flag per entry.
+            let candidates = merge_candidates(&dirty_buf, &touched_buf);
+            let outcomes: Vec<NodeOutcome<P>> = run_pooled(candidates.len(), self.threads, |i| {
+                let (r, was_dirty) = candidates[i];
+                let mut inbox = Vec::new();
+                mailboxes[r.index()].drain_into(&mut inbox);
+                let mut state: Option<P::State> = None;
+                let mut patches = Vec::new();
+                let mut receives = 0u32;
+                for frame in &inbox {
+                    // A frame whose link a fault severed at this
+                    // very timestamp is dead air (fault ≤ delivery).
+                    let Ok(slot) = topo.neighbors(r).binary_search(&frame.sender) else {
+                        continue;
+                    };
+                    if !eager && table.heard.get(r.index(), slot) == frame.epoch {
+                        continue; // already incorporated: a state no-op
+                    }
+                    let beacon = P::Beacon::decode(&frame.payload)
+                        .expect("wire beacons round-trip losslessly");
+                    let s = state.get_or_insert_with(|| table.states[r.index()].clone());
+                    protocol.receive(r, s, frame.sender, &beacon, period);
+                    patches.push((slot as u32, frame.epoch));
+                    receives += 1;
+                }
+                if !was_dirty && state.is_none() {
+                    // Gated and nothing fresh: the actor never wakes.
+                    return NodeOutcome {
+                        state: None,
+                        patches,
+                        receives,
+                        changed: false,
+                    };
+                }
+                let s = state.get_or_insert_with(|| table.states[r.index()].clone());
+                let mut rng = core.update_rng(period, r);
+                protocol.update(r, s, period, &mut rng);
+                let changed = !eager
+                    && (table.forced_changed.contains(r)
+                        || state.as_ref() != Some(&table.states[r.index()]));
+                NodeOutcome {
+                    state,
+                    patches,
+                    receives,
+                    changed,
+                }
+            });
+
+            // Ordered merge: the governor owns the table again.
+            let table = &mut self.core.table;
+            for (i, outcome) in outcomes.into_iter().enumerate() {
+                let (r, _) = candidates[i];
+                receives += outcome.receives as usize;
+                for &(slot, epoch) in &outcome.patches {
+                    table.heard.set(r.index(), slot as usize, epoch);
+                }
+                if let Some(state) = outcome.state {
+                    table.states[r.index()] = state;
+                    updates += 1;
+                }
+                if outcome.changed {
+                    table.changed.push(r);
+                    table.update_dirty.insert(r);
+                    table.beacon_stale.insert(r);
+                }
+            }
+        }
+
+        // Retirement: senders every neighbor has caught up with leave
+        // the pending set, so lossy media keep re-beaconing until the
+        // frame lands (the paper's τ > 0 hypothesis at work).
+        if !eager {
+            for &s in &senders {
+                if self.core.all_caught_up(&self.topo, s) {
+                    self.core.table.send_pending.remove(s);
+                }
+            }
+            self.core.table.forced_changed.clear();
+        }
+
+        self.last_activity = StepActivity {
+            senders: senders.len(),
+            frames_attempted: attempted,
+            frames_delivered: delivered,
+            receives,
+            updates,
+            changed: self.core.table.changed.len(),
+        };
+        self.messages_total += senders.len() as u64;
+        self.senders_buf = senders;
+        self.dirty_buf = dirty_buf;
+        self.touched_buf = touched_buf;
+        self.period += 1;
+        self.period
+    }
+
+    /// Runs `periods` governor cycles.
+    pub fn run(&mut self, periods: u64) {
+        for _ in 0..periods {
+            self.step();
+        }
+    }
+
+    /// Runs until `pred` holds (checked before the first period and
+    /// after every period), or `max_periods` is reached.
+    pub fn run_until<F>(&mut self, mut pred: F, max_periods: u64) -> Option<u64>
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        if pred(self) {
+            return Some(self.period);
+        }
+        while self.period < max_periods {
+            self.step();
+            if pred(self) {
+                return Some(self.period);
+            }
+        }
+        None
+    }
+
+    /// Current period count (the governor's virtual clock).
+    pub fn now(&self) -> u64 {
+        self.period
+    }
+
+    /// The topology the actors communicate over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Replaces the topology (same node count); see
+    /// [`crate::Network::set_topology`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeCountMismatch`] if the node count
+    /// changes.
+    pub fn set_topology(&mut self, topo: Topology) -> Result<(), SimError> {
+        if topo.len() != self.topo.len() {
+            return Err(SimError::NodeCountMismatch {
+                expected: self.topo.len(),
+                got: topo.len(),
+            });
+        }
+        self.topo = topo;
+        self.core.table.mark_all(&self.topo);
+        self.resize_mailboxes();
+        self.env_changed = true;
+        Ok(())
+    }
+
+    /// Applies incremental node moves (unit-disk only), waking exactly
+    /// the actors whose links changed. Returns the link churn.
+    pub fn apply_moves(&mut self, moves: &[(NodeId, Point2)]) -> TopologyDelta {
+        let delta = self.topo.apply_moves(moves);
+        self.apply_delta(&delta);
+        delta
+    }
+
+    /// All node states, indexed by [`NodeId`].
+    pub fn states(&self) -> &[P::State] {
+        &self.core.table.states
+    }
+
+    /// The state of one node.
+    pub fn state(&self, p: NodeId) -> &P::State {
+        &self.core.table.states[p.index()]
+    }
+
+    /// Mutable state access; the actor is rescheduled (external
+    /// mutation is a fault).
+    pub fn state_mut(&mut self, p: NodeId) -> &mut P::State {
+        self.core.wake_mutated(p, &self.topo);
+        &mut self.core.table.states[p.index()]
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Severs every link of `p`; see [`crate::Network::isolate`].
+    pub fn isolate(&mut self, p: NodeId) {
+        let mut nbrs = std::mem::take(&mut self.scratch_nodes);
+        self.core
+            .isolate(&self.protocol, &mut self.topo, p, &mut nbrs);
+        self.env_changed = true;
+        self.scratch_nodes = nbrs;
+        self.resize_mailboxes();
+    }
+
+    /// Total broadcasts since construction.
+    pub fn messages_total(&self) -> u64 {
+        self.messages_total
+    }
+
+    /// Activity counters of the most recent period.
+    pub fn last_activity(&self) -> StepActivity {
+        self.last_activity
+    }
+}
+
+/// Sorted-merge of the dirty and touched candidate lists into
+/// `(node, guards pending)` pairs.
+fn merge_candidates(dirty: &[NodeId], touched: &[NodeId]) -> Vec<(NodeId, bool)> {
+    let mut out = Vec::with_capacity(dirty.len() + touched.len());
+    let (mut i, mut j) = (0, 0);
+    while i < dirty.len() && j < touched.len() {
+        match dirty[i].cmp(&touched[j]) {
+            std::cmp::Ordering::Less => {
+                out.push((dirty[i], true));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((touched[j], false));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((dirty[i], true));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend(dirty[i..].iter().map(|&p| (p, true)));
+    out.extend(touched[j..].iter().map(|&p| (p, false)));
+    out
+}
+
+impl<P, M> ActorDriver<P, M>
+where
+    P: Observable,
+    P::Beacon: WireBeacon,
+    M: Medium + Sync,
+{
+    /// Projects every node's observable output into `buf`.
+    pub fn outputs_into(&self, buf: &mut Vec<P::Output>) {
+        buf.clear();
+        buf.extend(
+            self.core
+                .table
+                .states
+                .iter()
+                .enumerate()
+                .map(|(i, s)| self.protocol.output(NodeId::new(i as u32), s)),
+        );
+    }
+
+    /// The observable output of every node.
+    pub fn outputs(&self) -> Vec<P::Output> {
+        let mut buf = Vec::with_capacity(self.core.table.states.len());
+        self.outputs_into(&mut buf);
+        buf
+    }
+
+    /// Runs until `stop` is satisfied and reports what happened — the
+    /// same contract (and the same [`RunReport`]) as
+    /// [`crate::Network::run_to`] and the event driver's stop methods.
+    pub fn run_to(&mut self, stop: &StopWhen<P>) -> RunReport {
+        let start = self.period;
+        let mut cursor = stop.cursor();
+        let gated = self.is_gated();
+        let needs_outputs = stop.needs_outputs();
+        let mut outputs: Vec<P::Output> = Vec::with_capacity(self.core.table.states.len());
+        if needs_outputs {
+            self.outputs_into(&mut outputs);
+        }
+        let mut verdict = cursor.observe(
+            self.period,
+            0,
+            &self.topo,
+            &self.core.table.states,
+            &Obs::Full { outputs: &outputs },
+        );
+        while !verdict.satisfied {
+            self.step();
+            let obs = if gated {
+                let mut output_changed = false;
+                if needs_outputs {
+                    for &p in &self.core.table.changed {
+                        let fresh = self.protocol.output(p, &self.core.table.states[p.index()]);
+                        if outputs[p.index()] != fresh {
+                            outputs[p.index()] = fresh;
+                            output_changed = true;
+                        }
+                    }
+                }
+                Obs::Delta {
+                    output_changed,
+                    state_changed: !self.core.table.changed.is_empty(),
+                    env_changed: self.env_changed,
+                }
+            } else {
+                if needs_outputs {
+                    self.outputs_into(&mut outputs);
+                }
+                Obs::Full { outputs: &outputs }
+            };
+            verdict = cursor.observe(
+                self.period,
+                self.period - start,
+                &self.topo,
+                &self.core.table.states,
+                &obs,
+            );
+        }
+        RunReport {
+            stabilized: cursor.stabilized(),
+            steps: self.period - start,
+            end_step: self.period,
+            satisfied: !verdict.budget_only,
+            timed_out: verdict.budget_only,
+        }
+    }
+}
+
+impl<P, M> ActorDriver<P, M>
+where
+    P: Corruptible,
+    P::Beacon: WireBeacon,
+    M: Medium + Sync,
+{
+    /// Corrupts the state of one node arbitrarily.
+    pub fn corrupt(&mut self, p: NodeId) {
+        let mut rng = self.core.corrupt_rng(p);
+        self.protocol
+            .corrupt(p, &mut self.core.table.states[p.index()], &mut rng);
+        self.core.wake_mutated(p, &self.topo);
+    }
+
+    /// Corrupts every node: the adversarial "arbitrary initial
+    /// configuration" of the self-stabilization definition.
+    pub fn corrupt_all(&mut self) {
+        for i in 0..self.topo.len() {
+            self.corrupt(NodeId::new(i as u32));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::stop::StopWhen;
+    use mwn_graph::builders;
+    use mwn_radio::{BernoulliLoss, SlottedCsma};
+
+    /// Gated max-flood over `u32` beacons (already wire-codable).
+    struct GatedFlood;
+
+    impl Protocol for GatedFlood {
+        type State = u32;
+        type Beacon = u32;
+        fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 {
+            node.value()
+        }
+        fn beacon(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+        fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+            *state = (*state).max(*beacon);
+        }
+        fn update(&self, node: NodeId, state: &mut u32, _now: u64, _rng: &mut StdRng) {
+            *state = (*state).max(node.value());
+        }
+        fn activity(&self) -> Activity {
+            Activity::Gated
+        }
+        fn beacon_changed(&self, old: &u32, new: &u32) -> bool {
+            old != new
+        }
+    }
+
+    impl Observable for GatedFlood {
+        type Output = u32;
+        fn output(&self, _node: NodeId, state: &u32) -> u32 {
+            *state
+        }
+    }
+
+    impl Corruptible for GatedFlood {
+        fn corrupt(&self, _node: NodeId, state: &mut u32, _rng: &mut StdRng) {
+            *state = 0;
+        }
+    }
+
+    fn flood_actors(n: usize, threads: usize) -> ActorDriver<GatedFlood> {
+        Scenario::new(GatedFlood)
+            .topology(builders::line(n))
+            .seed(9)
+            .build_actors(threads)
+            .expect("valid actor scenario")
+    }
+
+    #[test]
+    fn flood_converges_and_goes_silent() {
+        for threads in [1, 2, 4] {
+            let mut driver = flood_actors(12, threads);
+            let report = driver.run_to(&StopWhen::stable_for(3).within(200));
+            report.expect_stable("the flood converges on the actor fabric");
+            assert!(driver.states().iter().all(|&s| s == 11));
+            // Silence: a stabilized gated run sends nothing more.
+            let before = driver.messages_total();
+            driver.run(20);
+            assert_eq!(driver.messages_total(), before, "threads={threads}");
+            assert_eq!(driver.last_activity().updates, 0);
+        }
+    }
+
+    #[test]
+    fn actor_run_matches_round_driver_byte_for_byte() {
+        // GatedFlood receives commute, so each period's outcome is
+        // arrival-order independent: the actor fabric must track the
+        // synchronous rounds exactly — states, messages and report.
+        for (seed, threads) in [(1u64, 1usize), (1, 4), (5, 2), (9, 4)] {
+            let topo = builders::grid(6, 6, 1.1 / 5.0);
+            let mut net = Scenario::new(GatedFlood)
+                .topology(topo.clone())
+                .seed(seed)
+                .build()
+                .unwrap();
+            let mut actors = Scenario::new(GatedFlood)
+                .topology(topo)
+                .seed(seed)
+                .build_actors(threads)
+                .unwrap();
+            let stop = StopWhen::stable_for(3).within(300);
+            let net_report = net.run_to(&stop);
+            let actor_report = actors.run_to(&stop);
+            assert_eq!(net_report, actor_report, "seed={seed} threads={threads}");
+            assert_eq!(net.states(), actors.states());
+            assert_eq!(net.messages_total(), actors.messages_total());
+        }
+    }
+
+    #[test]
+    fn lossy_medium_replays_the_round_driver_fates() {
+        let topo = builders::grid(5, 5, 1.1 / 4.0);
+        let mut net = Scenario::new(GatedFlood)
+            .medium(BernoulliLoss::new(0.6))
+            .topology(topo.clone())
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut actors = Scenario::new(GatedFlood)
+            .medium(BernoulliLoss::new(0.6))
+            .topology(topo)
+            .seed(3)
+            .build_actors(4)
+            .unwrap();
+        for _ in 0..40 {
+            net.step();
+            actors.step();
+            let n = net.last_activity();
+            let a = actors.last_activity();
+            assert_eq!(n.frames_attempted, a.frames_attempted);
+            assert_eq!(n.frames_delivered, a.frames_delivered);
+        }
+        assert_eq!(net.states(), actors.states());
+    }
+
+    #[test]
+    fn contention_media_are_rejected() {
+        let result = Scenario::new(GatedFlood)
+            .medium(SlottedCsma::new(8))
+            .topology(builders::line(4))
+            .seed(1)
+            .build_actors(2);
+        let Err(err) = result else {
+            panic!("contention-coupled media must be rejected");
+        };
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        assert!(err.to_string().contains("actor driver"));
+    }
+
+    #[test]
+    fn scripted_isolation_cuts_the_actor_topology() {
+        use crate::faults::FaultPlan;
+
+        let mut plan = FaultPlan::new();
+        plan.at(0, Fault::Isolate(NodeId::new(2)));
+        let mut driver = Scenario::new(GatedFlood)
+            .topology(builders::line(5))
+            .seed(2)
+            .faults(plan)
+            .build_actors(2)
+            .expect("valid actor scenario");
+        driver
+            .run_to(&StopWhen::stable_for(3).within(100))
+            .expect_stable("both fragments settle");
+        // The isolate fired before period 0's slots: node 2 never
+        // beaconed across the severed links, so the left fragment's
+        // maximum is 1, not 4.
+        assert_eq!(*driver.state(NodeId::new(0)), 1);
+        assert_eq!(*driver.state(NodeId::new(1)), 1);
+        assert_eq!(*driver.state(NodeId::new(4)), 4);
+    }
+
+    #[test]
+    fn mobility_ticks_fire_at_period_boundaries() {
+        // Two disconnected halves; at period 5 a bridge appears via a
+        // scripted topology swap driven through the dynamics hook.
+        struct Bridge {
+            before: Topology,
+            after: Topology,
+        }
+        impl TopologyDynamics for Bridge {
+            fn next_topology(&mut self, step: u64) -> Option<&Topology> {
+                Some(if step >= 5 { &self.after } else { &self.before })
+            }
+        }
+        let before = Topology::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let after = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut driver = ActorDriver::new(GatedFlood, PerfectMedium, before.clone(), 4, 2)
+            .expect("valid actor driver");
+        driver.install_dynamics(Box::new(Bridge { before, after }));
+        // Before the bridge: the fragments converge separately.
+        driver.run(5);
+        assert_eq!(*driver.state(NodeId::new(0)), 1, "no link yet");
+        // After the bridge the flood crosses it.
+        driver
+            .run_to(&StopWhen::stable_for(3).within(100))
+            .expect_stable("the bridged flood settles");
+        assert!(driver.states().iter().all(|&s| s == 3));
+    }
+
+    #[test]
+    fn merge_candidates_is_a_sorted_union() {
+        let d = [NodeId::new(1), NodeId::new(4)];
+        let t = [NodeId::new(0), NodeId::new(4), NodeId::new(6)];
+        let merged = merge_candidates(&d, &t);
+        assert_eq!(
+            merged,
+            vec![
+                (NodeId::new(0), false),
+                (NodeId::new(1), true),
+                (NodeId::new(4), true),
+                (NodeId::new(6), false),
+            ]
+        );
+    }
+}

@@ -218,6 +218,12 @@ pub(crate) struct NodeTable<P: Protocol> {
     pub changed: Vec<NodeId>,
     /// Scratch: pre-step snapshot of the node being processed.
     pub scratch_state: Option<P::State>,
+    /// Scratch: pooled beacon buffer for [`ActivityCore::refresh_beacon`].
+    /// Refreshing computes into this buffer ([`Protocol::beacon_into`])
+    /// and swaps it with the node's column slot, so a protocol that
+    /// reuses the buffer's capacity (e.g. `DensityCluster`'s `view`
+    /// vec) refreshes without allocating.
+    pub scratch_beacon: Option<P::Beacon>,
 }
 
 impl<P: Protocol> NodeTable<P> {
@@ -240,6 +246,7 @@ impl<P: Protocol> NodeTable<P> {
             forced_changed: NodeSet::new(n),
             changed: Vec::new(),
             scratch_state: None,
+            scratch_beacon: None,
         };
         // Cold start: everything is dirty — nobody has heard anyone.
         table.update_dirty.insert_all();
@@ -405,13 +412,21 @@ impl<P: Protocol> ActivityCore<P> {
     /// changed ([`Protocol::beacon_changed`]) the epoch is bumped and
     /// `p` becomes send-pending. Returns whether the beacon changed.
     pub fn refresh_beacon(&mut self, protocol: &P, p: NodeId) -> bool {
-        let fresh = protocol.beacon(p, &self.table.states[p.index()]);
-        let changed = protocol.beacon_changed(&self.table.beacons[p.index()], &fresh);
+        // The pooled scratch buffer circulates: beacon_into overwrites
+        // it in place, then it swaps with the node's column slot, so
+        // refreshing never constructs a beacon from nothing once the
+        // buffer capacities have reached their high-water marks.
+        let scratch = self
+            .table
+            .scratch_beacon
+            .get_or_insert_with(|| self.table.beacons[p.index()].clone());
+        protocol.beacon_into(p, &self.table.states[p.index()], scratch);
+        let changed = protocol.beacon_changed(&self.table.beacons[p.index()], scratch);
         if changed {
             self.table.epoch[p.index()] = bump_epoch(self.table.epoch[p.index()]);
             self.table.send_pending.insert(p);
         }
-        self.table.beacons[p.index()] = fresh;
+        std::mem::swap(&mut self.table.beacons[p.index()], scratch);
         changed
     }
 

@@ -83,6 +83,19 @@ pub trait Protocol: Sync {
     /// The shared-variable snapshot `node` broadcasts.
     fn beacon(&self, node: NodeId, state: &Self::State) -> Self::Beacon;
 
+    /// Recomputes `node`'s beacon **into** a pooled buffer.
+    ///
+    /// The engine refreshes beacons through this hook with a scratch
+    /// beacon it keeps alive across refreshes, so protocols whose
+    /// beacons own heap buffers (neighbor views, digests) can overwrite
+    /// them in place and keep the converging-phase hot path
+    /// allocation-free. The default just delegates to [`beacon`]
+    /// (`Protocol::beacon`) and assigns — correct for any protocol,
+    /// without the pooling benefit.
+    fn beacon_into(&self, node: NodeId, state: &Self::State, out: &mut Self::Beacon) {
+        *out = self.beacon(node, state);
+    }
+
     /// Handles reception of `beacon` from 1-neighbor `from` at time
     /// `now` (round number or event-driver tick): refresh caches.
     fn receive(

@@ -53,13 +53,20 @@ pub fn derive_seed3(base: u64, a: u64, b: u64) -> u64 {
 /// Reserved stream tags for the round driver's derived streams. Kept
 /// far above any realistic step count so per-step streams can never
 /// collide with them.
+///
+/// The actor driver deliberately reuses the round driver's [`UPDATE`]
+/// and [`MEDIUM`] bases: per (period, node) its frame fates and update
+/// draws come off the *same* derived streams, so for a given seed the
+/// two drivers consume identical randomness — the foundation of the
+/// cross-driver agreement suite.
 pub(crate) mod streams {
     /// Tag for [`crate::Protocol::init`] draws.
     pub const INIT: u64 = u64::MAX - 8;
-    /// Tag for per-(step, node) [`crate::Protocol::update`] draws.
+    /// Tag for per-(step, node) [`crate::Protocol::update`] draws
+    /// (shared by the round and actor drivers).
     pub const UPDATE: u64 = u64::MAX - 9;
     /// Tag for per-(step, sender) frame-fate draws on media with
-    /// independent fates.
+    /// independent fates (shared by the round and actor drivers).
     pub const MEDIUM: u64 = u64::MAX - 10;
     /// Tag for per-corruption-event state-scrambling draws.
     pub const CORRUPT: u64 = u64::MAX - 11;

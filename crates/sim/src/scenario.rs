@@ -48,7 +48,10 @@ use mwn_graph::Topology;
 use mwn_radio::{Medium, PerfectMedium};
 
 use crate::network::Corruptor;
-use crate::{Corruptible, EventConfig, EventDriver, FaultPlan, Network, Protocol, SimError};
+use crate::{
+    ActorDriver, Corruptible, EventConfig, EventDriver, FaultPlan, Network, Protocol, SimError,
+    WireBeacon,
+};
 
 /// A source of topology changes applied before each step — the hook
 /// mobility models plug into (see `mwn_mobility`'s
@@ -237,6 +240,46 @@ impl<P: Protocol, M: Medium> Scenario<P, M> {
         }
         let mut driver =
             EventDriver::with_medium(self.protocol, self.medium, topology, config, self.seed);
+        if let Some((plan, corruptor)) = self.faults {
+            driver.install_script(plan.into_events(), Some(corruptor));
+        }
+        if let Some(dynamics) = self.dynamics {
+            driver.install_dynamics(dynamics);
+        }
+        Ok(driver)
+    }
+
+    /// Builds the **actor driver**: every node a real message-passing
+    /// process over `threads` worker threads, exchanging serialized
+    /// beacon frames ([`WireBeacon`]) under the virtual-time token
+    /// governor — the third driver the same scenario can run on.
+    ///
+    /// The medium must support shared-reference fate evaluation
+    /// ([`Medium::proxyable`]): the actor fabric replays its drop
+    /// decisions on the round driver's per-(period, sender) streams, so
+    /// a given seed drops the same frame copies on both drivers.
+    /// Scripted [`FaultPlan`]s fire at period boundaries *before* that
+    /// period's beacon slots are released (fault ≤ send); mobility
+    /// dynamics tick once per period at the same boundary. The
+    /// [`Scenario::shards`] knob is ignored — `threads` is the actor
+    /// fabric's own parallelism control.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingTopology`]; [`SimError::InvalidConfig`] when
+    /// a [`Scenario::validate`] check fails or the medium is
+    /// contention-coupled (not proxyable).
+    pub fn build_actors(self, threads: usize) -> Result<ActorDriver<P, M>, SimError>
+    where
+        P::Beacon: WireBeacon,
+        M: Sync,
+    {
+        let topology = self.topology.ok_or(SimError::MissingTopology)?;
+        for check in self.validators {
+            check(&topology).map_err(SimError::InvalidConfig)?;
+        }
+        let mut driver =
+            ActorDriver::new(self.protocol, self.medium, topology, self.seed, threads)?;
         if let Some((plan, corruptor)) = self.faults {
             driver.install_script(plan.into_events(), Some(corruptor));
         }

@@ -1,0 +1,114 @@
+//! Beacon frame serialization for the actor driver.
+//!
+//! The actor driver's nodes exchange **serialized frames**, not shared
+//! references: a sender encodes its beacon into bytes once, and every
+//! receiver decodes its own copy — exactly the boundary a real radio
+//! stack imposes. The workspace's offline `serde` shim has no
+//! serializer, so the codec is hand-rolled: little-endian fixed-width
+//! integers and length-prefixed sequences, with a fallible decoder
+//! (`None` on truncated or trailing bytes).
+//!
+//! The codec must be **lossless**: the cross-driver agreement suite
+//! relies on `decode(encode(b))` behaving exactly like `b` under
+//! [`crate::Protocol::receive`].
+
+/// A beacon that can cross the actor driver's wire.
+///
+/// Implemented here for the primitive beacon types the test protocols
+/// use; protocol crates implement it for their own beacon structs (see
+/// `mwn_cluster`'s `ClusterBeacon`).
+pub trait WireBeacon: Sized {
+    /// Appends the serialized beacon to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one beacon from `bytes`, which must contain exactly one
+    /// encoded beacon. Returns `None` on truncated, malformed, or
+    /// trailing input.
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Consumes a little-endian `u32` from the front of `bytes`.
+pub fn take_u32(bytes: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = bytes.split_first_chunk::<4>()?;
+    *bytes = rest;
+    Some(u32::from_le_bytes(*head))
+}
+
+/// Consumes a little-endian `u64` from the front of `bytes`.
+pub fn take_u64(bytes: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = bytes.split_first_chunk::<8>()?;
+    *bytes = rest;
+    Some(u64::from_le_bytes(*head))
+}
+
+impl WireBeacon for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, *self);
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut bytes = bytes;
+        let v = take_u32(&mut bytes)?;
+        bytes.is_empty().then_some(v)
+    }
+}
+
+impl WireBeacon for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut bytes = bytes;
+        let v = take_u64(&mut bytes)?;
+        bytes.is_empty().then_some(v)
+    }
+}
+
+impl WireBeacon for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0u32, 1, 7, u32::MAX] {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            assert_eq!(u32::decode(&buf), Some(v));
+        }
+        for v in [0u64, 42, u64::MAX] {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            assert_eq!(u64::decode(&buf), Some(v));
+        }
+        let mut buf = Vec::new();
+        ().encode(&mut buf);
+        assert_eq!(<()>::decode(&buf), Some(()));
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_are_rejected() {
+        assert_eq!(u32::decode(&[1, 2, 3]), None);
+        assert_eq!(u32::decode(&[1, 2, 3, 4, 5]), None);
+        assert_eq!(u64::decode(&[0; 7]), None);
+        assert_eq!(<()>::decode(&[0]), None);
+    }
+}

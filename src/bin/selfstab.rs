@@ -73,6 +73,10 @@ CLUSTER OPTIONS:
     --gamma <n>     DAG name-space size (default δ²)
     --silent        event-driven cache freshness: the activity-driven
                     engine gates stabilized regions (zero messages)
+    --driver <d>    rounds (default) | events | actors — the same
+                    scenario on synchronous steps, the continuous
+                    clock, or real message-passing actor processes
+    --threads <n>   worker threads for --driver actors (default 2)
     --svg <path>    write an SVG rendering
     --ascii         print ASCII art (grids only)
 
@@ -202,18 +206,58 @@ fn cmd_cluster(opts: &Opts) -> Result<(), String> {
     let topo = deploy(opts)?;
     let config = cluster_config(opts, &topo)?;
     let seed = opt_u64(opts, "seed")?.unwrap_or(1);
-    let mut net = Scenario::new(DensityCluster::new(config))
-        .topology(topo)
-        .seed(seed)
-        .build()
-        .map_err(|e| e.to_string())?;
-    let steps = net
-        .run_to(&StopWhen::stable_for(4).within(10_000))
-        .stabilized
-        .ok_or("the protocol did not stabilize within 10000 steps")?;
-    let clustering = extract_clustering(net.states()).ok_or("non-stabilized state extracted")?;
-    let stats = ClusteringStats::of(net.topology(), &clustering).ok_or("empty clustering")?;
-    let mut table = Table::new(format!("clustering (stabilized after {steps} steps)"));
+    let scenario = || {
+        Scenario::new(DensityCluster::new(config))
+            .topology(topo.clone())
+            .seed(seed)
+    };
+    let stop = StopWhen::stable_for(4).within(10_000);
+    // One scenario, three drivers: the same deployment and seed run on
+    // synchronous rounds, the continuous clock, or real message-passing
+    // actors — and (for this protocol) produce the same clustering.
+    let (summary, states) = match opts.get("driver").map(String::as_str) {
+        None | Some("rounds") => {
+            let mut net = scenario().build().map_err(|e| e.to_string())?;
+            let steps = net
+                .run_to(&stop)
+                .stabilized
+                .ok_or("the protocol did not stabilize within 10000 steps")?;
+            (
+                format!("stabilized after {steps} steps"),
+                net.states().to_vec(),
+            )
+        }
+        Some("events") => {
+            let mut driver = scenario()
+                .build_events(EventConfig::default())
+                .map_err(|e| e.to_string())?;
+            let time = driver
+                .run_until_output_stable(1.0, 4, 10_000.0)
+                .ok_or("the protocol did not stabilize within t = 10000")?;
+            (
+                format!("stabilized by t = {time:.1}"),
+                driver.states().to_vec(),
+            )
+        }
+        Some("actors") => {
+            let threads = opt_u64(opts, "threads")?.unwrap_or(2) as usize;
+            let mut actors = scenario()
+                .build_actors(threads)
+                .map_err(|e| e.to_string())?;
+            let periods = actors
+                .run_to(&stop)
+                .stabilized
+                .ok_or("the protocol did not stabilize within 10000 periods")?;
+            (
+                format!("stabilized after {periods} periods, {threads} threads"),
+                actors.states().to_vec(),
+            )
+        }
+        Some(other) => return Err(format!("unknown driver `{other}` (rounds|events|actors)")),
+    };
+    let clustering = extract_clustering(&states).ok_or("non-stabilized state extracted")?;
+    let stats = ClusteringStats::of(&topo, &clustering).ok_or("empty clustering")?;
+    let mut table = Table::new(format!("clustering ({summary})"));
     table.set_headers(["property", "value"]);
     table.add_row("clusters", vec![format!("{}", stats.clusters)]);
     table.add_row(
@@ -230,7 +274,7 @@ fn cmd_cluster(opts: &Opts) -> Result<(), String> {
     );
     println!("{table}");
     if let Some(path) = opts.get("svg") {
-        write_svg_clustering(path, net.topology(), &clustering)
+        write_svg_clustering(path, &topo, &clustering)
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
@@ -400,6 +444,18 @@ mod tests {
         cmd_topology(&opts).unwrap();
         let (_, opts) = parse(&argv("cluster --nodes 30 --radius 0.2 --seed 3")).unwrap();
         cmd_cluster(&opts).unwrap();
+        let (_, opts) = parse(&argv(
+            "cluster --nodes 30 --radius 0.2 --seed 3 --driver events",
+        ))
+        .unwrap();
+        cmd_cluster(&opts).unwrap();
+        let (_, opts) = parse(&argv(
+            "cluster --nodes 30 --radius 0.2 --seed 3 --silent --driver actors --threads 2",
+        ))
+        .unwrap();
+        cmd_cluster(&opts).unwrap();
+        let (_, opts) = parse(&argv("cluster --nodes 30 --driver warp")).unwrap();
+        assert!(cmd_cluster(&opts).is_err(), "unknown driver must fail");
         let (_, opts) = parse(&argv("dag --grid 6 --radius 0.25 --seed 3")).unwrap();
         cmd_dag(&opts).unwrap();
         let (_, opts) = parse(&argv("route --nodes 60 --radius 0.2 --seed 3")).unwrap();

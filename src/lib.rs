@@ -13,8 +13,8 @@
 //! * [`graph`] — topologies, deployments, neighborhoods;
 //! * [`radio`] — wireless media (perfect / Bernoulli-τ / slotted CSMA);
 //! * [`sim`] — the `Scenario` builder, guarded-command drivers
-//!   (synchronous steps, events), `StopWhen` stop conditions and the
-//!   parallel `Sweep` runner;
+//!   (synchronous steps, events, message-passing actors), `StopWhen`
+//!   stop conditions and the parallel `Sweep` runner;
 //! * [`mobility`] — random-waypoint / random-direction movement;
 //! * [`cluster`] — the paper's protocol, DAG renaming, oracle, metrics;
 //! * [`baselines`] — lowest-id, highest-degree, max-min d-cluster;
@@ -82,8 +82,9 @@ pub mod prelude {
         SlottedCsma, Thinned,
     };
     pub use mwn_sim::{
-        Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Observable, Protocol,
-        RunReport, Scenario, SimError, StopWhen, Sweep, TopologyDynamics, Trace,
+        ActorDriver, Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Observable,
+        Protocol, RunReport, Scenario, SimError, StopWhen, Sweep, TopologyDynamics, Trace,
+        WireBeacon,
     };
     pub use mwn_traffic::{
         run_events, run_rounds, DemandModel, FlowSpec, TrafficConfig, TrafficPlane, TrafficReport,

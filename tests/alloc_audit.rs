@@ -7,6 +7,13 @@
 //! sharded pass allocates only the constant thread-spawn overhead,
 //! independent of network size.
 //!
+//! The audit covers the paper's own protocol too: with the pooled
+//! `beacon_into` rebuild, a `DensityCluster` converging wave (states
+//! scrambled, caches intact) re-runs N1/R1/R2 across the whole grid
+//! without touching the heap. Only cache *re-discovery* — a cleared
+//! cache re-learning its neighborhood — may allocate, which is why the
+//! protocol phase perturbs states directly instead of `corrupt_all`.
+//!
 //! The audit installs a counting [`GlobalAlloc`] wrapper around the
 //! system allocator. All phases run inside a single `#[test]` so no
 //! concurrent test pollutes the process-wide counter.
@@ -166,5 +173,66 @@ fn steady_state_loops_do_not_allocate() {
         large <= small + 2.0,
         "sharded per-step allocations must not grow with n \
          (n=100: {small:.1}/step, n=1600: {large:.1}/step)"
+    );
+
+    // --- DensityCluster: converging phase, caches intact ------------
+    // The paper's protocol under the gated engine. Repeated rounds of
+    // state scrambling (wrong density, wrong head, wrong dag id on
+    // every node) kick off genuine converging waves: the polluted
+    // beacons propagate, neighbors overwrite cache entries in place,
+    // elections re-run — and with `beacon_into` pooling the view
+    // rebuild, none of it allocates. Cache *structure* never changes,
+    // so every view buffer keeps its settled capacity.
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default().event_driven()))
+        .topology(builders::grid(20, 20, 1.45 / 19.0))
+        .seed(7)
+        .build()
+        .expect("valid scenario");
+    net.set_shards(Some(1));
+    net.run_to(&StopWhen::stable_for(3).within(10_000))
+        .expect_stable("the clustering converges");
+    net.run(3);
+    let nodes = net.states().len() as u32;
+    let scramble = |net: &mut mwn_sim::Network<DensityCluster, PerfectMedium>, round: u32| {
+        for i in 0..nodes {
+            let node = NodeId::new(i);
+            let state = net.state_mut(node);
+            state.dag_id = u32::MAX - round;
+            state.density = Density::integer(round);
+            state.head = NodeId::new((i + 7 * (round + 1)) % nodes);
+        }
+    };
+    // Warmup storms: the swapped beacon buffers circulate between
+    // nodes, so each one's view capacity climbs to the global maximum
+    // over a few storms (~1 realloc per step while climbing).
+    for round in 0..5u32 {
+        scramble(&mut net, round);
+        assert!(
+            allocs_during(&mut net, 5) < 50,
+            "protocol warmup storms stay near-free"
+        );
+    }
+    // Measured storms: every buffer is at its high-water mark; the
+    // full N1/R1/R2 re-convergence must not touch the heap.
+    let mut converging_steps = 0usize;
+    for round in 5..9u32 {
+        scramble(&mut net, round);
+        for _ in 0..4 {
+            let before = ALLOCS.load(Ordering::Relaxed);
+            net.step();
+            let during = ALLOCS.load(Ordering::Relaxed) - before;
+            if net.last_activity().updates > 0 {
+                converging_steps += 1;
+            }
+            assert_eq!(
+                during, 0,
+                "DensityCluster converging step allocated {during} times"
+            );
+        }
+    }
+    assert!(
+        converging_steps >= 10,
+        "the protocol audit window must cover real converging work \
+         ({converging_steps} active steps seen)"
     );
 }

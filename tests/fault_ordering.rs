@@ -1,0 +1,200 @@
+//! Pins the **fault ≤ event ordering contract** on both event-shaped
+//! drivers.
+//!
+//! Scripted faults are timestamped in logical steps (beacon periods).
+//! When a fault and a protocol event fall on the same instant, the
+//! fault fires first — on the [`EventDriver`] the equal-instant
+//! priority is dynamics ≤ faults ≤ events, and a beacon frame already
+//! *in flight* across a link the fault severs is dead air (the receive
+//! handler re-checks the link at arrival time). On the [`ActorDriver`]
+//! the same contract holds structurally: faults fire at the period
+//! boundary **before** that period's beacon slots are released, so the
+//! topology is constant within a period and no frame can be evaluated
+//! against a pre-fault topology.
+//!
+//! Without this ordering, an `Isolate` delivered mid-slot could race
+//! the beacon already in flight and leak one frame across a severed
+//! link — observable as a flood value crossing a cut that was supposed
+//! to be closed.
+
+use selfstab::prelude::*;
+use selfstab::sim::EventConfig;
+
+/// Max-flood over `u32` beacons: any frame leaking across a cut is
+/// permanently visible in the receiver's state.
+struct MaxFlood;
+
+impl Protocol for MaxFlood {
+    type State = u32;
+    type Beacon = u32;
+    fn init(&self, node: NodeId, _rng: &mut rand::rngs::StdRng) -> u32 {
+        node.value()
+    }
+    fn beacon(&self, _node: NodeId, state: &u32) -> u32 {
+        *state
+    }
+    fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+        *state = (*state).max(*beacon);
+    }
+    fn update(&self, node: NodeId, state: &mut u32, _now: u64, _rng: &mut rand::rngs::StdRng) {
+        *state = (*state).max(node.value());
+    }
+    fn activity(&self) -> selfstab::sim::Activity {
+        selfstab::sim::Activity::Gated
+    }
+    fn beacon_changed(&self, old: &u32, new: &u32) -> bool {
+        old != new
+    }
+}
+
+impl Observable for MaxFlood {
+    type Output = u32;
+    fn output(&self, _node: NodeId, state: &u32) -> u32 {
+        *state
+    }
+}
+
+impl Corruptible for MaxFlood {
+    fn corrupt(&self, _node: NodeId, state: &mut u32, _rng: &mut rand::rngs::StdRng) {
+        *state = 0;
+    }
+}
+
+/// Frames slower than the beacon period: every first-period frame is
+/// still in flight when the step-1 fault boundary arrives.
+fn slow_frames() -> EventConfig {
+    EventConfig {
+        beacon_period: 1.0,
+        jitter: 0.0,
+        frame_time: 2.0,
+        ..EventConfig::default()
+    }
+}
+
+#[test]
+fn event_driver_drops_in_flight_frames_across_a_severed_link() {
+    // Two nodes, one link. With frame_time = 2 every period-0 beacon
+    // arrives during (2, 3); the Isolate fires at the step-1 boundary
+    // (t = 1), strictly before any of those arrivals. The frames were
+    // genuinely sent — and must all be dead air.
+    let mut plan = FaultPlan::new();
+    plan.at(1, Fault::Isolate(NodeId::new(1)));
+    let mut driver = Scenario::new(MaxFlood)
+        .topology(builders::line(2))
+        .seed(5)
+        .faults(plan)
+        .build_events(slow_frames())
+        .expect("valid event scenario");
+    driver.run_until_time(20.0);
+    assert!(
+        driver.messages_total() > 0,
+        "beacons must actually have been sent before the cut"
+    );
+    assert_eq!(
+        *driver.state(NodeId::new(0)),
+        0,
+        "an in-flight frame leaked across the severed link"
+    );
+    assert_eq!(*driver.state(NodeId::new(1)), 1);
+}
+
+#[test]
+fn event_driver_without_the_fault_delivers_the_same_frames() {
+    // The control group for the in-flight drop: identical scenario,
+    // no fault — the slow frames arrive and the flood crosses.
+    let mut driver = Scenario::new(MaxFlood)
+        .topology(builders::line(2))
+        .seed(5)
+        .build_events(slow_frames())
+        .expect("valid event scenario");
+    driver.run_until_time(20.0);
+    assert_eq!(
+        *driver.state(NodeId::new(0)),
+        1,
+        "without the fault the very same frames must deliver"
+    );
+}
+
+#[test]
+fn equal_timestamp_faults_precede_sends_on_both_drivers() {
+    // CorruptAll and Isolate(2) share timestamp 6, landing mid-run on
+    // an already-stabilized line (everyone holds 4). The contract:
+    // both faults apply before any period-6 beacon, so re-convergence
+    // happens on the post-cut fragments {0,1} | {2} | {3,4} — the old
+    // maximum must not leak out of a period-6 frame sent pre-fault.
+    let fragments = |label: &str, states: &[u32]| {
+        assert_eq!(states[0], 1, "{label}: left fragment");
+        assert_eq!(states[1], 1, "{label}: left fragment");
+        assert_eq!(states[2], 2, "{label}: isolated node");
+        assert_eq!(states[3], 4, "{label}: right fragment");
+        assert_eq!(states[4], 4, "{label}: right fragment");
+    };
+    let plan = || {
+        let mut plan = FaultPlan::new();
+        plan.at(6, Fault::CorruptAll)
+            .at(6, Fault::Isolate(NodeId::new(2)));
+        plan
+    };
+
+    // Round driver (the reference semantics the others must match).
+    let mut net = Scenario::new(MaxFlood)
+        .topology(builders::line(5))
+        .seed(3)
+        .faults(plan())
+        .build()
+        .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(4).within(200))
+        .expect_stable("round driver re-stabilizes");
+    fragments("round", net.states());
+
+    // Actor driver: faults fire before the period's slots are released.
+    for threads in [1, 2, 4] {
+        let mut actors = Scenario::new(MaxFlood)
+            .topology(builders::line(5))
+            .seed(3)
+            .faults(plan())
+            .build_actors(threads)
+            .expect("valid actor scenario");
+        actors
+            .run_to(&StopWhen::stable_for(4).within(200))
+            .expect_stable("actor driver re-stabilizes");
+        fragments("actors", actors.states());
+    }
+
+    // Event driver: fault priority at the step boundary plus the
+    // in-flight link re-check give the same fragments.
+    let mut driver = Scenario::new(MaxFlood)
+        .topology(builders::line(5))
+        .seed(3)
+        .faults(plan())
+        .build_events(EventConfig::default())
+        .expect("valid event scenario");
+    driver.run_until_time(60.0);
+    fragments("events", driver.states());
+}
+
+#[test]
+fn actor_isolation_applies_before_the_same_periods_frames() {
+    // The actor-fabric version of the in-flight question: a fault and
+    // a beacon slot land on the same period. If the beacon slot could
+    // fire first, node 2's period-0 frame would leak its value across
+    // the about-to-vanish links. The governor orders fault ≤ send, so
+    // nothing ever crosses.
+    for threads in [1, 4] {
+        let mut plan = FaultPlan::new();
+        plan.at(0, Fault::Isolate(NodeId::new(2)));
+        let mut actors = Scenario::new(MaxFlood)
+            .topology(builders::line(5))
+            .seed(9)
+            .faults(plan)
+            .build_actors(threads)
+            .expect("valid actor scenario");
+        actors
+            .run_to(&StopWhen::stable_for(4).within(200))
+            .expect_stable("fragments settle");
+        assert_eq!(*actors.state(NodeId::new(0)), 1, "threads={threads}");
+        assert_eq!(*actors.state(NodeId::new(1)), 1, "threads={threads}");
+        assert_eq!(*actors.state(NodeId::new(2)), 2, "threads={threads}");
+        assert_eq!(*actors.state(NodeId::new(4)), 4, "threads={threads}");
+    }
+}

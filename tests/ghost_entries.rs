@@ -1,0 +1,138 @@
+//! Regression pin for the [`FreshnessPolicy::EventDriven`] **ghost
+//! entry gap** — the documented trade-off of silent freshness.
+//!
+//! Under `EventDriven` freshness the update pass only purges cache
+//! entries whose timestamp lies in the *future* (`last_seen > now`):
+//! live entries must survive arbitrarily long silence, so there is no
+//! wall-clock sweep to kill a **past-stamped** forgery. A corrupted
+//! ghost entry naming a node that is not (and never was) a neighbor
+//! therefore survives until update pressure from the real neighborhood
+//! overwrites whatever the ghost influenced — the entry itself is never
+//! evicted.
+//!
+//! These tests pin the *current, documented* behavior on both the
+//! round driver and the actor driver, so the future purge PR flips
+//! exactly one assertion per driver
+//! (`past_stamped_ghost_survives_silence*`) instead of discovering the
+//! gap by accident.
+
+use mwn_cluster::NeighborEntry;
+use selfstab::prelude::*;
+
+fn event_driven_config() -> ClusterConfig {
+    ClusterConfig::default().event_driven()
+}
+
+/// The forged cache entry: a never-existing neighbor with a timestamp
+/// `stamp` and an absurd density claim.
+fn ghost(stamp: u64) -> NeighborEntry {
+    NeighborEntry {
+        last_seen: stamp,
+        dag_id: 0,
+        density: Density::integer(99),
+        head: NodeId::new(999),
+        view: Vec::new(),
+    }
+}
+
+#[test]
+fn future_stamped_ghost_is_purged_immediately() {
+    // The half of the contract that DOES hold under EventDriven: a
+    // forged timestamp from the future is swept on the next update.
+    let mut net = Scenario::new(DensityCluster::new(event_driven_config()))
+        .topology(builders::line(3))
+        .seed(13)
+        .build()
+        .expect("valid scenario");
+    net.run(5);
+    net.state_mut(NodeId::new(0))
+        .cache
+        .insert(NodeId::new(999), ghost(u64::MAX));
+    net.run(2);
+    assert!(
+        !net.state(NodeId::new(0))
+            .cache
+            .contains_key(&NodeId::new(999)),
+        "future-stamped ghost must be expired"
+    );
+}
+
+#[test]
+fn past_stamped_ghost_survives_silence() {
+    // The gap itself: `retain(|_, e| e.last_seen <= now)` keeps any
+    // entry whose stamp is in the past, and silence means no other
+    // mechanism ever touches it. When a purge lands (e.g. evicting
+    // cache keys outside the adjacency list), flip this assertion.
+    let mut net = Scenario::new(DensityCluster::new(event_driven_config()))
+        .topology(builders::line(3))
+        .seed(13)
+        .build()
+        .expect("valid scenario");
+    net.run_to(&StopWhen::stable_for(4).within(200))
+        .expect_stable("clean stabilization before the forgery");
+    let stamp = net.now().saturating_sub(1);
+    net.state_mut(NodeId::new(0))
+        .cache
+        .insert(NodeId::new(999), ghost(stamp));
+    // Long quiet stretch: neighbors re-beacon (the mutation reset the
+    // node's reception row), states re-settle — the ghost stays.
+    net.run(100);
+    assert!(
+        net.state(NodeId::new(0))
+            .cache
+            .contains_key(&NodeId::new(999)),
+        "documented gap: past-stamped ghosts survive silence — if this \
+         fails, the purge PR landed and this test should assert eviction"
+    );
+}
+
+#[test]
+fn past_stamped_ghost_survives_silence_on_the_actor_driver() {
+    // Same pin on the actor fabric: the gap is a protocol property, so
+    // every driver must exhibit it identically.
+    let mut actors = Scenario::new(DensityCluster::new(event_driven_config()))
+        .topology(builders::line(3))
+        .seed(13)
+        .build_actors(2)
+        .expect("valid actor scenario");
+    actors
+        .run_to(&StopWhen::stable_for(4).within(200))
+        .expect_stable("clean stabilization before the forgery");
+    let stamp = actors.now().saturating_sub(1);
+    actors
+        .state_mut(NodeId::new(0))
+        .cache
+        .insert(NodeId::new(999), ghost(stamp));
+    actors.run(100);
+    assert!(
+        actors
+            .state(NodeId::new(0))
+            .cache
+            .contains_key(&NodeId::new(999)),
+        "the ghost gap must be driver-independent"
+    );
+}
+
+#[test]
+fn ttl_sweep_still_purges_past_stamped_ghosts() {
+    // The legacy policy has no such gap: the TTL sweep kills any entry
+    // older than cache_ttl, forged or not — the control group showing
+    // the gap is specific to EventDriven freshness.
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default()))
+        .topology(builders::line(3))
+        .seed(13)
+        .build()
+        .expect("valid scenario");
+    net.run(10);
+    let stamp = net.now().saturating_sub(1);
+    net.state_mut(NodeId::new(0))
+        .cache
+        .insert(NodeId::new(999), ghost(stamp));
+    net.run(ClusterConfig::default().cache_ttl + 2);
+    assert!(
+        !net.state(NodeId::new(0))
+            .cache
+            .contains_key(&NodeId::new(999)),
+        "TtlSweep must expire stale entries regardless of origin"
+    );
+}
