@@ -11,7 +11,7 @@ use mwn_cluster::{
     NameSpace, OracleConfig,
 };
 use mwn_graph::builders;
-use mwn_radio::{BernoulliLoss, Medium, SlottedCsma};
+use mwn_radio::{BernoulliLoss, Medium, Occupancy, OccupancyView, SlottedCsma};
 use mwn_sim::{Scenario, StopWhen};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -104,6 +104,37 @@ fn bench_medium(c: &mut Criterion) {
     });
 }
 
+fn bench_occupancy(c: &mut Criterion) {
+    // The gated-contention bookkeeping: the engine pays one
+    // occupy/release per churn event (O(degree) count updates) so the
+    // quiet path never needs the O(n + m) recount the property suite
+    // uses as ground truth. The gap between the two is the cost the
+    // incremental summary saves on every retirement and wake-up.
+    let topo = poisson_1000();
+    let n = topo.len();
+    let nodes: Vec<mwn_graph::NodeId> = topo.nodes().collect();
+    let mut occ = Occupancy::new(n);
+    for &q in nodes.iter().step_by(2) {
+        occ.occupy(q, &topo);
+    }
+    c.bench_function("occupancy/incremental_toggle_n1000", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = nodes[i % n];
+            i += 1;
+            if occ.is_occupied(q) {
+                occ.release(q, &topo);
+            } else {
+                occ.occupy(q, &topo);
+            }
+            black_box(occ.total())
+        })
+    });
+    c.bench_function("occupancy/recount_n1000", |b| {
+        b.iter(|| black_box(occ.recount(&topo)))
+    });
+}
+
 fn bench_dag(c: &mut Criterion) {
     let topo = poisson_1000();
     let gamma = NameSpace::delta_squared(topo.max_degree());
@@ -151,6 +182,7 @@ criterion_group!(
     bench_oracle,
     bench_protocol_round,
     bench_medium,
+    bench_occupancy,
     bench_dag,
     bench_baseline,
     bench_scaling

@@ -1,18 +1,21 @@
 //! The activity-driven engine's scaling story: once a silent protocol
 //! stabilizes, dirty-set scheduling drops per-step messages to zero
-//! and steps/sec by orders of magnitude versus re-running every guard.
+//! and steps/sec by orders of magnitude versus re-running every guard
+//! — on the perfect medium *and*, since the statistical-occupancy
+//! contract, under gated-contention CSMA.
 //!
 //! ```sh
-//! cargo run --release -p mwn-bench --bin scaling             # 1k..1M sweep
+//! cargo run --release -p mwn-bench --bin scaling             # 1k..1M sweep + CSMA rows
 //! cargo run --release -p mwn-bench --bin scaling -- --quick  # 1k (CI smoke)
-//! cargo run --release -p mwn-bench --bin scaling -- --smoke  # 10k converging smoke
+//! cargo run --release -p mwn-bench --bin scaling -- --smoke  # 10k converging + CSMA smoke
 //! ```
 //!
-//! `--smoke` is the CI guard for the kernelized converging phase: one
-//! n = 10k point with a short post-stabilization window, plus the
-//! assertion that the converging-throughput column is present and
-//! non-zero (a silent regression to an unmeasured column would
-//! otherwise slip through).
+//! `--smoke` is the CI guard for the kernelized converging phase and
+//! for gated contention: one n = 10k point per medium with a short
+//! post-stabilization window, asserting the converging-throughput
+//! column is non-zero, that a stabilized `SlottedCsma` network sends
+//! **0 messages/step**, and that its quiet throughput clears 10⁶
+//! steps/s (the eager fallback it replaced managed ~36).
 //!
 //! Writes `BENCH_scaling.json` next to the working directory.
 
@@ -27,25 +30,47 @@ fn main() {
     } else {
         vec![1_000, 10_000, 50_000, 250_000, 1_000_000]
     };
+    // CSMA rows stop at 50k: the converging phase pays the channel
+    // race, so the two top sizes would dominate the sweep's wall clock
+    // without changing the silence story the rows exist to tell.
+    let csma_sizes: Vec<usize> = sizes.iter().copied().filter(|&n| n <= 50_000).collect();
     let post_steps = if quick || smoke { 200 } else { 1_000 };
-    let points = mwn_bench::scaling::run(&sizes, 20050610, post_steps);
+    let mut points = mwn_bench::scaling::run(&sizes, 20050610, post_steps);
+    points.extend(mwn_bench::scaling::run_csma(
+        &csma_sizes,
+        20050610,
+        post_steps,
+    ));
     println!("{}", mwn_bench::scaling::render(&points));
     for p in &points {
         assert_eq!(
             p.messages_per_step_stable_gated, 0.0,
-            "silence violated at n = {}",
-            p.nodes
+            "silence violated at n = {} on `{}`",
+            p.nodes, p.medium
         );
         assert!(
             p.converging_steps_per_sec > 0.0,
-            "converging throughput missing at n = {}",
-            p.nodes
+            "converging throughput missing at n = {} on `{}`",
+            p.nodes,
+            p.medium
         );
+        if p.medium == "slotted-csma" && p.nodes >= 10_000 {
+            assert!(
+                p.stable_steps_per_sec_gated >= 1e6,
+                "gated-CSMA quiet throughput regressed at n = {}: {:.0} steps/s",
+                p.nodes,
+                p.stable_steps_per_sec_gated
+            );
+        }
     }
     let json = mwn_bench::scaling::to_json(&points);
     assert!(
         json.contains("converging_steps_per_sec"),
         "BENCH_scaling.json must carry the converging-throughput column"
+    );
+    assert!(
+        json.contains("\"medium\": \"slotted-csma\""),
+        "BENCH_scaling.json must carry the gated-CSMA rows"
     );
     let path = "BENCH_scaling.json";
     std::fs::write(path, &json).expect("write BENCH_scaling.json");

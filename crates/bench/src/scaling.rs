@@ -20,6 +20,8 @@ use rand::SeedableRng;
 /// One network size's measurements.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScalingPoint {
+    /// The medium the row ran under (`Medium::name`).
+    pub medium: &'static str,
     /// Poisson intensity requested.
     pub intensity: usize,
     /// Actual node count of the deployment.
@@ -73,13 +75,33 @@ fn measure<M: mwn_radio::Medium>(
     (steps as f64 / elapsed, messages / steps as f64)
 }
 
-/// Runs the scaling measurement at one Poisson intensity.
+/// Runs the scaling measurement at one Poisson intensity on the
+/// default [`mwn_radio::PerfectMedium`].
 ///
 /// # Panics
 ///
 /// Panics if the protocol fails to stabilize within the step budget
 /// (which would falsify Lemma 2).
 pub fn run_point(intensity: usize, seed: u64, post_steps: u64) -> ScalingPoint {
+    run_point_on(mwn_radio::PerfectMedium, intensity, seed, post_steps)
+}
+
+/// Runs the scaling measurement at one Poisson intensity on an
+/// arbitrary gating medium — the CSMA rows use this with
+/// [`mwn_radio::SlottedCsma`], where silence gates through statistical
+/// slot occupancy instead of independent fates.
+///
+/// # Panics
+///
+/// Panics if the protocol fails to stabilize within the step budget,
+/// or if the medium does not gate (no silence to measure).
+pub fn run_point_on<M: mwn_radio::Medium>(
+    medium: M,
+    intensity: usize,
+    seed: u64,
+    post_steps: u64,
+) -> ScalingPoint {
+    let medium_name = medium.name();
     let radius = radius_for(intensity, 8.0);
     let mut rng = StdRng::seed_from_u64(seed);
     let topo = builders::poisson(intensity as f64, radius, &mut rng);
@@ -88,11 +110,12 @@ pub fn run_point(intensity: usize, seed: u64, post_steps: u64) -> ScalingPoint {
 
     // Gated engine: converge, then measure the silent regime.
     let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default().event_driven()))
+        .medium(medium)
         .topology(topo)
         .seed(seed)
         .build()
         .expect("valid scenario");
-    assert!(net.is_gated(), "EventDriven + PerfectMedium must gate");
+    assert!(net.is_gated(), "medium `{medium_name}` must gate");
     let converge_start = Instant::now();
     let report = net.run_to(&StopWhen::stable_for(2).within(10_000));
     let converge_elapsed = converge_start.elapsed().as_secs_f64().max(1e-9);
@@ -100,8 +123,15 @@ pub fn run_point(intensity: usize, seed: u64, post_steps: u64) -> ScalingPoint {
     let converging_steps_per_sec = net.now() as f64 / converge_elapsed;
     let messages_per_step_converging = net.messages_total() as f64 / net.now().max(1) as f64;
     // Drain the last pending beacons (a quiet output does not instantly
-    // imply every neighbor caught up), then measure pure silence.
-    net.run(3);
+    // imply every neighbor caught up — under lossy contention media a
+    // straggler frame can take a few extra rounds), then measure pure
+    // silence.
+    for _ in 0..64 {
+        if net.last_activity().senders == 0 {
+            break;
+        }
+        net.step();
+    }
     let (gated_sps, gated_mps) = measure(&mut net, post_steps);
 
     // Same network pinned eager: every node re-beacons and re-runs its
@@ -114,6 +144,7 @@ pub fn run_point(intensity: usize, seed: u64, post_steps: u64) -> ScalingPoint {
     let (eager_sps, eager_mps) = measure(&mut net, post_steps.min(eager_steps));
 
     ScalingPoint {
+        medium: medium_name,
         intensity,
         nodes,
         edges,
@@ -127,11 +158,21 @@ pub fn run_point(intensity: usize, seed: u64, post_steps: u64) -> ScalingPoint {
     }
 }
 
-/// Runs the full size sweep.
+/// Runs the full size sweep on the perfect medium.
 pub fn run(sizes: &[usize], seed: u64, post_steps: u64) -> Vec<ScalingPoint> {
     sizes
         .iter()
         .map(|&n| run_point(n, seed, post_steps))
+        .collect()
+}
+
+/// Runs the size sweep under gated-contention CSMA (8 mini-slots,
+/// carrier sense) — the rows proving the silence claim now covers
+/// contention media.
+pub fn run_csma(sizes: &[usize], seed: u64, post_steps: u64) -> Vec<ScalingPoint> {
+    sizes
+        .iter()
+        .map(|&n| run_point_on(mwn_radio::SlottedCsma::new(8), n, seed, post_steps))
         .collect()
 }
 
@@ -143,7 +184,8 @@ pub fn to_json(points: &[ScalingPoint]) -> String {
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             concat!(
-                "  {{\"intensity\": {}, \"nodes\": {}, \"edges\": {}, ",
+                "  {{\"medium\": \"{}\", ",
+                "\"intensity\": {}, \"nodes\": {}, \"edges\": {}, ",
                 "\"stabilization_steps\": {}, ",
                 "\"converging_steps_per_sec\": {:.1}, ",
                 "\"messages_per_step_converging\": {:.2}, ",
@@ -153,6 +195,7 @@ pub fn to_json(points: &[ScalingPoint]) -> String {
                 "\"stable_steps_per_sec_eager\": {:.1}, ",
                 "\"post_stabilization_speedup\": {:.1}}}{}"
             ),
+            p.medium,
             p.intensity,
             p.nodes,
             p.edges,
@@ -179,6 +222,10 @@ pub fn render(points: &[ScalingPoint]) -> mwn_metrics::Table {
     let mut headers = vec!["n".to_string()];
     headers.extend(points.iter().map(|p| p.nodes.to_string()));
     table.set_headers(headers);
+    table.add_row(
+        "medium",
+        points.iter().map(|p| p.medium.to_string()).collect(),
+    );
     table.add_numeric_row(
         "stabilization steps",
         &points
@@ -269,10 +316,25 @@ mod tests {
     }
 
     #[test]
+    fn csma_point_is_silent_after_stabilization() {
+        // The flagship claim of the gated-contention contract: silence
+        // is free under CSMA too, not only for independent-fates media.
+        let p = run_point_on(mwn_radio::SlottedCsma::new(8), 250, 11, 40);
+        assert_eq!(p.medium, "slotted-csma");
+        assert_eq!(
+            p.messages_per_step_stable_gated, 0.0,
+            "a stabilized gated-CSMA network sends nothing"
+        );
+        assert!(p.messages_per_step_converging > 0.0);
+        assert!(p.speedup() > 1.0);
+    }
+
+    #[test]
     fn json_is_well_formed_enough() {
         let p = run_point(150, 3, 20);
         let json = to_json(&[p]);
         assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.contains("\"medium\": \"perfect\""));
         assert!(json.contains("\"messages_per_step_stable_gated\": 0.00"));
         assert!(!render(&[run_point(150, 3, 5)]).to_string().is_empty());
     }

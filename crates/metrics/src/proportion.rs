@@ -36,6 +36,40 @@ pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
     ((center - half).max(0.0), (center + half).min(1.0))
 }
 
+/// Whether two binomial samples are statistically compatible: their
+/// Wilson score intervals (at quantile `z`) overlap.
+///
+/// This is the acceptance predicate of the cross-driver and
+/// gated-vs-eager agreement suites: two implementations that realize
+/// the *same* distribution should produce overlapping intervals for
+/// any proportion-valued observable (stabilization within `k` steps,
+/// per-copy delivery, head agreement). Interval overlap is a
+/// deliberately conservative equivalence test — strictly weaker than a
+/// two-proportion z-test, so it under-rejects rather than flakes.
+///
+/// Degenerate samples with zero trials have the uninformative interval
+/// `(0, 1)` and therefore overlap everything.
+///
+/// # Examples
+///
+/// ```
+/// use mwn_metrics::wilson_overlap;
+///
+/// assert!(wilson_overlap(48, 100, 53, 100, 1.96));
+/// assert!(!wilson_overlap(10, 100, 90, 100, 1.96));
+/// ```
+pub fn wilson_overlap(
+    successes_a: usize,
+    trials_a: usize,
+    successes_b: usize,
+    trials_b: usize,
+    z: f64,
+) -> bool {
+    let (lo_a, hi_a) = wilson_interval(successes_a, trials_a, z);
+    let (lo_b, hi_b) = wilson_interval(successes_b, trials_b, z);
+    lo_a <= hi_b && lo_b <= hi_a
+}
+
 /// A counted proportion with its 95% Wilson interval — the record a
 /// convergence-probability sweep reports per parameter point.
 ///
@@ -127,5 +161,47 @@ mod tests {
     #[should_panic(expected = "cannot exceed")]
     fn more_successes_than_trials_rejected() {
         let _ = Proportion::new(3, 2);
+    }
+
+    #[test]
+    fn overlap_accepts_identical_samples() {
+        assert!(wilson_overlap(37, 80, 37, 80, 1.96));
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        for &(a, b) in &[(40usize, 55usize), (5, 90), (0, 100), (100, 0)] {
+            assert_eq!(
+                wilson_overlap(a, 100, b, 100, 1.96),
+                wilson_overlap(b, 100, a, 100, 1.96),
+                "a={a} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_rejects_clearly_different_proportions() {
+        assert!(!wilson_overlap(5, 200, 180, 200, 1.96));
+        assert!(!wilson_overlap(0, 100, 100, 100, 1.96));
+    }
+
+    #[test]
+    fn overlap_accepts_nearby_proportions_at_small_n() {
+        // Small samples → wide intervals → 40% vs 60% of 20 overlap.
+        assert!(wilson_overlap(8, 20, 12, 20, 1.96));
+    }
+
+    #[test]
+    fn zero_trials_overlap_everything() {
+        assert!(wilson_overlap(0, 0, 0, 150, 1.96));
+        assert!(wilson_overlap(0, 0, 150, 150, 1.96));
+    }
+
+    #[test]
+    fn wider_quantile_overlaps_more() {
+        // A borderline pair separated at z = 1 but not at z = 3.
+        let (a, na, b, nb) = (30usize, 100usize, 48usize, 100usize);
+        assert!(!wilson_overlap(a, na, b, nb, 1.0));
+        assert!(wilson_overlap(a, na, b, nb, 3.0));
     }
 }

@@ -2,7 +2,7 @@ use mwn_graph::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::{Delivery, Medium};
+use crate::{ContentionStreams, Delivery, Medium, OccupancyView};
 
 /// Slotted medium with the **capture effect**: when two frames collide
 /// at a receiver, the much-closer (much-stronger) transmitter can still
@@ -106,13 +106,92 @@ impl Medium for CaptureCsma {
                             .iter()
                             .map(|&q| (positions[q.index()].distance(positions[r.index()]), q))
                             .collect();
-                        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+                        // Exactly equal received powers are broken by
+                        // node id, so the winner is deterministic on
+                        // every driver (whether such a tie can satisfy
+                        // the capture condition is the ratio's call).
+                        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                         let (d1, nearest) = ranked[0];
                         let (d2, _) = ranked[1];
                         (d1 * self.capture_ratio <= d2).then_some(nearest)
                     }
                 };
                 if let Some(s) = winner {
+                    delivery.record(r, s);
+                }
+            }
+        }
+    }
+
+    fn gated_contention(&self) -> bool {
+        true
+    }
+
+    /// Exact slots for the active `senders` (per-sender streams, no
+    /// carrier sense), statistical contenders from the occupied
+    /// population: for a copy `s → r`, each occupied `q ∈ N(r) \ {s}`
+    /// lands in `s`'s slot with probability `1/slots` (one Bernoulli
+    /// per phantom off the per-(tick, r, s) copy stream, drawn in
+    /// sorted-neighbor order), and an occupied `r` is itself
+    /// transmitting over `s` with probability `1/slots`. The winner
+    /// among `{s}` ∪ exact in-slot actives ∪ drawn phantoms is ranked
+    /// by (distance, node id); the copy is recorded iff `s` wins *and*
+    /// clears the capture ratio. A winning phantom delivers nothing —
+    /// its beacon is stale by definition of being silent.
+    fn deliver_occupied_into(
+        &mut self,
+        topo: &Topology,
+        senders: &[NodeId],
+        occupancy: &dyn OccupancyView,
+        streams: &ContentionStreams,
+        delivery: &mut Delivery,
+    ) {
+        if senders.is_empty() {
+            return; // the quiet path: zero work, zero draws
+        }
+        let positions = topo
+            .positions()
+            .expect("the capture effect requires node positions");
+        let p_slot = 1.0 / self.slots as f64;
+        let mut slot_of = vec![usize::MAX; topo.len()];
+        for &s in senders {
+            slot_of[s.index()] = streams.sender(s).random_range(0..self.slots);
+            delivery.attempted += topo.degree(s);
+        }
+        let mut ranked: Vec<(f64, NodeId)> = Vec::new();
+        for &s in senders {
+            let slot = slot_of[s.index()];
+            for &r in topo.neighbors(s) {
+                if slot_of[r.index()] == slot {
+                    continue; // half-duplex among actives (exact)
+                }
+                let mut rng = streams.copy(r, s);
+                if occupancy.is_occupied(r) && rng.random::<f64>() < p_slot {
+                    continue; // half-duplex against the phantom r
+                }
+                ranked.clear();
+                ranked.push((positions[s.index()].distance(positions[r.index()]), s));
+                for &q in topo.neighbors(r) {
+                    if q == s {
+                        continue;
+                    }
+                    let in_slot = if slot_of[q.index()] != usize::MAX {
+                        slot_of[q.index()] == slot // exact active contender
+                    } else {
+                        occupancy.is_occupied(q) && rng.random::<f64>() < p_slot
+                    };
+                    if in_slot {
+                        ranked.push((positions[q.index()].distance(positions[r.index()]), q));
+                    }
+                }
+                if ranked.len() == 1 {
+                    delivery.record(r, s);
+                    continue;
+                }
+                ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let (d1, nearest) = ranked[0];
+                let (d2, _) = ranked[1];
+                if nearest == s && d1 * self.capture_ratio <= d2 {
                     delivery.record(r, s);
                 }
             }
@@ -190,5 +269,88 @@ mod tests {
     #[should_panic(expected = "capture ratio below 1")]
     fn sub_one_ratio_rejected() {
         let _ = CaptureCsma::new(4, 0.5);
+    }
+
+    /// Nodes 1 and 2 exactly equidistant from receiver 0. The
+    /// coordinates are dyadic rationals, so both distances are the
+    /// *same* float (0.25) — a true tie, not an epsilon apart.
+    fn symmetric_pair() -> Topology {
+        let positions = vec![
+            Point2::new(0.5, 0.5),
+            Point2::new(0.75, 0.5),
+            Point2::new(0.25, 0.5),
+        ];
+        Topology::unit_disk(positions, 0.3).unwrap()
+    }
+
+    #[test]
+    fn equal_powers_capture_the_lowest_id_on_the_eager_path() {
+        // Regression: exactly equal received powers must resolve by
+        // node id, not by slot-draw order or HashMap/seed accidents.
+        // One slot forces the collision; ratio 1.0 lets the tie pass
+        // the capture condition, so the winner is purely the
+        // tie-break's pick — and it must be node 1 for every seed.
+        let topo = symmetric_pair();
+        for seed in 0..16 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut medium = CaptureCsma::new(1, 1.0);
+            let d = medium.deliver(&topo, &[NodeId::new(1), NodeId::new(2)], &mut rng);
+            assert_eq!(
+                d.heard[0],
+                vec![NodeId::new(1)],
+                "seed {seed}: the lower id must win the power tie"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_powers_capture_the_lowest_id_on_the_gated_path() {
+        // The same tie-break pins the statistical-occupancy path: two
+        // exact actives collide in the single slot, and only node 1's
+        // copy may be captured at the symmetric receiver.
+        let topo = symmetric_pair();
+        let occupancy = crate::Occupancy::new(topo.len());
+        for tick in 0..16 {
+            let streams = ContentionStreams::new(7, 11, tick);
+            let mut medium = CaptureCsma::new(1, 1.0);
+            let mut d = crate::Delivery::empty(topo.len());
+            medium.deliver_occupied_into(
+                &topo,
+                &[NodeId::new(1), NodeId::new(2)],
+                &occupancy,
+                &streams,
+                &mut d,
+            );
+            assert_eq!(
+                d.heard[0],
+                vec![NodeId::new(1)],
+                "tick {tick}: the lower id must win the power tie"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_powers_break_ties_by_id_against_phantoms_too() {
+        // An equidistant *occupied* contender enters the same ranking:
+        // with one slot it always contends, so an active node 2 loses
+        // the tie to phantom node 1 (nothing delivered — the phantom's
+        // beacon is stale), while an active node 1 beats phantom 2.
+        let topo = symmetric_pair();
+        let mut occupancy = crate::Occupancy::new(topo.len());
+        occupancy.occupy(NodeId::new(2), &topo);
+        let streams = ContentionStreams::new(7, 11, 3);
+        let mut medium = CaptureCsma::new(1, 1.0);
+        let mut d = crate::Delivery::empty(topo.len());
+        medium.deliver_from_occupied(&topo, NodeId::new(1), &occupancy, &streams, &mut d);
+        assert_eq!(d.heard[0], vec![NodeId::new(1)], "active 1 beats phantom 2");
+
+        let mut occupancy = crate::Occupancy::new(topo.len());
+        occupancy.occupy(NodeId::new(1), &topo);
+        let mut d = crate::Delivery::empty(topo.len());
+        medium.deliver_from_occupied(&topo, NodeId::new(2), &occupancy, &streams, &mut d);
+        assert!(
+            d.heard[0].is_empty(),
+            "phantom 1 wins the tie and delivers nothing"
+        );
     }
 }

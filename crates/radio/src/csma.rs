@@ -2,7 +2,7 @@ use mwn_graph::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::{Delivery, Medium};
+use crate::{ContentionStreams, Delivery, Medium, OccupancyView};
 
 /// A slotted CSMA/CA-like medium with hidden terminals and half-duplex
 /// radios: τ is *emergent* rather than assumed.
@@ -82,6 +82,40 @@ impl SlottedCsma {
     pub fn tau_lower_bound(&self, delta: usize) -> f64 {
         ((self.slots - 1) as f64 / self.slots as f64).powi(delta as i32 + 1)
     }
+
+    /// Marginal transmit probability of an occupied (silent) node of
+    /// degree `degree`: with carrier sense it defers when some neighbor
+    /// claimed its slot earlier in the channel race — but a neighbor
+    /// only *claims* a slot if it transmits itself, so `P` solves the
+    /// mean-field fixed point `P = (1 − P/(2·slots))^degree` (each of
+    /// the `degree` neighbors blocks with probability `P·1/slots·1/2`:
+    /// it transmits, picked the same slot, and drew the earlier turn).
+    /// The first-order `(1 − 1/(2·slots))^degree` lets deferred
+    /// neighbors block and so underestimates `P` badly under heavy
+    /// contention (m = 4, degree ≈ 7: 0.37 vs the true ≈ 0.57),
+    /// inflating the folded delivery ratio outside the eager Wilson
+    /// band. `(1 − P/(2m))^degree − P` is strictly decreasing in `P`
+    /// with a sign change on [0, 1], so bisection to the unique root
+    /// is unconditionally convergent (the naive fixed-point iteration
+    /// is not when `degree > 2·slots`). Without carrier sense the
+    /// phantom always transmits.
+    fn phantom_tx_probability(&self, degree: usize) -> f64 {
+        if !self.carrier_sense {
+            return 1.0;
+        }
+        let m = self.slots as f64;
+        let claims = |p: f64| (1.0 - p / (2.0 * m)).powi(degree as i32);
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if claims(mid) > mid {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
 }
 
 impl Medium for SlottedCsma {
@@ -139,6 +173,165 @@ impl Medium for SlottedCsma {
                     .iter()
                     .any(|&q| q != s && slot_of[q.index()] == slot);
                 if !collided {
+                    delivery.record(r, s);
+                }
+            }
+        }
+    }
+
+    fn gated_contention(&self) -> bool {
+        true
+    }
+
+    /// Exact contention among the active `senders`, statistical
+    /// contention from the occupied population.
+    ///
+    /// Without carrier sense (slotted ALOHA) transmissions are
+    /// independent, so the fold is closed-form and **exact in
+    /// marginal**: every occupied `q ∈ N(r) \ {s}` collides with
+    /// probability `1/slots` and an occupied receiver is half-duplex
+    /// busy with probability `1/slots`, folded into one Bernoulli per
+    /// copy off the per-(tick, r, s) stream.
+    ///
+    /// With carrier sense the channel race correlates everyone within
+    /// two hops (earlier winners defer later claimants, deferred nodes
+    /// block nobody), and no closed-form per-copy factor reproduces the
+    /// eager marginals — first-order folds sit well outside the eager
+    /// Wilson band at m = 4. Instead, the occupied nodes whose claims
+    /// can actually reach an active frame — those audible to a sender
+    /// or to one of its receivers, a cohort bounded by the active
+    /// 2-hop neighborhood, *not* by the occupied population — are
+    /// materialized for this tick: each draws a slot from its
+    /// per-(tick, node) stream and joins the exact channel race next
+    /// to the active senders. Occupied radios audible to a cohort
+    /// member but outside the cohort cannot be materialized without
+    /// walking the whole silent graph; their claims fold into one
+    /// pre-deferral Bernoulli per cohort phantom at the mean-field
+    /// rate `p_tx(q)/(2·slots)` (a boundary term two hops removed
+    /// from any delivery). The quiet path is untouched: no senders,
+    /// no cohort, zero draws.
+    fn deliver_occupied_into(
+        &mut self,
+        topo: &Topology,
+        senders: &[NodeId],
+        occupancy: &dyn OccupancyView,
+        streams: &ContentionStreams,
+        delivery: &mut Delivery,
+    ) {
+        if senders.is_empty() {
+            return; // the quiet path: zero work, zero draws
+        }
+        let m = self.slots as f64;
+        // The fixed-point solve is pure in the degree; memoize it per
+        // call so the boundary fold stays O(deg) draws, not O(deg)
+        // bisections.
+        let mut ptx_cache: Vec<f64> = Vec::new();
+        fn ptx(cache: &mut Vec<f64>, medium: &SlottedCsma, degree: usize) -> f64 {
+            if cache.len() <= degree {
+                cache.resize(degree + 1, f64::NAN);
+            }
+            if cache[degree].is_nan() {
+                cache[degree] = medium.phantom_tx_probability(degree);
+            }
+            cache[degree]
+        }
+        // Participants: every active sender, plus (under carrier sense)
+        // the materialized occupied cohort. `skip` pre-defers a phantom
+        // to its out-of-cohort blockers.
+        let mut in_cohort = vec![false; topo.len()];
+        let mut participants: Vec<(NodeId, usize, bool)> = Vec::with_capacity(senders.len());
+        for &s in senders {
+            delivery.attempted += topo.degree(s);
+            in_cohort[s.index()] = true;
+            let slot = streams.sender(s).random_range(0..self.slots);
+            participants.push((s, slot, false));
+        }
+        if self.carrier_sense {
+            let mut phantoms: Vec<NodeId> = Vec::new();
+            for &s in senders {
+                for &r in topo.neighbors(s) {
+                    if !in_cohort[r.index()] && occupancy.is_occupied(r) {
+                        in_cohort[r.index()] = true;
+                        phantoms.push(r);
+                    }
+                    for &q in topo.neighbors(r) {
+                        if !in_cohort[q.index()] && occupancy.is_occupied(q) {
+                            in_cohort[q.index()] = true;
+                            phantoms.push(q);
+                        }
+                    }
+                }
+            }
+            // Canonical order: the race shuffle must not depend on the
+            // cohort's discovery order.
+            phantoms.sort_unstable();
+            for &q in &phantoms {
+                let mut rng = streams.sender(q);
+                let slot = rng.random_range(0..self.slots);
+                let mut survive = 1.0f64;
+                for &w in topo.neighbors(q) {
+                    if !in_cohort[w.index()] && occupancy.is_occupied(w) {
+                        survive *= 1.0 - ptx(&mut ptx_cache, self, topo.degree(w)) / (2.0 * m);
+                    }
+                }
+                let skip = survive < 1.0 && rng.random::<f64>() >= survive;
+                participants.push((q, slot, skip));
+            }
+        }
+        // The joint channel race, exactly as in the eager path; the
+        // order comes off the round stream.
+        let mut slot_of = vec![usize::MAX; topo.len()];
+        let mut order: Vec<usize> = (0..participants.len()).collect();
+        let mut race = streams.round();
+        for i in (1..order.len()).rev() {
+            let j = race.random_range(0..=i);
+            order.swap(i, j);
+        }
+        for &idx in &order {
+            let (p, slot, skip) = participants[idx];
+            if skip {
+                continue;
+            }
+            if self.carrier_sense {
+                let busy = topo
+                    .neighbors(p)
+                    .iter()
+                    .any(|&q| slot_of[q.index()] == slot);
+                if busy {
+                    continue;
+                }
+            }
+            slot_of[p.index()] = slot;
+        }
+        // Reception for the active frames only: exact against every
+        // materialized slot claim; under ALOHA the occupied population
+        // folds into one Bernoulli per copy instead.
+        for &s in senders {
+            let slot = slot_of[s.index()];
+            if slot == usize::MAX {
+                continue;
+            }
+            'copies: for &r in topo.neighbors(s) {
+                if slot_of[r.index()] == slot {
+                    continue; // half-duplex: r was talking over s
+                }
+                let mut survive = if !self.carrier_sense && occupancy.is_occupied(r) {
+                    1.0 - 1.0 / m // ALOHA half-duplex phantom receiver
+                } else {
+                    1.0
+                };
+                for &q in topo.neighbors(r) {
+                    if q == s {
+                        continue;
+                    }
+                    if slot_of[q.index()] == slot {
+                        continue 'copies; // exact collision
+                    }
+                    if !self.carrier_sense && occupancy.is_occupied(q) {
+                        survive *= 1.0 - 1.0 / m;
+                    }
+                }
+                if survive >= 1.0 || streams.copy(r, s).random::<f64>() < survive {
                     delivery.record(r, s);
                 }
             }

@@ -46,6 +46,7 @@ mod capture;
 mod csma;
 mod fading;
 mod medium;
+mod occupancy;
 mod perfect;
 mod thinned;
 
@@ -54,5 +55,6 @@ pub use capture::CaptureCsma;
 pub use csma::SlottedCsma;
 pub use fading::DistanceFading;
 pub use medium::{measure_tau, Delivery, Medium};
+pub use occupancy::{ContentionStreams, FullOccupancy, Occupancy, OccupancyView};
 pub use perfect::PerfectMedium;
 pub use thinned::Thinned;

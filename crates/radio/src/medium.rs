@@ -1,6 +1,8 @@
 use mwn_graph::{NodeId, Topology};
 use rand::rngs::StdRng;
 
+use crate::{ContentionStreams, OccupancyView};
+
 /// The outcome of one broadcast round over a medium.
 ///
 /// `heard[r]` lists the senders whose frame node `r` received this
@@ -191,6 +193,70 @@ pub trait Medium {
             "proxyable media must override proxy_fates"
         );
         0
+    }
+
+    /// `true` when the medium implements the **gated-contention**
+    /// contract: [`Medium::deliver_occupied_into`] /
+    /// [`Medium::deliver_from_occupied`] fold a silent-but-transmitting
+    /// population ([`OccupancyView`]) into the collision draws
+    /// statistically, so a driver may gate quiescent senders even
+    /// though frame fates are contention-coupled. Mutually exclusive
+    /// with [`Medium::independent_fates`] in the shipped media (a
+    /// medium with independent fates needs no occupancy fold).
+    /// Conservative default: `false` — such media (e.g.
+    /// [`crate::Thinned`] wrappers) keep the eager fallback.
+    ///
+    /// The agreement claim under this contract is **distributional**
+    /// (per-frame marginals match the eager reference; Wilson-band
+    /// equivalence on stabilization time, delivery ratio and outputs),
+    /// not byte-identical like the independent-fates gating.
+    fn gated_contention(&self) -> bool {
+        false
+    }
+
+    /// Delivers one round of broadcasts from the *active* `senders`
+    /// while folding the occupied (silent-but-transmitting) population
+    /// into the contention draws statistically, appending into `out`.
+    ///
+    /// Active–active interactions are simulated exactly; each occupied
+    /// node contributes its marginal collision probability through
+    /// draws on the derived [`ContentionStreams`] — per
+    /// (tick, receiver, sender) for frame copies, per (tick, sender)
+    /// for the sender's own slot and carrier-sense fate. No work is
+    /// proportional to the number of silent nodes: a fully quiet round
+    /// (`senders` empty) costs nothing.
+    ///
+    /// Only meaningful when [`Medium::gated_contention`] holds; the
+    /// default delivers nothing.
+    fn deliver_occupied_into(
+        &mut self,
+        topo: &Topology,
+        senders: &[NodeId],
+        occupancy: &dyn OccupancyView,
+        streams: &ContentionStreams,
+        out: &mut Delivery,
+    ) {
+        let _ = (topo, senders, occupancy, streams, out);
+        debug_assert!(
+            !self.gated_contention(),
+            "gated-contention media must override deliver_occupied_into"
+        );
+    }
+
+    /// Delivers the frames of a single active sender against the
+    /// occupied population, appending into `out` — the event driver's
+    /// per-transmission entry point (with [`crate::FullOccupancy`],
+    /// since on the continuous clock every other radio beacons each
+    /// period and therefore contends).
+    fn deliver_from_occupied(
+        &mut self,
+        topo: &Topology,
+        sender: NodeId,
+        occupancy: &dyn OccupancyView,
+        streams: &ContentionStreams,
+        out: &mut Delivery,
+    ) {
+        self.deliver_occupied_into(topo, &[sender], occupancy, streams, out);
     }
 
     /// A short human-readable name used in experiment output.

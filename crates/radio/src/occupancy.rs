@@ -1,0 +1,323 @@
+//! Statistical slot occupancy: the contract that lets contention media
+//! gate silent senders.
+//!
+//! Under CSMA a node cannot simply stop being simulated when it goes
+//! quiet — its transmissions were part of every neighbor's collision
+//! odds. The gated-contention mode keeps those odds without any
+//! per-silent-node work: the engine maintains an [`Occupancy`] summary
+//! (who is silent-but-transmitting, and how many such nodes are in
+//! range of each receiver), and the medium folds that population into
+//! its collision/capture draws *statistically*, on derived
+//! per-(tick, receiver, sender) streams ([`ContentionStreams`]).
+//!
+//! The fold preserves the per-frame marginal collision probabilities of
+//! the eager reference; joint slot correlations across copies are not
+//! preserved, so the gated ≡ eager claim for contention media is
+//! distributional (Wilson-band agreement on stabilization time,
+//! delivery ratio and outputs), not byte-identical.
+
+use mwn_graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer — the same mixer `mwn-sim` uses for its derived
+/// streams, duplicated here because the dependency points the other way
+/// (mwn-sim depends on mwn-radio). Drivers hand this module already
+/// derived base seeds; the mixer only splits them further.
+#[inline]
+fn mix(base: u64, stream: u64) -> u64 {
+    let mut z = base.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Read-only view of the silent-but-transmitting population that a
+/// gated-contention medium folds into its draws.
+///
+/// Two implementations ship: the engine's incrementally maintained
+/// [`Occupancy`] (round clock: occupied = retired) and
+/// [`FullOccupancy`] (event clock: every other radio beacons each
+/// period, so every neighbor is a statistical contender).
+pub trait OccupancyView {
+    /// Whether `q` is silent-but-transmitting (a statistical contender).
+    fn is_occupied(&self, q: NodeId) -> bool;
+
+    /// Number of occupied 1-neighbors of `r` — the receiver-side
+    /// contender count media use for early-outs and weights.
+    fn count_at(&self, topo: &Topology, r: NodeId) -> u32;
+}
+
+/// Incrementally maintained occupancy summary: a membership bitmap plus
+/// per-receiver counts of occupied in-range nodes.
+///
+/// The engine keeps the invariant `count_at(r) == |{q ∈ N(r) :
+/// is_occupied(q)}|` through retirement, wake-ups, faults and topology
+/// deltas; `tests/gated_csma.rs` property-checks it against a
+/// from-scratch recount ([`Occupancy::recount`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Occupancy {
+    occupied: Vec<bool>,
+    counts: Vec<u32>,
+    total: usize,
+}
+
+impl Occupancy {
+    /// Creates an empty summary for `n` nodes (nobody occupied).
+    pub fn new(n: usize) -> Self {
+        Occupancy {
+            occupied: vec![false; n],
+            counts: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Number of occupied nodes.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Marks `q` occupied, bumping the count at each of its neighbors.
+    /// No-op if already occupied.
+    pub fn occupy(&mut self, q: NodeId, topo: &Topology) {
+        if self.occupied[q.index()] {
+            return;
+        }
+        self.occupied[q.index()] = true;
+        self.total += 1;
+        for &r in topo.neighbors(q) {
+            self.counts[r.index()] += 1;
+        }
+    }
+
+    /// Clears `q`'s occupancy, dropping the count at each of its
+    /// neighbors. No-op if not occupied.
+    pub fn release(&mut self, q: NodeId, topo: &Topology) {
+        if !self.occupied[q.index()] {
+            return;
+        }
+        self.occupied[q.index()] = false;
+        self.total -= 1;
+        for &r in topo.neighbors(q) {
+            self.counts[r.index()] -= 1;
+        }
+    }
+
+    /// Releases everyone. O(1) when already empty, so pinned-eager and
+    /// independent-fates runs pay nothing for the bookkeeping.
+    pub fn release_all(&mut self) {
+        if self.total == 0 {
+            return;
+        }
+        self.occupied.iter_mut().for_each(|o| *o = false);
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+
+    /// Adjusts the counts for one removed edge `(a, b)`: each endpoint
+    /// loses the other's occupancy contribution. Call **before**
+    /// releasing the touched nodes when a topology delta is applied, so
+    /// the counts stay exact against the new neighbor lists.
+    pub fn edge_removed(&mut self, a: NodeId, b: NodeId) {
+        if self.occupied[b.index()] {
+            self.counts[a.index()] -= 1;
+        }
+        if self.occupied[a.index()] {
+            self.counts[b.index()] -= 1;
+        }
+    }
+
+    /// Adjusts the counts for one added edge `(a, b)`.
+    pub fn edge_added(&mut self, a: NodeId, b: NodeId) {
+        if self.occupied[b.index()] {
+            self.counts[a.index()] += 1;
+        }
+        if self.occupied[a.index()] {
+            self.counts[b.index()] += 1;
+        }
+    }
+
+    /// From-scratch recount over `topo` — the O(n + m) reference the
+    /// incremental maintenance is property-tested against.
+    pub fn recount(&self, topo: &Topology) -> Occupancy {
+        let mut fresh = Occupancy::new(self.occupied.len());
+        for q in topo.nodes() {
+            if self.occupied[q.index()] {
+                fresh.occupy(q, topo);
+            }
+        }
+        fresh
+    }
+}
+
+impl OccupancyView for Occupancy {
+    #[inline]
+    fn is_occupied(&self, q: NodeId) -> bool {
+        self.occupied[q.index()]
+    }
+
+    #[inline]
+    fn count_at(&self, _topo: &Topology, r: NodeId) -> u32 {
+        self.counts[r.index()]
+    }
+}
+
+/// The event clock's view: **every** other radio is a statistical
+/// contender.
+///
+/// On the continuous clock the eager reference transmits at every
+/// beacon period, so whether a node is currently gated or not, its
+/// frames contend against the full in-range population. Using the same
+/// per-frame law in both modes is what makes gated ≡ eager tight there
+/// — and it needs no maintenance at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FullOccupancy;
+
+impl OccupancyView for FullOccupancy {
+    #[inline]
+    fn is_occupied(&self, _q: NodeId) -> bool {
+        true
+    }
+
+    #[inline]
+    fn count_at(&self, topo: &Topology, r: NodeId) -> u32 {
+        topo.degree(r) as u32
+    }
+}
+
+/// Derived per-(tick, entity) RNG streams for one gated-contention
+/// delivery round.
+///
+/// A frame copy's fate must depend only on `(seed, tick, receiver,
+/// sender)` — never on how many *other* silent nodes exist or in which
+/// order they were folded — so a medium draws every statistical
+/// decision off these streams instead of a shared sequential RNG:
+///
+/// * [`ContentionStreams::sender`] — per-(tick, sender): the sender's
+///   own slot pick and its phantom carrier-sense fate (all its copies
+///   defer consistently).
+/// * [`ContentionStreams::copy`] — per-(tick, receiver, sender): the
+///   statistical collision/capture fold for one frame copy.
+/// * [`ContentionStreams::round`] — per-tick: the active-active
+///   channel-race order (shared by the whole round).
+#[derive(Clone, Copy, Debug)]
+pub struct ContentionStreams {
+    sender_base: u64,
+    copy_base: u64,
+    tick: u64,
+}
+
+impl ContentionStreams {
+    /// Creates the streams for one delivery tick. `sender_base` and
+    /// `copy_base` are driver-derived stream bases (decorrelated from
+    /// each other and from every other stream the driver splits).
+    pub fn new(sender_base: u64, copy_base: u64, tick: u64) -> Self {
+        ContentionStreams {
+            sender_base,
+            copy_base,
+            tick,
+        }
+    }
+
+    /// The delivery tick these streams are keyed by.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Per-(tick, sender) stream.
+    pub fn sender(&self, s: NodeId) -> StdRng {
+        StdRng::seed_from_u64(mix(mix(self.sender_base, self.tick), s.index() as u64))
+    }
+
+    /// Per-(tick, receiver, sender) stream for one frame copy.
+    pub fn copy(&self, r: NodeId, s: NodeId) -> StdRng {
+        StdRng::seed_from_u64(mix(
+            mix(mix(self.copy_base, self.tick), r.index() as u64),
+            s.index() as u64,
+        ))
+    }
+
+    /// Per-tick stream shared by the whole round (channel-race order).
+    pub fn round(&self) -> StdRng {
+        StdRng::seed_from_u64(mix(mix(self.sender_base, self.tick), u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwn_graph::builders;
+    use rand::Rng;
+
+    #[test]
+    fn occupy_release_maintain_neighbor_counts() {
+        let topo = builders::star(4); // hub 0, leaves 1..=3
+        let mut occ = Occupancy::new(4);
+        occ.occupy(NodeId::new(1), &topo);
+        occ.occupy(NodeId::new(2), &topo);
+        assert_eq!(occ.count_at(&topo, NodeId::new(0)), 2);
+        assert_eq!(occ.count_at(&topo, NodeId::new(1)), 0);
+        assert!(occ.is_occupied(NodeId::new(1)));
+        assert_eq!(occ.total(), 2);
+        occ.occupy(NodeId::new(1), &topo); // idempotent
+        assert_eq!(occ.count_at(&topo, NodeId::new(0)), 2);
+        occ.release(NodeId::new(1), &topo);
+        assert_eq!(occ.count_at(&topo, NodeId::new(0)), 1);
+        occ.release(NodeId::new(1), &topo); // idempotent
+        assert_eq!(occ.total(), 1);
+        assert_eq!(occ.recount(&topo), occ);
+    }
+
+    #[test]
+    fn release_all_resets_everything() {
+        let topo = builders::complete(5);
+        let mut occ = Occupancy::new(5);
+        for q in topo.nodes() {
+            occ.occupy(q, &topo);
+        }
+        assert_eq!(occ.total(), 5);
+        occ.release_all();
+        assert_eq!(occ, Occupancy::new(5));
+        occ.release_all(); // O(1) no-op when empty
+        assert_eq!(occ.total(), 0);
+    }
+
+    #[test]
+    fn edge_deltas_keep_counts_exact() {
+        // Counts after edge_removed/edge_added must match a recount on
+        // the mutated topology.
+        let before = mwn_graph::Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let after = mwn_graph::Topology::from_edges(4, &[(0, 1), (2, 3), (0, 3)]).unwrap();
+        let mut occ = Occupancy::new(4);
+        occ.occupy(NodeId::new(1), &before);
+        occ.occupy(NodeId::new(3), &before);
+        occ.edge_removed(NodeId::new(1), NodeId::new(2));
+        occ.edge_added(NodeId::new(0), NodeId::new(3));
+        assert_eq!(occ.recount(&after), occ);
+    }
+
+    #[test]
+    fn full_occupancy_counts_the_whole_neighborhood() {
+        let topo = builders::star(6);
+        assert!(FullOccupancy.is_occupied(NodeId::new(3)));
+        assert_eq!(FullOccupancy.count_at(&topo, NodeId::new(0)), 5);
+        assert_eq!(FullOccupancy.count_at(&topo, NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn contention_streams_are_reproducible_and_distinct() {
+        let st = ContentionStreams::new(7, 11, 3);
+        let a: u64 = st.copy(NodeId::new(1), NodeId::new(2)).random();
+        let b: u64 = st.copy(NodeId::new(1), NodeId::new(2)).random();
+        assert_eq!(a, b, "same coordinates, same stream");
+        let swapped: u64 = st.copy(NodeId::new(2), NodeId::new(1)).random();
+        assert_ne!(a, swapped, "receiver/sender coordinates are ordered");
+        let other_tick: u64 = ContentionStreams::new(7, 11, 4)
+            .copy(NodeId::new(1), NodeId::new(2))
+            .random();
+        assert_ne!(a, other_tick);
+        let s: u64 = st.sender(NodeId::new(1)).random();
+        let round: u64 = st.round().random();
+        assert_ne!(s, round);
+    }
+}

@@ -190,7 +190,11 @@ where
     /// Returns [`SimError::InvalidConfig`] unless the medium supports
     /// shared-reference fate evaluation ([`Medium::proxyable`]) —
     /// contention-coupled media (CSMA) serialize all senders through
-    /// one channel state and cannot be replayed concurrently.
+    /// one channel state and cannot be replayed concurrently. The
+    /// message names the medium and its gated-contention status, so a
+    /// user who just watched CSMA gate on the round/event drivers
+    /// learns that the statistical-occupancy contract does *not* carry
+    /// over to message-passing actors.
     pub fn new(
         protocol: P,
         medium: M,
@@ -199,10 +203,16 @@ where
         threads: usize,
     ) -> Result<Self, SimError> {
         if !medium.proxyable() {
+            let status = if medium.gated_contention() {
+                "its gated-contention contract (statistical slot occupancy) \
+                 covers the round and event drivers only"
+            } else {
+                "it offers no gated-contention contract either"
+            };
             return Err(SimError::InvalidConfig(format!(
                 "medium `{}` cannot back the actor driver: per-sender frame \
                  fates must be evaluable through a shared reference \
-                 (Medium::proxyable); contention-coupled media are not",
+                 (Medium::proxyable), and {status}",
                 medium.name()
             )));
         }
@@ -396,7 +406,7 @@ where
             .beacon_stale
             .drain_sorted_into(&mut stale_buf);
         for &p in &stale_buf {
-            self.core.refresh_beacon(&self.protocol, p);
+            self.core.refresh_beacon(&self.protocol, &self.topo, p);
         }
         self.stale_buf = stale_buf;
         let mut senders = std::mem::take(&mut self.senders_buf);
@@ -821,7 +831,7 @@ mod tests {
     use crate::scenario::Scenario;
     use crate::stop::StopWhen;
     use mwn_graph::builders;
-    use mwn_radio::{BernoulliLoss, SlottedCsma};
+    use mwn_radio::{BernoulliLoss, SlottedCsma, Thinned};
 
     /// Gated max-flood over `u32` beacons (already wire-codable).
     struct GatedFlood;
@@ -948,7 +958,37 @@ mod tests {
             panic!("contention-coupled media must be rejected");
         };
         assert!(matches!(err, SimError::InvalidConfig(_)));
-        assert!(err.to_string().contains("actor driver"));
+        // The error must name the offending medium AND its
+        // gated-contention status — pinned verbatim so the message
+        // cannot silently regress into something less actionable.
+        let text = err.to_string();
+        assert!(text.contains("actor driver"), "text: {text}");
+        assert!(text.contains("medium `slotted-csma`"), "text: {text}");
+        assert!(
+            text.contains(
+                "its gated-contention contract (statistical slot occupancy) \
+                 covers the round and event drivers only"
+            ),
+            "text: {text}"
+        );
+    }
+
+    #[test]
+    fn non_gating_contention_media_are_rejected_with_their_status() {
+        let result = Scenario::new(GatedFlood)
+            .medium(Thinned::new(SlottedCsma::new(8), 0.9))
+            .topology(builders::line(4))
+            .seed(1)
+            .build_actors(2);
+        let Err(err) = result else {
+            panic!("wrapped contention media must be rejected");
+        };
+        let text = err.to_string();
+        assert!(text.contains("medium `thinned`"), "text: {text}");
+        assert!(
+            text.contains("no gated-contention contract either"),
+            "text: {text}"
+        );
     }
 
     #[test]

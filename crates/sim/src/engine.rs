@@ -38,6 +38,7 @@
 pub mod kernels;
 
 use mwn_graph::{NodeId, Topology, TopologyDelta};
+use mwn_radio::{ContentionStreams, Occupancy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -210,6 +211,16 @@ pub(crate) struct NodeTable<P: Protocol> {
     /// Nodes with at least one neighbor that has not yet received their
     /// current beacon epoch.
     pub send_pending: NodeSet,
+    /// Statistical slot occupancy of the retired population — present
+    /// only when the round driver gates a **contention** medium
+    /// ([`mwn_radio::Medium::gated_contention`]). Invariant whenever
+    /// present: a node is occupied iff it has retired from
+    /// `send_pending` (every silent node still occupies its slot), and
+    /// `count_at(r)` equals the number of occupied 1-neighbors of `r`.
+    /// Every mutation of `send_pending` below maintains it; all the
+    /// maintenance is O(degree) per transition and O(1) when the
+    /// summary is empty, so eager-pinned runs pay nothing.
+    pub occupancy: Option<Occupancy>,
     /// Nodes mutated outside the protocol this step (faults,
     /// `link_down`, manual corruption): unconditionally counted as
     /// changed even if the per-node pass sees no further delta.
@@ -243,6 +254,7 @@ impl<P: Protocol> NodeTable<P> {
             beacon_stale: NodeSet::new(n),
             update_dirty: NodeSet::new(n),
             send_pending: NodeSet::new(n),
+            occupancy: None,
             forced_changed: NodeSet::new(n),
             changed: Vec::new(),
             scratch_state: None,
@@ -268,6 +280,9 @@ impl<P: Protocol> NodeTable<P> {
         self.update_dirty.insert_all();
         self.beacon_stale.insert_all();
         self.send_pending.insert_all();
+        if let Some(occ) = &mut self.occupancy {
+            occ.release_all();
+        }
         self.heard.reset_all(topo.nodes().map(|p| topo.degree(p)));
     }
 
@@ -281,6 +296,12 @@ impl<P: Protocol> NodeTable<P> {
         }
         // r's own beacon must reach any new neighbor too.
         self.send_pending.insert(r);
+        if let Some(occ) = &mut self.occupancy {
+            occ.release(r, topo);
+            for &q in topo.neighbors(r) {
+                occ.release(q, topo);
+            }
+        }
     }
 }
 
@@ -301,6 +322,11 @@ pub(crate) struct ActivityCore<P: Protocol> {
     pub medium_base: u64,
     /// Base of the per-corruption-event state-scrambling streams.
     pub corrupt_base: u64,
+    /// Base of the gated-contention per-(tick, sender) streams.
+    pub contend_sender_base: u64,
+    /// Base of the gated-contention per-(tick, receiver, sender)
+    /// frame-copy streams.
+    pub contend_copy_base: u64,
     /// Corruption events so far — each gets its own derived stream.
     pub corrupt_events: u64,
 }
@@ -322,8 +348,16 @@ impl<P: Protocol> ActivityCore<P> {
             update_base: derive_seed(seed, streams::UPDATE),
             medium_base: derive_seed(seed, streams::MEDIUM),
             corrupt_base: derive_seed(seed, streams::CORRUPT),
+            contend_sender_base: derive_seed(seed, streams::CONTEND_SENDER),
+            contend_copy_base: derive_seed(seed, streams::CONTEND_COPY),
             corrupt_events: 0,
         }
+    }
+
+    /// The gated-contention stream bundle for one delivery tick.
+    #[inline]
+    pub fn contention_streams(&self, tick: u64) -> ContentionStreams {
+        ContentionStreams::new(self.contend_sender_base, self.contend_copy_base, tick)
     }
 
     /// The [`Protocol::update`] stream of node `p` at scheduler tick
@@ -369,6 +403,17 @@ impl<P: Protocol> ActivityCore<P> {
         if delta.is_quiet() {
             return env_changed;
         }
+        // Occupancy counts are adjusted edge-wise against the *new*
+        // adjacency before any touched-node release walks it, so the
+        // per-receiver counts stay exact through rewires.
+        if let Some(occ) = &mut self.table.occupancy {
+            for &(u, v) in &delta.removed {
+                occ.edge_removed(u, v);
+            }
+            for &(u, v) in &delta.added {
+                occ.edge_added(u, v);
+            }
+        }
         for &(u, v) in &delta.removed {
             protocol.link_down(u, &mut self.table.states[u.index()], v);
             protocol.link_down(v, &mut self.table.states[v.index()], u);
@@ -398,6 +443,11 @@ impl<P: Protocol> ActivityCore<P> {
         for &q in scratch.iter() {
             topo.remove_edge(p, q);
         }
+        if let Some(occ) = &mut self.table.occupancy {
+            for &q in scratch.iter() {
+                occ.edge_removed(p, q);
+            }
+        }
         for &q in scratch.iter() {
             protocol.link_down(p, &mut self.table.states[p.index()], q);
             protocol.link_down(q, &mut self.table.states[q.index()], p);
@@ -410,8 +460,9 @@ impl<P: Protocol> ActivityCore<P> {
 
     /// Recomputes `p`'s beacon from its current state; if the content
     /// changed ([`Protocol::beacon_changed`]) the epoch is bumped and
-    /// `p` becomes send-pending. Returns whether the beacon changed.
-    pub fn refresh_beacon(&mut self, protocol: &P, p: NodeId) -> bool {
+    /// `p` becomes send-pending (waking it from statistical occupancy
+    /// if it had retired). Returns whether the beacon changed.
+    pub fn refresh_beacon(&mut self, protocol: &P, topo: &Topology, p: NodeId) -> bool {
         // The pooled scratch buffer circulates: beacon_into overwrites
         // it in place, then it swaps with the node's column slot, so
         // refreshing never constructs a beacon from nothing once the
@@ -425,6 +476,9 @@ impl<P: Protocol> ActivityCore<P> {
         if changed {
             self.table.epoch[p.index()] = bump_epoch(self.table.epoch[p.index()]);
             self.table.send_pending.insert(p);
+            if let Some(occ) = &mut self.table.occupancy {
+                occ.release(p, topo);
+            }
         }
         std::mem::swap(&mut self.table.beacons[p.index()], scratch);
         changed

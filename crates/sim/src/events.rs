@@ -298,9 +298,16 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
     /// Media with [`Medium::independent_fates`] — perfect, Bernoulli,
     /// fading — are evaluated once per transmission on a derived
     /// per-(slot, sender) stream, which is what permits activity
-    /// gating. Contention-coupled media (CSMA-style) have no
-    /// per-sender continuous-time semantics; for them the driver falls
-    /// back to the built-in collision channel, which models contention
+    /// gating. Contention media implementing the gated-contention
+    /// contract ([`Medium::gated_contention`]) are evaluated the same
+    /// way, with every other radio folded in as a statistical
+    /// contender ([`mwn_radio::FullOccupancy`]) — on the continuous
+    /// clock the eager twin beacons every period, so the full in-range
+    /// population always contends, and gating extends to them too.
+    /// Contention-coupled media with neither flag (e.g.
+    /// [`mwn_radio::Thinned`]-wrapped CSMA) have no per-sender
+    /// continuous-time semantics; for them the driver falls back to
+    /// the built-in collision channel, which models contention
     /// directly.
     pub fn with_medium(
         protocol: P,
@@ -309,7 +316,7 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
         config: EventConfig,
         seed: u64,
     ) -> Self {
-        let medium = medium.independent_fates().then_some(medium);
+        let medium = (medium.independent_fates() || medium.gated_contention()).then_some(medium);
         Self::build(protocol, medium, topo, config, seed)
     }
 
@@ -380,8 +387,8 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
     }
 
     /// `true` when the driver currently mutes silent nodes: a medium
-    /// channel with independent fates, a protocol under the
-    /// [`Activity::Gated`] contract, and no eager pin.
+    /// channel (independent fates or gated contention), a protocol
+    /// under the [`Activity::Gated`] contract, and no eager pin.
     pub fn is_gated(&self) -> bool {
         !self.force_eager && self.medium.is_some() && self.protocol.activity() == Activity::Gated
     }
@@ -659,7 +666,7 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
         if state_changed {
             self.note_changed(p);
         }
-        let beacon_changed = self.core.refresh_beacon(&self.protocol, p);
+        let beacon_changed = self.core.refresh_beacon(&self.protocol, &self.topo, p);
         if gated && !state_changed && !beacon_changed && self.core.all_caught_up(&self.topo, p) {
             // Retire: state at a fixpoint, beacon content unchanged,
             // every neighbor has incorporated it. The eager twin keeps
@@ -678,10 +685,25 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
             // Medium channel: one derived stream per (slot, sender)
             // decides every copy's fate — independent of who else is
             // transmitting, which is what keeps muted senders
-            // unobservable.
+            // unobservable. Gated-contention media fold the full
+            // in-range population in as statistical contenders
+            // (FullOccupancy): the eager twin beacons every period, so
+            // using the same per-frame law in both modes keeps gating
+            // unobservable there too.
             let mut rng = self.core.medium_rng(slot, p);
             self.delivery.reset(self.topo.len());
-            medium.deliver_from(&self.topo, p, &mut rng, &mut self.delivery);
+            if medium.gated_contention() {
+                let streams = self.core.contention_streams(slot);
+                medium.deliver_from_occupied(
+                    &self.topo,
+                    p,
+                    &mwn_radio::FullOccupancy,
+                    &streams,
+                    &mut self.delivery,
+                );
+            } else {
+                medium.deliver_from(&self.topo, p, &mut rng, &mut self.delivery);
+            }
             let arrival = t + self.config.frame_time;
             for i in 0..self.delivery.touched.len() {
                 let r = self.delivery.touched[i];
@@ -949,6 +971,19 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
     /// quiet interval processes no events at all.
     pub fn events_processed(&self) -> u64 {
         self.events
+    }
+
+    /// (sender, 1-neighbor) frame copies in range so far — the
+    /// denominator of [`EventDriver::measured_tau`], exposed so
+    /// distributional agreement suites can pool exact counts into
+    /// Wilson intervals instead of re-deriving them from the ratio.
+    pub fn frames_attempted(&self) -> u64 {
+        self.frames_attempted
+    }
+
+    /// Frame copies actually received so far.
+    pub fn frames_delivered(&self) -> u64 {
+        self.frames_delivered
     }
 
     /// The fraction of in-range frame copies delivered so far — the
@@ -1266,17 +1301,59 @@ mod tests {
     }
 
     #[test]
-    fn contention_media_fall_back_to_the_collision_channel() {
-        let d = EventDriver::with_medium(
+    fn gated_contention_media_gate_in_continuous_time() {
+        // Since the statistical-occupancy contract, both shipped CSMA
+        // media run on the medium channel and gate silent senders: a
+        // stabilized CSMA network drains its queue like Bernoulli does.
+        let mut d = EventDriver::with_medium(
             GatedFlood,
             mwn_radio::SlottedCsma::new(8),
             builders::line(4),
             EventConfig::default(),
             2,
         );
+        assert!(d.is_gated(), "gated contention extends to the event clock");
+        d.run_until_time(40.0);
+        assert!(d.states().iter().all(|&s| s == 3));
+        d.run_until_time(60.0);
+        let (msgs, events) = (d.messages_total(), d.events_processed());
+        d.run_until_time(1060.0);
+        assert_eq!(d.messages_total(), msgs, "stabilized CSMA goes silent");
+        assert_eq!(d.events_processed(), events, "quiet eon processes nothing");
+    }
+
+    #[test]
+    fn unconverted_contention_media_fall_back_to_the_collision_channel() {
+        // A medium with neither independent fates nor the
+        // gated-contention contract still forces the built-in
+        // collision channel (and eager scheduling).
+        struct OpaqueContention;
+        impl Medium for OpaqueContention {
+            fn deliver_into(
+                &mut self,
+                topo: &Topology,
+                senders: &[NodeId],
+                _rng: &mut StdRng,
+                out: &mut Delivery,
+            ) {
+                for &s in senders {
+                    out.attempted += topo.degree(s);
+                }
+            }
+            fn name(&self) -> &'static str {
+                "opaque-contention"
+            }
+        }
+        let d = EventDriver::with_medium(
+            GatedFlood,
+            OpaqueContention,
+            builders::line(4),
+            EventConfig::default(),
+            2,
+        );
         assert!(
             !d.is_gated(),
-            "contention-coupled media must not gate in continuous time"
+            "contention without the occupancy contract must not gate"
         );
     }
 

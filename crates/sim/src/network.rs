@@ -1,5 +1,5 @@
 use mwn_graph::{NodeId, Point2, Topology, TopologyDelta};
-use mwn_radio::{Delivery, Medium};
+use mwn_radio::{Delivery, Medium, Occupancy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -132,18 +132,24 @@ impl<P: Protocol> ShardScratch<P> {
 /// configuration nothing changes any more. The driver exploits this
 /// through the shared [`crate::engine`] core (dirty sets, beacon
 /// epochs, per-edge reception tracking): when the protocol opts in
-/// ([`Activity::Gated`]) *and* the medium's frame fates are per-copy
-/// independent ([`Medium::independent_fates`]), a node is scheduled
-/// only if its state changed last round, a beacon it heard changed, a
-/// topology delta touched it, or a fault hit it — quiescent regions
-/// cost (near) zero work and zero messages.
+/// ([`Activity::Gated`]) *and* the medium supports gating, a node is
+/// scheduled only if its state changed last round, a beacon it heard
+/// changed, a topology delta touched it, or a fault hit it — quiescent
+/// regions cost (near) zero work and zero messages.
 ///
-/// All randomness is derived per (step, node) / (step, sender) from
-/// the constructor seed ([`crate::split_rng`]), so skipping an idle
-/// node consumes no randomness: gated and eager execution are
-/// **byte-identical** (property-tested in `tests/engine_equivalence.rs`).
-/// Fault injection draws from a dedicated stream and never perturbs
-/// frame delivery.
+/// Two media classes support gating. Per-copy independent fates
+/// ([`Medium::independent_fates`]): all randomness is derived per
+/// (step, node) / (step, sender) from the constructor seed
+/// ([`crate::split_rng`]), so skipping an idle node consumes no
+/// randomness and gated and eager execution are **byte-identical**
+/// (property-tested in `tests/engine_equivalence.rs`). Contention
+/// media implementing [`Medium::gated_contention`]: retired senders
+/// keep *occupying* their slot statistically (an [`Occupancy`] summary
+/// maintained incrementally by the engine), active frames fold that
+/// population into their collision draws, and gated ≡ eager holds
+/// **distributionally** — Wilson-band agreement on stabilization time,
+/// delivery ratio and outputs (`tests/gated_csma.rs`). Fault injection
+/// draws from a dedicated stream and never perturbs frame delivery.
 ///
 /// # Sharded execution
 ///
@@ -218,7 +224,13 @@ where
 impl<P: Protocol, M: Medium> Network<P, M> {
     /// Creates a network of cold-start nodes over `topo`.
     pub fn new(protocol: P, medium: M, topo: Topology, seed: u64) -> Self {
-        let core = ActivityCore::new(&protocol, &topo, seed);
+        let mut core = ActivityCore::new(&protocol, &topo, seed);
+        if protocol.activity() == Activity::Gated && medium.gated_contention() {
+            // Contention media can only gate silent senders if the
+            // retired population keeps occupying its slots; the engine
+            // maintains the summary alongside `send_pending`.
+            core.table.occupancy = Some(Occupancy::new(topo.len()));
+        }
         let shards = std::env::var("MWN_FORCE_SHARDS")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
@@ -274,12 +286,25 @@ impl<P: Protocol, M: Medium> Network<P, M> {
 
     /// `true` when the driver is currently using dirty-set (gated)
     /// scheduling: the protocol declared [`Activity::Gated`], the
-    /// medium has independent frame fates, and the user did not pin
-    /// eager scheduling.
+    /// medium supports it — independent frame fates
+    /// ([`Medium::independent_fates`], byte-identical gating) or the
+    /// gated-contention contract
+    /// ([`Medium::gated_contention`], distributional gating via
+    /// statistical slot occupancy) — and the user did not pin eager
+    /// scheduling.
     pub fn is_gated(&self) -> bool {
         !self.force_eager
             && self.protocol.activity() == Activity::Gated
-            && self.medium.independent_fates()
+            && (self.medium.independent_fates() || self.medium.gated_contention())
+    }
+
+    /// The statistical slot-occupancy summary of the retired
+    /// population — `Some` exactly when the driver was built to gate a
+    /// contention medium. Exposed for the occupancy property tests and
+    /// diagnostics; the counts always match a from-scratch recount
+    /// over the current topology.
+    pub fn occupancy(&self) -> Option<&Occupancy> {
+        self.core.table.occupancy.as_ref()
     }
 
     /// Pins the driver to eager scheduling (`true`) or restores the
@@ -458,6 +483,11 @@ impl<P: Protocol, M: Medium> Network<P, M> {
             self.core.table.update_dirty.insert_all();
             self.core.table.beacon_stale.insert_all();
             self.core.table.send_pending.insert_all();
+            if let Some(occ) = &mut self.core.table.occupancy {
+                // Everyone transmits for real: nobody occupies
+                // statistically (O(1) once drained).
+                occ.release_all();
+            }
         }
 
         // Phase 1: refresh the beacons of nodes whose state changed.
@@ -466,7 +496,7 @@ impl<P: Protocol, M: Medium> Network<P, M> {
             .beacon_stale
             .drain_sorted_into(&mut self.stale_buf);
         for &p in &self.stale_buf {
-            self.core.refresh_beacon(&self.protocol, p);
+            self.core.refresh_beacon(&self.protocol, &self.topo, p);
         }
 
         // Phase 2: the senders of this round.
@@ -477,9 +507,12 @@ impl<P: Protocol, M: Medium> Network<P, M> {
 
         // Phase 3: frame delivery. Media with independent fates get one
         // derived stream per (step, sender), so a frame's fate can
-        // never depend on who else transmitted; contention-coupled
-        // media are evaluated with the full sender set (gating is off
-        // for them) on the sequential medium stream.
+        // never depend on who else transmitted. Gated contention media
+        // deliver the active set exactly while folding the retired
+        // population in statistically (per-(step, sender) and
+        // per-(step, receiver, sender) streams). Everything else —
+        // and every eager round — evaluates the full sender set on the
+        // sequential medium stream.
         self.delivery.reset(self.topo.len());
         if self.medium.independent_fates() {
             for &s in &self.senders_buf {
@@ -487,6 +520,21 @@ impl<P: Protocol, M: Medium> Network<P, M> {
                 self.medium
                     .deliver_from(&self.topo, s, &mut rng, &mut self.delivery);
             }
+        } else if !eager && self.medium.gated_contention() {
+            let streams = self.core.contention_streams(self.step);
+            let occ = self
+                .core
+                .table
+                .occupancy
+                .as_ref()
+                .expect("gated contention maintains an occupancy summary");
+            self.medium.deliver_occupied_into(
+                &self.topo,
+                &self.senders_buf,
+                occ,
+                &streams,
+                &mut self.delivery,
+            );
         } else {
             self.medium.deliver_into(
                 &self.topo,
@@ -534,11 +582,16 @@ impl<P: Protocol, M: Medium> Network<P, M> {
             self.serial_active_pass(eager, now)
         };
 
-        // Phase 6: retire senders every neighbor has caught up with.
+        // Phase 6: retire senders every neighbor has caught up with. A
+        // retiring sender under a contention medium starts occupying
+        // its slot statistically instead of transmitting for real.
         if !eager {
             for &s in &self.senders_buf {
                 if self.core.all_caught_up(&self.topo, s) {
                     self.core.table.send_pending.remove(s);
+                    if let Some(occ) = &mut self.core.table.occupancy {
+                        occ.occupy(s, &self.topo);
+                    }
                 }
             }
             // Forced marks are consumed by the change detection above.

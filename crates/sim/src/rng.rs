@@ -78,6 +78,12 @@ pub(crate) mod streams {
     pub const TIMING: u64 = u64::MAX - 14;
     /// Tag for the event driver's per-frame extra-loss draws.
     pub const EXTRA_LOSS: u64 = u64::MAX - 15;
+    /// Tag for gated-contention per-(tick, sender) draws (slot pick,
+    /// phantom carrier-sense fate).
+    pub const CONTEND_SENDER: u64 = u64::MAX - 16;
+    /// Tag for gated-contention per-(tick, receiver, sender) frame-copy
+    /// draws (the statistical collision/capture fold).
+    pub const CONTEND_COPY: u64 = u64::MAX - 17;
 }
 
 /// The RNG handed to one node for one activity: a fresh [`StdRng`]

@@ -3,9 +3,12 @@
 //! reference protocol whose fixpoint is known exactly (self-stabilizing
 //! max-flood: every node learns the maximum id in its component).
 
-use mwn_graph::{builders, traversal, NodeId, Topology};
-use mwn_radio::{BernoulliLoss, PerfectMedium};
-use mwn_sim::{Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Protocol};
+use mwn_graph::{builders, traversal, NodeId, Point2, Topology};
+use mwn_radio::{BernoulliLoss, PerfectMedium, SlottedCsma};
+use mwn_sim::{
+    Activity, Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Observable,
+    Protocol,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,6 +40,74 @@ impl Corruptible for MaxFlood {
         use rand::Rng;
         *state = rng.random_range(0..=node.value());
     }
+}
+
+/// Gated max-flood: same fixpoint as [`MaxFlood`], but silent once a
+/// node's beacon stops changing — the shape that exercises the
+/// statistical-occupancy bookkeeping under CSMA.
+struct GatedFlood;
+impl Protocol for GatedFlood {
+    type State = u32;
+    type Beacon = u32;
+    fn init(&self, node: NodeId, _rng: &mut StdRng) -> u32 {
+        node.value()
+    }
+    fn beacon(&self, _node: NodeId, state: &u32) -> u32 {
+        *state
+    }
+    fn receive(&self, _node: NodeId, state: &mut u32, _from: NodeId, beacon: &u32, _now: u64) {
+        *state = (*state).max(*beacon);
+    }
+    fn update(&self, node: NodeId, state: &mut u32, _now: u64, _rng: &mut StdRng) {
+        *state = (*state).max(node.value());
+    }
+    fn activity(&self) -> Activity {
+        Activity::Gated
+    }
+    fn beacon_changed(&self, old: &u32, new: &u32) -> bool {
+        old != new
+    }
+}
+impl Observable for GatedFlood {
+    type Output = u32;
+    fn output(&self, _node: NodeId, state: &u32) -> u32 {
+        *state
+    }
+}
+impl Corruptible for GatedFlood {
+    fn corrupt(&self, _node: NodeId, state: &mut u32, _rng: &mut StdRng) {
+        *state = 0;
+    }
+}
+
+/// One perturbation of a running gated-CSMA network, for interleaving
+/// with steps in the occupancy-consistency property.
+#[derive(Clone, Debug)]
+enum Disturbance {
+    Step(u8),
+    Corrupt(u32),
+    CorruptFraction(f64),
+    Isolate(u32),
+    Jitter { node: u32, dx: f64, dy: f64 },
+}
+
+fn disturbance_strategy() -> impl Strategy<Value = Disturbance> {
+    // The vendored proptest subset has no `prop_oneof!`; a discriminant
+    // plus a payload tuple selects the variant just as uniformly.
+    (
+        0u8..5,
+        0u32..1024,
+        0.05f64..1.0,
+        -0.15f64..0.15,
+        -0.15f64..0.15,
+    )
+        .prop_map(|(kind, node, fraction, dx, dy)| match kind {
+            0 => Disturbance::Step((node % 5) as u8 + 1),
+            1 => Disturbance::Corrupt(node),
+            2 => Disturbance::CorruptFraction(fraction),
+            3 => Disturbance::Isolate(node),
+            _ => Disturbance::Jitter { node, dx, dy },
+        })
 }
 
 fn topo_strategy() -> impl Strategy<Value = Topology> {
@@ -129,6 +200,52 @@ proptest! {
         plan.run(&mut net, fault_step + 4);
         net.run_until_stable(|_, s| *s, 3, 1000).expect("converges after faults");
         prop_assert_eq!(net.states(), expected.as_slice());
+    }
+
+    /// The incrementally-maintained slot-occupancy summary equals a
+    /// from-scratch recount after *arbitrary* interleavings of steps,
+    /// state corruption, node isolation and mobility jitter — the
+    /// invariant that makes gated CSMA's statistical collision fold
+    /// trustworthy under churn.
+    #[test]
+    fn occupancy_matches_recount_under_arbitrary_churn(
+        topo in topo_strategy(),
+        seed in 0u64..10_000,
+        script in proptest::collection::vec(disturbance_strategy(), 1..25),
+    ) {
+        let n = topo.len() as u32;
+        let mut net = Network::new(GatedFlood, SlottedCsma::new(8), topo, seed);
+        prop_assert!(net.is_gated(), "gated CSMA must gate");
+        for disturbance in script {
+            match disturbance {
+                Disturbance::Step(k) => {
+                    for _ in 0..k {
+                        net.step();
+                    }
+                }
+                Disturbance::Corrupt(p) => net.corrupt(NodeId::new(p % n)),
+                Disturbance::CorruptFraction(f) => {
+                    net.corrupt_fraction(f);
+                }
+                Disturbance::Isolate(p) => net.isolate(NodeId::new(p % n)),
+                Disturbance::Jitter { node, dx, dy } => {
+                    let p = NodeId::new(node % n);
+                    let pos = net.topology().positions().expect("uniform topos have positions")
+                        [p.index()];
+                    let moved = Point2::new(
+                        (pos.x + dx).clamp(0.0, 1.0),
+                        (pos.y + dy).clamp(0.0, 1.0),
+                    );
+                    net.apply_moves(&[(p, moved)]);
+                }
+            }
+            let occ = net.occupancy().expect("gated CSMA maintains occupancy");
+            prop_assert_eq!(
+                occ,
+                &occ.recount(net.topology()),
+                "incremental summary diverged from the recount"
+            );
+        }
     }
 
     /// Runs are bit-identical across repeats with the same seed, for

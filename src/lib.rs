@@ -73,13 +73,13 @@ pub mod prelude {
         MetricKind, NameSpace, OracleConfig, OrderKind, RoutingView,
     };
     pub use mwn_graph::{builders, NodeId, Point2, Topology};
-    pub use mwn_metrics::{RunningStats, Table};
+    pub use mwn_metrics::{wilson_overlap, RunningStats, Table};
     pub use mwn_mobility::{
         meters_per_second, MobileScenario, MobilityDynamics, RandomDirection, RandomWaypoint,
     };
     pub use mwn_radio::{
-        measure_tau, BernoulliLoss, CaptureCsma, DistanceFading, Medium, PerfectMedium,
-        SlottedCsma, Thinned,
+        measure_tau, BernoulliLoss, CaptureCsma, ContentionStreams, DistanceFading, FullOccupancy,
+        Medium, Occupancy, OccupancyView, PerfectMedium, SlottedCsma, Thinned,
     };
     pub use mwn_sim::{
         ActorDriver, Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Observable,

@@ -20,7 +20,7 @@
 //!    round-driver reference's Wilson intervals, across thread counts
 //!    {1, 2, 4}, media and τ.
 
-use mwn_metrics::wilson_interval;
+use mwn_metrics::wilson_overlap;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use selfstab::prelude::*;
@@ -214,7 +214,6 @@ fn stabilization_distributions_fall_inside_wilson_bands() {
         })
         .collect();
     let ref_successes = reference.iter().filter(|s| s.is_some()).count();
-    let (ref_low, ref_high) = wilson_interval(ref_successes, SEEDS as usize, Z);
     // The horizon: a generous per-seed bound derived from the
     // reference sample (its max stabilization period, doubled).
     let horizon = reference.iter().flatten().max().copied().unwrap_or(0) * 2 + 8;
@@ -232,22 +231,26 @@ fn stabilization_distributions_fall_inside_wilson_bands() {
             })
             .collect();
         let successes = actor_outcomes.iter().filter(|s| s.is_some()).count();
-        let p = successes as f64 / SEEDS as f64;
         assert!(
-            (ref_low..=ref_high).contains(&p),
-            "threads={threads}: actor success proportion {p} outside the \
-             reference Wilson band [{ref_low}, {ref_high}]"
+            wilson_overlap(successes, SEEDS as usize, ref_successes, SEEDS as usize, Z),
+            "threads={threads}: actor stabilization proportion {successes}/{SEEDS} \
+             is Wilson-incompatible with the reference {ref_successes}/{SEEDS}"
         );
         let within_horizon = actor_outcomes
             .iter()
             .flatten()
             .filter(|&&t| t <= horizon)
             .count();
-        let (h_low, _) = wilson_interval(within_horizon, SEEDS as usize, Z);
         assert!(
-            h_low >= ref_low - 0.15,
+            wilson_overlap(
+                within_horizon,
+                SEEDS as usize,
+                ref_successes,
+                SEEDS as usize,
+                Z
+            ),
             "threads={threads}: stabilization times escaped the reference \
-             horizon {horizon} (Wilson lower bound {h_low} vs {ref_low})"
+             horizon {horizon} ({within_horizon}/{SEEDS} vs {ref_successes}/{SEEDS})"
         );
         // Commutative receives ⇒ the distributions are not merely
         // close, they are the same sample.
