@@ -1,0 +1,156 @@
+//! **Chaos experiment**: the adversary-campaign certification at
+//! scale — restabilization-time distributions per fault class, with
+//! the closure and gated-liveness verdicts that make the numbers
+//! trustworthy.
+//!
+//! Each size point deploys a Poisson field, stabilizes the paper's
+//! density clustering, then drives it through a seed-deterministic
+//! healing-fault campaign (crash-recover, Byzantine beacons,
+//! partition/heal, regional jam, state corruption) on the round
+//! driver and certifies the cell.
+
+use mwn_chaos::{certify, CampaignSpec, Certificate, CertifyConfig, FaultKind};
+use mwn_cluster::{ClusterConfig, DensityCluster};
+use mwn_graph::builders;
+use mwn_sim::Scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One network size's certification measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosPoint {
+    /// Poisson intensity requested.
+    pub intensity: usize,
+    /// Actual node count of the deployment.
+    pub nodes: usize,
+    /// Undirected link count.
+    pub edges: usize,
+    /// The certificate of the (density-cluster, perfect, round) cell.
+    pub cert: Certificate,
+}
+
+fn radius_for(n: usize, degree_target: f64) -> f64 {
+    (degree_target / (n as f64 * std::f64::consts::PI)).sqrt()
+}
+
+/// Certifies one Poisson intensity.
+///
+/// # Panics
+///
+/// Panics if the scenario is malformed (it never is for a generated
+/// deployment).
+pub fn run_point(intensity: usize, seed: u64, quick: bool) -> ChaosPoint {
+    let radius = radius_for(intensity, 8.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = builders::poisson(intensity as f64, radius, &mut rng);
+    let nodes = topo.len();
+    let edges = topo.edge_count();
+
+    let spec = CampaignSpec {
+        seed: seed ^ intensity as u64,
+        injections: if quick { 6 } else { 12 },
+        spacing: 12,
+        max_window: 5,
+        kinds: FaultKind::healing(),
+    };
+    let cfg = CertifyConfig {
+        horizon: 600,
+        ..CertifyConfig::default()
+    };
+    let mut net = Scenario::new(DensityCluster::new(ClusterConfig::default().event_driven()))
+        .topology(topo.clone())
+        .seed(seed)
+        .build()
+        .expect("valid scenario");
+    let cert = certify(
+        &mut net,
+        "density-cluster",
+        "perfect",
+        "round",
+        &spec,
+        &topo,
+        &cfg,
+    );
+    ChaosPoint {
+        intensity,
+        nodes,
+        edges,
+        cert,
+    }
+}
+
+/// Certifies every requested size.
+pub fn run(sizes: &[usize], seed: u64, quick: bool) -> Vec<ChaosPoint> {
+    sizes.iter().map(|&n| run_point(n, seed, quick)).collect()
+}
+
+/// Renders the results as a JSON array (hand-rolled: the vendored
+/// `serde` shim has no serializer) — the `BENCH_chaos.json` payload
+/// CI archives.
+pub fn to_json(points: &[ChaosPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"intensity\": {}, \"nodes\": {}, \"edges\": {}, \"certificate\": {}}}{}",
+            p.intensity,
+            p.nodes,
+            p.edges,
+            p.cert.to_json(),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders a human-readable table: one column per size, one row per
+/// fault class × {p50, p95, worst}.
+pub fn render(points: &[ChaosPoint]) -> mwn_metrics::Table {
+    let mut table =
+        mwn_metrics::Table::new("Restabilization under adversary campaigns (steps, round driver)");
+    let mut headers = vec!["n".to_string()];
+    headers.extend(points.iter().map(|p| p.nodes.to_string()));
+    table.set_headers(headers);
+    let col = |f: &dyn Fn(&ChaosPoint) -> f64| points.iter().map(f).collect::<Vec<_>>();
+    table.add_numeric_row("faults injected", &col(&|p| p.cert.injections as f64), 0);
+    let mut classes: Vec<String> = Vec::new();
+    for p in points {
+        for c in &p.cert.classes {
+            if !classes.contains(&c.class) {
+                classes.push(c.class.clone());
+            }
+        }
+    }
+    classes.sort();
+    for class in &classes {
+        let stat = |which: fn(&mwn_chaos::ClassStats) -> f64| {
+            move |p: &ChaosPoint| {
+                p.cert
+                    .classes
+                    .iter()
+                    .find(|c| &c.class == class)
+                    .map_or(f64::NAN, which)
+            }
+        };
+        table.add_numeric_row(format!("{class} p50"), &col(&stat(|c| c.p50)), 1);
+        table.add_numeric_row(format!("{class} p95"), &col(&stat(|c| c.p95)), 1);
+        table.add_numeric_row(format!("{class} worst"), &col(&stat(|c| c.worst)), 1);
+    }
+    table.add_numeric_row(
+        "closure violations",
+        &col(&|p| p.cert.closure_violations as f64),
+        0,
+    );
+    table.add_numeric_row(
+        "stale after audit",
+        &col(&|p| p.cert.stale_after_audit as f64),
+        0,
+    );
+    table.add_numeric_row(
+        "certificate clean",
+        &col(&|p| if p.cert.is_clean() { 1.0 } else { 0.0 }),
+        0,
+    );
+    table
+}

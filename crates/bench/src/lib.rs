@@ -30,6 +30,7 @@
 
 pub mod ablation;
 pub mod actors;
+pub mod chaos;
 pub mod common;
 pub mod energy_exp;
 pub mod figures;

@@ -1,0 +1,306 @@
+//! The stabilization certifier: campaigns in, certificates out.
+
+use std::collections::BTreeMap;
+
+use mwn_graph::Topology;
+use mwn_metrics::{percentiles, wilson_interval};
+
+use crate::campaign::CampaignSpec;
+use crate::harness::ChaosHarness;
+
+/// Certifier knobs. The defaults suit the repo's test deployments
+/// (tens of nodes, diameter-bounded convergence).
+#[derive(Clone, Copy, Debug)]
+pub struct CertifyConfig {
+    /// Consecutive unchanged output samples (one per logical step)
+    /// that count as "stabilized", and the length of each closure
+    /// check's quiet interval.
+    pub quiet: u64,
+    /// Healing horizon: logical steps the certifier waits for
+    /// restabilization after a fault's scripted after-effects have
+    /// fired. A network still changing past the horizon fails that
+    /// injection's convergence — and whatever is stale then is the
+    /// liveness audit's problem.
+    pub horizon: u64,
+    /// Length of the forced-eager sweep of the liveness audit.
+    pub sweep: u64,
+}
+
+impl Default for CertifyConfig {
+    fn default() -> Self {
+        CertifyConfig {
+            quiet: 5,
+            horizon: 400,
+            sweep: 3,
+        }
+    }
+}
+
+/// Restabilization-time statistics for one fault class, with a Wilson
+/// interval (z = 1.96) on the restabilization proportion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassStats {
+    /// The fault class ([`mwn_sim::Fault::kind_name`]).
+    pub class: String,
+    /// Faults of this class injected.
+    pub injections: usize,
+    /// How many restabilized within the horizon.
+    pub restabilized: usize,
+    /// Median restabilization time (logical steps from injection to
+    /// the last output change), over the restabilized injections.
+    pub p50: f64,
+    /// 95th-percentile restabilization time.
+    pub p95: f64,
+    /// Worst observed restabilization time.
+    pub worst: f64,
+    /// Wilson lower bound on the restabilization proportion.
+    pub wilson_low: f64,
+    /// Wilson upper bound on the restabilization proportion.
+    pub wilson_high: f64,
+}
+
+/// The machine-readable verdict of one certification run: one
+/// (protocol, medium, driver) cell driven through one campaign.
+///
+/// Byte-deterministic on the round driver: the same spec, seed and
+/// deployment produce an identical certificate on every run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Certificate {
+    /// Protocol label of the cell.
+    pub protocol: String,
+    /// Medium label of the cell.
+    pub medium: String,
+    /// Driver label of the cell.
+    pub driver: String,
+    /// The campaign's seed.
+    pub seed: u64,
+    /// Faults injected.
+    pub injections: usize,
+    /// Whether the cold-start run stabilized before the campaign.
+    pub initially_stabilized: bool,
+    /// Closure checks performed (quiet intervals observed fault-free).
+    pub closure_checks: usize,
+    /// Closure violations: a quiet interval in which the output of a
+    /// supposedly legitimate configuration moved.
+    pub closure_violations: usize,
+    /// Nodes whose output the final forced-eager sweep changed — each
+    /// one a gated-asleep node with stale state past the healing
+    /// horizon ([`liveness_audit`]). Zero for a correct engine.
+    pub stale_after_audit: usize,
+    /// Per-fault-class restabilization statistics, sorted by class.
+    pub classes: Vec<ClassStats>,
+    /// Worst restabilization time observed across all classes.
+    pub worst_restabilization: f64,
+}
+
+impl Certificate {
+    /// `true` when the cell earned a clean certificate: stabilized
+    /// initially, no closure violation, nothing stale after the
+    /// audit, and every injection restabilized within the horizon.
+    pub fn is_clean(&self) -> bool {
+        self.initially_stabilized
+            && self.closure_violations == 0
+            && self.stale_after_audit == 0
+            && self.classes.iter().all(|c| c.restabilized == c.injections)
+    }
+
+    /// One-line human summary.
+    pub fn headline(&self) -> String {
+        format!(
+            "[{} / {} / {}] {}: {} faults, worst restabilization {} steps, \
+             closure {}/{} clean, {} stale after audit",
+            self.protocol,
+            self.medium,
+            self.driver,
+            if self.is_clean() { "CLEAN" } else { "DIRTY" },
+            self.injections,
+            self.worst_restabilization,
+            self.closure_checks - self.closure_violations,
+            self.closure_checks,
+            self.stale_after_audit,
+        )
+    }
+
+    /// The certificate as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let classes: Vec<String> = self
+            .classes
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"class\":\"{}\",\"injections\":{},\"restabilized\":{},\
+                     \"p50\":{:.1},\"p95\":{:.1},\"worst\":{:.1},\
+                     \"wilson_low\":{:.4},\"wilson_high\":{:.4}}}",
+                    c.class,
+                    c.injections,
+                    c.restabilized,
+                    c.p50,
+                    c.p95,
+                    c.worst,
+                    c.wilson_low,
+                    c.wilson_high
+                )
+            })
+            .collect();
+        format!(
+            "{{\"protocol\":\"{}\",\"medium\":\"{}\",\"driver\":\"{}\",\
+             \"seed\":{},\"injections\":{},\"initially_stabilized\":{},\
+             \"closure_checks\":{},\"closure_violations\":{},\
+             \"stale_after_audit\":{},\"worst_restabilization\":{:.1},\
+             \"clean\":{},\"classes\":[{}]}}",
+            self.protocol,
+            self.medium,
+            self.driver,
+            self.seed,
+            self.injections,
+            self.initially_stabilized,
+            self.closure_checks,
+            self.closure_violations,
+            self.stale_after_audit,
+            self.worst_restabilization,
+            self.is_clean(),
+            classes.join(",")
+        )
+    }
+}
+
+/// Advances until the outputs are unchanged for `quiet` consecutive
+/// steps; returns the steps until the last change, or `None` if still
+/// changing at the horizon.
+fn stabilize<H: ChaosHarness>(h: &mut H, quiet: u64, horizon: u64) -> Option<u64> {
+    let mut prev = h.outputs();
+    let mut streak = 0u64;
+    let mut waited = 0u64;
+    while streak < quiet {
+        if waited >= horizon {
+            return None;
+        }
+        h.advance(1);
+        waited += 1;
+        let cur = h.outputs();
+        if cur == prev {
+            streak += 1;
+        } else {
+            prev = cur;
+            streak = 0;
+        }
+    }
+    Some(waited - quiet)
+}
+
+/// One closure check: a legitimate configuration must not move over a
+/// fault-free quiet interval. Returns `true` when it held.
+fn closure_holds<H: ChaosHarness>(h: &mut H, quiet: u64) -> bool {
+    let before = h.outputs();
+    h.advance(quiet);
+    h.outputs() == before
+}
+
+/// The hard liveness audit: pins the driver eager, sweeps `sweep`
+/// logical steps, unpins, and counts the nodes whose output moved.
+///
+/// Eager scheduling re-runs every guard and re-delivers every beacon,
+/// so for a silent protocol in a legitimate configuration the sweep
+/// is observably a no-op — **unless** some node was gated-asleep with
+/// stale state, in which case the sweep heals it and its output
+/// changes. Every nonzero count is an engine wake-rule bug (see the
+/// deliberately-broken-rule test in `tests/chaos_certification.rs`).
+pub fn liveness_audit<H: ChaosHarness>(h: &mut H, sweep: u64) -> usize {
+    let before = h.outputs();
+    h.set_eager(true);
+    h.advance(sweep.max(1));
+    h.set_eager(false);
+    let after = h.outputs();
+    before
+        .iter()
+        .zip(after.iter())
+        .filter(|(b, a)| b != a)
+        .count()
+}
+
+/// Runs `spec`'s campaign on `harness` and certifies the cell.
+///
+/// The flow: stabilize from cold start → closure check → for each
+/// scheduled fault, inject, wait out its scripted after-effects
+/// (resurrection, healing, lie expiry — [`mwn_sim::Fault::settles_by`]), then
+/// measure restabilization against the horizon → final closure check
+/// → forced-eager liveness audit.
+///
+/// `topo` is the deployment the harness was built on (the campaign's
+/// victims and regions are drawn against it); labels name the cell in
+/// the certificate.
+pub fn certify<H: ChaosHarness>(
+    harness: &mut H,
+    protocol: &str,
+    medium: &str,
+    driver: &str,
+    spec: &CampaignSpec,
+    topo: &Topology,
+    cfg: &CertifyConfig,
+) -> Certificate {
+    let schedule = spec.schedule(topo);
+    let mut cert = Certificate {
+        protocol: protocol.to_string(),
+        medium: medium.to_string(),
+        driver: driver.to_string(),
+        seed: spec.seed,
+        injections: schedule.len(),
+        initially_stabilized: false,
+        closure_checks: 0,
+        closure_violations: 0,
+        stale_after_audit: 0,
+        classes: Vec::new(),
+        worst_restabilization: 0.0,
+    };
+
+    cert.initially_stabilized = stabilize(harness, cfg.quiet, cfg.horizon).is_some();
+    cert.closure_checks += 1;
+    if !closure_holds(harness, cfg.quiet) {
+        cert.closure_violations += 1;
+    }
+
+    // (restabilization samples, injections, restabilized) per class.
+    let mut per_class: BTreeMap<&'static str, (Vec<f64>, usize, usize)> = BTreeMap::new();
+    for (step, fault) in &schedule {
+        if *step > harness.now() {
+            harness.advance(*step - harness.now());
+        }
+        let injected_at = harness.now();
+        harness.inject(fault);
+        let settled = fault.settles_by(injected_at);
+        if settled > harness.now() {
+            harness.advance(settled - harness.now());
+        }
+        let settle_span = settled - injected_at;
+        let entry = per_class.entry(fault.kind_name()).or_default();
+        entry.1 += 1;
+        if let Some(extra) = stabilize(harness, cfg.quiet, cfg.horizon) {
+            entry.2 += 1;
+            entry.0.push((settle_span + extra) as f64);
+        }
+    }
+
+    cert.closure_checks += 1;
+    if !closure_holds(harness, cfg.quiet) {
+        cert.closure_violations += 1;
+    }
+    cert.stale_after_audit = liveness_audit(harness, cfg.sweep);
+
+    for (class, (mut samples, injections, restabilized)) in per_class {
+        let qs = percentiles(&mut samples, &[0.5, 0.95, 1.0]);
+        let (wilson_low, wilson_high) = wilson_interval(restabilized, injections, 1.96);
+        let worst = if samples.is_empty() { 0.0 } else { qs[2] };
+        cert.worst_restabilization = cert.worst_restabilization.max(worst);
+        cert.classes.push(ClassStats {
+            class: class.to_string(),
+            injections,
+            restabilized,
+            p50: if samples.is_empty() { 0.0 } else { qs[0] },
+            p95: if samples.is_empty() { 0.0 } else { qs[1] },
+            worst,
+            wilson_low,
+            wilson_high,
+        });
+    }
+    cert
+}

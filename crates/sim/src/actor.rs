@@ -63,7 +63,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::engine::{run_pooled, ActivityCore, NodeSet};
 use crate::error::SimError;
-use crate::faults::Fault;
+use crate::faults::{Fault, Followup, Lie};
 use crate::network::{Corruptor, StepActivity};
 use crate::observable::Observable;
 use crate::protocol::{Activity, Corruptible, Protocol};
@@ -162,6 +162,12 @@ pub struct ActorDriver<P: Protocol, M: Medium = PerfectMedium> {
     mailboxes: Vec<Mailbox>,
     scripted: Vec<(u64, Fault)>,
     next_scripted: usize,
+    /// Timed second phases of fired faults (resurrections, healings,
+    /// lie expiries), as `(due_period, seq, followup)`; fired in
+    /// ascending `(due, seq)` order before that period's scripted
+    /// faults, which fire before its slot release.
+    followups: Vec<(u64, u64, Followup<P>)>,
+    followup_seq: u64,
     corruptor: Option<Corruptor<P>>,
     fault_rng: StdRng,
     dynamics: Option<Box<dyn TopologyDynamics + Send>>,
@@ -228,6 +234,8 @@ where
             mailboxes,
             scripted: Vec::new(),
             next_scripted: 0,
+            followups: Vec::new(),
+            followup_seq: 0,
             corruptor: None,
             fault_rng: StdRng::seed_from_u64(derive_seed(seed, u64::MAX - 2)),
             dynamics: None,
@@ -356,25 +364,173 @@ where
         {
             let fault = self.scripted[self.next_scripted].1.clone();
             self.next_scripted += 1;
-            self.env_changed = true;
-            match &fault {
-                Fault::CorruptNode(p) => self.corrupt_scripted(*p),
-                Fault::CorruptAll => {
-                    for i in 0..self.topo.len() {
-                        self.corrupt_scripted(NodeId::new(i as u32));
-                    }
+            self.dispatch_fault(&fault);
+        }
+    }
+
+    /// Applies one fault right now. Shared by the scripted stream and
+    /// [`ActorDriver::inject`].
+    fn dispatch_fault(&mut self, fault: &Fault) {
+        self.env_changed = true;
+        match fault {
+            Fault::CorruptNode(p) => self.corrupt_scripted(*p),
+            Fault::CorruptAll => {
+                for i in 0..self.topo.len() {
+                    self.corrupt_scripted(NodeId::new(i as u32));
                 }
-                Fault::CorruptFraction(f) => {
-                    let picks = self.pick_fraction(*f);
-                    for &p in &picks {
-                        self.corrupt_scripted(p);
-                    }
-                    self.scratch_nodes = picks;
+            }
+            Fault::CorruptFraction(f) => {
+                let picks = self.pick_fraction(*f);
+                for &p in &picks {
+                    self.corrupt_scripted(p);
                 }
-                Fault::Isolate(p) => self.isolate(*p),
-                Fault::SetTopology(topo) => self
-                    .set_topology(topo.clone())
-                    .expect("scripted topology keeps the node count"),
+                self.scratch_nodes = picks;
+            }
+            Fault::Isolate(p) => self.isolate(*p),
+            Fault::SetTopology(topo) => self
+                .set_topology(topo.clone())
+                .expect("scripted topology keeps the node count"),
+            Fault::CrashRecover { node, dark_for } => {
+                let state = self.core.table.states[node.index()].clone();
+                let links = self.topo.neighbors(*node).to_vec();
+                self.isolate(*node);
+                self.push_followup(
+                    self.period + (*dark_for).max(1),
+                    Followup::Resurrect {
+                        node: *node,
+                        state,
+                        links,
+                    },
+                );
+            }
+            Fault::ByzantineBeacon { node, lie, until } => {
+                let beacon = match lie {
+                    Lie::Forged => {
+                        let corruptor = self
+                            .corruptor
+                            .as_ref()
+                            .expect("Scenario::faults installs the corruption hook");
+                        let mut rng = self.core.corrupt_rng(*node);
+                        let mut fake = self.core.table.states[node.index()].clone();
+                        corruptor(&self.protocol, *node, &mut fake, &mut rng);
+                        self.protocol.beacon(*node, &fake)
+                    }
+                    Lie::Replayed => self.core.table.beacons[node.index()].clone(),
+                };
+                self.core.install_lie(&self.topo, *node, beacon);
+                self.push_followup(
+                    (*until).max(self.period + 1),
+                    Followup::ClearLie { node: *node },
+                );
+            }
+            Fault::PartitionHeal { cut, heal_at } => {
+                let mut in_cut = vec![false; self.topo.len()];
+                for &p in cut {
+                    in_cut[p.index()] = true;
+                }
+                let edges: Vec<(NodeId, NodeId)> = self
+                    .topo
+                    .edges()
+                    .filter(|&(u, v)| in_cut[u.index()] != in_cut[v.index()])
+                    .collect();
+                self.sever_edges(edges, *heal_at);
+            }
+            Fault::Jam { region, until } => {
+                let members = region.members(&self.topo);
+                let mut jammed = vec![false; self.topo.len()];
+                for &p in &members {
+                    jammed[p.index()] = true;
+                }
+                let edges: Vec<(NodeId, NodeId)> = self
+                    .topo
+                    .edges()
+                    .filter(|&(u, v)| jammed[u.index()] || jammed[v.index()])
+                    .collect();
+                self.sever_edges(edges, *until);
+            }
+        }
+    }
+
+    /// Removes `edges` (all currently present) through the incremental
+    /// delta path and schedules their restoration.
+    fn sever_edges(&mut self, edges: Vec<(NodeId, NodeId)>, restore_at: u64) {
+        if edges.is_empty() {
+            return;
+        }
+        for &(u, v) in &edges {
+            self.topo.remove_edge(u, v);
+        }
+        let delta = TopologyDelta {
+            removed: edges.clone(),
+            ..TopologyDelta::default()
+        };
+        self.apply_delta(&delta);
+        self.push_followup(
+            restore_at.max(self.period + 1),
+            Followup::RestoreEdges { edges },
+        );
+    }
+
+    /// Re-adds whichever of `edges` are still absent, through the
+    /// incremental delta path.
+    fn restore_edges(&mut self, edges: &[(NodeId, NodeId)]) {
+        let mut added = Vec::new();
+        for &(u, v) in edges {
+            if !self.topo.has_edge(u, v) && self.topo.add_edge(u, v).is_ok() {
+                added.push((u, v));
+            }
+        }
+        let delta = TopologyDelta {
+            added,
+            ..TopologyDelta::default()
+        };
+        self.apply_delta(&delta);
+    }
+
+    fn push_followup(&mut self, due: u64, followup: Followup<P>) {
+        let seq = self.followup_seq;
+        self.followup_seq += 1;
+        self.followups.push((due, seq, followup));
+    }
+
+    /// Fires every due followup in ascending `(due, seq)` order —
+    /// before this period's scripted faults, which fire before its
+    /// slot release.
+    fn fire_followups(&mut self) {
+        if self.followups.is_empty() {
+            return;
+        }
+        let now = self.period;
+        let mut due: Vec<(u64, u64, Followup<P>)> = Vec::new();
+        let mut i = 0;
+        while i < self.followups.len() {
+            if self.followups[i].0 <= now {
+                due.push(self.followups.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|&(d, seq, _)| (d, seq));
+        for (_, _, followup) in due {
+            self.apply_followup(followup);
+        }
+    }
+
+    fn apply_followup(&mut self, followup: Followup<P>) {
+        self.env_changed = true;
+        match followup {
+            Followup::Resurrect { node, state, links } => {
+                self.core.table.states[node.index()] = state;
+                self.core.wake_mutated(node, &self.topo);
+                let edges: Vec<(NodeId, NodeId)> = links
+                    .iter()
+                    .map(|&q| if node < q { (node, q) } else { (q, node) })
+                    .collect();
+                self.restore_edges(&edges);
+            }
+            Followup::RestoreEdges { edges } => self.restore_edges(&edges),
+            Followup::ClearLie { node } => {
+                self.core.clear_lie(&self.protocol, &self.topo, node);
             }
         }
     }
@@ -389,6 +545,7 @@ where
         self.env_changed = false;
         self.core.table.changed.clear();
         self.apply_dynamics();
+        self.fire_followups();
         self.fire_scripted();
         let eager = !self.is_gated();
         if eager {
@@ -822,6 +979,31 @@ where
         for i in 0..self.topo.len() {
             self.corrupt(NodeId::new(i as u32));
         }
+    }
+
+    /// Applies one [`Fault`] right now — the entry point the chaos
+    /// harness uses to drive unscripted campaigns. Timed second phases
+    /// (resurrection, healing, lie expiry) fire at the start of their
+    /// due period, before that period's scripted faults and slot
+    /// release.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NodeCountMismatch`] for a [`Fault::SetTopology`]
+    /// that changes the node count.
+    pub fn inject(&mut self, fault: &Fault) -> Result<(), SimError> {
+        if self.corruptor.is_none() {
+            self.corruptor = Some(Box::new(
+                |protocol: &P, p, state: &mut P::State, rng: &mut StdRng| {
+                    protocol.corrupt(p, state, rng);
+                },
+            ));
+        }
+        if let Fault::SetTopology(topo) = fault {
+            return self.set_topology(topo.clone());
+        }
+        self.dispatch_fault(fault);
+        Ok(())
     }
 }
 

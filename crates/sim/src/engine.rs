@@ -227,6 +227,13 @@ pub(crate) struct NodeTable<P: Protocol> {
     pub forced_changed: NodeSet,
     /// Nodes whose state changed during the last executed step.
     pub changed: Vec<NodeId>,
+    /// Nodes currently broadcasting a *forged* beacon
+    /// ([`Fault::ByzantineBeacon`](crate::Fault::ByzantineBeacon)): the
+    /// lie sits in their `beacons` column and
+    /// [`ActivityCore::refresh_beacon`] refuses to overwrite it until
+    /// the lie is cleared. Almost always empty, so the hot-path guard
+    /// is a single `is_empty` test.
+    pub lies: Vec<NodeId>,
     /// Scratch: pre-step snapshot of the node being processed.
     pub scratch_state: Option<P::State>,
     /// Scratch: pooled beacon buffer for [`ActivityCore::refresh_beacon`].
@@ -257,6 +264,7 @@ impl<P: Protocol> NodeTable<P> {
             occupancy: None,
             forced_changed: NodeSet::new(n),
             changed: Vec::new(),
+            lies: Vec::new(),
             scratch_state: None,
             scratch_beacon: None,
         };
@@ -463,6 +471,11 @@ impl<P: Protocol> ActivityCore<P> {
     /// `p` becomes send-pending (waking it from statistical occupancy
     /// if it had retired). Returns whether the beacon changed.
     pub fn refresh_beacon(&mut self, protocol: &P, topo: &Topology, p: NodeId) -> bool {
+        // A lying node's column holds its forged beacon; refreshing
+        // must not launder it back to the truth until the lie clears.
+        if !self.table.lies.is_empty() && self.table.lies.contains(&p) {
+            return false;
+        }
         // The pooled scratch buffer circulates: beacon_into overwrites
         // it in place, then it swaps with the node's column slot, so
         // refreshing never constructs a beacon from nothing once the
@@ -482,6 +495,34 @@ impl<P: Protocol> ActivityCore<P> {
         }
         std::mem::swap(&mut self.table.beacons[p.index()], scratch);
         changed
+    }
+
+    /// Installs a forged beacon for `p`: the lie replaces `p`'s
+    /// broadcast column, the epoch bump makes every neighbor "behind",
+    /// and `p` rejoins the pending senders (waking from statistical
+    /// occupancy if retired) so the lie actually hits the air. `p`'s
+    /// true state is untouched; [`Self::refresh_beacon`] refuses to
+    /// overwrite the column until [`Self::clear_lie`].
+    pub fn install_lie(&mut self, topo: &Topology, p: NodeId, beacon: P::Beacon) {
+        self.table.beacons[p.index()] = beacon;
+        self.table.epoch[p.index()] = bump_epoch(self.table.epoch[p.index()]);
+        self.table.send_pending.insert(p);
+        if let Some(occ) = &mut self.table.occupancy {
+            occ.release(p, topo);
+        }
+        if !self.table.lies.contains(&p) {
+            self.table.lies.push(p);
+        }
+    }
+
+    /// Ends `p`'s Byzantine window: the override lifts and `p` is woken
+    /// as an externally-mutated node, so its next refresh recomputes
+    /// the honest beacon (epoch-bumped past the lie) and its poisoned
+    /// neighbors are forced to hear the retraction.
+    pub fn clear_lie(&mut self, protocol: &P, topo: &Topology, p: NodeId) {
+        self.table.lies.retain(|q| *q != p);
+        self.wake_mutated(p, topo);
+        let _ = self.refresh_beacon(protocol, topo, p);
     }
 
     /// `true` when every neighbor of `s` has incorporated `s`'s current

@@ -7,10 +7,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::engine::{ActivityCore, NodeSet, SlotClock};
+use crate::faults::{Followup, Lie};
 use crate::network::Corruptor;
 use crate::rng::{derive_seed, split_rng, streams};
 use crate::scenario::TopologyDynamics;
-use crate::{Activity, Corruptible, Fault, Protocol, StabilityTracker};
+use crate::{Activity, Corruptible, Fault, Protocol, SimError, StabilityTracker};
 
 /// Parameters of the continuous-time execution model.
 ///
@@ -272,6 +273,12 @@ pub struct EventDriver<P: Protocol, M: Medium = PerfectMedium> {
     /// event at or past that time is processed.
     scripted: Vec<(u64, Fault)>,
     next_scripted: usize,
+    /// Timed second phases of fired faults (resurrections, healings,
+    /// lie expiries), as `(due_step, seq, followup)`; fired at their
+    /// due logical-step boundary, after mobility but before scripted
+    /// faults and any protocol event at that instant.
+    followups: Vec<(u64, u64, Followup<P>)>,
+    followup_seq: u64,
     corruptor: Option<Corruptor<P>>,
     /// Mobility (or other topology dynamics), ticked once per beacon
     /// period at logical-step boundaries.
@@ -354,6 +361,8 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
             frames_delivered: 0,
             scripted: Vec::new(),
             next_scripted: 0,
+            followups: Vec::new(),
+            followup_seq: 0,
             corruptor: None,
             dynamics: None,
             dynamics_step: 0,
@@ -542,7 +551,15 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
         let (step, fault) = self.scripted[self.next_scripted].clone();
         self.next_scripted += 1;
         self.time = self.time.max(self.step_time(step));
-        match &fault {
+        self.dispatch_fault(&fault);
+    }
+
+    /// Applies one fault right now (the clock already advanced to its
+    /// logical instant). Shared by the scripted stream and
+    /// [`EventDriver::inject`].
+    fn dispatch_fault(&mut self, fault: &Fault) {
+        let step = self.logical_now();
+        match fault {
             Fault::CorruptNode(p) => self.corrupt_scripted(*p),
             Fault::CorruptAll => {
                 for i in 0..self.topo.len() {
@@ -573,8 +590,157 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
                     self.note_changed(NodeId::new(i as u32));
                 }
             }
+            Fault::CrashRecover { node, dark_for } => {
+                let state = self.core.table.states[node.index()].clone();
+                let links = self.topo.neighbors(*node).to_vec();
+                self.isolate(*node);
+                self.push_followup(
+                    step + (*dark_for).max(1),
+                    Followup::Resurrect {
+                        node: *node,
+                        state,
+                        links,
+                    },
+                );
+            }
+            Fault::ByzantineBeacon { node, lie, until } => {
+                let beacon = match lie {
+                    Lie::Forged => {
+                        let corruptor = self
+                            .corruptor
+                            .as_ref()
+                            .expect("Scenario::faults installs the corruption hook");
+                        let mut rng = self.core.corrupt_rng(*node);
+                        let mut fake = self.core.table.states[node.index()].clone();
+                        corruptor(&self.protocol, *node, &mut fake, &mut rng);
+                        self.protocol.beacon(*node, &fake)
+                    }
+                    Lie::Replayed => self.core.table.beacons[node.index()].clone(),
+                };
+                self.core.install_lie(&self.topo, *node, beacon);
+                self.push_followup((*until).max(step + 1), Followup::ClearLie { node: *node });
+            }
+            Fault::PartitionHeal { cut, heal_at } => {
+                let mut in_cut = vec![false; self.topo.len()];
+                for &p in cut {
+                    in_cut[p.index()] = true;
+                }
+                let edges: Vec<(NodeId, NodeId)> = self
+                    .topo
+                    .edges()
+                    .filter(|&(u, v)| in_cut[u.index()] != in_cut[v.index()])
+                    .collect();
+                self.sever_edges(edges, (*heal_at).max(step + 1));
+            }
+            Fault::Jam { region, until } => {
+                let members = region.members(&self.topo);
+                let mut jammed = vec![false; self.topo.len()];
+                for &p in &members {
+                    jammed[p.index()] = true;
+                }
+                let edges: Vec<(NodeId, NodeId)> = self
+                    .topo
+                    .edges()
+                    .filter(|&(u, v)| jammed[u.index()] || jammed[v.index()])
+                    .collect();
+                self.sever_edges(edges, (*until).max(step + 1));
+            }
         }
         self.arm_pending();
+    }
+
+    /// Removes `edges` (all currently present) through the incremental
+    /// delta path and schedules their restoration.
+    fn sever_edges(&mut self, edges: Vec<(NodeId, NodeId)>, restore_at: u64) {
+        if edges.is_empty() {
+            return;
+        }
+        for &(u, v) in &edges {
+            self.topo.remove_edge(u, v);
+        }
+        let delta = TopologyDelta {
+            removed: edges.clone(),
+            ..TopologyDelta::default()
+        };
+        self.apply_delta(&delta);
+        self.push_followup(restore_at, Followup::RestoreEdges { edges });
+    }
+
+    /// Re-adds whichever of `edges` are still absent, through the
+    /// incremental delta path.
+    fn restore_edges(&mut self, edges: &[(NodeId, NodeId)]) {
+        let mut added = Vec::new();
+        for &(u, v) in edges {
+            if !self.topo.has_edge(u, v) && self.topo.add_edge(u, v).is_ok() {
+                added.push((u, v));
+            }
+        }
+        let delta = TopologyDelta {
+            added,
+            ..TopologyDelta::default()
+        };
+        self.apply_delta(&delta);
+    }
+
+    fn push_followup(&mut self, due: u64, followup: Followup<P>) {
+        let seq = self.followup_seq;
+        self.followup_seq += 1;
+        self.followups.push((due, seq, followup));
+    }
+
+    /// The wall-clock instant of the earliest pending followup.
+    fn next_followup_time(&self) -> f64 {
+        self.followups
+            .iter()
+            .map(|&(due, _, _)| self.step_time(due))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Fires the earliest-due followup batch: the clock advances to its
+    /// logical-step boundary, every followup due by then runs in
+    /// ascending `(due, seq)` order, and woken senders are re-armed.
+    fn fire_due_followups(&mut self) {
+        let d0 = self
+            .followups
+            .iter()
+            .map(|&(due, _, _)| due)
+            .min()
+            .expect("caller checked a followup is pending");
+        self.time = self.time.max(self.step_time(d0));
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.followups.len() {
+            if self.followups[i].0 <= d0 {
+                due.push(self.followups.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|&(d, seq, _)| (d, seq));
+        for (_, _, followup) in due {
+            self.apply_followup(followup);
+        }
+        self.arm_pending();
+    }
+
+    fn apply_followup(&mut self, followup: Followup<P>) {
+        match followup {
+            Followup::Resurrect { node, state, links } => {
+                self.core.table.states[node.index()] = state;
+                self.core.wake_mutated(node, &self.topo);
+                self.note_changed(node);
+                let edges: Vec<(NodeId, NodeId)> = links
+                    .iter()
+                    .map(|&q| if node < q { (node, q) } else { (q, node) })
+                    .collect();
+                self.restore_edges(&edges);
+            }
+            Followup::RestoreEdges { edges } => self.restore_edges(&edges),
+            Followup::ClearLie { node } => {
+                self.core.clear_lie(&self.protocol, &self.topo, node);
+                self.note_changed(node);
+            }
+        }
     }
 
     /// Processes events up to (and including) time `t`; scripted
@@ -599,15 +765,19 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
             } else {
                 f64::INFINITY
             };
-            let next = event_time.min(fault_time).min(dyn_time);
+            let followup_time = self.next_followup_time();
+            let next = event_time.min(fault_time).min(dyn_time).min(followup_time);
             if next > t {
                 break;
             }
             // Priority at equal instants mirrors the round driver's
-            // within-step order: topology moves, then faults, then the
-            // protocol events.
+            // within-step order: topology moves, then fault followups
+            // (resurrections/healings), then faults, then the protocol
+            // events.
             if dyn_time <= next {
                 self.tick_dynamics();
+            } else if followup_time <= next {
+                self.fire_due_followups();
             } else if fault_time <= next {
                 self.fire_one_fault();
             } else {
@@ -944,6 +1114,11 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
         self.time
     }
 
+    /// The continuous-time configuration this driver runs with.
+    pub fn config(&self) -> &EventConfig {
+        &self.config
+    }
+
     /// All node states, indexed by [`NodeId`].
     pub fn states(&self) -> &[P::State] {
         &self.core.table.states
@@ -998,6 +1173,27 @@ impl<P: Protocol, M: Medium> EventDriver<P, M> {
 }
 
 impl<P: crate::Observable, M: Medium> EventDriver<P, M> {
+    /// Projects every node's observable output into `buf` (cleared
+    /// first); the buffer can be reused across samples.
+    pub fn outputs_into(&self, buf: &mut Vec<P::Output>) {
+        buf.clear();
+        buf.extend(
+            self.core
+                .table
+                .states
+                .iter()
+                .enumerate()
+                .map(|(i, s)| self.protocol.output(NodeId::new(i as u32), s)),
+        );
+    }
+
+    /// The observable output of every node.
+    pub fn outputs(&self) -> Vec<P::Output> {
+        let mut buf = Vec::with_capacity(self.core.table.states.len());
+        self.outputs_into(&mut buf);
+        buf
+    }
+
     /// Runs until the protocol's canonical [`crate::Observable`]
     /// output is unchanged for `quiet_samples` consecutive samples
     /// taken every `sample_interval`, or until `max_time` has elapsed
@@ -1037,6 +1233,36 @@ impl<P: Corruptible, M: Medium> EventDriver<P, M> {
             self.note_changed(p);
         }
         self.arm_pending();
+    }
+
+    /// Applies one [`Fault`] at the current simulation time — the
+    /// entry point the chaos harness uses to drive unscripted
+    /// campaigns. Timed second phases (resurrection, healing, lie
+    /// expiry) are scheduled at later logical-step boundaries and fire
+    /// before any protocol event at that instant.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NodeCountMismatch`] for a [`Fault::SetTopology`]
+    /// that changes the node count.
+    pub fn inject(&mut self, fault: &Fault) -> Result<(), SimError> {
+        if self.corruptor.is_none() {
+            self.corruptor = Some(Box::new(
+                |protocol: &P, p, state: &mut P::State, rng: &mut StdRng| {
+                    protocol.corrupt(p, state, rng);
+                },
+            ));
+        }
+        if let Fault::SetTopology(topo) = fault {
+            if topo.len() != self.topo.len() {
+                return Err(SimError::NodeCountMismatch {
+                    expected: self.topo.len(),
+                    got: topo.len(),
+                });
+            }
+        }
+        self.dispatch_fault(fault);
+        Ok(())
     }
 }
 

@@ -107,7 +107,7 @@ pub use engine::kernels;
 pub use engine::run_pooled;
 pub use error::SimError;
 pub use events::{EventConfig, EventDriver};
-pub use faults::{Fault, FaultPlan};
+pub use faults::{Fault, FaultPlan, Lie, Region};
 pub use network::{Network, StepActivity};
 pub use observable::Observable;
 pub use protocol::{Activity, Corruptible, Protocol};

@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::engine::{kernels, run_sharded, ActivityCore};
+use crate::faults::{Followup, Lie, Region};
 use crate::rng::{derive_seed, split_rng};
 use crate::scenario::TopologyDynamics;
 use crate::stop::{Obs, RunReport, StopWhen};
@@ -187,6 +188,11 @@ pub struct Network<P: Protocol, M> {
     /// Scenario-scripted faults, fired inside [`Network::step`].
     scripted: Vec<(u64, Fault)>,
     next_scripted: usize,
+    /// Timed second phases of fired faults (resurrections, healings,
+    /// lie expiries), as `(due_step, seq, followup)`; fired in
+    /// ascending `(due, seq)` order before that step's scripted faults.
+    followups: Vec<(u64, u64, Followup<P>)>,
+    followup_seq: u64,
     corruptor: Option<Corruptor<P>>,
     dynamics: Option<Box<dyn TopologyDynamics + Send>>,
     // Reused step buffers: no per-step allocation in steady state.
@@ -248,6 +254,8 @@ impl<P: Protocol, M: Medium> Network<P, M> {
             shards,
             scripted: Vec::new(),
             next_scripted: 0,
+            followups: Vec::new(),
+            followup_seq: 0,
             corruptor: None,
             dynamics: None,
             senders_buf: Vec::new(),
@@ -446,25 +454,192 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         {
             let fault = self.scripted[self.next_scripted].1.clone();
             self.next_scripted += 1;
-            self.env_changed = true;
-            match &fault {
-                Fault::CorruptNode(p) => self.corrupt_scripted(*p),
-                Fault::CorruptAll => {
-                    for i in 0..self.topo.len() {
-                        self.corrupt_scripted(NodeId::new(i as u32));
-                    }
+            self.dispatch_fault(&fault);
+        }
+    }
+
+    /// Applies one fault right now. Shared by the scripted stream and
+    /// [`Network::inject`]; the plan is validated before installation
+    /// ([`crate::FaultPlan::validate_for`]), so the remaining
+    /// `SetTopology` expect is unreachable from scripts.
+    fn dispatch_fault(&mut self, fault: &Fault) {
+        self.env_changed = true;
+        match fault {
+            Fault::CorruptNode(p) => self.corrupt_scripted(*p),
+            Fault::CorruptAll => {
+                for i in 0..self.topo.len() {
+                    self.corrupt_scripted(NodeId::new(i as u32));
                 }
-                Fault::CorruptFraction(f) => {
-                    let picks = self.pick_fraction(*f);
-                    for &p in &picks {
-                        self.corrupt_scripted(p);
-                    }
-                    self.scratch_nodes = picks;
+            }
+            Fault::CorruptFraction(f) => {
+                let picks = self.pick_fraction(*f);
+                for &p in &picks {
+                    self.corrupt_scripted(p);
                 }
-                Fault::Isolate(p) => self.isolate(*p),
-                Fault::SetTopology(topo) => self
-                    .set_topology(topo.clone())
-                    .expect("scripted topology keeps the node count"),
+                self.scratch_nodes = picks;
+            }
+            Fault::Isolate(p) => self.isolate(*p),
+            Fault::SetTopology(topo) => self
+                .set_topology(topo.clone())
+                .expect("scripted topology keeps the node count"),
+            Fault::CrashRecover { node, dark_for } => self.crash(*node, *dark_for),
+            Fault::ByzantineBeacon { node, lie, until } => self.byzantine(*node, *lie, *until),
+            Fault::PartitionHeal { cut, heal_at } => self.partition(cut, *heal_at),
+            Fault::Jam { region, until } => self.jam(region, *until),
+        }
+    }
+
+    /// [`Fault::CrashRecover`]: snapshot state + links, go dark via
+    /// [`Network::isolate`], schedule the resurrection.
+    fn crash(&mut self, p: NodeId, dark_for: u64) {
+        let state = self.core.table.states[p.index()].clone();
+        let links = self.topo.neighbors(p).to_vec();
+        self.isolate(p);
+        self.push_followup(
+            self.step + dark_for.max(1),
+            Followup::Resurrect {
+                node: p,
+                state,
+                links,
+            },
+        );
+    }
+
+    /// [`Fault::ByzantineBeacon`]: install the lie at the engine level
+    /// (epoch-bumped, send-pending, occupancy-released) and schedule
+    /// its expiry. The forged content draws on the dedicated
+    /// per-corruption-event stream, so frame-delivery randomness is
+    /// untouched.
+    fn byzantine(&mut self, p: NodeId, lie: Lie, until: u64) {
+        let beacon = match lie {
+            Lie::Forged => {
+                let corruptor = self
+                    .corruptor
+                    .as_ref()
+                    .expect("Scenario::faults installs the corruption hook");
+                let mut rng = self.core.corrupt_rng(p);
+                let mut fake = self.core.table.states[p.index()].clone();
+                corruptor(&self.protocol, p, &mut fake, &mut rng);
+                self.protocol.beacon(p, &fake)
+            }
+            Lie::Replayed => self.core.table.beacons[p.index()].clone(),
+        };
+        self.core.install_lie(&self.topo, p, beacon);
+        self.push_followup(until.max(self.step + 1), Followup::ClearLie { node: p });
+    }
+
+    /// [`Fault::PartitionHeal`]: sever every edge crossing the cut,
+    /// schedule the heal.
+    fn partition(&mut self, cut: &[NodeId], heal_at: u64) {
+        let mut in_cut = vec![false; self.topo.len()];
+        for &p in cut {
+            in_cut[p.index()] = true;
+        }
+        let edges: Vec<(NodeId, NodeId)> = self
+            .topo
+            .edges()
+            .filter(|&(u, v)| in_cut[u.index()] != in_cut[v.index()])
+            .collect();
+        self.sever_edges(edges, heal_at);
+    }
+
+    /// [`Fault::Jam`]: sever every edge touching the region, schedule
+    /// the restoration.
+    fn jam(&mut self, region: &Region, until: u64) {
+        let members = region.members(&self.topo);
+        let mut jammed = vec![false; self.topo.len()];
+        for &p in &members {
+            jammed[p.index()] = true;
+        }
+        let edges: Vec<(NodeId, NodeId)> = self
+            .topo
+            .edges()
+            .filter(|&(u, v)| jammed[u.index()] || jammed[v.index()])
+            .collect();
+        self.sever_edges(edges, until);
+    }
+
+    /// Removes `edges` (all currently present) through the incremental
+    /// delta path — occupancy adjusted edge-wise, `link_down` fired,
+    /// touched nodes woken — and schedules their restoration.
+    fn sever_edges(&mut self, edges: Vec<(NodeId, NodeId)>, restore_at: u64) {
+        if edges.is_empty() {
+            return;
+        }
+        for &(u, v) in &edges {
+            self.topo.remove_edge(u, v);
+        }
+        let delta = TopologyDelta {
+            removed: edges.clone(),
+            ..TopologyDelta::default()
+        };
+        self.apply_delta(&delta);
+        self.push_followup(
+            restore_at.max(self.step + 1),
+            Followup::RestoreEdges { edges },
+        );
+    }
+
+    /// Re-adds whichever of `edges` are still absent (mobility or later
+    /// faults may have restored or re-severed some), again through the
+    /// incremental delta path.
+    fn restore_edges(&mut self, edges: &[(NodeId, NodeId)]) {
+        let mut added = Vec::new();
+        for &(u, v) in edges {
+            if !self.topo.has_edge(u, v) && self.topo.add_edge(u, v).is_ok() {
+                added.push((u, v));
+            }
+        }
+        let delta = TopologyDelta {
+            added,
+            ..TopologyDelta::default()
+        };
+        self.apply_delta(&delta);
+    }
+
+    fn push_followup(&mut self, due: u64, followup: Followup<P>) {
+        let seq = self.followup_seq;
+        self.followup_seq += 1;
+        self.followups.push((due, seq, followup));
+    }
+
+    /// Fires every due followup in ascending `(due, seq)` order —
+    /// before this step's scripted faults, which fire before sends.
+    fn fire_followups(&mut self) {
+        if self.followups.is_empty() {
+            return;
+        }
+        let now = self.step;
+        let mut due: Vec<(u64, u64, Followup<P>)> = Vec::new();
+        let mut i = 0;
+        while i < self.followups.len() {
+            if self.followups[i].0 <= now {
+                due.push(self.followups.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|&(d, seq, _)| (d, seq));
+        for (_, _, followup) in due {
+            self.apply_followup(followup);
+        }
+    }
+
+    fn apply_followup(&mut self, followup: Followup<P>) {
+        self.env_changed = true;
+        match followup {
+            Followup::Resurrect { node, state, links } => {
+                self.core.table.states[node.index()] = state;
+                self.core.wake_mutated(node, &self.topo);
+                let edges: Vec<(NodeId, NodeId)> = links
+                    .iter()
+                    .map(|&q| if node < q { (node, q) } else { (q, node) })
+                    .collect();
+                self.restore_edges(&edges);
+            }
+            Followup::RestoreEdges { edges } => self.restore_edges(&edges),
+            Followup::ClearLie { node } => {
+                self.core.clear_lie(&self.protocol, &self.topo, node);
             }
         }
     }
@@ -474,6 +649,7 @@ impl<P: Protocol, M: Medium> Network<P, M> {
         self.env_changed = false;
         self.core.table.changed.clear();
         self.apply_dynamics();
+        self.fire_followups();
         self.fire_scripted();
         let eager = !self.is_gated();
         if eager {
@@ -1024,6 +1200,46 @@ impl<P: Corruptible, M: Medium> Network<P, M> {
         }
         self.scratch_nodes = picks;
         count
+    }
+
+    /// Applies one [`Fault`] right now — the entry point the chaos
+    /// harness uses to drive unscripted campaigns. Timed second phases
+    /// (resurrection, healing, lie expiry) are scheduled as followups
+    /// and fire at the start of their due step, before that step's
+    /// scripted faults and sends.
+    ///
+    /// Victims must be in range (see
+    /// [`crate::FaultPlan::validate_for`] for pre-run checking of whole
+    /// plans).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NodeCountMismatch`] for a [`Fault::SetTopology`]
+    /// that changes the node count.
+    pub fn inject(&mut self, fault: &Fault) -> Result<(), SimError> {
+        if self.corruptor.is_none() {
+            self.corruptor = Some(Box::new(
+                |protocol: &P, p, state: &mut P::State, rng: &mut StdRng| {
+                    protocol.corrupt(p, state, rng);
+                },
+            ));
+        }
+        if let Fault::SetTopology(topo) = fault {
+            return self.set_topology(topo.clone());
+        }
+        self.dispatch_fault(fault);
+        Ok(())
+    }
+
+    /// Corrupts `p` **without** waking it — a deliberately broken wake
+    /// rule. Exists only so the certifier's liveness audit can be
+    /// demonstrated to catch exactly this class of engine bug; never
+    /// use it to model a fault.
+    #[doc(hidden)]
+    pub fn corrupt_silently(&mut self, p: NodeId) {
+        let mut rng = self.core.corrupt_rng(p);
+        self.protocol
+            .corrupt(p, &mut self.core.table.states[p.index()], &mut rng);
     }
 }
 

@@ -197,6 +197,9 @@ impl<P: Protocol, M: Medium> Scenario<P, M> {
         for check in self.validators {
             check(&topology).map_err(SimError::InvalidConfig)?;
         }
+        if let Some((plan, _)) = &self.faults {
+            plan.validate_for(&topology)?;
+        }
         let mut net = Network::new(self.protocol, self.medium, topology, self.seed);
         if let Some(k) = self.shards {
             net.set_shards(Some(k));
@@ -238,6 +241,9 @@ impl<P: Protocol, M: Medium> Scenario<P, M> {
         for check in self.validators {
             check(&topology).map_err(SimError::InvalidConfig)?;
         }
+        if let Some((plan, _)) = &self.faults {
+            plan.validate_for(&topology)?;
+        }
         let mut driver =
             EventDriver::with_medium(self.protocol, self.medium, topology, config, self.seed);
         if let Some((plan, corruptor)) = self.faults {
@@ -277,6 +283,9 @@ impl<P: Protocol, M: Medium> Scenario<P, M> {
         let topology = self.topology.ok_or(SimError::MissingTopology)?;
         for check in self.validators {
             check(&topology).map_err(SimError::InvalidConfig)?;
+        }
+        if let Some((plan, _)) = &self.faults {
+            plan.validate_for(&topology)?;
         }
         let mut driver =
             ActorDriver::new(self.protocol, self.medium, topology, self.seed, threads)?;

@@ -6,8 +6,8 @@
 use mwn_graph::{builders, traversal, NodeId, Point2, Topology};
 use mwn_radio::{BernoulliLoss, PerfectMedium, SlottedCsma};
 use mwn_sim::{
-    Activity, Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Observable,
-    Protocol,
+    Activity, Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Lie, Network, Observable,
+    Protocol, Region,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -89,24 +89,41 @@ enum Disturbance {
     CorruptFraction(f64),
     Isolate(u32),
     Jitter { node: u32, dx: f64, dy: f64 },
+    Crash { node: u32, dark_for: u64 },
+    Byzantine { node: u32, window: u64 },
+    Partition { prefix: u32, window: u64 },
+    JamOne { node: u32, window: u64 },
 }
 
 fn disturbance_strategy() -> impl Strategy<Value = Disturbance> {
     // The vendored proptest subset has no `prop_oneof!`; a discriminant
     // plus a payload tuple selects the variant just as uniformly.
     (
-        0u8..5,
+        0u8..9,
         0u32..1024,
         0.05f64..1.0,
         -0.15f64..0.15,
         -0.15f64..0.15,
     )
-        .prop_map(|(kind, node, fraction, dx, dy)| match kind {
-            0 => Disturbance::Step((node % 5) as u8 + 1),
-            1 => Disturbance::Corrupt(node),
-            2 => Disturbance::CorruptFraction(fraction),
-            3 => Disturbance::Isolate(node),
-            _ => Disturbance::Jitter { node, dx, dy },
+        .prop_map(|(kind, node, fraction, dx, dy)| {
+            let window = u64::from(node % 7) + 1;
+            match kind {
+                0 => Disturbance::Step((node % 5) as u8 + 1),
+                1 => Disturbance::Corrupt(node),
+                2 => Disturbance::CorruptFraction(fraction),
+                3 => Disturbance::Isolate(node),
+                4 => Disturbance::Jitter { node, dx, dy },
+                5 => Disturbance::Crash {
+                    node,
+                    dark_for: window,
+                },
+                6 => Disturbance::Byzantine { node, window },
+                7 => Disturbance::Partition {
+                    prefix: node,
+                    window,
+                },
+                _ => Disturbance::JamOne { node, window },
+            }
         })
 }
 
@@ -197,16 +214,18 @@ proptest! {
         plan.at(fault_step, Fault::CorruptFraction(fraction))
             .at(fault_step + 3, Fault::CorruptAll);
         let mut net = Network::new(MaxFlood, PerfectMedium, topo, seed);
-        plan.run(&mut net, fault_step + 4);
+        plan.run(&mut net, fault_step + 4).expect("well-formed plan");
         net.run_until_stable(|_, s| *s, 3, 1000).expect("converges after faults");
         prop_assert_eq!(net.states(), expected.as_slice());
     }
 
     /// The incrementally-maintained slot-occupancy summary equals a
     /// from-scratch recount after *arbitrary* interleavings of steps,
-    /// state corruption, node isolation and mobility jitter — the
-    /// invariant that makes gated CSMA's statistical collision fold
-    /// trustworthy under churn.
+    /// state corruption, node isolation, mobility jitter, and the full
+    /// adversary model (crash-recover, Byzantine beacons, partition/
+    /// heal, regional jam — including their delayed healing followups
+    /// firing mid-script) — the invariant that makes gated CSMA's
+    /// statistical collision fold trustworthy under churn.
     #[test]
     fn occupancy_matches_recount_under_arbitrary_churn(
         topo in topo_strategy(),
@@ -237,6 +256,37 @@ proptest! {
                         (pos.y + dy).clamp(0.0, 1.0),
                     );
                     net.apply_moves(&[(p, moved)]);
+                }
+                Disturbance::Crash { node, dark_for } => {
+                    net.inject(&Fault::CrashRecover {
+                        node: NodeId::new(node % n),
+                        dark_for,
+                    })
+                    .expect("node count unchanged");
+                }
+                Disturbance::Byzantine { node, window } => {
+                    net.inject(&Fault::ByzantineBeacon {
+                        node: NodeId::new(node % n),
+                        lie: if node % 2 == 0 { Lie::Forged } else { Lie::Replayed },
+                        until: net.now() + window,
+                    })
+                    .expect("node count unchanged");
+                }
+                Disturbance::Partition { prefix, window } => {
+                    let cut: Vec<NodeId> =
+                        (0..1 + prefix % n.max(2).saturating_sub(1)).map(NodeId::new).collect();
+                    net.inject(&Fault::PartitionHeal {
+                        cut,
+                        heal_at: net.now() + window,
+                    })
+                    .expect("node count unchanged");
+                }
+                Disturbance::JamOne { node, window } => {
+                    net.inject(&Fault::Jam {
+                        region: Region::Nodes(vec![NodeId::new(node % n)]),
+                        until: net.now() + window,
+                    })
+                    .expect("node count unchanged");
                 }
             }
             let occ = net.occupancy().expect("gated CSMA maintains occupancy");

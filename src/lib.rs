@@ -21,6 +21,8 @@
 //! * [`metrics`] — statistics and experiment tables;
 //! * [`traffic`] — the data plane: flow workloads forwarded over the
 //!   stabilized overlay, with loss accounting under churn;
+//! * [`chaos`] — randomized adversary campaigns and the stabilization
+//!   certifier (closure, convergence, gated-liveness audit);
 //! * [`viz`] — SVG / ASCII rendering of clusterings.
 //!
 //! # Quickstart
@@ -54,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub use mwn_baselines as baselines;
+pub use mwn_chaos as chaos;
 pub use mwn_cluster as cluster;
 pub use mwn_graph as graph;
 pub use mwn_metrics as metrics;
@@ -65,6 +68,9 @@ pub use mwn_viz as viz;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use mwn_chaos::{
+        certify, liveness_audit, CampaignSpec, Certificate, CertifyConfig, ChaosHarness, FaultKind,
+    };
     pub use mwn_cluster::{
         build_hierarchy, check_legitimate, density_of, energy_aware_clustering, extract_clustering,
         extract_dag_ids, oracle, simulate_rotation, ClusterConfig, ClusterState, ClusterView,
@@ -82,9 +88,9 @@ pub mod prelude {
         Medium, Occupancy, OccupancyView, PerfectMedium, SlottedCsma, Thinned,
     };
     pub use mwn_sim::{
-        ActorDriver, Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Network, Observable,
-        Protocol, RunReport, Scenario, SimError, StopWhen, Sweep, TopologyDynamics, Trace,
-        WireBeacon,
+        ActorDriver, Corruptible, EventConfig, EventDriver, Fault, FaultPlan, Lie, Network,
+        Observable, Protocol, Region, RunReport, Scenario, SimError, StopWhen, Sweep,
+        TopologyDynamics, Trace, WireBeacon,
     };
     pub use mwn_traffic::{
         run_events, run_rounds, DemandModel, FlowSpec, TrafficConfig, TrafficPlane, TrafficReport,

@@ -179,7 +179,40 @@ fn gated_equals_eager_with_scripted_faults() {
         let mut plan = FaultPlan::new();
         plan.at(10, Fault::CorruptFraction(0.4))
             .at(20, Fault::Isolate(NodeId::new(3)))
-            .at(30, Fault::CorruptAll);
+            .at(30, Fault::CorruptAll)
+            .at(
+                38,
+                Fault::CrashRecover {
+                    node: NodeId::new(7),
+                    dark_for: 6,
+                },
+            )
+            .at(
+                46,
+                Fault::ByzantineBeacon {
+                    node: NodeId::new(11),
+                    lie: Lie::Forged,
+                    until: 50,
+                },
+            )
+            .at(
+                54,
+                Fault::PartitionHeal {
+                    cut: (0..20).map(NodeId::new).collect(),
+                    heal_at: 60,
+                },
+            )
+            .at(
+                64,
+                Fault::Jam {
+                    region: Region::Disk {
+                        x: 0.5,
+                        y: 0.5,
+                        r: 0.2,
+                    },
+                    until: 68,
+                },
+            );
         Scenario::new(DensityCluster::new(event_driven_config()))
             .topology(topo.clone())
             .seed(6)
@@ -187,7 +220,7 @@ fn gated_equals_eager_with_scripted_faults() {
             .build()
             .expect("valid scenario")
     };
-    lockstep(build, 55);
+    lockstep(build, 85);
 }
 
 #[test]

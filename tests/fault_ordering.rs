@@ -174,6 +174,162 @@ fn equal_timestamp_faults_precede_sends_on_both_drivers() {
 }
 
 #[test]
+fn partition_heal_keeps_the_cut_closed_until_the_heal_on_all_drivers() {
+    // CorruptAll and a {0,1}-cut land together at step 5 on a
+    // stabilized line; the heal is scripted for step 15. The contract
+    // under test: the cut applies before any step-5 beacon (no stale
+    // maximum leaks into the left fragment), and the healed link is
+    // only usable from step 15 on (the flood crosses exactly then).
+    let plan = || {
+        let mut plan = FaultPlan::new();
+        plan.at(
+            5,
+            Fault::PartitionHeal {
+                cut: vec![NodeId::new(0), NodeId::new(1)],
+                heal_at: 15,
+            },
+        )
+        .at(5, Fault::CorruptAll);
+        plan
+    };
+    let pre_heal = |label: &str, states: &[u32]| {
+        assert_eq!(
+            &states[..2],
+            &[1, 1],
+            "{label}: left fragment re-floods alone"
+        );
+        assert_eq!(
+            &states[2..],
+            &[4, 4, 4],
+            "{label}: right fragment re-floods alone"
+        );
+    };
+    let healed = |label: &str, states: &[u32]| {
+        assert_eq!(
+            states,
+            &[4, 4, 4, 4, 4],
+            "{label}: the heal reconnects the flood"
+        );
+    };
+
+    let mut net = Scenario::new(MaxFlood)
+        .topology(builders::line(5))
+        .seed(3)
+        .faults(plan())
+        .build()
+        .expect("valid scenario");
+    while net.now() < 14 {
+        net.step();
+    }
+    pre_heal("round", net.states());
+    net.run_to(&StopWhen::stable_for(4).within(200))
+        .expect_stable("round driver re-stabilizes after the heal");
+    healed("round", net.states());
+
+    let mut driver = Scenario::new(MaxFlood)
+        .topology(builders::line(5))
+        .seed(3)
+        .faults(plan())
+        .build_events(EventConfig::default())
+        .expect("valid event scenario");
+    driver.run_until_time(14.0);
+    pre_heal("events", driver.states());
+    driver.run_until_time(60.0);
+    healed("events", driver.states());
+
+    for threads in [1, 4] {
+        let mut actors = Scenario::new(MaxFlood)
+            .topology(builders::line(5))
+            .seed(3)
+            .faults(plan())
+            .build_actors(threads)
+            .expect("valid actor scenario");
+        while actors.now() < 14 {
+            actors.step();
+        }
+        pre_heal("actors", actors.states());
+        actors
+            .run_to(&StopWhen::stable_for(4).within(200))
+            .expect_stable("actor driver re-stabilizes after the heal");
+        healed("actors", actors.states());
+    }
+}
+
+#[test]
+fn crash_recover_resurrects_stale_pre_crash_state_on_all_drivers() {
+    // Node 0 crashes at step 5 holding the stabilized maximum 4, then
+    // CorruptAll zeroes every *live* state. The survivors re-flood to
+    // 4 among themselves while the dark node sits at its corrupted 0 —
+    // and at step 15 it must resurrect with the STALE pre-crash 4 and
+    // its links restored, not with whatever its live state decayed to.
+    let plan = || {
+        let mut plan = FaultPlan::new();
+        plan.at(
+            5,
+            Fault::CrashRecover {
+                node: NodeId::new(0),
+                dark_for: 10,
+            },
+        )
+        .at(5, Fault::CorruptAll);
+        plan
+    };
+    let dark = |label: &str, states: &[u32]| {
+        assert_eq!(states[0], 0, "{label}: dark node keeps its corrupted state");
+        assert_eq!(&states[1..], &[4, 4, 4, 4], "{label}: survivors re-flood");
+    };
+    let back = |label: &str, states: &[u32]| {
+        assert_eq!(
+            states,
+            &[4, 4, 4, 4, 4],
+            "{label}: resurrected and re-joined"
+        );
+    };
+
+    let mut net = Scenario::new(MaxFlood)
+        .topology(builders::line(5))
+        .seed(3)
+        .faults(plan())
+        .build()
+        .expect("valid scenario");
+    while net.now() < 14 {
+        net.step();
+    }
+    dark("round", net.states());
+    net.run_to(&StopWhen::stable_for(4).within(200))
+        .expect_stable("round driver re-stabilizes after resurrection");
+    back("round", net.states());
+
+    let mut driver = Scenario::new(MaxFlood)
+        .topology(builders::line(5))
+        .seed(3)
+        .faults(plan())
+        .build_events(EventConfig::default())
+        .expect("valid event scenario");
+    driver.run_until_time(14.0);
+    dark("events", driver.states());
+    driver.run_until_time(60.0);
+    back("events", driver.states());
+
+    for threads in [1, 4] {
+        let mut actors = Scenario::new(MaxFlood)
+            .topology(builders::line(5))
+            .seed(3)
+            .faults(plan())
+            .build_actors(threads)
+            .expect("valid actor scenario");
+        while actors.now() < 14 {
+            actors.step();
+        }
+        dark("actors", actors.states());
+        actors
+            .run_to(&StopWhen::stable_for(4).within(200))
+            .expect_stable("actor driver re-stabilizes after resurrection");
+        back("actors", actors.states());
+    }
+}
+
+#[test]
 fn actor_isolation_applies_before_the_same_periods_frames() {
     // The actor-fabric version of the in-flight question: a fault and
     // a beacon slot land on the same period. If the beacon slot could
